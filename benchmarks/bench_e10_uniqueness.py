@@ -1,0 +1,34 @@
+"""E10 — Theorem 3.1: min/max are the unique equivalence-preserving pair.
+
+Paper claim (Yager; Dubois–Prade): "the unique scoring functions for
+evaluating AND and OR that preserve logical equivalence of queries
+involving only conjunction and disjunction and that are monotone in
+their arguments are min and max."
+
+Regenerates: the empirical half — every other monotone pair in the
+catalog violates some positive-query identity, min/max violates none.
+"""
+
+from repro.harness.experiments import e10_uniqueness
+from repro.harness.reporting import format_table
+from repro.scoring.properties import check_equivalence_preservation
+from repro.scoring.tnorms import MIN
+from repro.scoring.conorms import MAX
+
+
+def test_e10_min_max_uniqueness(benchmark):
+    result = e10_uniqueness()
+    print()
+    print(format_table(result.headers, result.rows))
+
+    passing = [row for row in result.rows if row[1]]
+    assert len(passing) == 1
+    assert passing[0][0] == "min/max"
+    for name, preserved, witness in result.rows:
+        if not preserved:
+            assert witness  # a concrete violated identity is reported
+
+    def run():
+        return check_equivalence_preservation(MIN, MAX)
+
+    benchmark(run)

@@ -1,0 +1,60 @@
+"""E11 — precomputed pairwise distances (section 2.1).
+
+Paper claim: when updates are rare, precomputing all pairwise distances
+means "no painful computations such as that given by the formula (1)
+need to be done in real time".
+
+Regenerates: build-time vs query-time Eq. 1 evaluation counts, plus a
+wall-clock comparison of a cached neighbor query against a live one.
+Expected shape: query-time evaluations drop from N to 0; cached lookups
+are orders of magnitude faster per query.
+"""
+
+import numpy as np
+
+from repro.harness.experiments import e11_precompute
+from repro.harness.reporting import format_table
+from repro.multimedia.histogram import Palette, QuadraticFormDistance
+from repro.multimedia.precompute import PairwiseDistanceCache
+from repro.multimedia.similarity import laplacian_similarity
+from repro.workloads.image_corpus import corpus_histograms, mixed_corpus
+
+PALETTE = Palette.rgb_cube(4)
+DISTANCE = QuadraticFormDistance(laplacian_similarity(PALETTE))
+HISTOGRAMS = corpus_histograms(mixed_corpus(500, seed=3), PALETTE)
+CACHE = PairwiseDistanceCache(HISTOGRAMS, DISTANCE)
+ANCHOR = next(iter(HISTOGRAMS))
+
+
+def live_neighbors(k=10):
+    """The no-cache path: evaluate Eq. 1 against every object."""
+    target = HISTOGRAMS[ANCHOR]
+    scored = sorted(
+        (DISTANCE(histogram, target), str(obj))
+        for obj, histogram in HISTOGRAMS.items()
+        if obj != ANCHOR
+    )
+    return scored[:k]
+
+
+def test_e11_counts(benchmark):
+    benchmark(lambda: CACHE.distance_between(ANCHOR, ANCHOR))
+    result = e11_precompute(ns=(250, 500, 1000))
+    print()
+    print(format_table(result.headers, result.rows))
+    for n, bins, build, cached_evals, live_evals in result.rows:
+        assert cached_evals == 0
+        assert live_evals == n
+        assert build == n * (n - 1) // 2
+
+
+def test_e11_cached_query(benchmark):
+    neighbors = benchmark(lambda: CACHE.neighbors(ANCHOR, 10))
+    assert len(neighbors) == 10
+
+
+def test_e11_live_query(benchmark):
+    """The comparison target: per-query Eq. 1 over the whole corpus."""
+    scored = benchmark(live_neighbors)
+    cached = CACHE.neighbors(ANCHOR, 10)
+    assert np.allclose([d for d, _ in scored], [d for _, d in cached])

@@ -1,0 +1,47 @@
+"""E13 — the dimensionality curse (section 2.1).
+
+Paper claims: grid files and linear quadtrees "grow exponentially with
+the dimensionality"; R-trees "tend to be more robust for higher
+dimensions, at least for dimensions up to around 20".
+
+Regenerates: R-tree vs linear-scan distance evaluations over dimension,
+plus the grid-file directory size (refused past the tractability bound).
+Expected shape: the R-tree's share of the scan's work grows with
+dimension (its advantage decays); the grid directory explodes.
+"""
+
+import numpy as np
+
+from repro.harness.experiments import e13_curse
+from repro.harness.reporting import format_table
+from repro.index.rtree import RTree
+
+
+def test_e13_dimensionality_curse(benchmark):
+    result = e13_curse(dims=(2, 4, 8, 16, 32), n=2000, k=10, queries=5)
+    print()
+    print(format_table(result.headers, result.rows))
+
+    rtree_shares = [row[4] for row in result.rows]
+    # the R-tree's advantage decays monotonically-ish: last >> first
+    assert rtree_shares[-1] > 4 * rtree_shares[0]
+    assert rtree_shares[0] < 0.4  # a real win at low dimension
+    # the VA-file degrades gracefully: still well below the scan at the
+    # dimensions where the R-tree has already lost
+    vafile_shares = {row[0]: row[5] for row in result.rows}
+    assert vafile_shares[16] < 0.5
+    assert vafile_shares[32] < 0.8
+    # grid directory: exponential growth, then refusal (-1)
+    directories = [row[6] for row in result.rows]
+    assert directories[0] < directories[1] < directories[2]
+    assert directories[-1] == -1
+
+    rng = np.random.default_rng(19)
+    points = rng.random((2000, 8))
+    tree = RTree.bulk_load([(i, points[i]) for i in range(2000)], 8)
+    query = rng.random(8)
+
+    def run():
+        return tree.knn(query, 10)
+
+    benchmark(run)

@@ -1,0 +1,40 @@
+"""E14 — the Chaudhuri–Gravano filter-condition simulation (section 4.1).
+
+Paper claim: A0 can be simulated with filter conditions ("the color
+score is at least .2"); the practical hazard is guessing the threshold —
+too optimistic and the system restarts with a lower one.
+
+Regenerates: restarts and total cost over the initial-threshold sweep,
+against TA as the interleaved-access reference.  Expected shape: correct
+answers at every threshold; cost grows with each restart; a well-chosen
+threshold is competitive.
+"""
+
+from repro.core.filter_condition import filter_condition_top_k
+from repro.harness.experiments import e14_filter_condition
+from repro.harness.reporting import format_table
+from repro.workloads.graded_lists import workload
+
+
+def test_e14_filter_condition(benchmark):
+    result = e14_filter_condition(
+        n=4000, k=10, taus=(0.99, 0.9, 0.7, 0.5, 0.3), seed=23
+    )
+    print()
+    print(format_table(result.headers, result.rows))
+
+    for tau, restarts, cost, ta_cost, correct in result.rows:
+        assert correct, tau
+    # the most optimistic threshold restarts; some threshold does not
+    assert result.rows[0][1] > 0
+    assert any(row[1] == 0 for row in result.rows)
+    # restarting costs more than not restarting
+    zero_restart_costs = [row[2] for row in result.rows if row[1] == 0]
+    assert result.rows[0][2] > min(zero_restart_costs) * 0.5
+
+    def run():
+        return filter_condition_top_k(
+            workload("independent", 4000, 2, 23), 10, initial_tau=0.7
+        )
+
+    benchmark(run)

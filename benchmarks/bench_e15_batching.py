@@ -1,0 +1,42 @@
+"""E15 — batched sorted access under item-count vs latency measures.
+
+Paper context (§4): Garlic may "ask the subsystem for, say, the top 10
+objects in sorted order, then request the next 10", and the uniform
+access-cost measure "is somewhat controversial" because real accesses
+have very different prices.
+
+Regenerates: A0's items-fetched / round-trips / uniform-cost /
+latency-cost over the batch-size sweep.  Expected shape: uniform cost
+is minimized by tiny batches (no overshoot); with a 50:1 round-trip
+charge the optimum moves to a large interior batch size.
+"""
+
+from repro.core.batching import batched
+from repro.core.fagin import fagin_top_k
+from repro.harness.experiments import e15_batching
+from repro.harness.reporting import format_table
+from repro.scoring import tnorms
+from repro.workloads.graded_lists import workload
+
+
+def test_e15_batch_size_trade_off(benchmark):
+    result = e15_batching(batch_sizes=(1, 10, 100, 1000), n=8000, k=10)
+    print()
+    print(format_table(result.headers, result.rows))
+    for note in result.notes:
+        print(note)
+
+    uniform = {row[0]: row[3] for row in result.rows}
+    latency = {row[0]: row[4] for row in result.rows}
+    # uniform measure: overshoot only grows with batch size
+    assert uniform[1] <= uniform[10] <= uniform[1000]
+    # latency measure: a big batch beats per-item requests...
+    assert latency[100] < latency[1]
+    # ... but batching everything overshoots past the optimum too
+    assert latency[100] < latency[1000] or latency[1000] < latency[1]
+
+    def run():
+        sources = batched(workload("independent", 8000, 2, 29), 100)
+        return fagin_top_k(sources, tnorms.MIN, 10)
+
+    benchmark(run)

@@ -1,0 +1,40 @@
+"""E16 — the random-access pruning improvement to A0.
+
+Paper claim (§4.1): "there are various improvements that can be made to
+algorithm A0 (in particular, in the case when t is min, the standard
+scoring function in fuzzy logic for the conjunction)."
+
+Regenerates: A0 vs A0-with-pruning costs and random-access counts per
+workload.  Expected shape: identical answers, pruning never costs more,
+and for min most (on easy instances all) random accesses disappear.
+"""
+
+from repro.core.fagin import fagin_top_k
+from repro.harness.experiments import e16_pruning
+from repro.harness.reporting import format_table
+from repro.scoring import tnorms
+from repro.workloads.graded_lists import workload
+
+
+def test_e16_pruning_improvement(benchmark):
+    result = e16_pruning(
+        ns=(1000, 4000, 16000), kinds=("independent", "anti-correlated"), k=10
+    )
+    print()
+    print(format_table(result.headers, result.rows))
+
+    for kind, n, plain, pruned, plain_random, pruned_random, agree in result.rows:
+        assert agree, (kind, n)
+        assert pruned <= plain, (kind, n)
+        assert pruned_random <= plain_random, (kind, n)
+    # pruning saves at least a third of total cost somewhere in the sweep
+    savings = [1 - row[3] / row[2] for row in result.rows]
+    assert max(savings) > 1 / 3
+
+    def run():
+        return fagin_top_k(
+            workload("independent", 8000, 2, 31), tnorms.MIN, 10,
+            prune_random_access=True,
+        )
+
+    benchmark(run)

@@ -1,0 +1,39 @@
+"""E17 — the "with arbitrarily high probability" claim of Theorem 4.1.
+
+Paper claim: "for every epsilon > 0, there is a constant c such that for
+every N, the probability that the database access cost is more than
+c * N^((m-1)/m) * k^(1/m) is less than epsilon."
+
+Regenerates: the distribution of A0's normalized cost over many random
+independent instances.  Expected shape: the cost concentrates — the
+maximum over 100 instances sits at a small constant multiple of the
+median, so modest c already captures nearly all the mass.
+"""
+
+from repro.core.fagin import fagin_top_k
+from repro.core.sources import sources_from_columns
+from repro.harness.experiments import e17_concentration
+from repro.harness.reporting import format_table
+from repro.scoring import tnorms
+from repro.workloads.graded_lists import independent
+
+
+def test_e17_cost_concentration(benchmark):
+    result = e17_concentration(n=4000, k=10, m=2, trials=100)
+    print()
+    print(format_table(result.headers, result.rows))
+    for note in result.notes:
+        print(note)
+
+    quantiles = dict(result.rows)
+    # concentration: the worst of 100 instances is within 2x the median
+    assert quantiles["max"] < 2.0 * quantiles["median"]
+    # and the normalizing law is the right one: the constant is O(1)
+    assert quantiles["median"] < 10.0
+
+    table = independent(4000, 2, seed=0)
+
+    def run():
+        return fagin_top_k(sources_from_columns(table), tnorms.MIN, 10)
+
+    benchmark(run)

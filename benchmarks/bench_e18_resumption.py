@@ -1,0 +1,44 @@
+"""E18 — resumption amortization ("continue where we left off", §4.1).
+
+Paper claim: "The algorithm has the nice feature that after finding the
+top k answers, in order to find the next k best answers we can continue
+where we left off."
+
+Regenerates: per-page and cumulative costs of paging through 5 batches
+of k answers via one resumable A0 instance, against from-scratch runs
+at each depth.  Expected shape: the cumulative resumed cost matches the
+one-shot cost of the same total depth (within the small overhead of
+intermediate stops) — resuming never re-pays for sorted access.
+"""
+
+from repro.core.fagin import FaginAlgorithm
+from repro.core.sources import sources_from_columns
+from repro.harness.experiments import e18_resumption
+from repro.harness.reporting import format_table
+from repro.scoring import tnorms
+from repro.workloads.graded_lists import independent
+
+
+def test_e18_resumption_amortizes(benchmark):
+    result = e18_resumption(n=8000, k=10, batches=5)
+    print()
+    print(format_table(result.headers, result.rows))
+    for note in result.notes:
+        print(note)
+
+    final = result.rows[-1]
+    cumulative, scratch = final[2], final[3]
+    # resuming costs no more than ~15% over the one-shot equivalent
+    assert cumulative <= scratch * 1.15, (cumulative, scratch)
+    # and each later page is far cheaper than starting over
+    for page, batch_cost, _, from_scratch in result.rows[1:]:
+        assert batch_cost < from_scratch
+
+    table = independent(8000, 2, seed=37)
+
+    def run():
+        algorithm = FaginAlgorithm(sources_from_columns(table), tnorms.MIN)
+        algorithm.next_k(10)
+        return algorithm.next_k(10)
+
+    benchmark(run)

@@ -1,0 +1,42 @@
+"""E1 — A0 cost vs database size N (Theorems 4.1/4.2, m = 2).
+
+Paper claim: for two independent conjuncts the database access cost of
+Fagin's algorithm is Theta(sqrt(N k)) — "of the order of the square root
+of the size of the database" — while the naive algorithm costs 2N.
+
+Regenerates: cost table over N, log-log slope fits for both algorithms.
+Expected shape: A0 slope ~ 0.5, naive slope = 1.0, widening speedup.
+"""
+
+from repro.core.fagin import fagin_top_k
+from repro.core.sources import sources_from_columns
+from repro.harness.experiments import e1_cost_vs_n
+from repro.harness.reporting import format_table
+from repro.scoring import tnorms
+from repro.workloads.graded_lists import independent
+
+NS = (1000, 2000, 4000, 8000, 16000)
+
+
+def test_e1_cost_scaling(benchmark):
+    result = e1_cost_vs_n(ns=NS, k=10, seeds=(0, 1, 2))
+    print()
+    print(format_table(result.headers, result.rows))
+    for note in result.notes:
+        print(note)
+
+    fagin_fit = result.fits["fagin"]
+    naive_fit = result.fits["naive"]
+    assert 0.35 <= fagin_fit.slope <= 0.68, fagin_fit
+    assert abs(naive_fit.slope - 1.0) < 0.02, naive_fit
+    # the speedup widens with N (last row beats first row)
+    assert result.rows[-1][3] > result.rows[0][3]
+
+    # wall-clock benchmark of one representative A0 run (N = 8000)
+    table = independent(8000, 2, seed=0)
+
+    def run():
+        return fagin_top_k(sources_from_columns(table), tnorms.MIN, 10)
+
+    outcome = benchmark(run)
+    assert len(outcome.answers) == 10

@@ -1,0 +1,36 @@
+"""E2 — cost scaling exponent vs the number of conjuncts m.
+
+Paper claim (Theorem 4.1): cost is O(N^{(m-1)/m} k^{1/m}), so the N-
+exponent rises with m: 1/2 at m=2, 2/3 at m=3, 3/4 at m=4.
+
+Regenerates: measured exponent per m vs the theoretical (m-1)/m.
+"""
+
+from repro.core.fagin import fagin_top_k
+from repro.core.sources import sources_from_columns
+from repro.harness.experiments import e2_cost_vs_m
+from repro.harness.fitting import theorem_exponent
+from repro.harness.reporting import format_table
+from repro.scoring import tnorms
+from repro.workloads.graded_lists import independent
+
+
+def test_e2_exponent_vs_m(benchmark):
+    result = e2_cost_vs_m(
+        ms=(2, 3, 4), ns=(1000, 2000, 4000, 8000), k=10, seeds=(0, 1, 2)
+    )
+    print()
+    print(format_table(result.headers, result.rows))
+
+    for m, measured, theory in result.rows:
+        assert abs(measured - theorem_exponent(m)) < 0.17, (m, measured)
+    # the exponent must be increasing in m
+    exponents = [row[1] for row in result.rows]
+    assert exponents == sorted(exponents)
+
+    table = independent(4000, 3, seed=0)
+
+    def run():
+        return fagin_top_k(sources_from_columns(table), tnorms.MIN, 10)
+
+    benchmark(run)

@@ -1,0 +1,35 @@
+"""E3 — A0 cost scaling vs the answer count k.
+
+Paper claim (Theorem 4.1): the k-dependence is k^{1/m}; at m = 2 that is
+sqrt(k) — quadrupling k should roughly double the cost.
+
+Regenerates: cost over k at fixed N, log-log slope vs 1/m.
+"""
+
+from repro.core.fagin import fagin_top_k
+from repro.core.sources import sources_from_columns
+from repro.harness.experiments import e3_cost_vs_k
+from repro.harness.reporting import format_table
+from repro.scoring import tnorms
+from repro.workloads.graded_lists import independent
+
+
+def test_e3_cost_vs_k(benchmark):
+    result = e3_cost_vs_k(ks=(1, 4, 16, 64, 256), n=8000, seeds=(0, 1, 2))
+    print()
+    print(format_table(result.headers, result.rows))
+    for note in result.notes:
+        print(note)
+
+    fit = result.fits["k"]
+    assert 0.3 <= fit.slope <= 0.7, fit
+    # cost is increasing in k
+    costs = [row[1] for row in result.rows]
+    assert costs == sorted(costs)
+
+    table = independent(8000, 2, seed=0)
+
+    def run():
+        return fagin_top_k(sources_from_columns(table), tnorms.MIN, 64)
+
+    benchmark(run)

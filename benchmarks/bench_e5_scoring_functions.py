@@ -1,0 +1,34 @@
+"""E5 — A0 under the scoring-function catalog.
+
+Paper claim: Theorem 4.1 "applies to the conjunction ... when the
+scoring function is monotone.  This includes any scoring function
+obtained by iterating triangular norms (such as min), and in fact almost
+any reasonable choice" — explicitly including the arithmetic and
+geometric means of Thole–Zimmermann–Zysno, which are not t-norms.
+
+Regenerates: per-rule cost and correctness table.
+"""
+
+from repro.core.fagin import fagin_top_k
+from repro.core.sources import sources_from_columns
+from repro.harness.experiments import e5_scoring_functions
+from repro.harness.reporting import format_table
+from repro.scoring import means
+from repro.workloads.graded_lists import independent
+
+
+def test_e5_catalog_correctness(benchmark):
+    result = e5_scoring_functions(n=8000, k=10, seed=7)
+    print()
+    print(format_table(result.headers, result.rows))
+
+    for name, cost, correct in result.rows:
+        assert correct, name
+        assert cost < 2 * 8000, (name, cost)  # beats the naive scan
+
+    table = independent(8000, 2, seed=7)
+
+    def run():
+        return fagin_top_k(sources_from_columns(table), means.MEAN, 10)
+
+    benchmark(run)

@@ -1,0 +1,39 @@
+"""E6 — the Boolean-conjunct-first strategy on the CD store.
+
+Paper claim (section 4.1): for (Artist='Beatles') AND (AlbumColor='red')
+"a good way to evaluate this query would be to first determine all
+objects that satisfy the first conjunct" — under the assumption the
+predicate is selective, the cost tracks |S|, not N.
+
+Regenerates: cost over (N, selectivity); strategy choice; naive 2N
+baseline.  Expected shape: cost ~ 2|S| + 1, flat in N at fixed |S|
+fraction, crossover to other strategies as selectivity grows.
+"""
+
+from repro.core.query import Atomic
+from repro.harness.experiments import e6_beatles
+from repro.harness.reporting import format_table
+from repro.workloads.cd_store import build_store, generate_catalog
+
+
+def test_e6_boolean_first(benchmark):
+    result = e6_beatles(
+        ns=(1000, 4000, 16000), selectivities=(0.001, 0.01, 0.1), k=10
+    )
+    print()
+    print(format_table(result.headers, result.rows))
+
+    for n, selectivity, selected, strategy, cost, naive in result.rows:
+        assert cost < naive, (n, selectivity)
+        if selectivity <= 0.01:
+            assert strategy == "boolean-first"
+            # cost ~ |S| * m + 1, plus possible zero-padding
+            assert cost <= selected * 2 + 1 + 10
+
+    engine = build_store(generate_catalog(4000, seed=4000, beatles_fraction=0.01))
+    query = Atomic("Artist", "Beatles") & Atomic("AlbumColor", "red")
+
+    def run():
+        return engine.top_k(query, 10)
+
+    benchmark(run)

@@ -1,0 +1,45 @@
+"""E7 — the distance-bounding filter (Eq. 2).
+
+Paper claim (section 2.1): the short (3-dim) summary vector gives a
+simple-to-compute distance d^ with d^ <= d, so it can "eliminate from
+consideration objects where d^ is too large" — saving the expensive
+Eq. 1 evaluations with zero false dismissals.
+
+Regenerates: Eq. 1 evaluation counts, pruning rates, and exactness over
+corpus sizes.  Expected shape: high pruning rate, exact results always.
+"""
+
+from repro.harness.experiments import e7_filter
+from repro.harness.reporting import format_table
+
+
+def test_e7_filter_prunes_without_false_dismissals(benchmark):
+    result = e7_filter(ns=(250, 500, 1000, 2000), k=10, seed=5)
+    print()
+    print(format_table(result.headers, result.rows))
+
+    for n, evals, pruned, rate, exact in result.rows:
+        assert exact, n
+        assert evals + pruned == n
+        assert rate > 0.3, (n, rate)
+
+    # wall-clock: one filtered search on the largest corpus
+    from repro.multimedia.filter import DistanceBoundingFilter
+    from repro.multimedia.histogram import (
+        Palette,
+        QuadraticFormDistance,
+        solid_color_histogram,
+    )
+    from repro.multimedia.similarity import laplacian_similarity
+    from repro.workloads.image_corpus import corpus_histograms, mixed_corpus
+
+    palette = Palette.rgb_cube(4)
+    distance = QuadraticFormDistance(laplacian_similarity(palette))
+    filt = DistanceBoundingFilter(palette, distance)
+    histograms = corpus_histograms(mixed_corpus(1000, seed=5), palette)
+    target = solid_color_histogram((0.9, 0.1, 0.1), palette)
+
+    def run():
+        return filt.search(histograms, target, 10)
+
+    benchmark(run)

@@ -1,0 +1,38 @@
+"""E8 — weighted queries (section 5).
+
+Paper claim: the Fagin–Wimmers formula satisfies D1–D3', inherits
+monotonicity and strictness, and therefore "algorithm A0 continues to be
+correct and optimal in the weighted case".
+
+Regenerates: correctness + cost table over a weight sweep (the weighted
+cost stays in the same regime as the unweighted min run).
+"""
+
+from repro.core.fagin import fagin_top_k
+from repro.core.sources import sources_from_columns
+from repro.harness.experiments import e8_weighted
+from repro.harness.reporting import format_table
+from repro.scoring.tnorms import MIN
+from repro.scoring.weighted import WeightedScoring
+from repro.workloads.graded_lists import independent
+
+
+def test_e8_weighted_queries(benchmark):
+    result = e8_weighted(n=4000, k=10, seed=11)
+    print()
+    print(format_table(result.headers, result.rows))
+    for note in result.notes:
+        print(note)
+
+    for weights, weighted_cost, min_cost, correct in result.rows:
+        assert correct, weights
+        # same cost regime: within an order of magnitude of plain min
+        assert weighted_cost < 10 * min_cost
+
+    table = independent(4000, 2, seed=11)
+    rule = WeightedScoring(MIN, (2 / 3, 1 / 3))
+
+    def run():
+        return fagin_top_k(sources_from_columns(table), rule, 10)
+
+    benchmark(run)

@@ -1,0 +1,32 @@
+"""E9 — the linear lower bound (section 6 / [Fa96]).
+
+Paper claim: "the author gives a (somewhat artificial) case where the
+database access cost is necessarily linear in the database size".
+
+Regenerates: A0 cost over N on the reversed-lists instance.  Expected
+shape: log-log slope ~ 1.0, in sharp contrast to E1's ~ 0.5.
+"""
+
+from repro.core.adversary import hard_instance
+from repro.core.fagin import fagin_top_k
+from repro.harness.experiments import e9_adversary
+from repro.harness.reporting import format_table
+from repro.scoring import tnorms
+
+
+def test_e9_linear_lower_bound(benchmark):
+    result = e9_adversary(ns=(1000, 2000, 4000, 8000, 16000), k=1)
+    print()
+    print(format_table(result.headers, result.rows))
+    for note in result.notes:
+        print(note)
+
+    fit = result.fits["adversary"]
+    assert fit.slope > 0.9, fit
+    for n, cost, depth in result.rows:
+        assert cost >= n  # genuinely linear, not just slowly sublinear
+
+    def run():
+        return fagin_top_k(hard_instance(4000), tnorms.MIN, 1)
+
+    benchmark(run)

@@ -1,0 +1,7 @@
+"""Legacy shim so `pip install -e . --no-use-pep517` works offline
+(the environment has setuptools but no `wheel`, which PEP 660 editable
+installs require).  All real metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,171 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+The closest thing a library gets to the paper's "user interface"
+concern (section 6): an SQL shell over a demo database, a guided demo,
+and the experiment reproduction suite.
+
+Commands
+--------
+``demo``
+    A compact tour: build the CD store, run the Beatles query, show the
+    plan and the costs.
+``sql [--database {cds,images}] [--size N] [QUERY]``
+    Execute one SQL statement (or start an interactive shell when no
+    query is given) against a generated demo database.
+``experiments [--quick]``
+    Regenerate the E1–E18 tables (EXPERIMENTS.md's numbers).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.core.query import Atomic
+from repro.errors import ReproError
+from repro.middleware.engine import MiddlewareEngine
+from repro.sql.compiler import execute as execute_sql
+
+
+def _build_database(kind: str, size: int) -> MiddlewareEngine:
+    if kind == "cds":
+        from repro.workloads.cd_store import build_store, generate_catalog
+
+        return build_store(generate_catalog(size, seed=0))
+    if kind == "images":
+        from repro.workloads.image_corpus import build_image_database
+
+        return build_image_database(size, seed=0)
+    raise ReproError(f"unknown demo database {kind!r}; use 'cds' or 'images'")
+
+
+def _print_result(result) -> None:
+    print(f"algorithm: {result.algorithm}   "
+          f"cost: {result.database_access_cost} accesses "
+          f"(sorted {result.cost.sorted_access_cost}, "
+          f"random {result.cost.random_access_cost})")
+    rows = result.extras.get("rows")
+    if rows:
+        for row in rows:
+            attributes = ", ".join(
+                f"{name}={value!r}"
+                for name, value in row.items()
+                if name not in ("object_id", "grade")
+            )
+            print(f"  {row['object_id']}: {row['grade']:.4f}  {attributes}")
+        return
+    for item in result.answers:
+        print(f"  {item.object_id}: {item.grade:.4f}")
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    """The guided tour: the Beatles query with plan and costs."""
+    engine = _build_database("cds", 2000)
+    query = Atomic("Artist", "Beatles") & Atomic("AlbumColor", "red")
+    print(f"query: {query}")
+    plan = engine.explain(query, args.k)
+    print(f"plan:  {plan.strategy.value} — {plan.reason} "
+          f"(estimated cost {plan.estimated_cost:.0f})")
+    _print_result(engine.top_k(query, args.k))
+    print("\ntry the SQL shell:  python -m repro sql")
+    return 0
+
+
+def cmd_sql(args: argparse.Namespace) -> int:
+    """One-shot statement or interactive shell over a demo database."""
+    engine = _build_database(args.database, args.size)
+    if args.query:
+        return _run_statement(engine, " ".join(args.query), args.k)
+    print(f"repro SQL shell over the {args.database!r} demo database "
+          f"({args.size} objects).")
+    print("example: SELECT * FROM albums WHERE Artist = 'Beatles' "
+          "AND AlbumColor = 'red' STOP AFTER 5")
+    print("empty line or Ctrl-D exits.")
+    while True:
+        try:
+            line = input("fuzzy> ").strip()
+        except EOFError:
+            print()
+            return 0
+        if not line:
+            return 0
+        _run_statement(engine, line, args.k)
+
+
+def _run_statement(engine: MiddlewareEngine, text: str, default_k: int) -> int:
+    try:
+        result = execute_sql(text, engine, default_k=default_k)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    _print_result(result)
+    return 0
+
+
+def _experiments_inline(quick: bool) -> int:
+    """A fast subset of the experiment suite (the full sweep lives in
+    examples/reproduce_paper.py)."""
+    from repro.harness import (
+        e1_cost_vs_n,
+        e4_disjunction,
+        e9_adversary,
+        e10_uniqueness,
+    )
+    from repro.harness.reporting import format_table
+
+    suite = (
+        ("E1", lambda: e1_cost_vs_n(ns=(1000, 2000, 4000), seeds=(0,))),
+        ("E4", lambda: e4_disjunction(ns=(1000, 4000), ms=(2,))),
+        ("E9", lambda: e9_adversary(ns=(1000, 2000, 4000))),
+        ("E10", lambda: e10_uniqueness()),
+    )
+    for title, runner in suite:
+        result = runner()
+        print(f"\n== {title} ==")
+        print(format_table(result.headers, result.rows))
+        for note in result.notes:
+            print(f"  * {note}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse command tree (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Fuzzy top-k queries for multimedia middleware "
+        "(Fagin, PODS 1998)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="guided tour of the Beatles query")
+    demo.add_argument("-k", type=int, default=5, help="answers to return")
+    demo.set_defaults(func=cmd_demo)
+
+    sql = sub.add_parser("sql", help="SQL shell / one-shot statement")
+    sql.add_argument("query", nargs="*", help="statement (omit for a shell)")
+    sql.add_argument(
+        "--database", choices=("cds", "images"), default="cds",
+        help="demo database to query",
+    )
+    sql.add_argument("--size", type=int, default=1000, help="database size")
+    sql.add_argument("-k", type=int, default=10, help="default STOP AFTER")
+    sql.set_defaults(func=cmd_sql)
+
+    experiments = sub.add_parser(
+        "experiments", help="regenerate the experiment tables"
+    )
+    experiments.add_argument("--quick", action="store_true")
+    experiments.set_defaults(func=lambda args: _experiments_inline(args.quick))
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

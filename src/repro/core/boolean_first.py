@@ -1,0 +1,106 @@
+"""The Boolean-conjunct-first strategy (section 4.1's Beatles example).
+
+"Under the reasonable assumption that there are not many objects that
+satisfy the first conjunct Artist='Beatles', a good way to evaluate this
+query would be to first determine all objects that satisfy the first
+conjunct (call this set of objects S), and then to obtain grades from
+QBIC (using random access) for the second conjunct for all objects in S."
+
+This strategy applies when one conjunct is *Boolean* (grades 0/1, e.g. a
+relational predicate) and the scoring rule is min-like at zero — i.e.
+``t(..., 0, ...) = 0``, which holds for every t-norm by A-conservation.
+Then only objects in S can have nonzero overall grade:
+
+* sorted access on the Boolean list until the grade drops below 1 yields
+  S at cost ``|S| + 1``;
+* random access on each fuzzy list for each member of S costs
+  ``|S| * (m - 1)``;
+* total cost ``|S| * m + 1`` — far below the ``Theta(sqrt(N))`` of A0
+  when the predicate is selective (experiment E6).
+
+If fewer than k objects score above zero, the remainder of the top k is
+padded with zero-grade objects taken from the continuation of the
+Boolean list's sorted stream (the paper permits arbitrary choice among
+grade ties).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.core.cost import CostMeter
+from repro.core.graded import GradedSet, ObjectId
+from repro.core.result import TopKResult
+from repro.core.sources import GradedSource, check_same_objects
+from repro.errors import PlanError
+from repro.scoring.base import as_scoring_function
+
+
+def boolean_first_top_k(
+    sources: Sequence[GradedSource],
+    scoring,
+    k: int,
+    *,
+    boolean_index: int = 0,
+) -> TopKResult:
+    """Top k answers by filtering on a Boolean conjunct first.
+
+    ``boolean_index`` names the source whose grades are all 0 or 1.  The
+    scoring rule must annihilate at zero (``t`` with any argument 0 is
+    0); min, product, and every t-norm qualify, the arithmetic mean does
+    not — the caller (normally the planner) is responsible for checking.
+    """
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    rule = as_scoring_function(scoring)
+    database_size = check_same_objects(sources)
+    k = min(k, database_size)
+    m = len(sources)
+    if not 0 <= boolean_index < m:
+        raise PlanError(f"boolean_index {boolean_index} out of range for {m} sources")
+    boolean = sources[boolean_index]
+    others = [s for i, s in enumerate(sources) if i != boolean_index]
+    meter = CostMeter(sources)
+
+    # Phase 1: S = all objects satisfying the Boolean conjunct.
+    satisfied: List[ObjectId] = []
+    cursor = boolean.cursor()
+    depth = 0
+    while True:
+        item = cursor.next()
+        depth = cursor.position
+        if item is None:
+            break
+        if item.grade < 1.0:
+            break
+        satisfied.append(item.object_id)
+
+    # Phase 2: random access to the fuzzy conjuncts, only for S.
+    overall = GradedSet()
+    for object_id in satisfied:
+        grades: List[float] = []
+        other_iter = iter(others)
+        for i in range(m):
+            if i == boolean_index:
+                grades.append(1.0)
+            else:
+                grades.append(next(other_iter).random_access(object_id))
+        overall[object_id] = rule(grades)
+
+    # Phase 3: pad with zero-grade objects if the predicate was too
+    # selective to fill k slots (their overall grade is exactly 0).
+    while len(overall) < k:
+        item = cursor.next()
+        depth = cursor.position
+        if item is None:
+            break
+        if item.object_id not in overall:
+            overall[item.object_id] = 0.0
+
+    return TopKResult(
+        answers=overall.top(k),
+        cost=meter.report(),
+        algorithm="boolean-first",
+        sorted_depth=depth,
+        extras={"selected": len(satisfied)},
+    )

@@ -1,0 +1,150 @@
+"""Grade semantics for Boolean combinations of atomic queries (section 3).
+
+Given grades for the atomic queries, :func:`evaluate` computes the grade
+``mu_Q(x)`` of an object under an arbitrary query AST: conjunctions by the
+semantics' t-norm, disjunctions by its co-norm, negation by its negation
+rule, :class:`~repro.core.query.Scored` nodes by their own scoring
+function, and :class:`~repro.core.query.Weighted` nodes by the
+Fagin–Wimmers formula.
+
+:func:`compile_query` turns a query over *distinct* atoms into a single
+m-ary :class:`~repro.scoring.base.ScoringFunction` of the atom grades —
+the form the top-k algorithms of section 4 consume.  The compiled
+function's ``is_monotone`` / ``is_strict`` flags are derived structurally
+(conservatively for strictness), because the algorithms' correctness and
+optimality depend on exactly those properties.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Sequence, Union
+
+from repro.core import query as q
+from repro.core.graded import validate_grade
+from repro.errors import ScoringError
+from repro.scoring.base import FunctionScoring, ScoringFunction
+from repro.scoring.weighted import weighted_score
+from repro.scoring.zadeh import ZADEH, FuzzySemantics
+
+#: How callers supply atom grades: a mapping keyed by Atomic (or by
+#: attribute name), or a callable from Atomic to grade.
+AtomGrades = Union[Mapping, Callable[[q.Atomic], float]]
+
+
+def _atom_grade(atom: q.Atomic, grades: AtomGrades) -> float:
+    if callable(grades) and not isinstance(grades, Mapping):
+        return validate_grade(grades(atom))
+    if atom in grades:
+        return validate_grade(grades[atom])
+    if atom.attribute in grades:
+        return validate_grade(grades[atom.attribute])
+    raise ScoringError(f"no grade supplied for atomic query {atom}")
+
+
+def evaluate(
+    node: q.Query, grades: AtomGrades, semantics: FuzzySemantics = ZADEH
+) -> float:
+    """Compute ``mu_Q(x)`` from the object's atomic grades.
+
+    ``grades`` maps each atomic query (or its attribute name) to the
+    object's grade under that atom; ``semantics`` supplies the
+    conjunction/disjunction/negation rules (Zadeh's min/max/1-x by
+    default).
+    """
+    if isinstance(node, q.Atomic):
+        return _atom_grade(node, grades)
+    if isinstance(node, q.Not):
+        return semantics.negation(evaluate(node.child, grades, semantics))
+    if isinstance(node, q.And):
+        child_grades = [evaluate(c, grades, semantics) for c in node.children]
+        return semantics.conjunction(child_grades)
+    if isinstance(node, q.Or):
+        child_grades = [evaluate(c, grades, semantics) for c in node.children]
+        return semantics.disjunction(child_grades)
+    if isinstance(node, q.Scored):
+        child_grades = [evaluate(c, grades, semantics) for c in node.children]
+        return node.scoring(child_grades)
+    if isinstance(node, q.Weighted):
+        child_grades = [evaluate(c, grades, semantics) for c in node.children]
+        return weighted_score(node.base, node.weights, child_grades)
+    raise ScoringError(f"unknown query node {node!r}")
+
+
+def _structural_flags(node: q.Query, semantics: FuzzySemantics) -> tuple:
+    """Return (is_monotone, is_strict) derived from the AST.
+
+    Monotone: every connective on the path is monotone and there is no
+    negation.  Strict (conservative): atoms are strict; an And/Scored/
+    Weighted node is strict iff its rule is strict and all children are;
+    an Or node is never credited with strictness (max reaches 1 off the
+    corner).  Conservative means we may under-claim strictness, never
+    over-claim it.
+    """
+    if isinstance(node, q.Atomic):
+        return True, True
+    if isinstance(node, q.Not):
+        return False, False
+    child_flags = [
+        _structural_flags(c, semantics)
+        for c in getattr(node, "children", ())
+    ]
+    children_monotone = all(f[0] for f in child_flags)
+    children_strict = all(f[1] for f in child_flags)
+    if isinstance(node, q.And):
+        rule = semantics.conjunction
+    elif isinstance(node, q.Or):
+        rule = semantics.disjunction
+    elif isinstance(node, q.Scored):
+        rule = node.scoring
+    elif isinstance(node, q.Weighted):
+        # Weighted inherits from its base per [FW97]; strict only when
+        # every weight is positive (zero-weight children are droppable).
+        monotone = node.base.is_monotone and children_monotone
+        strict = (
+            node.base.is_strict
+            and children_strict
+            and all(w > 0 for w in node.weights)
+        )
+        return monotone, strict
+    else:
+        raise ScoringError(f"unknown query node {node!r}")
+    return (
+        rule.is_monotone and children_monotone,
+        rule.is_strict and children_strict,
+    )
+
+
+def compile_query(
+    node: q.Query, semantics: FuzzySemantics = ZADEH
+) -> ScoringFunction:
+    """Compile a query into one m-ary scoring function over its atoms.
+
+    The atoms are taken in ``node.atoms()`` order and must be distinct
+    (an atom occurring twice would receive two independent argument
+    slots, changing the semantics).  The result is what the section-4
+    algorithms take as their scoring function ``t``.
+    """
+    atoms = node.atoms()
+    if len(set(atoms)) != len(atoms):
+        raise ScoringError(
+            "compile_query requires distinct atoms; "
+            f"duplicates in {[str(a) for a in atoms]}"
+        )
+    positions = {atom: i for i, atom in enumerate(atoms)}
+
+    def combined(grades: Sequence[float]) -> float:
+        if len(grades) != len(atoms):
+            raise ScoringError(
+                f"expected {len(atoms)} grades, got {len(grades)}"
+            )
+        assignment = {atom: grades[i] for atom, i in positions.items()}
+        return evaluate(node, assignment, semantics)
+
+    monotone, strict = _structural_flags(node, semantics)
+    return FunctionScoring(
+        combined,
+        name=f"compiled[{node}]",
+        is_monotone=monotone,
+        is_strict=strict,
+        is_symmetric=False,
+    )

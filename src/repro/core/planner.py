@@ -1,0 +1,235 @@
+"""Strategy selection for top-k evaluation (sections 4.1–4.2).
+
+The paper describes several evaluation strategies, each best in a
+different regime:
+
+* the **Boolean-conjunct-first** strategy when a conjunct is a selective
+  relational predicate (the Beatles example);
+* the **m*k max algorithm** when the scoring function is the standard
+  fuzzy disjunction;
+* **Fagin's algorithm A0** (or its TA/NRA refinements) for general
+  monotone scoring functions;
+* the **naive scan** as the always-correct fallback.
+
+"In order to use an optimizer, we need to understand the cost of applying
+various operators over various data in various repositories" (section
+4.2) — :func:`plan_top_k` is that optimizer in miniature: it inspects the
+sources (Boolean? random access supported? how selective?) and the
+scoring function, estimates each applicable strategy's cost under the
+paper's model, and picks the cheapest.  The produced :class:`Plan`
+records the reason for the choice, and :func:`execute` runs it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Optional, Sequence
+
+from repro.core.boolean_first import boolean_first_top_k
+from repro.core.disjunction import disjunction_top_k
+from repro.core.fagin import fagin_top_k
+from repro.core.naive import naive_top_k
+from repro.core.result import TopKResult
+from repro.core.sources import GradedSource, check_same_objects
+from repro.core.threshold import nra_top_k, threshold_top_k
+from repro.errors import PlanError
+from repro.scoring.base import ScoringFunction, as_scoring_function
+from repro.scoring.conorms import MaximumConorm
+from repro.scoring.tnorms import MIN
+
+
+class Strategy(Enum):
+    """The evaluation strategies the planner can choose among."""
+
+    FAGIN = "fagin-a0"
+    THRESHOLD = "threshold-ta"
+    NRA = "nra"
+    DISJUNCTION = "disjunction-max"
+    BOOLEAN_FIRST = "boolean-first"
+    NAIVE = "naive"
+
+
+@dataclass
+class Plan:
+    """A chosen strategy plus the planner's cost rationale."""
+
+    strategy: Strategy
+    scoring: ScoringFunction
+    k: int
+    reason: str
+    estimated_cost: float
+    boolean_index: Optional[int] = None
+
+    def __repr__(self) -> str:
+        return (
+            f"Plan({self.strategy.value}, k={self.k}, "
+            f"est={self.estimated_cost:.0f}, reason={self.reason!r})"
+        )
+
+
+def _annihilates_at_zero(rule: ScoringFunction, arity: int) -> bool:
+    """True if a 0 grade in any slot forces the overall grade to 0.
+
+    Checked empirically at a handful of points; every t-norm satisfies
+    it by A-conservation + monotonicity, the arithmetic mean does not.
+    """
+    probes = (0.25, 0.5, 0.75, 1.0)
+    for position in range(arity):
+        for level in probes:
+            vector = [level] * arity
+            vector[position] = 0.0
+            if rule(vector) > 0.0:
+                return False
+    return True
+
+
+def _is_max_rule(rule: ScoringFunction, arity: int) -> bool:
+    """True if the rule coincides with max on a probe grid."""
+    if isinstance(rule, MaximumConorm):
+        return True
+    probes = (0.0, 0.1, 0.35, 0.5, 0.8, 1.0)
+    for i, a in enumerate(probes):
+        for b in probes[i:]:
+            vector = [a] * arity
+            vector[-1] = b
+            if abs(rule(vector) - max(a, b)) > 1e-12:
+                return False
+    return True
+
+
+def _boolean_selectivity(source: GradedSource) -> Optional[int]:
+    """Number of grade-1 objects in a Boolean source, if it advertises one."""
+    count = getattr(source, "positive_count", None)
+    if count is not None:
+        return int(count)
+    return None
+
+
+def plan_top_k(
+    sources: Sequence[GradedSource],
+    scoring,
+    k: int,
+    *,
+    prefer: Optional[Strategy] = None,
+) -> Plan:
+    """Choose an evaluation strategy and estimate its access cost.
+
+    ``prefer`` forces a specific strategy (the planner still refuses a
+    strategy whose preconditions fail, e.g. TA over a sorted-only
+    source).  Cost estimates use the paper's formulas: ``m * N`` naive,
+    ``m * k`` disjunction, ``|S| * m`` Boolean-first, and the Theorem 4.1
+    law ``m * N^{(m-1)/m} * k^{1/m}`` (sorted) plus one random probe per
+    seen object for A0/TA.
+    """
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    rule = as_scoring_function(scoring)
+    n = check_same_objects(sources)
+    m = len(sources)
+    k_eff = min(k, n)
+    random_ok = all(s.supports_random_access for s in sources)
+
+    candidates: Dict[Strategy, Plan] = {}
+
+    def offer(strategy: Strategy, cost: float, reason: str, **kw) -> None:
+        candidates[strategy] = Plan(strategy, rule, k_eff, reason, cost, **kw)
+
+    offer(Strategy.NAIVE, float(m * n), "always-correct full scan")
+    if rule.is_monotone:
+        offer(
+            Strategy.NRA,
+            2.0 * m * n ** ((m - 1) / m) * k_eff ** (1 / m) if m > 1 else float(k_eff),
+            "sorted access only; works without random access",
+        )
+    if _is_max_rule(rule, m):
+        offer(
+            Strategy.DISJUNCTION,
+            float(m * k_eff),
+            "max rule: m*k algorithm, cost independent of N",
+        )
+    if random_ok and rule.is_monotone:
+        fa_sorted = m * n ** ((m - 1) / m) * k_eff ** (1 / m) if m > 1 else float(k_eff)
+        offer(
+            Strategy.FAGIN,
+            fa_sorted + (m - 1) * fa_sorted / max(m, 1),
+            "Theorem 4.1 law for independent lists",
+        )
+        offer(
+            Strategy.THRESHOLD,
+            fa_sorted,  # TA never does more sorted access than A0
+            "instance-optimal refinement of A0",
+        )
+        if rule.is_monotone and _annihilates_at_zero(rule, m):
+            for i, source in enumerate(sources):
+                if not source.is_boolean:
+                    continue
+                selected = _boolean_selectivity(source)
+                if selected is None:
+                    continue
+                cost = selected * m + 1
+                previous = candidates.get(Strategy.BOOLEAN_FIRST)
+                if previous is None or cost < previous.estimated_cost:
+                    offer(
+                        Strategy.BOOLEAN_FIRST,
+                        float(cost),
+                        f"Boolean conjunct {source.name!r} selects "
+                        f"{selected}/{n} objects",
+                        boolean_index=i,
+                    )
+
+    if prefer is not None:
+        if prefer not in candidates:
+            raise PlanError(
+                f"strategy {prefer.value!r} is not applicable here "
+                f"(applicable: {[s.value for s in candidates]})"
+            )
+        return candidates[prefer]
+    # Tie break by simplicity: a specialized strategy (disjunction,
+    # Boolean-first) beats a general one, and random-access strategies
+    # beat NRA's bound bookkeeping, at equal estimated cost.
+    preference = {
+        Strategy.DISJUNCTION: 0,
+        Strategy.BOOLEAN_FIRST: 1,
+        Strategy.THRESHOLD: 2,
+        Strategy.FAGIN: 3,
+        Strategy.NRA: 4,
+        Strategy.NAIVE: 5,
+    }
+    return min(
+        candidates.values(),
+        key=lambda plan: (plan.estimated_cost, preference[plan.strategy]),
+    )
+
+
+def execute(plan: Plan, sources: Sequence[GradedSource]) -> TopKResult:
+    """Run a plan produced by :func:`plan_top_k` over the same sources."""
+    if plan.strategy is Strategy.NAIVE:
+        return naive_top_k(sources, plan.scoring, plan.k)
+    if plan.strategy is Strategy.DISJUNCTION:
+        return disjunction_top_k(sources, plan.k)
+    if plan.strategy is Strategy.FAGIN:
+        return fagin_top_k(sources, plan.scoring, plan.k)
+    if plan.strategy is Strategy.THRESHOLD:
+        return threshold_top_k(sources, plan.scoring, plan.k)
+    if plan.strategy is Strategy.NRA:
+        return nra_top_k(sources, plan.scoring, plan.k)
+    if plan.strategy is Strategy.BOOLEAN_FIRST:
+        if plan.boolean_index is None:
+            raise PlanError("Boolean-first plan lacks a boolean_index")
+        return boolean_first_top_k(
+            sources, plan.scoring, plan.k, boolean_index=plan.boolean_index
+        )
+    raise PlanError(f"unknown strategy {plan.strategy!r}")
+
+
+def top_k(
+    sources: Sequence[GradedSource],
+    scoring=MIN,
+    k: int = 10,
+    *,
+    prefer: Optional[Strategy] = None,
+) -> TopKResult:
+    """Plan and execute in one call — the library's main entry point."""
+    plan = plan_top_k(sources, scoring, k, prefer=prefer)
+    return execute(plan, sources)

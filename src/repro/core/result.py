@@ -1,0 +1,51 @@
+"""Shared result type for the top-k algorithms of section 4."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.cost import CostReport
+from repro.core.graded import GradedSet
+
+
+@dataclass
+class TopKResult:
+    """Outcome of one top-k evaluation.
+
+    ``answers``
+        The graded set of (up to) k best objects with their overall
+        grades — the paper's "top k answers ... along with their grades".
+    ``cost``
+        Per-source access tallies for this run only.
+    ``algorithm``
+        Which strategy produced the result (for reports and benchmarks).
+    ``sorted_depth``
+        Deepest sorted-access position reached on any list; the quantity
+        the O(N^{(m-1)/m} k^{1/m}) analysis tracks.
+    ``grades_exact``
+        True when every reported grade is the object's exact overall
+        grade.  Only the no-random-access algorithm can return
+        approximate grades (bounds); everything else is exact.
+    ``restarts``
+        Number of times a restarting strategy (filter-condition
+        simulation) had to lower its threshold and rescan.
+    """
+
+    answers: GradedSet
+    cost: CostReport
+    algorithm: str
+    sorted_depth: int = 0
+    grades_exact: bool = True
+    restarts: int = 0
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def database_access_cost(self) -> int:
+        return self.cost.database_access_cost
+
+    def __repr__(self) -> str:
+        return (
+            f"TopKResult(algorithm={self.algorithm!r}, k={len(self.answers)}, "
+            f"cost={self.cost.database_access_cost}, depth={self.sorted_depth})"
+        )

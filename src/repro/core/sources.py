@@ -1,0 +1,315 @@
+"""The middleware access model: sorted access and random access (section 4).
+
+A multimedia middleware system (Garlic) obtains information from its
+subsystems in exactly two ways:
+
+* **sorted access** — the subsystem outputs its graded set "one by one,
+  along with their grades, in sorted order based on grade" until told to
+  stop, and can later *resume where it left off*;
+* **random access** — the subsystem reports the grade of one named
+  object under the query.
+
+:class:`GradedSource` models one ranked list (one atomic subquery bound
+to one subsystem) offering both access modes, with every access charged
+to an :class:`~repro.core.cost.AccessCounter` *inside* the source, so no
+algorithm can under-report its cost.  :class:`SortedCursor` is the
+resumable sorted-access stream; keeping the cursor alive across calls is
+what lets Fagin's algorithm "continue where we left off" to fetch the
+next k answers (section 4.1).
+
+:class:`ListSource` is the standard in-memory implementation used by the
+synthetic workloads; subsystems in :mod:`repro.middleware` and
+:mod:`repro.multimedia` expose their atomic queries through the same
+interface.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.core.cost import AccessCounter
+from repro.core.graded import GradedItem, GradedSet, ObjectId, validate_grade
+from repro.errors import AccessError, UnknownObjectError
+
+
+class SortedCursor:
+    """A resumable sorted-access stream over one source.
+
+    ``next()`` returns the next :class:`GradedItem` in nonincreasing
+    grade order (charging one sorted access), or ``None`` once the list
+    is exhausted.  ``position`` counts items already delivered.
+    """
+
+    def __init__(self, source: "GradedSource") -> None:
+        self._source = source
+        self.position = 0
+
+    def next(self) -> Optional[GradedItem]:
+        item = self._source._item_at(self.position)
+        if item is None:
+            return None
+        self.position += 1
+        self._source.counter.record_sorted()
+        return item
+
+    def peek_grade(self) -> Optional[float]:
+        """Grade the next sorted access would return, without paying.
+
+        Not part of the paper's access model — used only by tests and
+        internal invariant checks, never by the algorithms.
+        """
+        item = self._source._item_at(self.position)
+        return None if item is None else item.grade
+
+    @property
+    def exhausted(self) -> bool:
+        return self._source._item_at(self.position) is None
+
+
+class GradedSource(ABC):
+    """One ranked list with sorted and random access, cost-accounted.
+
+    Subclasses implement :meth:`_item_at` (the i-th best item, 0-based)
+    and :meth:`_grade_of` (the grade of a named object); the public
+    methods layer the accounting on top.
+    """
+
+    #: False for repositories reachable only through sorted access
+    #: ("it may be possible to obtain data from some multimedia
+    #: repositories in only limited ways", section 4).
+    supports_random_access = True
+    #: True when every grade is 0 or 1 (a traditional relational
+    #: predicate such as Artist='Beatles').  The planner uses this to
+    #: pick the Boolean-conjunct-first strategy of section 4.1.
+    is_boolean = False
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.counter = AccessCounter()
+
+    # -- implementation hooks -------------------------------------------------
+    @abstractmethod
+    def _item_at(self, index: int) -> Optional[GradedItem]:
+        """The index-th item of the sorted list, or None past the end."""
+
+    @abstractmethod
+    def _grade_of(self, object_id: ObjectId) -> float:
+        """The grade of the object; raise UnknownObjectError if absent."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of objects in the list (the database size N)."""
+
+    # -- public access modes ---------------------------------------------------
+    def cursor(self) -> SortedCursor:
+        """Open a fresh sorted-access cursor at the top of the list."""
+        return SortedCursor(self)
+
+    def random_access(self, object_id: ObjectId) -> float:
+        """Grade of ``object_id`` under this source's query (one access)."""
+        grade = self._grade_of(object_id)
+        self.counter.record_random()
+        return grade
+
+    # -- conveniences ----------------------------------------------------------
+    def object_ids(self) -> Iterable[ObjectId]:
+        """All object ids, in sorted-list order.  Free (used by tests
+        and the naive baseline's result checking, not by algorithms)."""
+        index = 0
+        while True:
+            item = self._item_at(index)
+            if item is None:
+                return
+            yield item.object_id
+            index += 1
+
+    def as_graded_set(self) -> GradedSet:
+        """Materialize the full list as a graded set (accounting-free)."""
+        result = GradedSet()
+        index = 0
+        while True:
+            item = self._item_at(index)
+            if item is None:
+                return result
+            result[item.object_id] = item.grade
+            index += 1
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r} n={len(self)}>"
+
+
+class ListSource(GradedSource):
+    """In-memory graded list: the workhorse source for synthetic workloads.
+
+    Accepts a :class:`GradedSet`, a mapping, or ``(object, grade)`` pairs.
+    Sorted order is computed once; random access is a dict lookup.  Ties
+    are ordered deterministically (by object id) so runs are repeatable.
+    """
+
+    def __init__(
+        self,
+        items: Union[GradedSet, Mapping[ObjectId, float], Iterable[Tuple[ObjectId, float]]],
+        name: str = "list",
+    ) -> None:
+        super().__init__(name)
+        if isinstance(items, GradedSet):
+            graded = items
+        else:
+            graded = GradedSet(items)
+        self._sorted: List[GradedItem] = list(graded)
+        self._grades: Dict[ObjectId, float] = graded.as_dict()
+
+    def _item_at(self, index: int) -> Optional[GradedItem]:
+        if 0 <= index < len(self._sorted):
+            return self._sorted[index]
+        return None
+
+    def _grade_of(self, object_id: ObjectId) -> float:
+        try:
+            return self._grades[object_id]
+        except KeyError:
+            raise UnknownObjectError(
+                f"source {self.name!r} holds no object {object_id!r}"
+            ) from None
+
+    def __len__(self) -> int:
+        return len(self._sorted)
+
+
+class SortedOnlySource(GradedSource):
+    """A source whose repository supports only sorted access.
+
+    Some multimedia repositories expose data "in only limited ways"
+    (section 4): random access raises
+    :class:`~repro.errors.UnsupportedAccessError`.  The no-random-access
+    (NRA) algorithm in :mod:`repro.core.threshold` is the strategy that
+    copes with such sources.
+    """
+
+    supports_random_access = False
+
+    def __init__(self, inner: GradedSource) -> None:
+        super().__init__(f"sorted-only({inner.name})")
+        self._inner = inner
+        # Share the inner counter so costs are attributed consistently.
+        self.counter = inner.counter
+
+    def _item_at(self, index: int) -> Optional[GradedItem]:
+        return self._inner._item_at(index)
+
+    def _grade_of(self, object_id: ObjectId) -> float:
+        from repro.errors import UnsupportedAccessError
+
+        raise UnsupportedAccessError(
+            f"source {self.name!r} does not support random access"
+        )
+
+    def __len__(self) -> int:
+        return len(self._inner)
+
+
+class VerifyingSource(GradedSource):
+    """A defensive wrapper over an untrusted subsystem's ranked list.
+
+    Section 4.2's real-world issues include subsystems the middleware
+    does not control.  Every top-k algorithm here *assumes* the sorted
+    stream is nonincreasing and that random access agrees with sorted
+    access; a subsystem violating either yields silently wrong answers.
+    This wrapper turns both violations into immediate
+    :class:`~repro.errors.AccessError` failures:
+
+    * sorted access raises if a delivered grade exceeds its predecessor;
+    * random access raises if the returned grade contradicts a grade the
+      sorted stream already delivered for the same object.
+
+    The checks are O(1) per access; the counter is shared with the
+    wrapped source so accounting is unchanged.
+    """
+
+    def __init__(self, inner: GradedSource, *, tolerance: float = 1e-9) -> None:
+        super().__init__(f"verified({inner.name})")
+        self._inner = inner
+        self._tolerance = tolerance
+        self.counter = inner.counter
+        self.supports_random_access = inner.supports_random_access
+        self.is_boolean = inner.is_boolean
+        #: grades already delivered under sorted access, for consistency
+        self._delivered: Dict[ObjectId, float] = {}
+        self._max_position_grade: Optional[Tuple[int, float]] = None
+
+    def _item_at(self, index: int) -> Optional[GradedItem]:
+        item = self._inner._item_at(index)
+        if item is None:
+            return None
+        if self._max_position_grade is not None:
+            deepest, grade_there = self._max_position_grade
+            if index > deepest and item.grade > grade_there + self._tolerance:
+                raise AccessError(
+                    f"subsystem {self._inner.name!r} violated sorted order: "
+                    f"grade {item.grade} at position {index} exceeds "
+                    f"{grade_there} at position {deepest}"
+                )
+        if self._max_position_grade is None or index > self._max_position_grade[0]:
+            self._max_position_grade = (index, item.grade)
+        self._delivered[item.object_id] = item.grade
+        return item
+
+    def _grade_of(self, object_id: ObjectId) -> float:
+        grade = self._inner._grade_of(object_id)
+        seen = self._delivered.get(object_id)
+        if seen is not None and abs(seen - grade) > self._tolerance:
+            raise AccessError(
+                f"subsystem {self._inner.name!r} is inconsistent: object "
+                f"{object_id!r} graded {seen} under sorted access but "
+                f"{grade} under random access"
+            )
+        return grade
+
+    def __len__(self) -> int:
+        return len(self._inner)
+
+
+def sources_from_columns(
+    grades_by_object: Mapping[ObjectId, Sequence[float]],
+    names: Optional[Sequence[str]] = None,
+) -> List[ListSource]:
+    """Build one :class:`ListSource` per grade column.
+
+    ``grades_by_object`` maps each object to its grade vector
+    ``(g_1, ..., g_m)``; the result is the m ranked lists the section-4
+    algorithms consume.  All vectors must share the same length.
+    """
+    arities = {len(v) for v in grades_by_object.values()}
+    if len(arities) > 1:
+        raise AccessError(f"inconsistent grade-vector lengths: {sorted(arities)}")
+    m = arities.pop() if arities else 0
+    if names is not None and len(names) != m:
+        raise AccessError(f"expected {m} names, got {len(names)}")
+    sources = []
+    for i in range(m):
+        column = {
+            obj: validate_grade(vector[i])
+            for obj, vector in grades_by_object.items()
+        }
+        label = names[i] if names is not None else f"A{i + 1}"
+        sources.append(ListSource(column, name=label))
+    return sources
+
+
+def check_same_objects(sources: Sequence[GradedSource]) -> int:
+    """Verify all sources rank the same object universe; return its size.
+
+    Fagin's algorithm assumes each subsystem grades *every* object (an
+    object absent from a list would silently act as grade 0 under sorted
+    access but raise under random access).  The middleware's ID-mapping
+    layer (:mod:`repro.middleware.idmap`) establishes this before
+    algorithms run; this helper is the cheap sanity check used by the
+    algorithm entry points.
+    """
+    if not sources:
+        raise AccessError("at least one source is required")
+    sizes = {len(s) for s in sources}
+    if len(sizes) > 1:
+        raise AccessError(f"sources disagree on database size: {sorted(sizes)}")
+    return sizes.pop()

@@ -1,0 +1,64 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one base class at an integration boundary.  The
+subclasses mirror the layers of the system: grades and graded sets,
+scoring functions, the middleware access model, query parsing, and
+indexing.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GradeError(ReproError, ValueError):
+    """A grade fell outside the closed interval [0, 1]."""
+
+
+class WeightingError(ReproError, ValueError):
+    """A weighting vector was malformed (negative entries, wrong sum, ...)."""
+
+
+class ScoringError(ReproError):
+    """A scoring function was misused (wrong arity, empty input, ...)."""
+
+
+class MonotonicityError(ReproError):
+    """A user-supplied scoring function failed the monotonicity guard.
+
+    The Garlic implementers allowed arbitrary user-defined scoring
+    functions and therefore had to "somehow guarantee monotonicity"
+    (paper section 4.2).  The middleware engine raises this error when its
+    randomized certifier finds a witness of non-monotonicity.
+    """
+
+
+class AccessError(ReproError):
+    """A subsystem access failed or was used out of protocol."""
+
+
+class UnknownObjectError(AccessError, KeyError):
+    """Random access asked for an object the subsystem does not hold."""
+
+
+class UnsupportedAccessError(AccessError):
+    """The subsystem does not support the requested access mode."""
+
+
+class IdMappingError(ReproError):
+    """Object-ID correspondence between subsystems is missing or not 1-to-1."""
+
+
+class PlanError(ReproError):
+    """The planner could not produce an execution strategy for a query."""
+
+
+class QuerySyntaxError(ReproError, ValueError):
+    """The SQL-like front end could not parse the query text."""
+
+
+class IndexError_(ReproError):
+    """A multidimensional index was misused (dimension mismatch, ...)."""

@@ -1,0 +1,27 @@
+"""Grade validation — a dependency-free leaf module.
+
+Grades are real numbers in the closed interval [0, 1] (paper section 3).
+Both the core data structures and the scoring functions validate grades,
+so the validator lives here, below both packages in the import graph.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import GradeError
+
+#: Tolerance used when comparing grades for equality.
+GRADE_TOLERANCE = 1e-12
+
+
+def validate_grade(grade: float) -> float:
+    """Return ``grade`` as a float, raising :class:`GradeError` if it is
+    not a finite number in the closed interval [0, 1]."""
+    try:
+        value = float(grade)
+    except (TypeError, ValueError) as exc:
+        raise GradeError(f"grade must be a real number, got {grade!r}") from exc
+    if math.isnan(value) or not 0.0 <= value <= 1.0:
+        raise GradeError(f"grade must lie in [0, 1], got {value!r}")
+    return value

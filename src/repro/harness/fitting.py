@@ -1,0 +1,70 @@
+"""Log-log power-law fitting for the cost-scaling experiments.
+
+Theorem 4.2 predicts cost ``Theta(N^{(m-1)/m} * k^{1/m})``.  On a log-log
+plot that is a straight line whose slope is the exponent; fitting the
+measured costs and comparing the slope to the prediction is how E1–E3
+and E9 decide whether the law reproduced.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """Least-squares fit of ``y = C * x^slope`` in log-log space."""
+
+    slope: float
+    intercept: float
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        return math.exp(self.intercept) * x**self.slope
+
+
+def fit_power_law(xs: Sequence[float], ys: Sequence[float]) -> PowerLawFit:
+    """Fit a power law through positive (x, y) samples.
+
+    Raises ValueError on fewer than two distinct x values or any
+    non-positive sample (logs would be undefined).
+    """
+    if len(xs) != len(ys):
+        raise ValueError(f"length mismatch: {len(xs)} xs vs {len(ys)} ys")
+    if len(xs) < 2:
+        raise ValueError("need at least two samples to fit a line")
+    if any(x <= 0 for x in xs) or any(y <= 0 for y in ys):
+        raise ValueError("power-law fitting needs strictly positive samples")
+    log_x = [math.log(x) for x in xs]
+    log_y = [math.log(y) for y in ys]
+    n = len(log_x)
+    mean_x = sum(log_x) / n
+    mean_y = sum(log_y) / n
+    sxx = sum((x - mean_x) ** 2 for x in log_x)
+    if sxx == 0:
+        raise ValueError("all x values are equal; slope is undefined")
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(log_x, log_y))
+    slope = sxy / sxx
+    intercept = mean_y - slope * mean_x
+    ss_total = sum((y - mean_y) ** 2 for y in log_y)
+    ss_residual = sum(
+        (y - (intercept + slope * x)) ** 2 for x, y in zip(log_x, log_y)
+    )
+    r_squared = 1.0 if ss_total == 0 else 1.0 - ss_residual / ss_total
+    return PowerLawFit(slope=slope, intercept=intercept, r_squared=r_squared)
+
+
+def theorem_exponent(m: int) -> float:
+    """The Theorem 4.1 exponent of N: (m - 1) / m."""
+    if m < 1:
+        raise ValueError(f"arity must be >= 1, got {m}")
+    return (m - 1) / m
+
+
+def k_exponent(m: int) -> float:
+    """The Theorem 4.1 exponent of k: 1 / m."""
+    if m < 1:
+        raise ValueError(f"arity must be >= 1, got {m}")
+    return 1.0 / m

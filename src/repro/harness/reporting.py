@@ -1,0 +1,64 @@
+"""Plain-text tables and paper-vs-measured comparison records.
+
+Benchmarks print the same rows the paper's claims describe; the
+formatting lives here so every experiment reports uniformly and
+EXPERIMENTS.md can quote the output verbatim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """A fixed-width text table with a header rule."""
+    rendered = [[_cell(value) for value in row] for row in rows]
+    widths = [
+        max(len(str(headers[i])), *(len(row[i]) for row in rendered))
+        if rendered
+        else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(width) for cell, width in zip(cells, widths))
+
+    header = line([str(h) for h in headers])
+    rule = "-" * len(header)
+    body = "\n".join(line(row) for row in rendered)
+    return f"{header}\n{rule}\n{body}" if rendered else f"{header}\n{rule}"
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.3g}"
+    return str(value)
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """One paper-claim-vs-measurement line for EXPERIMENTS.md."""
+
+    experiment: str
+    claim: str
+    expected: str
+    measured: str
+    holds: bool
+
+    def line(self) -> str:
+        verdict = "REPRODUCED" if self.holds else "DIVERGED"
+        return (
+            f"[{verdict}] {self.experiment}: {self.claim} | "
+            f"expected {self.expected} | measured {self.measured}"
+        )
+
+
+def print_comparisons(comparisons: Sequence[Comparison]) -> None:
+    for comparison in comparisons:
+        print(comparison.line())

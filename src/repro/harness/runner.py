@@ -1,0 +1,68 @@
+"""Parameter sweeps and seed averaging for the experiments.
+
+Each experiment in EXPERIMENTS.md is a sweep: vary one or two parameters
+(database size N, arity m, answer count k, selectivity, dimension), run
+the algorithms, and collect access-cost metrics.  This module is the
+shared loop so benchmarks stay declarative.
+"""
+
+from __future__ import annotations
+
+import itertools
+import statistics
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Sequence
+
+
+@dataclass
+class Record:
+    """One sweep point: the parameters used and the metrics measured."""
+
+    params: Dict[str, object]
+    metrics: Dict[str, float]
+
+    def value(self, name: str) -> float:
+        if name in self.metrics:
+            return float(self.metrics[name])
+        return float(self.params[name])  # type: ignore[arg-type]
+
+
+def sweep(
+    grid: Mapping[str, Sequence],
+    experiment: Callable[..., Mapping[str, float]],
+) -> List[Record]:
+    """Run ``experiment(**point)`` on the full cross product of ``grid``.
+
+    The experiment returns a metric mapping; each grid point yields one
+    :class:`Record`.
+    """
+    names = list(grid)
+    records = []
+    for values in itertools.product(*(grid[name] for name in names)):
+        params = dict(zip(names, values))
+        metrics = dict(experiment(**params))
+        records.append(Record(params=params, metrics=metrics))
+    return records
+
+
+def average_over_seeds(
+    experiment: Callable[..., Mapping[str, float]],
+    seeds: Sequence[int],
+    **params,
+) -> Dict[str, float]:
+    """Mean of each metric over several seeded runs (reduces workload noise)."""
+    if not seeds:
+        raise ValueError("at least one seed is required")
+    collected: Dict[str, List[float]] = {}
+    for seed in seeds:
+        metrics = experiment(seed=seed, **params)
+        for name, value in metrics.items():
+            collected.setdefault(name, []).append(float(value))
+    return {name: statistics.fmean(values) for name, values in collected.items()}
+
+
+def series(records: Sequence[Record], x: str, y: str) -> tuple:
+    """Extract an (xs, ys) pair of tuples from sweep records."""
+    xs = tuple(r.value(x) for r in records)
+    ys = tuple(r.value(y) for r in records)
+    return xs, ys

@@ -1,0 +1,31 @@
+"""Multidimensional indexes and the dimensionality curse (section 2.1):
+an R-tree (robust to moderate dimensions), a grid file and a linear
+quadtree (directory sizes exponential in dimension), and the linear-scan
+baseline."""
+
+from repro.index.base import IndexStats, LinearScanIndex, VectorIndex
+from repro.index.gridfile import GridFile
+from repro.index.knn import (
+    KnnRun,
+    build_default_indexes,
+    run_knn_batch,
+    verify_against_scan,
+)
+from repro.index.quadtree import LinearQuadtree, interleave_bits
+from repro.index.rtree import RTree
+from repro.index.vafile import VAFile
+
+__all__ = [
+    "VectorIndex",
+    "IndexStats",
+    "LinearScanIndex",
+    "RTree",
+    "VAFile",
+    "GridFile",
+    "LinearQuadtree",
+    "interleave_bits",
+    "KnnRun",
+    "build_default_indexes",
+    "run_knn_batch",
+    "verify_against_scan",
+]

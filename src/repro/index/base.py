@@ -1,0 +1,117 @@
+"""Common machinery for the multidimensional indexes (section 2.1).
+
+"This suggests the use of a multidimensional indexing method, in order
+to speed up the evaluation of atomic multimedia queries.  But multimedia
+data often have high dimensionalities ... the 'dimensionality curse'."
+
+Every index stores (object id, feature vector) pairs, answers range and
+k-nearest-neighbour queries under Euclidean distance, and tallies its
+work in an :class:`IndexStats` so experiment E13 can compare indexes
+against the linear-scan baseline as dimensionality grows.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import IndexError_
+
+
+@dataclass
+class IndexStats:
+    """Work counters for one index instance.
+
+    ``node_accesses`` counts directory/page touches (the I/O proxy);
+    ``distance_evaluations`` counts full feature-vector distance
+    computations (the CPU proxy).
+    """
+
+    node_accesses: int = 0
+    distance_evaluations: int = 0
+
+    def reset(self) -> None:
+        self.node_accesses = 0
+        self.distance_evaluations = 0
+
+
+Neighbor = Tuple[object, float]
+
+
+class VectorIndex(ABC):
+    """A multidimensional index over labeled feature vectors."""
+
+    def __init__(self, dimension: int) -> None:
+        if dimension < 1:
+            raise IndexError_(f"dimension must be >= 1, got {dimension}")
+        self.dimension = dimension
+        self.stats = IndexStats()
+
+    def _check_vector(self, vector) -> np.ndarray:
+        array = np.asarray(vector, dtype=float)
+        if array.shape != (self.dimension,):
+            raise IndexError_(
+                f"expected a {self.dimension}-vector, got shape {array.shape}"
+            )
+        return array
+
+    @abstractmethod
+    def insert(self, object_id: object, vector) -> None:
+        """Add one labeled vector."""
+
+    @abstractmethod
+    def range_query(self, lower, upper) -> List[object]:
+        """Object ids inside the axis-aligned box [lower, upper]."""
+
+    @abstractmethod
+    def knn(self, target, k: int) -> List[Neighbor]:
+        """The k nearest objects to ``target`` by Euclidean distance."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of stored vectors."""
+
+
+class LinearScanIndex(VectorIndex):
+    """The no-index baseline: a sequential scan of the entire database.
+
+    "We wish to avoid doing a sequential scan of the entire database"
+    (section 6) — this is the thing to beat.
+    """
+
+    def __init__(self, dimension: int) -> None:
+        super().__init__(dimension)
+        self._ids: List[object] = []
+        self._vectors: List[np.ndarray] = []
+
+    def insert(self, object_id: object, vector) -> None:
+        self._ids.append(object_id)
+        self._vectors.append(self._check_vector(vector))
+
+    def range_query(self, lower, upper) -> List[object]:
+        lo = self._check_vector(lower)
+        hi = self._check_vector(upper)
+        results = []
+        for object_id, vector in zip(self._ids, self._vectors):
+            self.stats.distance_evaluations += 1
+            if np.all(vector >= lo) and np.all(vector <= hi):
+                results.append(object_id)
+        return results
+
+    def knn(self, target, k: int) -> List[Neighbor]:
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        point = self._check_vector(target)
+        if not self._ids:
+            return []
+        matrix = np.stack(self._vectors)
+        self.stats.distance_evaluations += len(self._ids)
+        distances = np.linalg.norm(matrix - point, axis=1)
+        order = np.argsort(distances, kind="stable")[:k]
+        return [(self._ids[i], float(distances[i])) for i in order]
+
+    def __len__(self) -> int:
+        return len(self._ids)

@@ -1,0 +1,93 @@
+"""Uniform k-NN driver over any index, with work accounting (section 2.1).
+
+Experiments compare several indexes on identical workloads; this module
+provides the shared harness: build each index over the same labeled
+vectors, run the same queries, and report per-index work counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.index.base import LinearScanIndex, Neighbor, VectorIndex
+from repro.index.gridfile import GridFile
+from repro.index.quadtree import LinearQuadtree
+from repro.index.rtree import RTree
+from repro.index.vafile import VAFile
+
+
+@dataclass
+class KnnRun:
+    """Aggregated work of one index over a batch of k-NN queries."""
+
+    index_name: str
+    node_accesses: int
+    distance_evaluations: int
+    results: List[List[Neighbor]]
+
+
+def build_default_indexes(
+    items: Sequence[Tuple[object, Sequence[float]]],
+    dimension: int,
+    *,
+    grid_cells: int = 4,
+    quadtree_depth: int = 3,
+) -> Dict[str, VectorIndex]:
+    """All four index types over the same data (grid/quadtree included
+    only when their directories stay tractable at this dimension)."""
+    indexes: Dict[str, VectorIndex] = {}
+    scan = LinearScanIndex(dimension)
+    for object_id, vector in items:
+        scan.insert(object_id, vector)
+    indexes["linear-scan"] = scan
+    indexes["rtree"] = RTree.bulk_load(items, dimension)
+    va = VAFile(dimension, bits=6)
+    for object_id, vector in items:
+        va.insert(object_id, vector)
+    indexes["vafile"] = va
+    try:
+        grid = GridFile(dimension, cells_per_dim=grid_cells)
+        for object_id, vector in items:
+            grid.insert(object_id, vector)
+        indexes["gridfile"] = grid
+    except Exception:
+        pass  # directory too large: the curse itself
+    try:
+        quadtree = LinearQuadtree(dimension, depth=quadtree_depth)
+        for object_id, vector in items:
+            quadtree.insert(object_id, vector)
+        indexes["quadtree"] = quadtree
+    except Exception:
+        pass
+    return indexes
+
+
+def run_knn_batch(
+    index: VectorIndex, name: str, queries: Sequence[Sequence[float]], k: int
+) -> KnnRun:
+    """Run a batch of k-NN queries and collect the work counters."""
+    index.stats.reset()
+    results = [index.knn(q, k) for q in queries]
+    return KnnRun(
+        index_name=name,
+        node_accesses=index.stats.node_accesses,
+        distance_evaluations=index.stats.distance_evaluations,
+        results=results,
+    )
+
+
+def verify_against_scan(
+    run: KnnRun, reference: KnnRun, tol: float = 1e-9
+) -> bool:
+    """True when a run's distance multisets match the scan's on every query."""
+    for mine, theirs in zip(run.results, reference.results):
+        my_distances = sorted(d for _, d in mine)
+        ref_distances = sorted(d for _, d in theirs)
+        if len(my_distances) != len(ref_distances):
+            return False
+        if any(abs(a - b) > tol for a, b in zip(my_distances, ref_distances)):
+            return False
+    return True

@@ -1,0 +1,338 @@
+"""An R-tree with quadratic split and STR bulk loading (section 2.1).
+
+"Another popular multidimensional indexing method is R-trees.  These
+tend to be more robust for higher dimensions, at least for dimensions up
+to around 20."  [BKSS90, Ot92]
+
+The implementation follows Guttman's original design with the quadratic
+split heuristic, plus Sort-Tile-Recursive (STR) bulk loading for
+building from a batch.  k-NN uses the standard best-first traversal on
+MINDIST, which visits exactly the nodes whose bounding boxes could still
+contain a result — so the node-access counter directly measures how much
+of the tree a query actually needed (the E13 comparison quantity).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import IndexError_
+from repro.index.base import Neighbor, VectorIndex
+
+
+class _BBox:
+    """An axis-aligned bounding box with the usual R-tree operations."""
+
+    __slots__ = ("lower", "upper")
+
+    def __init__(self, lower: np.ndarray, upper: np.ndarray) -> None:
+        self.lower = lower
+        self.upper = upper
+
+    @classmethod
+    def of_point(cls, point: np.ndarray) -> "_BBox":
+        return cls(point.copy(), point.copy())
+
+    def volume(self) -> float:
+        return float(np.prod(self.upper - self.lower))
+
+    def enlarged(self, other: "_BBox") -> "_BBox":
+        return _BBox(
+            np.minimum(self.lower, other.lower),
+            np.maximum(self.upper, other.upper),
+        )
+
+    def enlargement(self, other: "_BBox") -> float:
+        return self.enlarged(other).volume() - self.volume()
+
+    def intersects_box(self, lower: np.ndarray, upper: np.ndarray) -> bool:
+        return bool(np.all(self.upper >= lower) and np.all(self.lower <= upper))
+
+    def mindist(self, point: np.ndarray) -> float:
+        """Distance from a point to the nearest point of the box."""
+        below = np.clip(self.lower - point, 0.0, None)
+        above = np.clip(point - self.upper, 0.0, None)
+        return float(np.sqrt(np.sum(below**2) + np.sum(above**2)))
+
+
+class _Node:
+    __slots__ = ("is_leaf", "entries", "bbox")
+
+    def __init__(self, is_leaf: bool) -> None:
+        self.is_leaf = is_leaf
+        #: leaf entries: (bbox, object_id, vector); inner: (bbox, child)
+        self.entries: List[tuple] = []
+        self.bbox: Optional[_BBox] = None
+
+    def recompute_bbox(self) -> None:
+        boxes = [entry[0] for entry in self.entries]
+        lower = np.minimum.reduce([b.lower for b in boxes])
+        upper = np.maximum.reduce([b.upper for b in boxes])
+        self.bbox = _BBox(lower, upper)
+
+
+class RTree(VectorIndex):
+    """Guttman R-tree over points, with STR bulk load and best-first k-NN."""
+
+    def __init__(
+        self, dimension: int, *, max_entries: int = 16, min_entries: Optional[int] = None
+    ) -> None:
+        super().__init__(dimension)
+        if max_entries < 4:
+            raise IndexError_(f"max_entries must be >= 4, got {max_entries}")
+        self.max_entries = max_entries
+        self.min_entries = (
+            min_entries if min_entries is not None else max(2, max_entries // 3)
+        )
+        if not 2 <= self.min_entries <= self.max_entries // 2:
+            raise IndexError_(
+                f"min_entries must lie in [2, {self.max_entries // 2}], "
+                f"got {self.min_entries}"
+            )
+        self._root = _Node(is_leaf=True)
+        self._count = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def bulk_load(
+        cls,
+        items: Sequence[Tuple[object, Sequence[float]]],
+        dimension: int,
+        *,
+        max_entries: int = 16,
+    ) -> "RTree":
+        """Sort-Tile-Recursive bulk load: packed leaves, short tree."""
+        tree = cls(dimension, max_entries=max_entries)
+        if not items:
+            return tree
+        vectors = [tree._check_vector(v) for _, v in items]
+        leaf_entries = [
+            (_BBox.of_point(vector), object_id, vector)
+            for (object_id, _), vector in zip(items, vectors)
+        ]
+        nodes = tree._str_pack(leaf_entries, leaf_level=True)
+        while len(nodes) > 1:
+            upper_entries = [(node.bbox, node) for node in nodes]
+            nodes = tree._str_pack(upper_entries, leaf_level=False)
+        tree._root = nodes[0]
+        tree._count = len(items)
+        return tree
+
+    def _str_pack(self, entries: List[tuple], *, leaf_level: bool) -> List[_Node]:
+        """Pack entries into nodes by recursive sort-tile slabs."""
+        capacity = self.max_entries
+
+        def center(entry) -> np.ndarray:
+            box: _BBox = entry[0]
+            return (box.lower + box.upper) / 2.0
+
+        def tile(block: List[tuple], axis: int) -> List[List[tuple]]:
+            if axis >= self.dimension or len(block) <= capacity:
+                return [
+                    block[i : i + capacity] for i in range(0, len(block), capacity)
+                ]
+            block = sorted(block, key=lambda e: center(e)[axis])
+            leaves_needed = math.ceil(len(block) / capacity)
+            remaining_axes = self.dimension - axis
+            slabs = math.ceil(leaves_needed ** (1.0 / remaining_axes))
+            slab_size = math.ceil(len(block) / slabs)
+            groups: List[List[tuple]] = []
+            for start in range(0, len(block), slab_size):
+                groups.extend(tile(block[start : start + slab_size], axis + 1))
+            return groups
+
+        nodes = []
+        for group in tile(list(entries), 0):
+            node = _Node(is_leaf=leaf_level)
+            node.entries = group
+            node.recompute_bbox()
+            nodes.append(node)
+        return nodes
+
+    # ------------------------------------------------------------------
+    # Insertion
+    # ------------------------------------------------------------------
+    def insert(self, object_id: object, vector) -> None:
+        point = self._check_vector(vector)
+        entry = (_BBox.of_point(point), object_id, point)
+        split = self._insert_entry(self._root, entry)
+        if split is not None:
+            old_root = self._root
+            self._root = _Node(is_leaf=False)
+            self._root.entries = [(old_root.bbox, old_root), (split.bbox, split)]
+            self._root.recompute_bbox()
+        self._count += 1
+
+    def _insert_entry(self, node: _Node, entry: tuple) -> Optional[_Node]:
+        """Insert into the subtree; return the new sibling on a split."""
+        entry_box: _BBox = entry[0]
+        if node.is_leaf:
+            node.entries.append(entry)
+        else:
+            best_index = min(
+                range(len(node.entries)),
+                key=lambda i: (
+                    node.entries[i][0].enlargement(entry_box),
+                    node.entries[i][0].volume(),
+                ),
+            )
+            child: _Node = node.entries[best_index][1]
+            split = self._insert_entry(child, entry)
+            node.entries[best_index] = (child.bbox, child)
+            if split is not None:
+                node.entries.append((split.bbox, split))
+        if len(node.entries) > self.max_entries:
+            return self._quadratic_split(node)
+        node.recompute_bbox()
+        return None
+
+    def _quadratic_split(self, node: _Node) -> _Node:
+        """Guttman's quadratic split; mutates ``node``, returns sibling."""
+        entries = node.entries
+        # Pick the pair of seeds wasting the most volume together.
+        seed_a, seed_b = max(
+            itertools.combinations(range(len(entries)), 2),
+            key=lambda pair: entries[pair[0]][0]
+            .enlarged(entries[pair[1]][0])
+            .volume()
+            - entries[pair[0]][0].volume()
+            - entries[pair[1]][0].volume(),
+        )
+        group_a = [entries[seed_a]]
+        group_b = [entries[seed_b]]
+        box_a = entries[seed_a][0]
+        box_b = entries[seed_b][0]
+        remaining = [e for i, e in enumerate(entries) if i not in (seed_a, seed_b)]
+        while remaining:
+            # Honor minimum fill if one group is running out of slack.
+            slack = len(remaining)
+            if len(group_a) + slack == self.min_entries:
+                group_a.extend(remaining)
+                for e in remaining:
+                    box_a = box_a.enlarged(e[0])
+                break
+            if len(group_b) + slack == self.min_entries:
+                group_b.extend(remaining)
+                for e in remaining:
+                    box_b = box_b.enlarged(e[0])
+                break
+            # Assign the entry with the strongest preference first.
+            def preference(e) -> float:
+                return abs(box_a.enlargement(e[0]) - box_b.enlargement(e[0]))
+
+            chosen = max(remaining, key=preference)
+            remaining.remove(chosen)
+            if box_a.enlargement(chosen[0]) <= box_b.enlargement(chosen[0]):
+                group_a.append(chosen)
+                box_a = box_a.enlarged(chosen[0])
+            else:
+                group_b.append(chosen)
+                box_b = box_b.enlarged(chosen[0])
+        node.entries = group_a
+        node.recompute_bbox()
+        sibling = _Node(is_leaf=node.is_leaf)
+        sibling.entries = group_b
+        sibling.recompute_bbox()
+        return sibling
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def range_query(self, lower, upper) -> List[object]:
+        lo = self._check_vector(lower)
+        hi = self._check_vector(upper)
+        results: List[object] = []
+        if self._count == 0:
+            return results
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            self.stats.node_accesses += 1
+            if node.is_leaf:
+                for box, object_id, vector in node.entries:
+                    self.stats.distance_evaluations += 1
+                    if np.all(vector >= lo) and np.all(vector <= hi):
+                        results.append(object_id)
+            else:
+                for box, child in node.entries:
+                    if box.intersects_box(lo, hi):
+                        stack.append(child)
+        return results
+
+    def knn(self, target, k: int) -> List[Neighbor]:
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        point = self._check_vector(target)
+        if self._count == 0:
+            return []
+        results: List[Neighbor] = []
+        counter = itertools.count()  # tie-breaker for the heap
+        heap: List[tuple] = [(0.0, next(counter), False, self._root)]
+        while heap and len(results) < k:
+            distance, _, is_object, payload = heapq.heappop(heap)
+            if is_object:
+                results.append((payload, distance))
+                continue
+            node: _Node = payload
+            self.stats.node_accesses += 1
+            if node.is_leaf:
+                for box, object_id, vector in node.entries:
+                    self.stats.distance_evaluations += 1
+                    d = float(np.linalg.norm(vector - point))
+                    heapq.heappush(heap, (d, next(counter), True, object_id))
+            else:
+                for box, child in node.entries:
+                    heapq.heappush(
+                        heap, (box.mindist(point), next(counter), False, child)
+                    )
+        return results
+
+    def __len__(self) -> int:
+        return self._count
+
+    # ------------------------------------------------------------------
+    def height(self) -> int:
+        """Tree height (1 for a single leaf)."""
+        node = self._root
+        levels = 1
+        while not node.is_leaf:
+            node = node.entries[0][1]
+            levels += 1
+        return levels
+
+    def check_invariants(self) -> None:
+        """Validate bounding-box containment and fill factors (tests)."""
+
+        def visit(node: _Node, is_root: bool) -> _BBox:
+            if not is_root and not node.is_leaf:
+                if not self.min_entries <= len(node.entries) <= self.max_entries:
+                    raise IndexError_(
+                        f"node fill {len(node.entries)} violates "
+                        f"[{self.min_entries}, {self.max_entries}]"
+                    )
+            boxes = []
+            for entry in node.entries:
+                if node.is_leaf:
+                    boxes.append(entry[0])
+                else:
+                    child_box = visit(entry[1], False)
+                    stored: _BBox = entry[0]
+                    if not (
+                        np.all(stored.lower <= child_box.lower + 1e-9)
+                        and np.all(stored.upper >= child_box.upper - 1e-9)
+                    ):
+                        raise IndexError_("stored child bbox does not contain child")
+                    boxes.append(child_box)
+            lower = np.minimum.reduce([b.lower for b in boxes])
+            upper = np.maximum.reduce([b.upper for b in boxes])
+            return _BBox(lower, upper)
+
+        if self._count:
+            visit(self._root, True)

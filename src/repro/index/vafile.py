@@ -1,0 +1,141 @@
+"""A vector-approximation file (VA-file) for high dimensions (§2.1, §6).
+
+"It is the author's opinion that much more work is needed in
+high-dimensional indexing, or similar techniques, in order to deal
+effectively with the hard issues of efficiently evaluating multimedia
+queries."
+
+The VA-file (Weber–Schek–Blott, 1998 — contemporaneous with the paper)
+is the classic such technique: instead of a tree, keep a *compressed
+approximation* of every vector (a few bits per dimension) and scan the
+approximations.  Each approximation yields lower/upper bounds on the
+true distance, so most full vectors are never touched:
+
+1. scan phase — compute bound intervals from the b-bit grid cells; keep
+   a candidate only if its lower bound beats the current k-th upper
+   bound;
+2. refine phase — visit candidates in lower-bound order, computing true
+   distances, stopping when the next lower bound exceeds the k-th true
+   distance.
+
+Unlike partitioning indexes the scan cost never *explodes* with
+dimension — it degrades gracefully toward the linear scan — which is
+exactly the regime E13 shows the R-tree losing.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import IndexError_
+from repro.index.base import Neighbor, VectorIndex
+
+
+class VAFile(VectorIndex):
+    """Vector-approximation file over [0, 1]^d with ``bits`` per dimension."""
+
+    def __init__(self, dimension: int, bits: int = 4) -> None:
+        super().__init__(dimension)
+        if not 1 <= bits <= 16:
+            raise IndexError_(f"bits per dimension must lie in [1, 16], got {bits}")
+        self.bits = bits
+        self.cells = 2**bits
+        self._ids: List[object] = []
+        self._vectors: List[np.ndarray] = []
+        self._approximations: List[np.ndarray] = []
+
+    # ------------------------------------------------------------------
+    def _approximate(self, vector: np.ndarray) -> np.ndarray:
+        return np.clip((vector * self.cells).astype(int), 0, self.cells - 1)
+
+    def insert(self, object_id: object, vector) -> None:
+        point = self._check_vector(vector)
+        if np.any(point < 0) or np.any(point > 1):
+            raise IndexError_("VA-file stores points in the unit cube only")
+        self._ids.append(object_id)
+        self._vectors.append(point)
+        self._approximations.append(self._approximate(point))
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    # ------------------------------------------------------------------
+    def _bounds(self, approximation: np.ndarray, query: np.ndarray) -> Tuple[float, float]:
+        """Lower/upper bounds on the distance from query to any point in
+        the approximation's grid cell."""
+        cell_low = approximation / self.cells
+        cell_high = (approximation + 1) / self.cells
+        below = np.clip(cell_low - query, 0.0, None)
+        above = np.clip(query - cell_high, 0.0, None)
+        lower = float(np.sqrt(np.sum(np.maximum(below, above) ** 2)))
+        farthest = np.maximum(np.abs(query - cell_low), np.abs(query - cell_high))
+        upper = float(np.sqrt(np.sum(farthest**2)))
+        return lower, upper
+
+    def range_query(self, lower, upper) -> List[object]:
+        lo = self._check_vector(lower)
+        hi = self._check_vector(upper)
+        results: List[object] = []
+        lo_cells = self._approximate(np.clip(lo, 0.0, 1.0))
+        hi_cells = self._approximate(np.clip(hi, 0.0, 1.0))
+        for object_id, vector, approximation in zip(
+            self._ids, self._vectors, self._approximations
+        ):
+            self.stats.node_accesses += 1  # one approximation read
+            if np.any(approximation < lo_cells) or np.any(approximation > hi_cells):
+                continue
+            self.stats.distance_evaluations += 1  # full-vector check
+            if np.all(vector >= lo) and np.all(vector <= hi):
+                results.append(object_id)
+        return results
+
+    def knn(self, target, k: int) -> List[Neighbor]:
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        query = self._check_vector(target)
+        if not self._ids:
+            return []
+
+        # Phase 1: scan approximations, keeping bound intervals.
+        candidates: List[Tuple[float, float, int]] = []
+        kth_upper = float("inf")
+        uppers: List[float] = []
+        for index, approximation in enumerate(self._approximations):
+            self.stats.node_accesses += 1
+            lower, upper = self._bounds(approximation, query)
+            if lower <= kth_upper:
+                candidates.append((lower, upper, index))
+                uppers.append(upper)
+                if len(uppers) >= k:
+                    uppers.sort()
+                    del uppers[k:]
+                    kth_upper = uppers[k - 1]
+
+        # Phase 2: refine in lower-bound order with true distances.
+        candidates.sort()
+        best: List[Tuple[float, str, object]] = []
+        cutoff = float("inf")
+        for lower, _, index in candidates:
+            if len(best) >= k and lower > cutoff:
+                break
+            self.stats.distance_evaluations += 1
+            distance = float(np.linalg.norm(self._vectors[index] - query))
+            best.append((distance, str(self._ids[index]), self._ids[index]))
+            best.sort()
+            if len(best) > k:
+                best.pop()
+            if len(best) >= k:
+                cutoff = best[-1][0]
+        return [(object_id, distance) for distance, _, object_id in best]
+
+    # ------------------------------------------------------------------
+    def approximation_bytes(self) -> int:
+        """Size of the approximation file (the thing that gets scanned)."""
+        bits_total = len(self._ids) * self.dimension * self.bits
+        return (bits_total + 7) // 8
+
+    def vector_bytes(self) -> int:
+        """Size of the full vectors (8-byte floats)."""
+        return len(self._ids) * self.dimension * 8

@@ -1,0 +1,131 @@
+"""Persistence: JSON round trips for the library's data artifacts.
+
+Multimedia catalogs are precisely the "updates are done rarely, if at
+all" data of section 2.1 — which makes building them once and loading
+them from disk the normal workflow.  This module serializes the
+artifacts a deployment stores:
+
+* graded sets (precomputed answer lists for a :class:`ListSubsystem`);
+* grade tables (the workloads' object -> grade-vector form);
+* CD-store catalogs (:class:`~repro.workloads.cd_store.Album` rows);
+* catalog statistics (:class:`~repro.middleware.statistics.GradeHistogram`).
+
+Everything is plain JSON: stable, diffable, and loadable without this
+library.  Floats round-trip exactly (json preserves doubles).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence, Union
+
+from repro.core.graded import GradedSet
+from repro.errors import ReproError
+from repro.middleware.statistics import GradeHistogram
+from repro.workloads.cd_store import Album
+
+PathLike = Union[str, Path]
+
+#: Format tag written into every file, checked on load.
+_FORMATS = {
+    "graded-set": 1,
+    "grade-table": 1,
+    "album-catalog": 1,
+    "grade-histogram": 1,
+}
+
+
+def _dump(path: PathLike, kind: str, payload) -> None:
+    document = {"format": kind, "version": _FORMATS[kind], "data": payload}
+    Path(path).write_text(json.dumps(document, indent=2, sort_keys=True))
+
+
+def _load(path: PathLike, kind: str):
+    try:
+        document = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        raise ReproError(f"cannot read {kind} from {path}: {error}") from error
+    if not isinstance(document, dict) or document.get("format") != kind:
+        raise ReproError(
+            f"{path} does not hold a {kind!r} "
+            f"(found {document.get('format') if isinstance(document, dict) else type(document).__name__!r})"
+        )
+    if document.get("version") != _FORMATS[kind]:
+        raise ReproError(
+            f"{path}: unsupported {kind} version {document.get('version')}"
+        )
+    return document["data"]
+
+
+# ----------------------------------------------------------------------
+# Graded sets
+# ----------------------------------------------------------------------
+def save_graded_set(graded: GradedSet, path: PathLike) -> None:
+    """Write a graded set; object ids are stringified (JSON keys)."""
+    _dump(path, "graded-set", {str(obj): g for obj, g in graded.as_dict().items()})
+
+
+def load_graded_set(path: PathLike) -> GradedSet:
+    return GradedSet(_load(path, "graded-set"))
+
+
+# ----------------------------------------------------------------------
+# Grade tables (workload form: object -> (g_1, ..., g_m))
+# ----------------------------------------------------------------------
+def save_grade_table(table: Dict[str, Sequence[float]], path: PathLike) -> None:
+    _dump(path, "grade-table", {str(k): list(v) for k, v in table.items()})
+
+
+def load_grade_table(path: PathLike) -> Dict[str, tuple]:
+    return {k: tuple(v) for k, v in _load(path, "grade-table").items()}
+
+
+# ----------------------------------------------------------------------
+# CD-store catalogs
+# ----------------------------------------------------------------------
+def save_catalog(catalog: Sequence[Album], path: PathLike) -> None:
+    _dump(
+        path,
+        "album-catalog",
+        [
+            {
+                "album_id": album.album_id,
+                "artist": album.artist,
+                "title": album.title,
+                "year": album.year,
+                "price": album.price,
+                "cover_color": list(album.cover_color),
+            }
+            for album in catalog
+        ],
+    )
+
+
+def load_catalog(path: PathLike) -> List[Album]:
+    rows = _load(path, "album-catalog")
+    try:
+        return [
+            Album(
+                album_id=row["album_id"],
+                artist=row["artist"],
+                title=row["title"],
+                year=int(row["year"]),
+                price=float(row["price"]),
+                cover_color=tuple(row["cover_color"]),
+            )
+            for row in rows
+        ]
+    except (KeyError, TypeError, ValueError) as error:
+        raise ReproError(f"malformed album catalog in {path}: {error}") from error
+
+
+# ----------------------------------------------------------------------
+# Catalog statistics
+# ----------------------------------------------------------------------
+def save_histogram(histogram: GradeHistogram, path: PathLike) -> None:
+    _dump(path, "grade-histogram", [int(c) for c in histogram.counts])
+
+
+def load_histogram(path: PathLike) -> GradeHistogram:
+    return GradeHistogram(_load(path, "grade-histogram"))

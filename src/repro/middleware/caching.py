@@ -1,0 +1,83 @@
+"""Middleware-side prefix caching of ranked lists (section 4).
+
+"Then Garlic could later tell the subsystem to resume outputting the
+graded set where it left off."  A middleware that already received a
+list's top-d items need not pay for them again when a later query (or a
+later batch of the same query) re-reads the prefix: it replays its own
+cache and resumes the subsystem's stream only past position d.
+
+:class:`CachedSource` implements exactly that.  Its own counter tallies
+*logical* accesses (what the algorithms asked for); the wrapped source's
+counter keeps the *repository* tally, which only grows the first time a
+position is read.  ``hits``/``misses`` expose the cache's effectiveness.
+
+Random accesses are also memoized: the paper's model says nothing about
+a repository forgetting a grade it already reported, and real
+middlewares keep such lookups in the query cache.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.graded import GradedItem, ObjectId
+from repro.core.sources import GradedSource
+
+
+class CachedSource(GradedSource):
+    """A ranked list with a middleware-side prefix + probe cache."""
+
+    def __init__(self, inner: GradedSource) -> None:
+        super().__init__(f"cached({inner.name})")
+        self._inner = inner
+        self._inner_cursor = inner.cursor()
+        self._prefix: List[GradedItem] = []
+        self._probes: Dict[ObjectId, float] = {}
+        self.supports_random_access = inner.supports_random_access
+        self.is_boolean = inner.is_boolean
+        #: reads served from the cache (no repository charge)
+        self.hits = 0
+        #: reads that had to extend the repository stream / probe it
+        self.misses = 0
+
+    def _item_at(self, index: int) -> Optional[GradedItem]:
+        if index < len(self._prefix):
+            self.hits += 1
+            return self._prefix[index]
+        while index >= len(self._prefix):
+            item = self._inner_cursor.next()  # charges the inner counter
+            if item is None:
+                return None
+            self._prefix.append(item)
+            self._probes.setdefault(item.object_id, item.grade)
+            self.misses += 1
+        return self._prefix[index]
+
+    def random_access(self, object_id: ObjectId) -> float:
+        """Memoized probe: repeated lookups charge the repository once.
+
+        The logical access still lands on this source's counter, so
+        algorithm costs stay comparable; only the repository-side
+        charge (the inner counter) is saved.
+        """
+        if object_id in self._probes:
+            self.hits += 1
+            grade = self._probes[object_id]
+        else:
+            self.misses += 1
+            grade = self._inner.random_access(object_id)
+            self._probes[object_id] = grade
+        self.counter.record_random()
+        return grade
+
+    def _grade_of(self, object_id: ObjectId) -> float:  # pragma: no cover
+        # random_access is fully overridden; this hook is unreachable,
+        # but keep it correct for direct calls.
+        return self._inner._grade_of(object_id)
+
+    def repository_cost(self) -> int:
+        """What the repository actually served (the inner counter)."""
+        return self._inner.counter.database_access_cost
+
+    def __len__(self) -> int:
+        return len(self._inner)

@@ -1,0 +1,183 @@
+"""The Garlic-style middleware engine (section 4).
+
+:class:`MiddlewareEngine` is the integration point the paper describes:
+"a single Garlic query can access data in a number of different
+subsystems", and "Garlic has to piece together information from both
+subsystems in order to answer the query."
+
+The engine:
+
+1. holds registered :class:`~repro.middleware.interface.Subsystem`
+   instances, each optionally behind an
+   :class:`~repro.middleware.idmap.IdMapping` (section 4.2's object-ID
+   correspondence problem);
+2. binds each atomic query of a query AST to the (unique) subsystem that
+   supports it, yielding one ranked list per atom;
+3. compiles the Boolean structure into a single m-ary scoring function
+   (:func:`repro.core.evaluation.compile_query`), passing user-defined
+   rules through the monotonicity guard;
+4. delegates strategy choice to the planner (the Boolean-conjunct-first
+   rule, the m*k disjunction algorithm, A0/TA/NRA) and executes.
+
+The engine answers *ranked* queries ("give me the top 10"), returning a
+:class:`~repro.core.result.TopKResult`; :meth:`MiddlewareEngine.open_query`
+returns a resumable handle for fetching the next batch — the "continue
+where we left off" feature of algorithm A0.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.evaluation import compile_query
+from repro.core.fagin import FaginAlgorithm
+from repro.core.planner import Strategy, execute, plan_top_k
+from repro.core.query import Atomic, Query, Scored
+from repro.core.result import TopKResult
+from repro.core.sources import GradedSource
+from repro.errors import PlanError
+from repro.middleware.idmap import IdMapping, MappedSource
+from repro.middleware.interface import Subsystem
+from repro.middleware.monotonicity import ensure_monotone
+from repro.scoring.base import FunctionScoring
+from repro.scoring.zadeh import ZADEH, FuzzySemantics
+
+
+class MiddlewareEngine:
+    """Integrates subsystems and evaluates fuzzy queries over them."""
+
+    def __init__(self, semantics: FuzzySemantics = ZADEH) -> None:
+        self.semantics = semantics
+        self._subsystems: List[Subsystem] = []
+        self._mappings: Dict[str, IdMapping] = {}
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(
+        self, subsystem: Subsystem, id_mapping: Optional[IdMapping] = None
+    ) -> None:
+        """Add a subsystem, optionally with its global<->local ID mapping."""
+        if any(existing.name == subsystem.name for existing in self._subsystems):
+            raise PlanError(f"a subsystem named {subsystem.name!r} is already registered")
+        self._subsystems.append(subsystem)
+        if id_mapping is not None:
+            self._mappings[subsystem.name] = id_mapping
+
+    @property
+    def subsystems(self) -> Tuple[Subsystem, ...]:
+        return tuple(self._subsystems)
+
+    # ------------------------------------------------------------------
+    # Binding
+    # ------------------------------------------------------------------
+    def subsystem_for(self, atom: Atomic) -> Subsystem:
+        """The unique subsystem supporting an atomic query."""
+        supporting = [s for s in self._subsystems if s.supports(atom)]
+        if not supporting:
+            raise PlanError(f"no registered subsystem supports {atom}")
+        if len(supporting) > 1:
+            names = [s.name for s in supporting]
+            raise PlanError(
+                f"ambiguous atomic query {atom}: supported by {names}; "
+                "register disjoint attribute sets or query a specific subsystem"
+            )
+        return supporting[0]
+
+    def bind(self, atom: Atomic) -> GradedSource:
+        """The ranked list for one atom, re-keyed to global ids if mapped."""
+        subsystem = self.subsystem_for(atom)
+        source = subsystem.bind(atom)
+        mapping = self._mappings.get(subsystem.name)
+        if mapping is not None:
+            source = MappedSource(source, mapping)
+        return source
+
+    def bind_all(self, query: Query) -> List[GradedSource]:
+        """Ranked lists for each distinct atom of a query, in atom order."""
+        atoms = query.atoms()
+        if len(set(atoms)) != len(atoms):
+            raise PlanError(
+                "queries must not repeat an atomic subquery: "
+                f"{[str(a) for a in atoms]}"
+            )
+        return [self.bind(atom) for atom in atoms]
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def _compile(self, query: Query):
+        compiled = compile_query(query, self.semantics)
+        self._guard_user_rules(query)
+        return compiled
+
+    def _guard_user_rules(self, query: Query) -> None:
+        """Run the monotonicity guard over user-defined Scored rules."""
+        if isinstance(query, Scored) and isinstance(query.scoring, FunctionScoring):
+            ensure_monotone(query.scoring, len(query.children))
+        for child in getattr(query, "children", ()):
+            self._guard_user_rules(child)
+        child = getattr(query, "child", None)
+        if child is not None:
+            self._guard_user_rules(child)
+
+    def top_k(
+        self,
+        query: Query,
+        k: int,
+        *,
+        prefer: Optional[Strategy] = None,
+    ) -> TopKResult:
+        """The top k answers to a query, with their grades and cost."""
+        sources = self.bind_all(query)
+        compiled = self._compile(query)
+        plan = plan_top_k(sources, compiled, k, prefer=prefer)
+        return execute(plan, sources)
+
+    def explain(self, query: Query, k: int):
+        """The plan the engine would execute, without running it."""
+        sources = self.bind_all(query)
+        compiled = self._compile(query)
+        return plan_top_k(sources, compiled, k)
+
+    def open_query(self, query: Query) -> "QueryHandle":
+        """A resumable handle: fetch the top k, then the next k, etc."""
+        sources = self.bind_all(query)
+        compiled = self._compile(query)
+        return QueryHandle(FaginAlgorithm(sources, compiled))
+
+    def lookup_row(self, object_id) -> Dict[str, object]:
+        """Merge the relational attributes known for one object.
+
+        Every registered subsystem exposing rows (the relational ones)
+        contributes its columns; subsystems that do not know the object
+        are skipped.  Used by the SQL front end to hydrate projections.
+        """
+        merged: Dict[str, object] = {}
+        for subsystem in self._subsystems:
+            row_getter = getattr(subsystem, "row", None)
+            if row_getter is None:
+                continue
+            try:
+                merged.update(row_getter(object_id))
+            except KeyError:
+                continue
+        return merged
+
+
+class QueryHandle:
+    """Incremental consumption of one ranked query ("get the next 10").
+
+    Wraps a resumable :class:`~repro.core.fagin.FaginAlgorithm`; each
+    :meth:`fetch` continues where the previous one left off, as
+    section 4.1 promises.
+    """
+
+    def __init__(self, algorithm: FaginAlgorithm) -> None:
+        self._algorithm = algorithm
+        self.fetched = 0
+
+    def fetch(self, k: int = 10) -> TopKResult:
+        result = self._algorithm.next_k(k)
+        self.fetched += len(result.answers)
+        return result

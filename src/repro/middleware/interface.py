@@ -1,0 +1,60 @@
+"""Subsystem protocol for the Garlic-style middleware (section 4).
+
+A multimedia database system "may often really be middleware ... on top
+of various subsystems", each reachable only through the two access modes
+of section 4 (sorted and random access).  A :class:`Subsystem` owns some
+set of attributes and, for any atomic query ``X = t`` over one of them,
+can *bind* the query to a :class:`~repro.core.sources.GradedSource` — the
+ranked list the top-k algorithms consume.
+
+Bindings are cached per atomic query so that repeated use of the same
+atom accumulates accesses on one counter, mirroring a long-lived
+connection to the underlying repository.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, FrozenSet
+
+from repro.core.query import Atomic
+from repro.core.sources import GradedSource
+from repro.errors import PlanError
+
+
+class Subsystem(ABC):
+    """One underlying repository the middleware integrates.
+
+    Subclasses implement :meth:`attributes` and :meth:`_bind`; the public
+    :meth:`bind` adds support checking and caching.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._bindings: Dict[Atomic, GradedSource] = {}
+
+    @abstractmethod
+    def attributes(self) -> FrozenSet[str]:
+        """The attribute names this subsystem can grade."""
+
+    def supports(self, atom: Atomic) -> bool:
+        """Whether this subsystem can evaluate the atomic query."""
+        return atom.attribute in self.attributes()
+
+    @abstractmethod
+    def _bind(self, atom: Atomic) -> GradedSource:
+        """Create the ranked list for a supported atomic query."""
+
+    def bind(self, atom: Atomic) -> GradedSource:
+        """The ranked list for ``atom`` (cached per distinct atom)."""
+        if not self.supports(atom):
+            raise PlanError(
+                f"subsystem {self.name!r} does not handle attribute "
+                f"{atom.attribute!r} (it handles {sorted(self.attributes())})"
+            )
+        if atom not in self._bindings:
+            self._bindings[atom] = self._bind(atom)
+        return self._bindings[atom]
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r} attrs={sorted(self.attributes())}>"

@@ -1,0 +1,55 @@
+"""The monotonicity guard for user-defined scoring functions (section 4.2).
+
+The Garlic implementers faced a choice: "(1) provide a fixed set of
+legal (i.e., monotone) scoring functions ... or (2) allow the user to
+use an arbitrary, user-defined scoring function.  To give the system and
+the user maximum flexibility, they chose the second option.  This makes
+it necessary for the system to somehow guarantee monotonicity."
+
+This module is that guarantee, as far as a black-box rule permits:
+
+* trusted rules (catalog members with ``is_monotone = True`` that are
+  not user wrappers) pass immediately;
+* user-supplied callables are certified by randomized dominated-pair
+  testing; a found counterexample raises
+  :class:`~repro.errors.MonotonicityError` carrying the witness, so the
+  user sees exactly which grade vectors their rule ranks inconsistently.
+
+Randomized certification cannot *prove* monotonicity, but a violating
+rule would make Fagin's algorithm silently wrong; failing loudly on any
+discovered witness is the practical contract Garlic chose.
+"""
+
+from __future__ import annotations
+
+from repro.errors import MonotonicityError
+from repro.scoring.base import FunctionScoring, ScoringFunction, as_scoring_function
+from repro.scoring.properties import certify_monotone
+
+
+def ensure_monotone(
+    rule,
+    arity: int,
+    *,
+    trials: int = 2000,
+    seed: int = 1998,
+) -> ScoringFunction:
+    """Return ``rule`` as a scoring function, certified monotone.
+
+    Raises :class:`MonotonicityError` when the rule declares itself
+    non-monotone, or when randomized testing finds a dominated pair the
+    rule ranks the wrong way.
+    """
+    scoring = as_scoring_function(rule)
+    if not scoring.is_monotone:
+        raise MonotonicityError(
+            f"scoring function {scoring.name!r} declares itself non-monotone"
+        )
+    if isinstance(scoring, FunctionScoring):
+        report = certify_monotone(scoring, arity, trials=trials, seed=seed)
+        if not report:
+            raise MonotonicityError(
+                f"user scoring function {scoring.name!r} failed the "
+                f"monotonicity guard: {report.detail}"
+            )
+    return scoring

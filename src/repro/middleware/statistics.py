@@ -1,0 +1,137 @@
+"""Catalog statistics for the optimizer (section 4.2's last issue).
+
+"In order to use an optimizer, we need to understand the cost of
+applying various operators over various data in various repositories."
+
+A :class:`GradeHistogram` summarizes one ranked list's grade
+distribution — the kind of statistic a middleware catalog collects
+offline, next to relation cardinalities.  Its headline application here
+is threshold suggestion for the filter-condition strategy (E14): given
+the per-list survival functions and independence, the smallest tau with
+
+    N * prod_i survival_i(tau)  >=  safety * k
+
+is expected to yield enough candidates in one shot, avoiding both the
+restart (tau too optimistic) and the over-retrieval (tau too
+pessimistic) failure modes the paper's discussion implies.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.core.sources import GradedSource
+from repro.errors import PlanError
+
+
+class GradeHistogram:
+    """Equi-width histogram of one list's grades over [0, 1]."""
+
+    def __init__(self, counts: Sequence[int]) -> None:
+        counts_arr = np.asarray(counts, dtype=float)
+        if counts_arr.ndim != 1 or len(counts_arr) < 1:
+            raise PlanError("histogram needs a 1-D, nonempty count vector")
+        if counts_arr.sum() <= 0:
+            raise PlanError("histogram must describe at least one object")
+        self.counts = counts_arr
+        self.total = float(counts_arr.sum())
+        self.bins = len(counts_arr)
+
+    @classmethod
+    def from_source(cls, source: GradedSource, bins: int = 20) -> "GradeHistogram":
+        """Build offline from a source's full graded set.
+
+        Uses the accounting-free materialization: statistics collection
+        is a catalog-maintenance activity, not query-time access (the
+        same assumption any optimizer statistics make).
+        """
+        grades = [item.grade for item in source.as_graded_set()]
+        if not grades:
+            raise PlanError(f"source {source.name!r} is empty")
+        counts, _ = np.histogram(grades, bins=bins, range=(0.0, 1.0))
+        return cls(counts)
+
+    def survival(self, tau: float) -> float:
+        """Estimated fraction of objects with grade >= tau.
+
+        Within the bin containing tau the mass is interpolated linearly
+        (the usual equi-width-histogram assumption).
+        """
+        if tau <= 0.0:
+            return 1.0
+        if tau >= 1.0:
+            # grade exactly 1.0 lands in the last bin; we conservatively
+            # report that whole bin as potentially >= 1.
+            return float(self.counts[-1] / self.total) if tau == 1.0 else 0.0
+        position = tau * self.bins
+        index = min(int(position), self.bins - 1)
+        fraction_into_bin = position - index
+        above = self.counts[index + 1 :].sum()
+        within = self.counts[index] * (1.0 - fraction_into_bin)
+        return float((above + within) / self.total)
+
+    def quantile(self, q: float) -> float:
+        """Smallest tau whose survival is <= q (an upper quantile)."""
+        if not 0.0 <= q <= 1.0:
+            raise PlanError(f"quantile must lie in [0, 1], got {q}")
+        lo, hi = 0.0, 1.0
+        for _ in range(40):
+            mid = (lo + hi) / 2.0
+            if self.survival(mid) > q:
+                lo = mid
+            else:
+                hi = mid
+        return hi
+
+    def __repr__(self) -> str:
+        return f"<GradeHistogram bins={self.bins} n={int(self.total)}>"
+
+
+def suggest_filter_threshold(
+    histograms: Sequence[GradeHistogram],
+    k: int,
+    n: int,
+    *,
+    safety: float = 2.0,
+) -> float:
+    """Threshold tau for the filter-condition strategy (min rule).
+
+    Assuming independent lists, an object survives every per-list filter
+    with probability ``prod_i survival_i(tau)``; the suggestion is the
+    largest tau whose expected candidate count still clears
+    ``safety * k``.  ``safety`` > 1 buys restart insurance at the price
+    of slight over-retrieval.
+    """
+    if k <= 0:
+        raise PlanError(f"k must be positive, got {k}")
+    if n <= 0:
+        raise PlanError(f"n must be positive, got {n}")
+    if safety < 1.0:
+        raise PlanError(f"safety must be >= 1, got {safety}")
+    if not histograms:
+        raise PlanError("at least one histogram is required")
+    target = min(1.0, (safety * k) / n)
+
+    def expected_fraction(tau: float) -> float:
+        product = 1.0
+        for histogram in histograms:
+            product *= histogram.survival(tau)
+        return product
+
+    lo, hi = 0.0, 1.0
+    for _ in range(40):
+        mid = (lo + hi) / 2.0
+        if expected_fraction(mid) >= target:
+            lo = mid
+        else:
+            hi = mid
+    return lo
+
+
+def collect_statistics(
+    sources: Sequence[GradedSource], bins: int = 20
+) -> List[GradeHistogram]:
+    """Catalog statistics for a set of sources."""
+    return [GradeHistogram.from_source(source, bins) for source in sources]

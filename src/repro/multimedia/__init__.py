@@ -1,0 +1,101 @@
+"""QBIC-style multimedia substrate: synthetic images, color histograms
+with the Eq. 1 quadratic-form distance, the Eq. 2 distance-bounding
+filter, shape and texture similarity, and the precomputed pairwise
+distance cache (paper section 2)."""
+
+from repro.multimedia.filter import (
+    DistanceBoundingFilter,
+    FilterSearchResult,
+    linear_scan_knn,
+)
+from repro.multimedia.histogram import (
+    Palette,
+    QuadraticFormDistance,
+    color_histogram,
+    distance_to_grade,
+    solid_color_histogram,
+)
+from repro.multimedia.images import (
+    NAMED_COLORS,
+    SHAPE_KINDS,
+    ImageGenerator,
+    ShapeSpec,
+    SyntheticImage,
+)
+from repro.multimedia.precompute import PairwiseDistanceCache
+from repro.multimedia.qbic import QbicSubsystem, reference_boundary
+from repro.multimedia.shape import (
+    SHAPE_DISTANCES,
+    fourier_descriptor_distance,
+    fourier_descriptors,
+    hausdorff_distance,
+    moment_distance,
+    normalize_polygon,
+    turning_function,
+    turning_function_distance,
+)
+from repro.multimedia.similarity import (
+    identity_similarity,
+    laplacian_similarity,
+    qbic_similarity,
+)
+from repro.multimedia.video import (
+    NAMED_MOTION,
+    VideoClip,
+    VideoGenerator,
+    VideoSubsystem,
+    color_signature,
+    motion_energy,
+)
+from repro.multimedia.texture import (
+    NAMED_TEXTURES,
+    coarseness,
+    contrast,
+    directionality,
+    texture_distance,
+    texture_features,
+    to_grayscale,
+)
+
+__all__ = [
+    "ImageGenerator",
+    "SyntheticImage",
+    "ShapeSpec",
+    "NAMED_COLORS",
+    "SHAPE_KINDS",
+    "Palette",
+    "QuadraticFormDistance",
+    "color_histogram",
+    "solid_color_histogram",
+    "distance_to_grade",
+    "laplacian_similarity",
+    "qbic_similarity",
+    "identity_similarity",
+    "DistanceBoundingFilter",
+    "FilterSearchResult",
+    "linear_scan_knn",
+    "turning_function",
+    "turning_function_distance",
+    "hausdorff_distance",
+    "moment_distance",
+    "fourier_descriptors",
+    "fourier_descriptor_distance",
+    "normalize_polygon",
+    "SHAPE_DISTANCES",
+    "texture_features",
+    "texture_distance",
+    "to_grayscale",
+    "coarseness",
+    "contrast",
+    "directionality",
+    "NAMED_TEXTURES",
+    "QbicSubsystem",
+    "reference_boundary",
+    "PairwiseDistanceCache",
+    "VideoClip",
+    "VideoGenerator",
+    "VideoSubsystem",
+    "color_signature",
+    "motion_energy",
+    "NAMED_MOTION",
+]

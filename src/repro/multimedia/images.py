@@ -1,0 +1,278 @@
+"""Synthetic image model (the substitution for real QBIC image data).
+
+The paper evaluates color/shape queries over IBM-internal image
+collections we do not have; per the reproduction plan (DESIGN.md) we
+substitute procedurally generated images: a background color plus a few
+colored geometric shapes on a unit canvas.  Every downstream computation
+— color histograms, the quadratic-form distance of Eq. 1, the
+distance-bounding filter of Eq. 2, shape descriptors — operates on the
+*rasterized pixels* or the *shape boundaries*, exactly as it would on
+real images, so the substitution changes the data, not the code paths.
+
+Shapes know how to rasterize themselves (a boolean mask over the pixel
+grid) and how to emit their boundary polygon (for the shape-distance
+functions of :mod:`repro.multimedia.shape`).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional, Sequence, Tuple
+
+import numpy as np
+
+RGB = Tuple[float, float, float]
+
+#: Named colors for query targets ("Color='red'") and themed generation.
+NAMED_COLORS: Dict[str, RGB] = {
+    "red": (0.90, 0.10, 0.10),
+    "green": (0.10, 0.75, 0.15),
+    "blue": (0.15, 0.20, 0.85),
+    "yellow": (0.92, 0.85, 0.10),
+    "orange": (0.95, 0.55, 0.10),
+    "purple": (0.55, 0.15, 0.75),
+    "pink": (0.95, 0.55, 0.70),
+    "brown": (0.50, 0.30, 0.12),
+    "white": (0.95, 0.95, 0.95),
+    "black": (0.05, 0.05, 0.05),
+    "gray": (0.50, 0.50, 0.50),
+    "cyan": (0.10, 0.80, 0.80),
+}
+
+#: Shape kinds the generator can draw; 'circle' is the "round" of the
+#: paper's running query (Shape='round').
+SHAPE_KINDS = ("circle", "square", "rectangle", "triangle", "ellipse")
+
+
+@dataclass(frozen=True)
+class ShapeSpec:
+    """One colored shape on the unit canvas.
+
+    ``center`` and ``size`` are in canvas units (the canvas is the unit
+    square); ``rotation`` is radians counterclockwise; ``aspect``
+    stretches rectangles/ellipses.
+    """
+
+    kind: str
+    center: Tuple[float, float]
+    size: float
+    color: RGB
+    rotation: float = 0.0
+    aspect: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in SHAPE_KINDS:
+            raise ValueError(f"unknown shape kind {self.kind!r}; use one of {SHAPE_KINDS}")
+        if not 0.0 < self.size <= 1.0:
+            raise ValueError(f"size must lie in (0, 1], got {self.size}")
+
+    # ------------------------------------------------------------------
+    def _local_frame(self, xs: np.ndarray, ys: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Rotate/translate canvas coordinates into the shape's frame."""
+        dx = xs - self.center[0]
+        dy = ys - self.center[1]
+        cos_r = math.cos(-self.rotation)
+        sin_r = math.sin(-self.rotation)
+        return dx * cos_r - dy * sin_r, dx * sin_r + dy * cos_r
+
+    def mask(self, resolution: int) -> np.ndarray:
+        """Boolean pixel mask of the shape on a resolution^2 grid."""
+        coords = (np.arange(resolution) + 0.5) / resolution
+        xs, ys = np.meshgrid(coords, coords)
+        lx, ly = self._local_frame(xs, ys)
+        half = self.size / 2.0
+        if self.kind == "circle":
+            return lx**2 + ly**2 <= half**2
+        if self.kind == "ellipse":
+            return (lx / half) ** 2 + (ly / (half * self.aspect)) ** 2 <= 1.0
+        if self.kind == "square":
+            return (np.abs(lx) <= half) & (np.abs(ly) <= half)
+        if self.kind == "rectangle":
+            return (np.abs(lx) <= half) & (np.abs(ly) <= half * self.aspect)
+        # triangle: equilateral, apex up, inscribed in the size circle
+        # Half-plane tests against the three edges.
+        top = (0.0, half)
+        left = (-half * math.sqrt(3) / 2, -half / 2)
+        right = (half * math.sqrt(3) / 2, -half / 2)
+        inside = np.ones_like(lx, dtype=bool)
+        # Vertices run counterclockwise; interior points lie to the left
+        # of every directed edge (nonnegative cross product).
+        for (ax, ay), (bx, by) in ((top, left), (left, right), (right, top)):
+            cross = (bx - ax) * (ly - ay) - (by - ay) * (lx - ax)
+            inside &= cross >= 0
+        return inside
+
+    def boundary(self, samples: int = 64) -> np.ndarray:
+        """The boundary polygon, as a (samples, 2) array in canvas space.
+
+        Polygonal kinds return their corners repeated to ``samples``
+        points by uniform arc-length sampling, so every kind yields the
+        same point count — what the shape-distance functions expect.
+        """
+        half = self.size / 2.0
+        if self.kind in ("circle", "ellipse"):
+            theta = np.linspace(0.0, 2 * math.pi, samples, endpoint=False)
+            pts = np.stack(
+                [half * np.cos(theta), half * self.aspect * np.sin(theta)], axis=1
+            )
+            if self.kind == "circle":
+                pts[:, 1] = half * np.sin(theta)
+        else:
+            if self.kind == "square":
+                corners = np.array(
+                    [(-half, -half), (half, -half), (half, half), (-half, half)]
+                )
+            elif self.kind == "rectangle":
+                h2 = half * self.aspect
+                corners = np.array(
+                    [(-half, -h2), (half, -h2), (half, h2), (-half, h2)]
+                )
+            else:  # triangle
+                corners = np.array(
+                    [
+                        (0.0, half),
+                        (-half * math.sqrt(3) / 2, -half / 2),
+                        (half * math.sqrt(3) / 2, -half / 2),
+                    ]
+                )
+            pts = _resample_polygon(corners, samples)
+        cos_r, sin_r = math.cos(self.rotation), math.sin(self.rotation)
+        rotated = np.stack(
+            [
+                pts[:, 0] * cos_r - pts[:, 1] * sin_r,
+                pts[:, 0] * sin_r + pts[:, 1] * cos_r,
+            ],
+            axis=1,
+        )
+        return rotated + np.asarray(self.center)
+
+
+def _resample_polygon(corners: np.ndarray, samples: int) -> np.ndarray:
+    """Uniform arc-length resampling of a closed polygon's boundary."""
+    closed = np.vstack([corners, corners[:1]])
+    seg_lengths = np.linalg.norm(np.diff(closed, axis=0), axis=1)
+    cumulative = np.concatenate([[0.0], np.cumsum(seg_lengths)])
+    total = cumulative[-1]
+    targets = np.linspace(0.0, total, samples, endpoint=False)
+    points = np.empty((samples, 2))
+    segment = 0
+    for i, t in enumerate(targets):
+        while segment + 1 < len(cumulative) - 1 and cumulative[segment + 1] <= t:
+            segment += 1
+        span = seg_lengths[segment]
+        frac = 0.0 if span == 0 else (t - cumulative[segment]) / span
+        points[i] = closed[segment] * (1 - frac) + closed[segment + 1] * frac
+    return points
+
+
+@dataclass(frozen=True)
+class SyntheticImage:
+    """A complete synthetic image: background + shapes, rasterizable."""
+
+    image_id: str
+    background: RGB
+    shapes: Tuple[ShapeSpec, ...] = field(default_factory=tuple)
+
+    def rasterize(self, resolution: int = 32) -> np.ndarray:
+        """Render to a float RGB array of shape (resolution, resolution, 3).
+
+        Shapes paint in declaration order (later shapes occlude earlier
+        ones), matching a painter's-algorithm renderer.
+        """
+        raster = np.empty((resolution, resolution, 3), dtype=float)
+        raster[:, :] = self.background
+        for shape in self.shapes:
+            mask = shape.mask(resolution)
+            raster[mask] = shape.color
+        return raster
+
+    def dominant_shape(self) -> Optional[ShapeSpec]:
+        """The largest shape by nominal size, or None for plain images."""
+        if not self.shapes:
+            return None
+        return max(self.shapes, key=lambda s: s.size)
+
+
+class ImageGenerator:
+    """Seeded random generator of synthetic images.
+
+    ``themed(color_name)`` biases an image's palette toward a named
+    color (used to plant known near-matches for retrieval tests);
+    ``corpus`` produces a list with a controllable fraction of themed
+    images.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+
+    def _random_color(self) -> RGB:
+        return (self._rng.random(), self._rng.random(), self._rng.random())
+
+    def _near(self, base: RGB, jitter: float = 0.12) -> RGB:
+        return tuple(
+            min(1.0, max(0.0, channel + self._rng.uniform(-jitter, jitter)))
+            for channel in base
+        )  # type: ignore[return-value]
+
+    def _random_shape(self, color: Optional[RGB] = None, kind: Optional[str] = None) -> ShapeSpec:
+        return ShapeSpec(
+            kind=kind or self._rng.choice(SHAPE_KINDS),
+            center=(self._rng.uniform(0.2, 0.8), self._rng.uniform(0.2, 0.8)),
+            size=self._rng.uniform(0.2, 0.55),
+            color=color or self._random_color(),
+            rotation=self._rng.uniform(0.0, 2 * math.pi),
+            aspect=self._rng.uniform(0.5, 1.0),
+        )
+
+    def random_image(self, image_id: str, max_shapes: int = 3) -> SyntheticImage:
+        shapes = tuple(
+            self._random_shape() for _ in range(self._rng.randint(1, max_shapes))
+        )
+        return SyntheticImage(image_id, background=self._random_color(), shapes=shapes)
+
+    def themed(
+        self,
+        image_id: str,
+        color_name: str,
+        *,
+        shape_kind: Optional[str] = None,
+    ) -> SyntheticImage:
+        """An image dominated by a named color (and optionally one kind).
+
+        The background and most shapes sit near the theme color (with
+        enough jitter to spread across histogram bins); with probability
+        1/2 one off-theme accent shape is added, so themed images are
+        *close to* the theme rather than identical solid blocks.
+        """
+        base = NAMED_COLORS[color_name]
+        shapes = [
+            self._random_shape(color=self._near(base, jitter=0.25), kind=shape_kind)
+            for _ in range(self._rng.randint(1, 2))
+        ]
+        if self._rng.random() < 0.5:
+            shapes.append(self._random_shape())
+        return SyntheticImage(
+            image_id, background=self._near(base, jitter=0.18), shapes=tuple(shapes)
+        )
+
+    def corpus(
+        self,
+        count: int,
+        *,
+        themed_fraction: float = 0.2,
+        theme: str = "red",
+        prefix: str = "img",
+    ) -> list:
+        """A corpus with ``themed_fraction`` of images near the theme color."""
+        images = []
+        themed_count = int(count * themed_fraction)
+        for i in range(count):
+            image_id = f"{prefix}{i}"
+            if i < themed_count:
+                images.append(self.themed(image_id, theme))
+            else:
+                images.append(self.random_image(image_id))
+        self._rng.shuffle(images)
+        return images

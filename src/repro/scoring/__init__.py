@@ -1,0 +1,145 @@
+"""Scoring functions for fuzzy queries (paper sections 3 and 5).
+
+Public surface:
+
+* :class:`~repro.scoring.base.ScoringFunction` and the coercion helper
+  :func:`~repro.scoring.base.as_scoring_function`.
+* T-norms (:mod:`repro.scoring.tnorms`), co-norms
+  (:mod:`repro.scoring.conorms`), negations
+  (:mod:`repro.scoring.negations`), means (:mod:`repro.scoring.means`).
+* The Fagin–Wimmers weighted rule (:mod:`repro.scoring.weighted`).
+* Axiom checkers (:mod:`repro.scoring.properties`).
+* Bundled semantics (:mod:`repro.scoring.zadeh`).
+"""
+
+from repro.scoring.base import (
+    BinaryScoringFunction,
+    FunctionScoring,
+    ScoringFunction,
+    as_scoring_function,
+)
+from repro.scoring.conorms import (
+    BOUNDED_SUM,
+    DE_MORGAN_PAIRS,
+    DRASTIC_CONORM,
+    MAX,
+    PROBABILISTIC_SUM,
+    STANDARD_CONORMS,
+    DualConorm,
+    conorm_catalog,
+)
+from repro.scoring.means import (
+    GEOMETRIC_MEAN,
+    HARMONIC_MEAN,
+    MEAN,
+    MEDIAN,
+    STANDARD_MEANS,
+    ArithmeticMean,
+    GeometricMean,
+    HarmonicMean,
+    MedianScoring,
+    PowerMean,
+    WeightedArithmeticMean,
+    mean_catalog,
+)
+from repro.scoring.negations import (
+    STANDARD,
+    Negation,
+    StandardNegation,
+    SugenoNegation,
+    YagerNegation,
+    negation_catalog,
+)
+from repro.scoring.tnorms import (
+    DRASTIC,
+    EINSTEIN,
+    LUKASIEWICZ,
+    MIN,
+    PRODUCT,
+    STANDARD_TNORMS,
+    FrankTNorm,
+    HamacherTNorm,
+    SchweizerSklarTNorm,
+    YagerTNorm,
+    tnorm_catalog,
+)
+from repro.scoring.owa import (
+    OwaScoring,
+    fagin_wimmers_owa_weights,
+    owa_max,
+    owa_mean,
+    owa_min,
+)
+from repro.scoring.weighted import (
+    WeightedScoring,
+    mixture,
+    uniform_weighting,
+    validate_weighting,
+    weighted_score,
+)
+from repro.scoring.zadeh import (
+    ALL_SEMANTICS,
+    LUKASIEWICZ_LOGIC,
+    PROBABILISTIC,
+    ZADEH,
+    FuzzySemantics,
+)
+
+__all__ = [
+    "ScoringFunction",
+    "BinaryScoringFunction",
+    "FunctionScoring",
+    "as_scoring_function",
+    "MIN",
+    "PRODUCT",
+    "LUKASIEWICZ",
+    "DRASTIC",
+    "EINSTEIN",
+    "STANDARD_TNORMS",
+    "HamacherTNorm",
+    "YagerTNorm",
+    "FrankTNorm",
+    "SchweizerSklarTNorm",
+    "tnorm_catalog",
+    "MAX",
+    "PROBABILISTIC_SUM",
+    "BOUNDED_SUM",
+    "DRASTIC_CONORM",
+    "STANDARD_CONORMS",
+    "DE_MORGAN_PAIRS",
+    "DualConorm",
+    "conorm_catalog",
+    "Negation",
+    "StandardNegation",
+    "SugenoNegation",
+    "YagerNegation",
+    "STANDARD",
+    "negation_catalog",
+    "MEAN",
+    "GEOMETRIC_MEAN",
+    "HARMONIC_MEAN",
+    "MEDIAN",
+    "STANDARD_MEANS",
+    "ArithmeticMean",
+    "GeometricMean",
+    "HarmonicMean",
+    "PowerMean",
+    "MedianScoring",
+    "WeightedArithmeticMean",
+    "mean_catalog",
+    "OwaScoring",
+    "owa_min",
+    "owa_max",
+    "owa_mean",
+    "fagin_wimmers_owa_weights",
+    "WeightedScoring",
+    "weighted_score",
+    "mixture",
+    "uniform_weighting",
+    "validate_weighting",
+    "FuzzySemantics",
+    "ZADEH",
+    "PROBABILISTIC",
+    "LUKASIEWICZ_LOGIC",
+    "ALL_SEMANTICS",
+]

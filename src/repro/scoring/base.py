@@ -1,0 +1,119 @@
+"""Scoring-function abstractions (paper section 3).
+
+An *m-ary scoring function* maps ``[0, 1]^m`` to ``[0, 1]``; it combines
+the grades an object earned under the subqueries into the object's overall
+grade under the full query.  The paper cares about two structural
+properties of scoring functions, because they are exactly what its
+algorithmic theorems need:
+
+* **Monotonicity** — ``t(x1..xm) <= t(x1'..xm')`` whenever ``xi <= xi'``
+  for every i.  Required for the upper bound (Theorem 4.1): Fagin's
+  algorithm is correct precisely for monotone scoring functions.
+* **Strictness** — ``t(x1..xm) = 1`` iff every ``xi = 1``.  Required for
+  the matching lower bound (Theorem 4.2).
+
+:class:`ScoringFunction` is the base class for every rule in the catalog.
+Subclasses implement :meth:`_combine` over a nonempty tuple of grades;
+the base class handles validation and exposes the property flags.
+:class:`BinaryScoringFunction` adds iteration, turning an associative
+2-ary rule into an m-ary rule the way the paper describes ("in practice an
+m-ary conjunction is almost always evaluated by using an associative
+2-ary function that is iterated").
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from functools import reduce
+from typing import Callable, Sequence
+
+from repro.grades import validate_grade
+from repro.errors import ScoringError
+
+
+class ScoringFunction(ABC):
+    """A rule assigning an overall grade to a tuple of subquery grades.
+
+    Following [FW97], a scoring function here accepts tuples of *any*
+    positive arity unless the subclass restricts it.  The class carries
+    metadata used by the algorithms and the property-based test suite:
+
+    ``name``
+        Short identifier used in reports and benchmarks.
+    ``is_monotone`` / ``is_strict``
+        Declared structural properties.  The declared flags are verified
+        empirically by :mod:`repro.scoring.properties` in the test suite.
+    """
+
+    #: Human-readable identifier; subclasses override.
+    name: str = "scoring"
+    #: Declared monotonicity (checked by the property suite).
+    is_monotone: bool = True
+    #: Declared strictness (checked by the property suite).
+    is_strict: bool = False
+    #: True when the rule is invariant under argument permutation.
+    is_symmetric: bool = True
+
+    def __call__(self, grades: Sequence[float]) -> float:
+        values = tuple(validate_grade(g) for g in grades)
+        if not values:
+            raise ScoringError(f"{self.name}: cannot score an empty grade tuple")
+        return validate_grade(self._combine(values))
+
+    @abstractmethod
+    def _combine(self, grades: tuple) -> float:
+        """Combine a validated, nonempty tuple of grades."""
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class BinaryScoringFunction(ScoringFunction):
+    """An associative 2-ary rule extended to m arguments by iteration.
+
+    Subclasses implement :meth:`pair`; ``_combine`` left-folds it, which
+    is well-defined for associative rules (all t-norms and t-co-norms).
+    """
+
+    def pair(self, a: float, b: float) -> float:
+        """Combine exactly two grades."""
+        raise NotImplementedError
+
+    def _combine(self, grades: tuple) -> float:
+        return reduce(self.pair, grades)
+
+
+class FunctionScoring(ScoringFunction):
+    """Adapter wrapping a plain callable as a scoring function.
+
+    Used for user-defined scoring functions in the middleware engine
+    (Garlic's "option 2": allow arbitrary user rules, then guard
+    monotonicity at run time — see :mod:`repro.middleware.monotonicity`).
+    """
+
+    def __init__(
+        self,
+        func: Callable[[Sequence[float]], float],
+        name: str = "user",
+        *,
+        is_monotone: bool = True,
+        is_strict: bool = False,
+        is_symmetric: bool = True,
+    ) -> None:
+        self._func = func
+        self.name = name
+        self.is_monotone = is_monotone
+        self.is_strict = is_strict
+        self.is_symmetric = is_symmetric
+
+    def _combine(self, grades: tuple) -> float:
+        return self._func(grades)
+
+
+def as_scoring_function(rule) -> ScoringFunction:
+    """Coerce ``rule`` (a ScoringFunction or a callable) to a ScoringFunction."""
+    if isinstance(rule, ScoringFunction):
+        return rule
+    if callable(rule):
+        return FunctionScoring(rule, name=getattr(rule, "__name__", "user"))
+    raise ScoringError(f"cannot interpret {rule!r} as a scoring function")

@@ -1,0 +1,370 @@
+"""Empirical property checkers for scoring functions (paper section 3).
+
+The paper's taxonomy of scoring functions is defined by axioms:
+t-norm axioms (conservation, monotonicity, commutativity, associativity),
+strictness, De Morgan duality, and preservation of logical equivalence
+(the hypothesis of Theorem 3.1).  This module turns each axiom into a
+checker that searches a deterministic grid plus random samples for a
+*witness* violating the axiom.  Checkers return a :class:`PropertyReport`
+carrying the witness when one is found, so test failures are actionable
+and benchmark E10 can report which catalog rules fail which identities.
+
+A checker passing does not prove the axiom, but the grids include the
+boundary points (0 and 1) where fuzzy connectives typically misbehave,
+and the test suite additionally runs hypothesis-driven randomized checks.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional, Sequence, Tuple
+
+from repro.scoring.base import ScoringFunction, as_scoring_function
+
+
+@dataclass(frozen=True)
+class PropertyReport:
+    """Outcome of an axiom check.
+
+    ``passed`` is False iff a witness (a concrete grade tuple violating
+    the axiom) was found; ``witness`` then holds that tuple and
+    ``detail`` a human-readable account of the violation.
+    """
+
+    property_name: str
+    passed: bool
+    witness: Optional[tuple] = None
+    detail: str = ""
+
+    def __bool__(self) -> bool:
+        return self.passed
+
+
+def _grid(resolution: int) -> Tuple[float, ...]:
+    return tuple(i / (resolution - 1) for i in range(resolution))
+
+
+def _samples(
+    arity: int, resolution: int, trials: int, seed: int
+) -> Iterable[Tuple[float, ...]]:
+    """Deterministic grid points followed by seeded random points."""
+    grid = _grid(resolution)
+    yield from itertools.product(grid, repeat=arity)
+    rng = random.Random(seed)
+    for _ in range(trials):
+        yield tuple(rng.random() for _ in range(arity))
+
+
+def check_tnorm_conservation(
+    rule, *, resolution: int = 11, trials: int = 200, seed: int = 0, tol: float = 1e-9
+) -> PropertyReport:
+    """A-conservation: ``t(0,0) = 0`` and ``t(x,1) = t(1,x) = x``."""
+    t = as_scoring_function(rule)
+    if abs(t((0.0, 0.0))) > tol:
+        return PropertyReport(
+            "tnorm-conservation", False, (0.0, 0.0), f"t(0,0) = {t((0.0, 0.0))}"
+        )
+    for (x,) in _samples(1, resolution, trials, seed):
+        if abs(t((x, 1.0)) - x) > tol:
+            return PropertyReport(
+                "tnorm-conservation", False, (x, 1.0), f"t({x},1) = {t((x, 1.0))} != {x}"
+            )
+        if abs(t((1.0, x)) - x) > tol:
+            return PropertyReport(
+                "tnorm-conservation", False, (1.0, x), f"t(1,{x}) = {t((1.0, x))} != {x}"
+            )
+    return PropertyReport("tnorm-conservation", True)
+
+
+def check_conorm_conservation(
+    rule, *, resolution: int = 11, trials: int = 200, seed: int = 0, tol: float = 1e-9
+) -> PropertyReport:
+    """V-conservation: ``s(1,1) = 1`` and ``s(x,0) = s(0,x) = x``."""
+    s = as_scoring_function(rule)
+    if abs(s((1.0, 1.0)) - 1.0) > tol:
+        return PropertyReport(
+            "conorm-conservation", False, (1.0, 1.0), f"s(1,1) = {s((1.0, 1.0))}"
+        )
+    for (x,) in _samples(1, resolution, trials, seed):
+        if abs(s((x, 0.0)) - x) > tol:
+            return PropertyReport(
+                "conorm-conservation", False, (x, 0.0), f"s({x},0) = {s((x, 0.0))} != {x}"
+            )
+        if abs(s((0.0, x)) - x) > tol:
+            return PropertyReport(
+                "conorm-conservation", False, (0.0, x), f"s(0,{x}) = {s((0.0, x))} != {x}"
+            )
+    return PropertyReport("conorm-conservation", True)
+
+
+def check_commutativity(
+    rule, *, resolution: int = 9, trials: int = 200, seed: int = 1, tol: float = 1e-9
+) -> PropertyReport:
+    """``t(a, b) == t(b, a)`` over the sample set."""
+    t = as_scoring_function(rule)
+    for a, b in _samples(2, resolution, trials, seed):
+        if abs(t((a, b)) - t((b, a))) > tol:
+            return PropertyReport(
+                "commutativity", False, (a, b),
+                f"t({a},{b}) = {t((a, b))} != t({b},{a}) = {t((b, a))}",
+            )
+    return PropertyReport("commutativity", True)
+
+
+def check_associativity(
+    rule, *, resolution: int = 7, trials: int = 200, seed: int = 2, tol: float = 1e-8
+) -> PropertyReport:
+    """``t(t(a,b),c) == t(a,t(b,c))`` over the sample set."""
+    t = as_scoring_function(rule)
+    for a, b, c in _samples(3, resolution, trials, seed):
+        left = t((t((a, b)), c))
+        right = t((a, t((b, c))))
+        if abs(left - right) > tol:
+            return PropertyReport(
+                "associativity", False, (a, b, c),
+                f"t(t({a},{b}),{c}) = {left} != t({a},t({b},{c})) = {right}",
+            )
+    return PropertyReport("associativity", True)
+
+
+def check_monotonicity(
+    rule,
+    arity: int = 2,
+    *,
+    trials: int = 500,
+    seed: int = 3,
+    tol: float = 1e-9,
+) -> PropertyReport:
+    """Monotonicity in every argument, via random dominated pairs.
+
+    Draws ``X <= X'`` componentwise and checks ``t(X) <= t(X') + tol``.
+    """
+    t = as_scoring_function(rule)
+    rng = random.Random(seed)
+    for _ in range(trials):
+        lo = tuple(rng.random() for _ in range(arity))
+        hi = tuple(x + (1.0 - x) * rng.random() for x in lo)
+        if t(lo) > t(hi) + tol:
+            return PropertyReport(
+                "monotonicity", False, (lo, hi),
+                f"t({lo}) = {t(lo)} > t({hi}) = {t(hi)}",
+            )
+    return PropertyReport("monotonicity", True)
+
+
+def check_strictness(
+    rule,
+    arity: int = 2,
+    *,
+    trials: int = 500,
+    seed: int = 4,
+    tol: float = 1e-9,
+) -> PropertyReport:
+    """Strictness: ``t(X) = 1`` iff every coordinate of ``X`` is 1.
+
+    The 'if' direction is checked exactly at the all-ones point; the
+    'only if' direction over random points with at least one coordinate
+    pulled strictly below 1.
+    """
+    t = as_scoring_function(rule)
+    ones = tuple(1.0 for _ in range(arity))
+    if abs(t(ones) - 1.0) > tol:
+        return PropertyReport(
+            "strictness", False, ones, f"t(1,...,1) = {t(ones)} != 1"
+        )
+    rng = random.Random(seed)
+    for _ in range(trials):
+        point = [1.0] * arity
+        # Pull a random nonempty subset of coordinates below 1.
+        dropped = rng.randrange(1, 2**arity)
+        for i in range(arity):
+            if dropped >> i & 1:
+                point[i] = rng.uniform(0.0, 0.999)
+        if t(tuple(point)) >= 1.0 - tol:
+            return PropertyReport(
+                "strictness", False, tuple(point),
+                f"t({tuple(point)}) = {t(tuple(point))} reaches 1 off the corner",
+            )
+    return PropertyReport("strictness", True)
+
+
+def check_de_morgan(
+    tnorm,
+    conorm,
+    negation: Callable[[float], float],
+    *,
+    resolution: int = 9,
+    trials: int = 200,
+    seed: int = 5,
+    tol: float = 1e-8,
+) -> PropertyReport:
+    """De Morgan duality: ``s(a,b) = n(t(n(a), n(b)))`` and dually.
+
+    This is the Bonissone–Decker relationship the paper quotes for
+    "suitable" negations.
+    """
+    t = as_scoring_function(tnorm)
+    s = as_scoring_function(conorm)
+    for a, b in _samples(2, resolution, trials, seed):
+        via_t = negation(t((negation(a), negation(b))))
+        if abs(s((a, b)) - via_t) > tol:
+            return PropertyReport(
+                "de-morgan", False, (a, b),
+                f"s({a},{b}) = {s((a, b))} != n(t(n,n)) = {via_t}",
+            )
+        via_s = negation(s((negation(a), negation(b))))
+        if abs(t((a, b)) - via_s) > tol:
+            return PropertyReport(
+                "de-morgan", False, (a, b),
+                f"t({a},{b}) = {t((a, b))} != n(s(n,n)) = {via_s}",
+            )
+    return PropertyReport("de-morgan", True)
+
+
+#: The positive-query logical equivalences used to *test* equivalence
+#: preservation.  Each entry is (name, lhs, rhs) where lhs/rhs evaluate a
+#: grade triple (a, b, c) under conjunction rule ``t`` and disjunction
+#: rule ``s``.  Theorem 3.1 says min/max are the unique monotone pair
+#: satisfying all of these.
+EQUIVALENCE_IDENTITIES: Tuple[Tuple[str, Callable, Callable], ...] = (
+    (
+        "idempotence-and (A ^ A == A)",
+        lambda t, s, a, b, c: t((a, a)),
+        lambda t, s, a, b, c: a,
+    ),
+    (
+        "idempotence-or (A v A == A)",
+        lambda t, s, a, b, c: s((a, a)),
+        lambda t, s, a, b, c: a,
+    ),
+    (
+        "absorption (A ^ (A v B) == A)",
+        lambda t, s, a, b, c: t((a, s((a, b)))),
+        lambda t, s, a, b, c: a,
+    ),
+    (
+        "distributivity (A ^ (B v C) == (A ^ B) v (A ^ C))",
+        lambda t, s, a, b, c: t((a, s((b, c)))),
+        lambda t, s, a, b, c: s((t((a, b)), t((a, c)))),
+    ),
+)
+
+
+def check_equivalence_preservation(
+    tnorm,
+    conorm,
+    *,
+    resolution: int = 7,
+    trials: int = 300,
+    seed: int = 6,
+    tol: float = 1e-8,
+) -> PropertyReport:
+    """Check the positive-query equivalences of Theorem 3.1's hypothesis.
+
+    Returns a failing report (naming the first violated identity) for
+    every conjunction/disjunction pair other than min/max — this is the
+    empirical content of benchmark E10.
+    """
+    t = as_scoring_function(tnorm)
+    s = as_scoring_function(conorm)
+    for name, lhs, rhs in EQUIVALENCE_IDENTITIES:
+        for a, b, c in _samples(3, resolution, trials, seed):
+            left = lhs(t, s, a, b, c)
+            right = rhs(t, s, a, b, c)
+            if abs(left - right) > tol:
+                return PropertyReport(
+                    "equivalence-preservation", False, (a, b, c),
+                    f"{name} fails: lhs = {left}, rhs = {right}",
+                )
+    return PropertyReport("equivalence-preservation", True)
+
+
+def check_local_linearity(
+    rule,
+    *,
+    arity: int = 3,
+    trials: int = 200,
+    seed: int = 7,
+    tol: float = 1e-8,
+) -> PropertyReport:
+    """Local linearity (D3') of the Fagin–Wimmers weighted family of ``rule``.
+
+    Draws random ordered weightings Theta, Theta', a mixture coefficient
+    ``a``, and a grade tuple ``X``, then checks
+    ``f_{a Theta + (1-a) Theta'}(X) == a f_Theta(X) + (1-a) f_{Theta'}(X)``.
+    """
+    from repro.scoring.weighted import mixture, weighted_score
+
+    rng = random.Random(seed)
+
+    def ordered_weighting() -> tuple:
+        raw = sorted((rng.random() for _ in range(arity)), reverse=True)
+        total = sum(raw)
+        return tuple(w / total for w in raw)
+
+    f = as_scoring_function(rule)
+    for _ in range(trials):
+        theta_a = ordered_weighting()
+        theta_b = ordered_weighting()
+        alpha = rng.random()
+        xs = tuple(rng.random() for _ in range(arity))
+        mixed = mixture(theta_a, theta_b, alpha)
+        lhs = weighted_score(f, mixed, xs)
+        rhs = alpha * weighted_score(f, theta_a, xs) + (1.0 - alpha) * weighted_score(
+            f, theta_b, xs
+        )
+        if abs(lhs - rhs) > tol:
+            return PropertyReport(
+                "local-linearity", False, (theta_a, theta_b, alpha, xs),
+                f"f_mixed = {lhs} != interpolation = {rhs}",
+            )
+    return PropertyReport("local-linearity", True)
+
+
+@dataclass(frozen=True)
+class TNormReport:
+    """Bundle of the four t-norm axioms plus strictness for one rule."""
+
+    rule_name: str
+    conservation: PropertyReport
+    monotonicity: PropertyReport
+    commutativity: PropertyReport
+    associativity: PropertyReport
+    strictness: PropertyReport
+
+    @property
+    def is_tnorm(self) -> bool:
+        return bool(
+            self.conservation
+            and self.monotonicity
+            and self.commutativity
+            and self.associativity
+        )
+
+
+def audit_tnorm(rule) -> TNormReport:
+    """Run the full t-norm axiom battery against ``rule``."""
+    t = as_scoring_function(rule)
+    return TNormReport(
+        rule_name=t.name,
+        conservation=check_tnorm_conservation(t),
+        monotonicity=check_monotonicity(t),
+        commutativity=check_commutativity(t),
+        associativity=check_associativity(t),
+        strictness=check_strictness(t),
+    )
+
+
+def certify_monotone(
+    rule: ScoringFunction, arity: int, *, trials: int = 1000, seed: int = 99
+) -> PropertyReport:
+    """Randomized monotonicity certificate used by the middleware guard.
+
+    This is the mechanism behind Garlic's choice (section 4.2) to accept
+    arbitrary user-defined scoring functions: before running Fagin's
+    algorithm, the engine certifies monotonicity empirically and refuses
+    rules with a concrete counterexample.
+    """
+    return check_monotonicity(rule, arity, trials=trials, seed=seed)

@@ -1,0 +1,49 @@
+"""Zadeh's standard fuzzy-logic rules, bundled (paper section 3).
+
+The standard semantics the paper starts from:
+
+* conjunction: ``min``
+* disjunction: ``max``
+* negation: ``1 - x``
+
+:class:`FuzzySemantics` packages one conjunction rule, one disjunction
+rule and one negation together, so the query evaluator
+(:mod:`repro.core.evaluation`) can be parameterized by a complete,
+coherent logic rather than three loose functions.  ``ZADEH`` is the
+default; ``PROBABILISTIC`` and ``LUKASIEWICZ_LOGIC`` are the other two
+classical De Morgan triples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.scoring import conorms, negations, tnorms
+from repro.scoring.base import ScoringFunction
+from repro.scoring.negations import Negation
+
+
+@dataclass(frozen=True)
+class FuzzySemantics:
+    """A complete fuzzy propositional semantics (t-norm, co-norm, negation)."""
+
+    name: str
+    conjunction: ScoringFunction
+    disjunction: ScoringFunction
+    negation: Negation = field(default_factory=negations.StandardNegation)
+
+    def __post_init__(self) -> None:
+        if not self.conjunction.is_monotone or not self.disjunction.is_monotone:
+            raise ValueError(f"semantics {self.name!r} uses non-monotone rules")
+
+
+#: The standard rules of fuzzy logic, as defined by Zadeh.
+ZADEH = FuzzySemantics("zadeh", tnorms.MIN, conorms.MAX)
+
+#: Product/probabilistic-sum logic (independence semantics).
+PROBABILISTIC = FuzzySemantics("probabilistic", tnorms.PRODUCT, conorms.PROBABILISTIC_SUM)
+
+#: Lukasiewicz logic (bounded difference / bounded sum).
+LUKASIEWICZ_LOGIC = FuzzySemantics("lukasiewicz", tnorms.LUKASIEWICZ, conorms.BOUNDED_SUM)
+
+ALL_SEMANTICS = (ZADEH, PROBABILISTIC, LUKASIEWICZ_LOGIC)

@@ -1,0 +1,32 @@
+"""SQL-like front end for fuzzy queries (paper section 6): a small SQL
+dialect with STOP AFTER (ranked results), USING (scoring function), and
+WEIGHT (section-5 importance weights) extensions."""
+
+from repro.sql.ast import AndExpr, NotExpr, OrExpr, Predicate, Statement
+from repro.sql.compiler import (
+    SCORING_REGISTRY,
+    compile_sql,
+    compile_statement,
+    execute,
+    lower_condition,
+    resolve_scoring,
+)
+from repro.sql.lexer import Token, tokenize
+from repro.sql.parser import parse
+
+__all__ = [
+    "tokenize",
+    "Token",
+    "parse",
+    "Statement",
+    "Predicate",
+    "AndExpr",
+    "OrExpr",
+    "NotExpr",
+    "compile_statement",
+    "compile_sql",
+    "lower_condition",
+    "execute",
+    "resolve_scoring",
+    "SCORING_REGISTRY",
+]

@@ -1,0 +1,59 @@
+"""Parse-tree types for the SQL-like front end.
+
+The parser produces a :class:`Statement`; the compiler lowers its
+condition tree into :mod:`repro.core.query` nodes.  Keeping a separate
+surface AST lets the compiler apply language-level rules (weight
+normalization, USING distribution) without entangling the core query
+model with syntax concerns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple, Union
+
+Literal = Union[str, int, float]
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """``Attribute = literal`` with an optional WEIGHT annotation."""
+
+    attribute: str
+    target: Literal
+    weight: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class NotExpr:
+    operand: "Condition"
+
+
+@dataclass(frozen=True)
+class AndExpr:
+    operands: Tuple["Condition", ...]
+
+
+@dataclass(frozen=True)
+class OrExpr:
+    operands: Tuple["Condition", ...]
+
+
+Condition = Union[Predicate, NotExpr, AndExpr, OrExpr]
+
+
+@dataclass(frozen=True)
+class Statement:
+    """A full parsed statement.
+
+    ``columns`` is the projection list (None = ``*``: object ids and
+    grades only); ``scoring_name`` is the USING clause (None = the
+    semantics default); ``stop_after`` the requested k (None = caller's
+    default).
+    """
+
+    table: str
+    condition: Condition
+    columns: Optional[Tuple[str, ...]] = None
+    scoring_name: Optional[str] = None
+    stop_after: Optional[int] = None

@@ -1,0 +1,84 @@
+"""Tokenizer for the SQL-like fuzzy query language (paper section 6).
+
+"They could possibly be written in an SQL-like form, as is done in
+[WHTB98]" — the language here is a small SQL dialect with the fuzzy
+extensions the paper discusses: a ``STOP AFTER k`` clause for ranked
+results (the DB2 idiom Garlic used), a ``USING <rule>`` clause to pick
+the scoring function, and per-predicate ``WEIGHT w`` annotations for the
+Fagin–Wimmers weighting of section 5.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.errors import QuerySyntaxError
+
+KEYWORDS = frozenset(
+    {
+        "SELECT",
+        "FROM",
+        "WHERE",
+        "AND",
+        "OR",
+        "NOT",
+        "USING",
+        "STOP",
+        "AFTER",
+        "WEIGHT",
+    }
+)
+
+_TOKEN_SPEC = (
+    ("WHITESPACE", r"\s+"),
+    ("NUMBER", r"\d+(\.\d+)?"),
+    ("STRING", r"'(?:[^'\\]|\\.)*'"),
+    ("IDENT", r"[A-Za-z_][A-Za-z0-9_\-]*"),
+    ("STAR", r"\*"),
+    ("EQUALS", r"="),
+    ("LPAREN", r"\("),
+    ("RPAREN", r"\)"),
+    ("COMMA", r","),
+)
+
+_MASTER = re.compile("|".join(f"(?P<{name}>{pattern})" for name, pattern in _TOKEN_SPEC))
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexeme with its source position (for error messages)."""
+
+    kind: str
+    text: str
+    position: int
+
+    @property
+    def upper(self) -> str:
+        return self.text.upper()
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize query text, raising QuerySyntaxError on stray characters.
+
+    Identifiers matching a keyword are re-tagged with the keyword as
+    their kind (keywords are case-insensitive).
+    """
+    tokens: List[Token] = []
+    position = 0
+    while position < len(text):
+        match = _MASTER.match(text, position)
+        if match is None:
+            raise QuerySyntaxError(
+                f"unexpected character {text[position]!r} at position {position}"
+            )
+        kind = match.lastgroup or ""
+        lexeme = match.group()
+        if kind != "WHITESPACE":
+            if kind == "IDENT" and lexeme.upper() in KEYWORDS:
+                kind = lexeme.upper()
+            tokens.append(Token(kind, lexeme, position))
+        position = match.end()
+    tokens.append(Token("EOF", "", len(text)))
+    return tokens

@@ -1,0 +1,134 @@
+"""The CD-store workload (the paper's running example, sections 3–4).
+
+"As an example, let us consider an application of a store that sells
+compact disks. ... the query Artist='Beatles' gives us a set, whereas
+the query AlbumColor='red' gives us a sorted list."
+
+The generator produces a catalog of albums with:
+
+* a relational side — artist, title, year, price (crisp predicates);
+* a multimedia side — an album-cover color (an RGB value generated per
+  album, plus precomputed closeness grades to the named query colors).
+
+:func:`build_store` wires both sides into a ready
+:class:`~repro.middleware.engine.MiddlewareEngine` with a
+:class:`RelationalSubsystem` and a :class:`ListSubsystem`, so examples
+and experiments can issue the paper's queries verbatim.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.middleware.engine import MiddlewareEngine
+from repro.middleware.list_subsystem import ListSubsystem
+from repro.middleware.relational import RelationalSubsystem
+from repro.multimedia.images import NAMED_COLORS, RGB
+
+ARTISTS = (
+    "Beatles",
+    "Miles Davis",
+    "Glenn Gould",
+    "Ella Fitzgerald",
+    "Led Zeppelin",
+    "Aretha Franklin",
+    "Bob Dylan",
+    "Nina Simone",
+)
+
+_TITLE_WORDS = (
+    "Blue", "Midnight", "Golden", "Electric", "Silent", "Crimson",
+    "Velvet", "Northern", "Summer", "Lonely", "Running", "Falling",
+)
+
+
+@dataclass(frozen=True)
+class Album:
+    """One catalog entry: relational columns plus a cover color."""
+
+    album_id: str
+    artist: str
+    title: str
+    year: int
+    price: float
+    cover_color: RGB
+
+
+def _color_closeness(color: RGB, target: RGB) -> float:
+    """Grade in [0, 1] from Euclidean RGB distance (max distance sqrt 3)."""
+    distance = sum((a - b) ** 2 for a, b in zip(color, target)) ** 0.5
+    return max(0.0, 1.0 - distance / (3**0.5))
+
+
+def generate_catalog(
+    n: int,
+    seed: int = 0,
+    *,
+    beatles_fraction: float = 0.05,
+) -> List[Album]:
+    """A catalog of n albums; ``beatles_fraction`` controls the
+    selectivity of the paper's Artist='Beatles' predicate."""
+    if not 0.0 <= beatles_fraction <= 1.0:
+        raise ValueError(f"beatles_fraction must lie in [0, 1], got {beatles_fraction}")
+    rng = random.Random(seed)
+    albums = []
+    beatles_count = int(round(beatles_fraction * n))
+    for i in range(n):
+        artist = "Beatles" if i < beatles_count else rng.choice(ARTISTS[1:])
+        title = f"{rng.choice(_TITLE_WORDS)} {rng.choice(_TITLE_WORDS)} #{i}"
+        albums.append(
+            Album(
+                album_id=f"cd{i}",
+                artist=artist,
+                title=title,
+                year=rng.randint(1955, 1998),
+                price=round(rng.uniform(5.0, 25.0), 2),
+                cover_color=(rng.random(), rng.random(), rng.random()),
+            )
+        )
+    rng.shuffle(albums)
+    return albums
+
+
+def build_store(
+    catalog: Sequence[Album],
+    *,
+    query_colors: Optional[Sequence[str]] = None,
+) -> MiddlewareEngine:
+    """A middleware engine over the catalog: RDBMS + album-color subsystem.
+
+    ``query_colors`` names the colors for which the color subsystem
+    precomputes graded answer lists (default: red, blue, green, yellow).
+    """
+    colors = tuple(query_colors) if query_colors is not None else (
+        "red", "blue", "green", "yellow",
+    )
+    rows = {
+        album.album_id: {
+            "Artist": album.artist,
+            "Title": album.title,
+            "Year": album.year,
+            "Price": album.price,
+        }
+        for album in catalog
+    }
+    relational = RelationalSubsystem("cd-rdbms", rows)
+
+    covers = ListSubsystem("cover-art")
+    for color_name in colors:
+        target = NAMED_COLORS[color_name]
+        covers.add_list(
+            "AlbumColor",
+            color_name,
+            {
+                album.album_id: _color_closeness(album.cover_color, target)
+                for album in catalog
+            },
+        )
+
+    engine = MiddlewareEngine()
+    engine.register(relational)
+    engine.register(covers)
+    return engine

@@ -1,0 +1,111 @@
+"""Synthetic image corpora for the QBIC experiments (sections 2, 4).
+
+Wraps :class:`~repro.multimedia.images.ImageGenerator` with the standard
+shapes the experiments need: a general mixed corpus, a corpus with
+planted near-matches for a theme color, and a ready middleware engine
+combining QBIC with a relational metadata side (the Advertisements /
+AdPhotos scenario of section 4.2).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.middleware.complex_objects import Containment
+from repro.middleware.engine import MiddlewareEngine
+from repro.middleware.relational import RelationalSubsystem
+from repro.multimedia.histogram import Palette, color_histogram
+from repro.multimedia.images import ImageGenerator, SyntheticImage
+from repro.multimedia.qbic import QbicSubsystem
+
+
+def mixed_corpus(
+    n: int, seed: int = 0, *, theme: str = "red", themed_fraction: float = 0.2
+) -> List[SyntheticImage]:
+    """The standard experiment corpus: mostly random, some theme-colored."""
+    return ImageGenerator(seed).corpus(
+        n, themed_fraction=themed_fraction, theme=theme
+    )
+
+
+def corpus_histograms(
+    corpus: Sequence[SyntheticImage],
+    palette: Palette,
+    resolution: int = 32,
+) -> Dict[str, np.ndarray]:
+    """Color histograms for every image (the filter/cache experiments'
+    raw material)."""
+    return {
+        image.image_id: color_histogram(image.rasterize(resolution), palette)
+        for image in corpus
+    }
+
+
+def build_image_database(
+    n: int,
+    seed: int = 0,
+    *,
+    theme: str = "red",
+) -> MiddlewareEngine:
+    """A full multimedia database: QBIC over a corpus + relational metadata.
+
+    The relational side carries a Category column ('nature', 'product',
+    'portrait', ...) so Beatles-style mixed queries
+    (Category='product' AND Color='red') can run against images too.
+    """
+    corpus = mixed_corpus(n, seed, theme=theme)
+    qbic = QbicSubsystem("qbic", corpus)
+    rng = random.Random(seed + 1)
+    categories = ("nature", "product", "portrait", "abstract")
+    rows = {
+        image.image_id: {
+            "Category": rng.choice(categories),
+            "ShapeCount": len(image.shapes),
+        }
+        for image in corpus
+    }
+    metadata = RelationalSubsystem("image-metadata", rows)
+    engine = MiddlewareEngine()
+    engine.register(qbic)
+    engine.register(metadata)
+    return engine
+
+
+def advertisements_scenario(
+    ad_count: int,
+    photos_per_ad: int = 3,
+    seed: int = 0,
+    *,
+    shared_fraction: float = 0.1,
+) -> Tuple[List[SyntheticImage], Containment]:
+    """The section-4.2 complex-object scenario: Advertisements holding
+    AdPhotos, with a fraction of photos shared between two ads.
+
+    Returns the photo corpus and the Advertisement -> AdPhotos
+    containment; promote a photo-level ranked list with
+    :class:`~repro.middleware.complex_objects.PromotedSource` to query
+    at the Advertisement level.
+    """
+    if photos_per_ad < 1:
+        raise ValueError(f"photos_per_ad must be >= 1, got {photos_per_ad}")
+    generator = ImageGenerator(seed)
+    rng = random.Random(seed + 7)
+    photos: List[SyntheticImage] = []
+    parent_map: Dict[str, List[str]] = {}
+    photo_counter = 0
+    for ad_index in range(ad_count):
+        ad_id = f"ad{ad_index}"
+        children = []
+        for _ in range(photos_per_ad):
+            if photos and rng.random() < shared_fraction:
+                children.append(rng.choice(photos).image_id)  # shared photo
+            else:
+                photo = generator.random_image(f"photo{photo_counter}")
+                photo_counter += 1
+                photos.append(photo)
+                children.append(photo.image_id)
+        parent_map[ad_id] = children
+    return photos, Containment(parent_map)

@@ -1,0 +1,47 @@
+"""Shared fixtures: small seeded workloads reused across the suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.sources import ListSource, sources_from_columns
+from repro.workloads.graded_lists import anti_correlated, correlated, independent
+
+
+@pytest.fixture
+def tiny_sources():
+    """Three objects, two lists, hand-chosen grades (easy to eyeball)."""
+    return sources_from_columns(
+        {
+            "a": (0.9, 0.5),
+            "b": (0.6, 0.8),
+            "c": (0.3, 0.4),
+        }
+    )
+
+
+@pytest.fixture
+def independent_sources():
+    """200 objects, 2 independent lists, fixed seed."""
+    return sources_from_columns(independent(200, 2, seed=11))
+
+
+@pytest.fixture
+def independent_sources_m3():
+    """150 objects, 3 independent lists, fixed seed."""
+    return sources_from_columns(independent(150, 3, seed=12))
+
+
+@pytest.fixture
+def correlated_sources():
+    return sources_from_columns(correlated(200, 2, seed=13, noise=0.1))
+
+
+@pytest.fixture
+def anti_correlated_sources():
+    return sources_from_columns(anti_correlated(200, 2, seed=14))
+
+
+def make_sources(table):
+    """Helper used by parametrized tests that build their own tables."""
+    return sources_from_columns(table)

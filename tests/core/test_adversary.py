@@ -1,0 +1,68 @@
+"""The linear-lower-bound adversarial instance (section 6 remark)."""
+
+import pytest
+
+from repro.core.adversary import (
+    expected_best_object,
+    hard_instance,
+    minimum_depth_for_top_one,
+    reversed_grades,
+)
+from repro.core.fagin import fagin_top_k
+from repro.core.naive import grade_everything
+from repro.core.threshold import threshold_top_k
+from repro.scoring import tnorms
+
+
+def test_grades_are_strictly_decreasing_and_reversed():
+    pairs = reversed_grades(9)
+    first = [p[0] for p in pairs]
+    second = [p[1] for p in pairs]
+    assert first == sorted(first, reverse=True)
+    assert second == sorted(second)
+    assert first == list(reversed(second))
+
+
+def test_grades_stay_inside_open_interval():
+    pairs = reversed_grades(5, low=0.5, high=1.0)
+    for a, b in pairs:
+        assert 0.5 < a < 1.0
+        assert 0.5 < b < 1.0
+
+
+def test_best_object_is_the_middle_one():
+    for n in (5, 6, 101, 100):
+        sources = hard_instance(n)
+        truth = grade_everything(sources, tnorms.MIN)
+        assert truth.best().object_id == expected_best_object(n)
+
+
+def test_fagin_needs_linear_depth():
+    for n in (51, 201, 801):
+        result = fagin_top_k(hard_instance(n), tnorms.MIN, 1)
+        assert result.sorted_depth >= minimum_depth_for_top_one(n)
+        assert result.answers.best().object_id == expected_best_object(n)
+
+
+def test_ta_also_needs_linear_depth():
+    for n in (51, 201):
+        result = threshold_top_k(hard_instance(n), tnorms.MIN, 1)
+        assert result.sorted_depth >= minimum_depth_for_top_one(n) - 1
+        assert result.answers.best().object_id == expected_best_object(n)
+
+
+def test_cost_grows_linearly():
+    costs = {
+        n: fagin_top_k(hard_instance(n), tnorms.MIN, 1).database_access_cost
+        for n in (200, 400, 800)
+    }
+    # doubling n roughly doubles the cost
+    assert costs[400] / costs[200] == pytest.approx(2.0, rel=0.2)
+    assert costs[800] / costs[400] == pytest.approx(2.0, rel=0.2)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        reversed_grades(0)
+    with pytest.raises(ValueError):
+        reversed_grades(5, low=0.9, high=0.5)

@@ -1,0 +1,96 @@
+"""Cross-algorithm agreement: hypothesis-driven randomized instances.
+
+The strongest correctness evidence in the suite: on arbitrary grade
+tables, every sublinear algorithm must return a top-k answer whose grade
+multiset matches the exhaustive oracle's, for every monotone rule.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.disjunction import disjunction_top_k
+from repro.core.fagin import fagin_top_k
+from repro.core.filter_condition import filter_condition_top_k
+from repro.core.naive import grade_everything, naive_top_k
+from repro.core.sources import sources_from_columns
+from repro.core.threshold import nra_top_k, threshold_top_k
+from repro.scoring import conorms, means, tnorms
+
+grades = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+def tables(m, min_objects=1):
+    return st.dictionaries(
+        st.integers(min_value=0, max_value=10_000),
+        st.tuples(*([grades] * m)),
+        min_size=min_objects,
+        max_size=40,
+    )
+
+
+RULES = [tnorms.MIN, tnorms.PRODUCT, means.MEAN]
+
+
+@pytest.mark.parametrize("rule", RULES, ids=lambda r: r.name)
+@given(table=tables(2), k=st.integers(min_value=1, max_value=10))
+@settings(max_examples=40, deadline=None)
+def test_fagin_agrees_with_naive(rule, table, k):
+    expected = grade_everything(sources_from_columns(table), rule).top(k)
+    result = fagin_top_k(sources_from_columns(table), rule, k)
+    assert result.answers.same_grade_multiset(expected)
+
+
+@pytest.mark.parametrize("rule", RULES, ids=lambda r: r.name)
+@given(table=tables(3), k=st.integers(min_value=1, max_value=10))
+@settings(max_examples=25, deadline=None)
+def test_ta_agrees_with_naive_m3(rule, table, k):
+    expected = grade_everything(sources_from_columns(table), rule).top(k)
+    result = threshold_top_k(sources_from_columns(table), rule, k)
+    assert result.answers.same_grade_multiset(expected)
+
+
+@pytest.mark.parametrize("rule", RULES, ids=lambda r: r.name)
+@given(table=tables(2), k=st.integers(min_value=1, max_value=10))
+@settings(max_examples=25, deadline=None)
+def test_nra_agrees_with_naive(rule, table, k):
+    expected = grade_everything(sources_from_columns(table), rule).top(k)
+    result = nra_top_k(sources_from_columns(table), rule, k)
+    assert result.answers.same_grade_multiset(expected)
+
+
+@given(table=tables(2), k=st.integers(min_value=1, max_value=10))
+@settings(max_examples=40, deadline=None)
+def test_disjunction_agrees_with_naive(table, k):
+    expected = grade_everything(sources_from_columns(table), conorms.MAX).top(k)
+    result = disjunction_top_k(sources_from_columns(table), k)
+    assert result.answers.same_grade_multiset(expected)
+
+
+@given(
+    table=tables(2),
+    k=st.integers(min_value=1, max_value=10),
+    tau=st.floats(min_value=0.05, max_value=0.95),
+)
+@settings(max_examples=30, deadline=None)
+def test_filter_condition_agrees_with_naive(table, k, tau):
+    expected = grade_everything(sources_from_columns(table), tnorms.MIN).top(k)
+    result = filter_condition_top_k(
+        sources_from_columns(table), k, initial_tau=tau
+    )
+    assert result.answers.same_grade_multiset(expected)
+
+
+@given(table=tables(2), k=st.integers(min_value=1, max_value=8))
+@settings(max_examples=30, deadline=None)
+def test_fagin_resumption_covers_top_2k(table, k):
+    from repro.core.fagin import FaginAlgorithm
+    from repro.core.graded import GradedSet
+
+    algorithm = FaginAlgorithm(sources_from_columns(table), tnorms.MIN)
+    first = algorithm.next_k(k)
+    second = algorithm.next_k(k)
+    combined = GradedSet(first.answers.as_dict() | second.answers.as_dict())
+    expected = grade_everything(sources_from_columns(table), tnorms.MIN).top(
+        min(2 * k, len(table))
+    )
+    assert combined.same_grade_multiset(expected)

@@ -1,0 +1,64 @@
+"""The m*k max algorithm: correctness, exact grades, N-independent cost."""
+
+import pytest
+
+from repro.core.disjunction import disjunction_top_k
+from repro.core.naive import grade_everything
+from repro.core.sources import sources_from_columns
+from repro.scoring import conorms
+from repro.workloads.graded_lists import anti_correlated, independent
+
+
+def oracle(sources, k):
+    return grade_everything(sources, conorms.MAX).top(k)
+
+
+def test_matches_oracle(independent_sources):
+    result = disjunction_top_k(independent_sources, 10)
+    assert result.answers.same_grade_multiset(oracle(independent_sources, 10))
+
+
+def test_matches_oracle_m3(independent_sources_m3):
+    result = disjunction_top_k(independent_sources_m3, 6)
+    assert result.answers.same_grade_multiset(oracle(independent_sources_m3, 6))
+
+
+def test_emitted_grades_are_exact_overall_grades(independent_sources):
+    """The subtle claim: the seen-maximum equals the true max for every
+    emitted object."""
+    result = disjunction_top_k(independent_sources, 10)
+    truth = grade_everything(independent_sources, conorms.MAX)
+    for item in result.answers:
+        assert item.grade == pytest.approx(truth[item.object_id])
+
+
+def test_cost_is_exactly_m_times_k_and_independent_of_n():
+    for n in (100, 1000, 4000):
+        sources = sources_from_columns(independent(n, 2, seed=n))
+        result = disjunction_top_k(sources, 10)
+        assert result.database_access_cost == 2 * 10
+        assert result.cost.random_access_cost == 0
+
+
+def test_cost_scales_with_m():
+    for m in (2, 3, 4):
+        sources = sources_from_columns(independent(200, m, seed=m))
+        result = disjunction_top_k(sources, 7)
+        assert result.database_access_cost == m * 7
+
+
+def test_correct_on_anti_correlated_lists():
+    sources = sources_from_columns(anti_correlated(300, 2, seed=9))
+    result = disjunction_top_k(sources, 10)
+    assert result.answers.same_grade_multiset(oracle(sources, 10))
+
+
+def test_k_capped_at_database_size(tiny_sources):
+    result = disjunction_top_k(tiny_sources, 99)
+    assert len(result.answers) == 3
+    assert result.database_access_cost == 2 * 3
+
+
+def test_k_validation(tiny_sources):
+    with pytest.raises(ValueError):
+        disjunction_top_k(tiny_sources, -1)

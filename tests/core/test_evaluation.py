@@ -1,0 +1,128 @@
+"""Grade semantics mu_Q(x) and query compilation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.evaluation import compile_query, evaluate
+from repro.core.query import Atomic, Not, Scored, Weighted
+from repro.errors import ScoringError
+from repro.scoring import means, tnorms
+from repro.scoring.zadeh import PROBABILISTIC, ZADEH
+
+A = Atomic("A", 1)
+B = Atomic("B", 1)
+C = Atomic("C", 1)
+
+grades = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+def test_atomic_grade_lookup_by_atom_and_by_attribute():
+    assert evaluate(A, {A: 0.4}) == 0.4
+    assert evaluate(A, {"A": 0.4}) == 0.4
+
+
+def test_atomic_grade_via_callable():
+    assert evaluate(A, lambda atom: 0.25) == 0.25
+
+
+def test_missing_grade_raises():
+    with pytest.raises(ScoringError):
+        evaluate(A, {})
+
+
+def test_zadeh_conjunction_rule():
+    q = A & B
+    assert evaluate(q, {"A": 0.7, "B": 0.3}) == 0.3
+
+
+def test_zadeh_disjunction_rule():
+    q = A | B
+    assert evaluate(q, {"A": 0.7, "B": 0.3}) == 0.7
+
+
+def test_zadeh_negation_rule():
+    assert evaluate(~A, {"A": 0.3}) == pytest.approx(0.7)
+
+
+def test_nested_combination():
+    q = (A & B) | ~C
+    value = evaluate(q, {"A": 0.8, "B": 0.6, "C": 0.9})
+    assert value == pytest.approx(max(min(0.8, 0.6), 1 - 0.9))
+
+
+def test_alternative_semantics():
+    q = A & B
+    assert evaluate(q, {"A": 0.5, "B": 0.5}, PROBABILISTIC) == pytest.approx(0.25)
+
+
+def test_scored_node_uses_own_rule():
+    q = Scored(means.MEAN, (A, B))
+    assert evaluate(q, {"A": 0.2, "B": 0.8}) == pytest.approx(0.5)
+
+
+def test_weighted_node_uses_fagin_wimmers():
+    q = Weighted((A, B), (2 / 3, 1 / 3))
+    value = evaluate(q, {"A": 0.9, "B": 0.6})
+    assert value == pytest.approx((1 / 3) * 0.9 + (2 / 3) * 0.6)
+
+
+@given(a=grades, b=grades)
+def test_crisp_inputs_reduce_to_boolean_logic(a, b):
+    """Conservation: with 0/1 grades the fuzzy rules are Boolean."""
+    ca, cb = round(a), round(b)
+    assert evaluate(A & B, {"A": ca, "B": cb}) == float(ca and cb)
+    assert evaluate(A | B, {"A": ca, "B": cb}) == float(ca or cb)
+    assert evaluate(~A, {"A": ca}) == float(not ca)
+
+
+# ----------------------------------------------------------------------
+# compile_query
+# ----------------------------------------------------------------------
+def test_compiled_matches_evaluate():
+    q = (A & B) | C
+    compiled = compile_query(q)
+    for vector in ((0.1, 0.9, 0.5), (0.9, 0.9, 0.1), (0.0, 0.0, 1.0)):
+        assignment = dict(zip(("A", "B", "C"), vector))
+        assert compiled(vector) == pytest.approx(evaluate(q, assignment))
+
+
+def test_compiled_flags_conjunction_of_atoms():
+    compiled = compile_query(A & B)
+    assert compiled.is_monotone
+    assert compiled.is_strict
+
+
+def test_compiled_flags_disjunction():
+    compiled = compile_query(A | B)
+    assert compiled.is_monotone
+    assert not compiled.is_strict  # max is not strict
+
+
+def test_compiled_flags_negation():
+    compiled = compile_query(A & ~B)
+    assert not compiled.is_monotone
+
+
+def test_compiled_flags_weighted():
+    strict = compile_query(Weighted((A, B), (0.6, 0.4)))
+    assert strict.is_monotone and strict.is_strict
+    droppable = compile_query(Weighted((A, B), (1.0, 0.0)))
+    assert droppable.is_monotone and not droppable.is_strict
+
+
+def test_compiled_rejects_duplicate_atoms():
+    with pytest.raises(ScoringError):
+        compile_query(A & A)
+
+
+def test_compiled_wrong_arity():
+    compiled = compile_query(A & B)
+    with pytest.raises(ScoringError):
+        compiled((0.5,))
+
+
+def test_compiled_scored_mean_not_strict_flagged_conservatively():
+    """MEAN declares is_strict=True and children are atoms, so the
+    compiled conjunction under MEAN keeps strictness."""
+    compiled = compile_query(Scored(means.MEAN, (A, B)))
+    assert compiled.is_strict

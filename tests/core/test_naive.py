@@ -1,0 +1,56 @@
+"""The naive baseline: exact cost m*N and oracle-grade correctness."""
+
+import pytest
+
+from repro.core.graded import GradedSet
+from repro.core.naive import grade_everything, naive_top_k
+from repro.core.sources import sources_from_columns
+from repro.scoring import conorms, means, tnorms
+from repro.scoring.base import FunctionScoring
+from repro.workloads.graded_lists import independent
+
+
+def test_tiny_example(tiny_sources):
+    result = naive_top_k(tiny_sources, tnorms.MIN, 2)
+    assert result.answers.grades_equal(GradedSet({"b": 0.6, "a": 0.5}))
+
+
+def test_cost_is_exactly_m_times_n():
+    for n, m in ((50, 2), (40, 3), (30, 4)):
+        sources = sources_from_columns(independent(n, m, seed=n))
+        result = naive_top_k(sources, tnorms.MIN, 5)
+        assert result.database_access_cost == m * n
+        assert result.cost.random_access_cost == 0
+        assert result.algorithm == "naive"
+
+
+def test_correct_even_for_non_monotone_rules(independent_sources):
+    """The naive scan sees everything, so it has no monotonicity
+    requirement — that's why it serves as the test oracle."""
+    weird = FunctionScoring(
+        lambda g: abs(g[0] - g[1]), "difference", is_monotone=False
+    )
+    result = naive_top_k(independent_sources, weird, 5)
+    expected = grade_everything(independent_sources, weird).top(5)
+    assert result.answers.same_grade_multiset(expected)
+
+
+def test_handles_disjunction_rule(independent_sources):
+    result = naive_top_k(independent_sources, conorms.MAX, 5)
+    expected = grade_everything(independent_sources, conorms.MAX).top(5)
+    assert result.answers.same_grade_multiset(expected)
+
+
+def test_k_capped_at_database_size(tiny_sources):
+    result = naive_top_k(tiny_sources, means.MEAN, 99)
+    assert len(result.answers) == 3
+
+
+def test_k_validation(tiny_sources):
+    with pytest.raises(ValueError):
+        naive_top_k(tiny_sources, tnorms.MIN, 0)
+
+
+def test_grade_everything_is_accounting_free(tiny_sources):
+    grade_everything(tiny_sources, tnorms.MIN)
+    assert all(s.counter.database_access_cost == 0 for s in tiny_sources)

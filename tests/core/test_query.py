@@ -1,0 +1,103 @@
+"""Query AST: operators, flattening, atoms, positivity."""
+
+import pytest
+
+from repro.core.query import (
+    And,
+    Atomic,
+    Not,
+    Or,
+    Scored,
+    Weighted,
+    conjunction_of,
+    disjunction_of,
+)
+from repro.errors import WeightingError
+from repro.scoring import means, tnorms
+
+COLOR = Atomic("Color", "red")
+SHAPE = Atomic("Shape", "round")
+ARTIST = Atomic("Artist", "Beatles")
+
+
+def test_operator_and_flattens():
+    q = COLOR & SHAPE & ARTIST
+    assert isinstance(q, And)
+    assert q.children == (COLOR, SHAPE, ARTIST)
+
+
+def test_operator_or_flattens():
+    q = COLOR | SHAPE | ARTIST
+    assert isinstance(q, Or)
+    assert len(q.children) == 3
+
+
+def test_mixed_operators_do_not_flatten_across_types():
+    q = (COLOR & SHAPE) | ARTIST
+    assert isinstance(q, Or)
+    assert isinstance(q.children[0], And)
+
+
+def test_invert_and_double_negation():
+    negated = ~COLOR
+    assert isinstance(negated, Not)
+    assert ~negated is COLOR
+
+
+def test_atoms_in_order_with_duplicates():
+    q = (COLOR & SHAPE) | COLOR
+    assert q.atoms() == (COLOR, SHAPE, COLOR)
+
+
+def test_atomic_equality_and_hash():
+    assert Atomic("Color", "red") == COLOR
+    assert hash(Atomic("Color", "red")) == hash(COLOR)
+    assert Atomic("Color", "blue") != COLOR
+
+
+def test_is_positive():
+    assert (COLOR & SHAPE).is_positive
+    assert not (~COLOR).is_positive
+    assert not (COLOR & ~SHAPE).is_positive
+    assert Scored(means.MEAN, (COLOR, SHAPE)).is_positive
+    assert not Scored(means.MEAN, (COLOR, ~SHAPE)).is_positive
+
+
+def test_scored_requires_children():
+    with pytest.raises(ValueError):
+        Scored(tnorms.MIN, ())
+
+
+def test_weighted_validates():
+    q = Weighted((COLOR, SHAPE), (2 / 3, 1 / 3))
+    assert q.base.name == "min"
+    with pytest.raises(WeightingError):
+        Weighted((COLOR, SHAPE), (0.5, 0.3, 0.2))
+    with pytest.raises(WeightingError):
+        Weighted((COLOR, SHAPE), (0.9, 0.9))
+
+
+def test_weighted_custom_base():
+    q = Weighted((COLOR, SHAPE), (0.5, 0.5), base=means.MEAN)
+    assert q.base is means.MEAN
+
+
+def test_convenience_builders():
+    assert conjunction_of(COLOR) is COLOR
+    assert isinstance(conjunction_of(COLOR, SHAPE), And)
+    assert disjunction_of(COLOR) is COLOR
+    assert isinstance(disjunction_of(COLOR, SHAPE), Or)
+
+
+def test_str_forms_are_readable():
+    assert str(COLOR) == "Color='red'"
+    assert "AND" in str(COLOR & SHAPE)
+    assert "OR" in str(COLOR | SHAPE)
+    assert "NOT" in str(~COLOR)
+    assert "min" in str(Scored(tnorms.MIN, (COLOR, SHAPE)))
+    assert "weighted" in str(Weighted((COLOR, SHAPE), (0.5, 0.5)))
+
+
+def test_nary_requires_children():
+    with pytest.raises(ValueError):
+        And(())

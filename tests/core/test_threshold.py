@@ -1,0 +1,110 @@
+"""TA and NRA: correctness, dominance over A0, sorted-only operation."""
+
+import pytest
+
+from repro.core.fagin import fagin_top_k
+from repro.core.naive import grade_everything
+from repro.core.sources import SortedOnlySource, sources_from_columns
+from repro.core.threshold import nra_top_k, threshold_top_k
+from repro.errors import MonotonicityError
+from repro.scoring import means, tnorms
+from repro.scoring.base import FunctionScoring
+from repro.workloads.graded_lists import anti_correlated, correlated, independent
+
+
+def oracle(sources, scoring, k):
+    return grade_everything(sources, scoring).top(k)
+
+
+@pytest.mark.parametrize("scoring", [tnorms.MIN, tnorms.PRODUCT, means.MEAN],
+                         ids=lambda s: s.name)
+def test_ta_matches_oracle(scoring, independent_sources):
+    result = threshold_top_k(independent_sources, scoring, 10)
+    assert result.answers.same_grade_multiset(
+        oracle(independent_sources, scoring, 10)
+    )
+
+
+@pytest.mark.parametrize("scoring", [tnorms.MIN, tnorms.PRODUCT, means.MEAN],
+                         ids=lambda s: s.name)
+def test_nra_matches_oracle(scoring, independent_sources):
+    result = nra_top_k(independent_sources, scoring, 10)
+    assert result.answers.same_grade_multiset(
+        oracle(independent_sources, scoring, 10)
+    )
+    assert result.grades_exact
+
+
+def test_ta_matches_oracle_m3(independent_sources_m3):
+    result = threshold_top_k(independent_sources_m3, tnorms.MIN, 5)
+    assert result.answers.same_grade_multiset(
+        oracle(independent_sources_m3, tnorms.MIN, 5)
+    )
+
+
+def test_nra_matches_oracle_m3(independent_sources_m3):
+    result = nra_top_k(independent_sources_m3, tnorms.MIN, 5)
+    assert result.answers.same_grade_multiset(
+        oracle(independent_sources_m3, tnorms.MIN, 5)
+    )
+
+
+@pytest.mark.parametrize("maker,label", [
+    (lambda: independent(800, 2, seed=5), "independent"),
+    (lambda: correlated(800, 2, seed=5), "correlated"),
+    (lambda: anti_correlated(800, 2, seed=5), "anti-correlated"),
+], ids=["independent", "correlated", "anti-correlated"])
+def test_ta_never_does_more_sorted_access_than_a0(maker, label):
+    """TA stops at or before A0's depth on every instance (the
+    instance-optimality the 'various improvements' remark foreshadows)."""
+    table = maker()
+    a0 = fagin_top_k(sources_from_columns(table), tnorms.MIN, 10)
+    ta = threshold_top_k(sources_from_columns(table), tnorms.MIN, 10)
+    assert ta.sorted_depth <= a0.sorted_depth
+    assert ta.answers.same_grade_multiset(a0.answers)
+
+
+def test_nra_uses_no_random_access(independent_sources):
+    result = nra_top_k(independent_sources, tnorms.MIN, 10)
+    assert result.cost.random_access_cost == 0
+
+
+def test_nra_works_on_sorted_only_sources():
+    table = independent(300, 2, seed=8)
+    sources = [SortedOnlySource(s) for s in sources_from_columns(table)]
+    result = nra_top_k(sources, tnorms.MIN, 5)
+    expected = oracle(sources_from_columns(table), tnorms.MIN, 5)
+    assert result.answers.same_grade_multiset(expected)
+
+
+def test_ta_requires_monotone(tiny_sources):
+    bad = FunctionScoring(lambda g: 1 - min(g), "bad", is_monotone=False)
+    with pytest.raises(MonotonicityError):
+        threshold_top_k(tiny_sources, bad, 1)
+    with pytest.raises(MonotonicityError):
+        nra_top_k(tiny_sources, bad, 1)
+
+
+def test_k_capped(tiny_sources):
+    assert len(threshold_top_k(tiny_sources, tnorms.MIN, 99).answers) == 3
+    assert len(nra_top_k(tiny_sources, tnorms.MIN, 99).answers) == 3
+
+
+def test_k_validation(tiny_sources):
+    with pytest.raises(ValueError):
+        threshold_top_k(tiny_sources, tnorms.MIN, 0)
+    with pytest.raises(ValueError):
+        nra_top_k(tiny_sources, tnorms.MIN, 0)
+
+
+def test_nra_inexact_mode_still_finds_the_right_set(independent_sources):
+    result = nra_top_k(independent_sources, tnorms.MIN, 10, exact_grades=False)
+    expected = oracle(independent_sources, tnorms.MIN, 10)
+    assert set(result.answers.objects()) <= set(
+        grade_everything(independent_sources, tnorms.MIN).top(30).objects()
+    )
+    # the chosen set is a valid top-k set: its true grades match the oracle's
+    truth = grade_everything(independent_sources, tnorms.MIN)
+    true_grades = sorted((truth[o] for o in result.answers.objects()), reverse=True)
+    oracle_grades = sorted((i.grade for i in expected), reverse=True)
+    assert true_grades == pytest.approx(oracle_grades)

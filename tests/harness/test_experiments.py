@@ -1,0 +1,118 @@
+"""Smoke tests for every experiment function at miniature scale.
+
+The benchmarks run the experiments at full size; these keep the
+experiment *code* under fast regression coverage so a refactor cannot
+silently break the reproduction harness.
+"""
+
+import pytest
+
+from repro.harness import experiments as ex
+
+
+def rows_of(result):
+    assert result.rows, result.experiment
+    assert all(len(row) == len(result.headers) for row in result.rows)
+    return result.rows
+
+
+def test_e1_small():
+    result = ex.e1_cost_vs_n(ns=(200, 400), k=3, seeds=(0,))
+    rows = rows_of(result)
+    assert rows[0][2] == 400  # naive = 2N
+    assert "fagin" in result.fits
+
+
+def test_e2_small():
+    result = ex.e2_cost_vs_m(ms=(2,), ns=(200, 400, 800), k=3, seeds=(0,))
+    assert rows_of(result)[0][2] == 0.5
+
+
+def test_e3_small():
+    result = ex.e3_cost_vs_k(ks=(1, 8), n=400, seeds=(0,))
+    rows = rows_of(result)
+    assert rows[0][1] <= rows[1][1]
+
+
+def test_e4_small():
+    for row in rows_of(ex.e4_disjunction(ns=(100,), ms=(2,), k=4)):
+        assert row[2] == row[3] == 8
+        assert row[4]
+
+
+def test_e5_small():
+    for row in rows_of(ex.e5_scoring_functions(n=300, k=4)):
+        assert row[2], row[0]
+
+
+def test_e6_small():
+    for row in rows_of(ex.e6_beatles(ns=(300,), selectivities=(0.01,), k=4)):
+        assert row[4] < row[5]
+
+
+def test_e7_small():
+    for row in rows_of(ex.e7_filter(ns=(80,), k=4)):
+        assert row[4]  # exact
+
+
+def test_e8_small():
+    result = ex.e8_weighted(n=200, k=4, weightings=((0.7, 0.3),))
+    assert rows_of(result)[0][3]
+
+
+def test_e9_small():
+    result = ex.e9_adversary(ns=(100, 200, 400))
+    assert result.fits["adversary"].slope > 0.9
+
+
+def test_e10():
+    rows = rows_of(ex.e10_uniqueness())
+    assert sum(1 for row in rows if row[1]) == 1
+
+
+def test_e11_small():
+    for row in rows_of(ex.e11_precompute(ns=(40,))):
+        assert row[3] == 0
+
+
+def test_e12_small():
+    for row in rows_of(
+        ex.e12_ta_ablation(ns=(200,), kinds=("independent",), k=4)
+    ):
+        assert row[-1]  # agree
+
+
+def test_e12b_small():
+    # A0-beats-naive under skewed charges is an asymptotic claim; at
+    # toy sizes the 10x random charge can flip it, so use a moderate N.
+    for row in rows_of(ex.e12_cost_model_ablation(n=2000, k=4)):
+        assert row[4]  # A0 wins
+
+
+def test_e13_small():
+    rows = rows_of(ex.e13_curse(dims=(2, 4), n=200, k=3, queries=2))
+    assert rows[0][0] == 2
+
+
+def test_e14_small():
+    for row in rows_of(ex.e14_filter_condition(n=300, k=4, taus=(0.5,))):
+        assert row[4]  # correct
+
+
+def test_e15_small():
+    rows = rows_of(ex.e15_batching(batch_sizes=(1, 50), n=400, k=4))
+    assert rows[0][3] <= rows[1][3]  # uniform cost grows with batch
+
+
+def test_e16_small():
+    for row in rows_of(
+        ex.e16_pruning(ns=(300,), kinds=("independent",), k=4)
+    ):
+        assert row[3] <= row[2]
+        assert row[6]
+
+
+def test_e17_small():
+    result = ex.e17_concentration(n=400, k=4, trials=10)
+    quantiles = dict(result.rows)
+    assert quantiles["median"] <= quantiles["max"]

@@ -1,0 +1,61 @@
+"""Power-law fitting against the Theorem 4.1/4.2 laws."""
+
+import math
+
+import pytest
+
+from repro.harness.fitting import (
+    fit_power_law,
+    k_exponent,
+    theorem_exponent,
+)
+
+
+def test_exact_power_law_recovered():
+    xs = [100, 200, 400, 800]
+    ys = [3 * x**0.5 for x in xs]
+    fit = fit_power_law(xs, ys)
+    assert fit.slope == pytest.approx(0.5)
+    assert math.exp(fit.intercept) == pytest.approx(3.0)
+    assert fit.r_squared == pytest.approx(1.0)
+
+
+def test_linear_law_slope_one():
+    xs = [10, 100, 1000]
+    fit = fit_power_law(xs, [2 * x for x in xs])
+    assert fit.slope == pytest.approx(1.0)
+
+
+def test_noisy_fit_reports_lower_r_squared():
+    xs = [10, 20, 40, 80, 160]
+    ys = [x**0.5 * (1.3 if i % 2 else 0.7) for i, x in enumerate(xs)]
+    fit = fit_power_law(xs, ys)
+    assert fit.r_squared < 1.0
+    assert 0.2 < fit.slope < 0.8
+
+
+def test_predict():
+    fit = fit_power_law([1, 10, 100], [2, 20, 200])
+    assert fit.predict(50) == pytest.approx(100.0)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        fit_power_law([1], [1])
+    with pytest.raises(ValueError):
+        fit_power_law([1, 2], [1])
+    with pytest.raises(ValueError):
+        fit_power_law([0, 2], [1, 2])
+    with pytest.raises(ValueError):
+        fit_power_law([2, 2], [1, 2])
+
+
+def test_theorem_exponents():
+    assert theorem_exponent(2) == pytest.approx(0.5)
+    assert theorem_exponent(3) == pytest.approx(2 / 3)
+    assert theorem_exponent(1) == 0.0
+    assert k_exponent(2) == pytest.approx(0.5)
+    with pytest.raises(ValueError):
+        theorem_exponent(0)
+    with pytest.raises(ValueError):
+        k_exponent(0)

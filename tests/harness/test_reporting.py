@@ -1,0 +1,33 @@
+"""Report formatting."""
+
+from repro.harness.reporting import Comparison, format_table
+
+
+def test_format_table_alignment():
+    table = format_table(
+        ("N", "cost"), [(100, 42.0), (1000, 1234.5)]
+    )
+    lines = table.splitlines()
+    assert len(lines) == 4
+    assert "N" in lines[0] and "cost" in lines[0]
+    assert set(lines[1]) == {"-"}
+    assert "1,234" in lines[3] or "1234" in lines[3]
+
+
+def test_format_table_empty():
+    table = format_table(("a", "b"), [])
+    assert "a" in table
+
+
+def test_float_formatting():
+    table = format_table(("x",), [(0.123456,), (0.0,)])
+    assert "0.123" in table
+    assert "\n" in table
+
+
+def test_comparison_lines():
+    good = Comparison("E1", "slope ~ 0.5", "0.5", "0.51", True)
+    bad = Comparison("E1", "slope ~ 0.5", "0.5", "0.9", False)
+    assert good.line().startswith("[REPRODUCED]")
+    assert bad.line().startswith("[DIVERGED]")
+    assert "expected 0.5" in good.line()

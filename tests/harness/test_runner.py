@@ -1,0 +1,41 @@
+"""Sweep / averaging harness."""
+
+import pytest
+
+from repro.harness.runner import Record, average_over_seeds, series, sweep
+
+
+def test_sweep_covers_cross_product():
+    records = sweep(
+        {"n": (10, 20), "k": (1, 2, 3)},
+        lambda n, k: {"cost": n * k},
+    )
+    assert len(records) == 6
+    assert records[0].params == {"n": 10, "k": 1}
+    assert records[-1].metrics == {"cost": 60}
+
+
+def test_record_value_reads_metrics_then_params():
+    record = Record(params={"n": 10}, metrics={"cost": 42.0})
+    assert record.value("cost") == 42.0
+    assert record.value("n") == 10.0
+
+
+def test_series_extraction():
+    records = sweep({"n": (1, 2, 4)}, lambda n: {"cost": n * 3})
+    xs, ys = series(records, "n", "cost")
+    assert xs == (1.0, 2.0, 4.0)
+    assert ys == (3.0, 6.0, 12.0)
+
+
+def test_average_over_seeds():
+    def experiment(seed, n):
+        return {"cost": n + seed}
+
+    averaged = average_over_seeds(experiment, seeds=(0, 2, 4), n=10)
+    assert averaged["cost"] == pytest.approx(12.0)
+
+
+def test_average_requires_seeds():
+    with pytest.raises(ValueError):
+        average_over_seeds(lambda seed: {}, seeds=())

@@ -1,0 +1,80 @@
+"""Grid file: correctness and the exponential directory."""
+
+import numpy as np
+import pytest
+
+from repro.errors import IndexError_
+from repro.index.base import LinearScanIndex
+from repro.index.gridfile import GridFile
+
+
+def random_items(n, dim, seed=0):
+    rng = np.random.default_rng(seed)
+    return [(i, rng.random(dim)) for i in range(n)]
+
+
+def test_directory_size_is_exponential_in_dimension():
+    assert GridFile(2, cells_per_dim=8).directory_size == 64
+    assert GridFile(4, cells_per_dim=8).directory_size == 4096
+    assert GridFile(6, cells_per_dim=8).directory_size == 8**6
+
+
+def test_huge_directory_refused():
+    """The dimensionality curse as a hard error."""
+    with pytest.raises(IndexError_):
+        GridFile(12, cells_per_dim=8)
+
+
+def test_points_outside_unit_cube_rejected():
+    grid = GridFile(2, cells_per_dim=4)
+    with pytest.raises(IndexError_):
+        grid.insert("x", [1.5, 0.2])
+
+
+def test_range_query_matches_scan():
+    items = random_items(300, 3, seed=1)
+    grid = GridFile(3, cells_per_dim=4)
+    scan = LinearScanIndex(3)
+    for object_id, vector in items:
+        grid.insert(object_id, vector)
+        scan.insert(object_id, vector)
+    lo, hi = [0.1, 0.2, 0.0], [0.5, 0.9, 0.7]
+    assert sorted(grid.range_query(lo, hi)) == sorted(scan.range_query(lo, hi))
+
+
+def test_knn_matches_scan():
+    items = random_items(250, 2, seed=2)
+    grid = GridFile(2, cells_per_dim=8)
+    scan = LinearScanIndex(2)
+    for object_id, vector in items:
+        grid.insert(object_id, vector)
+        scan.insert(object_id, vector)
+    for query in ([0.5, 0.5], [0.05, 0.95], [0.99, 0.01]):
+        mine = sorted(d for _, d in grid.knn(query, 7))
+        theirs = sorted(d for _, d in scan.knn(query, 7))
+        assert mine == pytest.approx(theirs)
+
+
+def test_knn_touches_fewer_points_than_scan_on_local_queries():
+    items = random_items(1000, 2, seed=3)
+    grid = GridFile(2, cells_per_dim=16)
+    for object_id, vector in items:
+        grid.insert(object_id, vector)
+    grid.stats.reset()
+    grid.knn([0.5, 0.5], 3)
+    assert grid.stats.distance_evaluations < 400
+
+
+def test_occupied_cells_and_len():
+    grid = GridFile(2, cells_per_dim=4)
+    grid.insert("a", [0.1, 0.1])
+    grid.insert("b", [0.11, 0.12])  # same cell
+    grid.insert("c", [0.9, 0.9])
+    assert len(grid) == 3
+    assert grid.occupied_cells() == 2
+
+
+def test_empty_grid_knn():
+    assert GridFile(2).knn([0.5, 0.5], 3) == []
+    with pytest.raises(ValueError):
+        GridFile(2).knn([0.5, 0.5], 0)

@@ -1,0 +1,71 @@
+"""The shared k-NN harness and the dimensionality-curse setup of E13."""
+
+import numpy as np
+import pytest
+
+from repro.index.base import LinearScanIndex
+from repro.index.knn import (
+    build_default_indexes,
+    run_knn_batch,
+    verify_against_scan,
+)
+
+
+def items_and_queries(n, dim, seed=0):
+    rng = np.random.default_rng(seed)
+    return [(i, rng.random(dim)) for i in range(n)], rng.random((5, dim))
+
+
+def test_build_includes_scan_and_rtree_always():
+    items, _ = items_and_queries(100, 6)
+    indexes = build_default_indexes(items, 6)
+    assert "linear-scan" in indexes
+    assert "rtree" in indexes
+
+
+def test_grid_and_quadtree_drop_out_at_high_dimension():
+    items, _ = items_and_queries(50, 16)
+    indexes = build_default_indexes(items, 16)
+    assert "gridfile" not in indexes  # 4^16 cells
+    assert "quadtree" not in indexes  # 2^48 cells
+
+
+def test_all_indexes_agree_with_scan():
+    items, queries = items_and_queries(300, 3, seed=1)
+    indexes = build_default_indexes(items, 3)
+    reference = run_knn_batch(indexes["linear-scan"], "scan", queries, 5)
+    for name, index in indexes.items():
+        run = run_knn_batch(index, name, queries, 5)
+        assert verify_against_scan(run, reference), name
+
+
+def test_run_collects_counters():
+    items, queries = items_and_queries(200, 2, seed=2)
+    indexes = build_default_indexes(items, 2)
+    run = run_knn_batch(indexes["rtree"], "rtree", queries, 5)
+    assert run.node_accesses > 0
+    assert run.distance_evaluations > 0
+    assert len(run.results) == len(queries)
+
+
+def test_verify_detects_mismatch():
+    items, queries = items_and_queries(50, 2, seed=3)
+    scan = LinearScanIndex(2)
+    for object_id, vector in items:
+        scan.insert(object_id, vector)
+    reference = run_knn_batch(scan, "scan", queries, 5)
+    tampered = run_knn_batch(scan, "scan", queries, 4)  # wrong k
+    assert not verify_against_scan(tampered, reference)
+
+
+def test_rtree_advantage_shrinks_with_dimension():
+    """The curse: the R-tree's share of distance evaluations grows with
+    dimensionality (section 2.1 / [Ot92])."""
+    shares = {}
+    for dim in (2, 12):
+        items, queries = items_and_queries(800, dim, seed=dim)
+        indexes = build_default_indexes(items, dim)
+        scan_run = run_knn_batch(indexes["linear-scan"], "scan", queries, 5)
+        tree_run = run_knn_batch(indexes["rtree"], "rtree", queries, 5)
+        shares[dim] = tree_run.distance_evaluations / scan_run.distance_evaluations
+    assert shares[12] > shares[2]

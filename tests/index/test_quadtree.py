@@ -1,0 +1,74 @@
+"""Linear quadtree: Morton codes, range and k-NN queries."""
+
+import numpy as np
+import pytest
+
+from repro.errors import IndexError_
+from repro.index.base import LinearScanIndex
+from repro.index.quadtree import LinearQuadtree, interleave_bits
+
+
+def test_interleave_bits_known_values():
+    # 2D, depth 2: (x=0b10, y=0b01) -> bits x1 y1 x0 y0 = 1 0 0 1
+    assert interleave_bits((0b10, 0b01), 2) == 0b1001
+    assert interleave_bits((0, 0), 3) == 0
+    assert interleave_bits((0b111, 0b111), 3) == 0b111111
+
+
+def test_morton_codes_group_nearby_points():
+    tree = LinearQuadtree(2, depth=3)
+    close_a = tree.code_of([0.1, 0.1])
+    close_b = tree.code_of([0.12, 0.11])
+    far = tree.code_of([0.9, 0.9])
+    assert close_a == close_b
+    assert far != close_a
+
+
+def test_cell_space_guard():
+    with pytest.raises(IndexError_):
+        LinearQuadtree(8, depth=3)  # 2^24 cells
+    with pytest.raises(IndexError_):
+        LinearQuadtree(2, depth=0)
+
+
+def test_points_outside_unit_cube_rejected():
+    tree = LinearQuadtree(2, depth=2)
+    with pytest.raises(IndexError_):
+        tree.insert("x", [-0.1, 0.5])
+
+
+def random_items(n, dim, seed=0):
+    rng = np.random.default_rng(seed)
+    return [(i, rng.random(dim)) for i in range(n)]
+
+
+def test_range_query_matches_scan():
+    items = random_items(300, 2, seed=1)
+    tree = LinearQuadtree(2, depth=4)
+    scan = LinearScanIndex(2)
+    for object_id, vector in items:
+        tree.insert(object_id, vector)
+        scan.insert(object_id, vector)
+    lo, hi = [0.25, 0.1], [0.75, 0.66]
+    assert sorted(tree.range_query(lo, hi)) == sorted(scan.range_query(lo, hi))
+
+
+def test_knn_matches_scan():
+    items = random_items(200, 2, seed=2)
+    tree = LinearQuadtree(2, depth=3)
+    scan = LinearScanIndex(2)
+    for object_id, vector in items:
+        tree.insert(object_id, vector)
+        scan.insert(object_id, vector)
+    for query in ([0.5, 0.5], [0.02, 0.02], [0.98, 0.5]):
+        mine = sorted(d for _, d in tree.knn(query, 6))
+        theirs = sorted(d for _, d in scan.knn(query, 6))
+        assert mine == pytest.approx(theirs)
+
+
+def test_len_and_empty_knn():
+    tree = LinearQuadtree(2, depth=2)
+    assert len(tree) == 0
+    assert tree.knn([0.5, 0.5], 3) == []
+    tree.insert("a", [0.5, 0.5])
+    assert len(tree) == 1

@@ -1,0 +1,123 @@
+"""R-tree: invariants, range queries, best-first k-NN."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import IndexError_
+from repro.index.base import LinearScanIndex
+from repro.index.rtree import RTree
+
+
+def random_items(n, dim, seed=0):
+    rng = np.random.default_rng(seed)
+    return [(i, rng.random(dim)) for i in range(n)]
+
+
+def scan_of(items, dim):
+    scan = LinearScanIndex(dim)
+    for object_id, vector in items:
+        scan.insert(object_id, vector)
+    return scan
+
+
+def test_parameters_validated():
+    with pytest.raises(IndexError_):
+        RTree(0)
+    with pytest.raises(IndexError_):
+        RTree(2, max_entries=2)
+    with pytest.raises(IndexError_):
+        RTree(2, max_entries=16, min_entries=10)
+
+
+def test_insert_and_len():
+    tree = RTree(2)
+    for object_id, vector in random_items(100, 2):
+        tree.insert(object_id, vector)
+    assert len(tree) == 100
+    tree.check_invariants()
+
+
+def test_bulk_load_invariants_and_height():
+    items = random_items(500, 3, seed=1)
+    tree = RTree.bulk_load(items, 3)
+    assert len(tree) == 500
+    tree.check_invariants()
+    assert tree.height() >= 2
+
+
+def test_empty_tree_queries():
+    tree = RTree(2)
+    assert tree.range_query([0, 0], [1, 1]) == []
+    assert tree.knn([0.5, 0.5], 3) == []
+
+
+def test_range_query_matches_scan():
+    items = random_items(300, 2, seed=2)
+    tree = RTree.bulk_load(items, 2)
+    scan = scan_of(items, 2)
+    lo, hi = [0.2, 0.3], [0.6, 0.9]
+    assert sorted(tree.range_query(lo, hi)) == sorted(scan.range_query(lo, hi))
+
+
+def test_knn_matches_scan_after_inserts():
+    tree = RTree(3)
+    items = random_items(400, 3, seed=3)
+    for object_id, vector in items:
+        tree.insert(object_id, vector)
+    scan = scan_of(items, 3)
+    query = np.array([0.5, 0.5, 0.5])
+    mine = [d for _, d in tree.knn(query, 10)]
+    theirs = [d for _, d in scan.knn(query, 10)]
+    assert mine == pytest.approx(theirs)
+
+
+def test_knn_distances_are_sorted():
+    tree = RTree.bulk_load(random_items(200, 2, seed=4), 2)
+    distances = [d for _, d in tree.knn([0.1, 0.9], 15)]
+    assert distances == sorted(distances)
+
+
+def test_knn_visits_fewer_nodes_than_full_tree():
+    items = random_items(2000, 2, seed=5)
+    tree = RTree.bulk_load(items, 2)
+    tree.stats.reset()
+    tree.knn([0.5, 0.5], 5)
+    # far fewer distance evaluations than a scan
+    assert tree.stats.distance_evaluations < len(items) / 4
+
+
+def test_dimension_mismatch_rejected():
+    tree = RTree(3)
+    with pytest.raises(IndexError_):
+        tree.insert("x", [0.1, 0.2])
+    with pytest.raises(ValueError):
+        tree.knn([0.1, 0.2, 0.3], 0)
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=1000),
+    n=st.integers(min_value=1, max_value=120),
+    k=st.integers(min_value=1, max_value=10),
+)
+@settings(max_examples=25, deadline=None)
+def test_knn_property_matches_scan(seed, n, k):
+    items = random_items(n, 2, seed=seed)
+    tree = RTree.bulk_load(items, 2)
+    scan = scan_of(items, 2)
+    rng = np.random.default_rng(seed + 1)
+    query = rng.random(2)
+    mine = sorted(d for _, d in tree.knn(query, k))
+    theirs = sorted(d for _, d in scan.knn(query, k))
+    assert mine == pytest.approx(theirs)
+
+
+@given(seed=st.integers(min_value=0, max_value=500))
+@settings(max_examples=15, deadline=None)
+def test_incremental_insert_keeps_invariants(seed):
+    items = random_items(80, 2, seed=seed)
+    tree = RTree(2, max_entries=4)
+    for object_id, vector in items:
+        tree.insert(object_id, vector)
+    tree.check_invariants()
+    assert len(tree) == 80

@@ -1,0 +1,120 @@
+"""VA-file: bound soundness, exact k-NN, graceful high-dim behavior."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import IndexError_
+from repro.index.base import LinearScanIndex
+from repro.index.vafile import VAFile
+
+
+def build(n, dim, bits=4, seed=0):
+    rng = np.random.default_rng(seed)
+    points = rng.random((n, dim))
+    va = VAFile(dim, bits=bits)
+    scan = LinearScanIndex(dim)
+    for i in range(n):
+        va.insert(i, points[i])
+        scan.insert(i, points[i])
+    return va, scan, rng
+
+
+def test_parameter_validation():
+    with pytest.raises(IndexError_):
+        VAFile(2, bits=0)
+    with pytest.raises(IndexError_):
+        VAFile(2, bits=20)
+    va = VAFile(2)
+    with pytest.raises(IndexError_):
+        va.insert("x", [1.5, 0.0])
+
+
+def test_bounds_bracket_the_true_distance():
+    va, _, rng = build(100, 6, seed=1)
+    query = rng.random(6)
+    for index in range(50):
+        lower, upper = va._bounds(va._approximations[index], query)
+        true = float(np.linalg.norm(va._vectors[index] - query))
+        assert lower <= true + 1e-9
+        assert true <= upper + 1e-9
+
+
+def test_knn_matches_scan():
+    va, scan, rng = build(500, 8, seed=2)
+    for _ in range(5):
+        query = rng.random(8)
+        mine = sorted(d for _, d in va.knn(query, 7))
+        theirs = sorted(d for _, d in scan.knn(query, 7))
+        assert mine == pytest.approx(theirs)
+
+
+def test_range_query_matches_scan():
+    va, scan, _ = build(400, 3, seed=3)
+    lo, hi = [0.2, 0.1, 0.3], [0.7, 0.8, 0.9]
+    assert sorted(va.range_query(lo, hi)) == sorted(scan.range_query(lo, hi))
+
+
+def test_refinement_touches_few_full_vectors():
+    va, _, rng = build(2000, 8, bits=6, seed=4)
+    va.stats.reset()
+    va.knn(rng.random(8), 10)
+    # approximations are all scanned, but full vectors barely
+    assert va.stats.node_accesses == 2000
+    assert va.stats.distance_evaluations < 400
+
+
+def test_graceful_degradation_with_dimension():
+    """Unlike the grid file, the VA-file works at any dimension; its
+    refinement cost degrades smoothly rather than exploding."""
+    evaluations = {}
+    for dim in (4, 16, 64):
+        va, _, rng = build(800, dim, bits=6, seed=dim)
+        va.stats.reset()
+        va.knn(rng.random(dim), 5)
+        evaluations[dim] = va.stats.distance_evaluations
+    assert evaluations[64] <= 800  # never worse than the scan
+    assert evaluations[4] <= evaluations[64]
+
+
+def test_more_bits_prune_better():
+    results = {}
+    for bits in (2, 8):
+        va, _, rng = build(1500, 10, bits=bits, seed=7)
+        va.stats.reset()
+        va.knn(rng.random(10), 5)
+        results[bits] = va.stats.distance_evaluations
+    assert results[8] < results[2]
+
+
+def test_approximation_file_is_much_smaller():
+    va, _, _ = build(1000, 16, bits=4)
+    assert va.approximation_bytes() * 8 < va.vector_bytes()
+
+
+def test_empty_and_k_validation():
+    va = VAFile(3)
+    assert va.knn([0.5, 0.5, 0.5], 3) == []
+    with pytest.raises(ValueError):
+        va.knn([0.5, 0.5, 0.5], 0)
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=500),
+    n=st.integers(min_value=1, max_value=80),
+    k=st.integers(min_value=1, max_value=8),
+    bits=st.integers(min_value=1, max_value=8),
+)
+@settings(max_examples=25, deadline=None)
+def test_knn_property_matches_scan(seed, n, k, bits):
+    rng = np.random.default_rng(seed)
+    points = rng.random((n, 4))
+    va = VAFile(4, bits=bits)
+    scan = LinearScanIndex(4)
+    for i in range(n):
+        va.insert(i, points[i])
+        scan.insert(i, points[i])
+    query = rng.random(4)
+    mine = sorted(d for _, d in va.knn(query, k))
+    theirs = sorted(d for _, d in scan.knn(query, k))
+    assert mine == pytest.approx(theirs)

@@ -1,0 +1,95 @@
+"""Persistence round trips."""
+
+import json
+
+import pytest
+
+from repro.core.graded import GradedSet
+from repro.errors import ReproError
+from repro.io import (
+    load_catalog,
+    load_grade_table,
+    load_graded_set,
+    load_histogram,
+    save_catalog,
+    save_grade_table,
+    save_graded_set,
+    save_histogram,
+)
+from repro.middleware.statistics import GradeHistogram
+from repro.workloads.cd_store import build_store, generate_catalog
+from repro.workloads.graded_lists import independent
+
+
+def test_graded_set_round_trip(tmp_path):
+    original = GradedSet({"a": 0.123456789, "b": 1.0, "c": 0.0})
+    path = tmp_path / "set.json"
+    save_graded_set(original, path)
+    assert load_graded_set(path).grades_equal(original, tol=0.0)
+
+
+def test_grade_table_round_trip(tmp_path):
+    table = independent(50, 3, seed=2)
+    path = tmp_path / "table.json"
+    save_grade_table(table, path)
+    assert load_grade_table(path) == table
+
+
+def test_catalog_round_trip_and_reuse(tmp_path):
+    catalog = generate_catalog(40, seed=3)
+    path = tmp_path / "catalog.json"
+    save_catalog(catalog, path)
+    restored = load_catalog(path)
+    assert restored == catalog
+    # the restored catalog drives the engine exactly like the original
+    engine = build_store(restored)
+    from repro.core.query import Atomic
+
+    result = engine.top_k(Atomic("AlbumColor", "red"), 3)
+    assert len(result.answers) == 3
+
+
+def test_histogram_round_trip(tmp_path):
+    histogram = GradeHistogram([3, 5, 0, 2, 10])
+    path = tmp_path / "stats.json"
+    save_histogram(histogram, path)
+    restored = load_histogram(path)
+    assert list(restored.counts) == [3, 5, 0, 2, 10]
+    assert restored.survival(0.5) == pytest.approx(histogram.survival(0.5))
+
+
+def test_format_tag_is_checked(tmp_path):
+    path = tmp_path / "set.json"
+    save_graded_set(GradedSet({"a": 0.5}), path)
+    with pytest.raises(ReproError):
+        load_catalog(path)  # wrong kind
+
+
+def test_corrupt_json_reported(tmp_path):
+    path = tmp_path / "broken.json"
+    path.write_text("{not json")
+    with pytest.raises(ReproError):
+        load_graded_set(path)
+
+
+def test_version_mismatch_rejected(tmp_path):
+    path = tmp_path / "old.json"
+    path.write_text(json.dumps({"format": "graded-set", "version": 99, "data": {}}))
+    with pytest.raises(ReproError):
+        load_graded_set(path)
+
+
+def test_malformed_catalog_rows_rejected(tmp_path):
+    path = tmp_path / "cat.json"
+    path.write_text(
+        json.dumps(
+            {"format": "album-catalog", "version": 1, "data": [{"nope": 1}]}
+        )
+    )
+    with pytest.raises(ReproError):
+        load_catalog(path)
+
+
+def test_missing_file_reported(tmp_path):
+    with pytest.raises(ReproError):
+        load_graded_set(tmp_path / "absent.json")

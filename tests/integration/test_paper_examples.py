@@ -1,0 +1,128 @@
+"""End-to-end runs of the paper's own worked examples.
+
+Each test stages one scenario from the text and checks the paper's
+stated behaviour — these are the closest thing a survey has to
+"reproducing the figures".
+"""
+
+import pytest
+
+from repro.core.adversary import expected_best_object, hard_instance
+from repro.core.fagin import fagin_top_k
+from repro.core.naive import grade_everything, naive_top_k
+from repro.core.planner import Strategy
+from repro.core.query import Atomic, Scored, Weighted
+from repro.core.sources import sources_from_columns
+from repro.scoring import means, tnorms
+from repro.sql.compiler import execute
+from repro.workloads.cd_store import build_store, generate_catalog
+from repro.workloads.graded_lists import independent
+
+
+def test_beatles_example_section_4_1():
+    """'(Artist='Beatles') AND (AlbumColor='red')': only albums by the
+    Beatles get nonzero grades, and among those, redder covers rank
+    higher; the strategy touches roughly |S| * m objects."""
+    catalog = generate_catalog(1000, seed=1, beatles_fraction=0.03)
+    engine = build_store(catalog)
+    query = Atomic("Artist", "Beatles") & Atomic("AlbumColor", "red")
+    plan = engine.explain(query, 10)
+    assert plan.strategy is Strategy.BOOLEAN_FIRST
+    result = engine.top_k(query, 10)
+    beatles = {a.album_id for a in catalog if a.artist == "Beatles"}
+    # (a) nonzero grades only for Beatles albums
+    assert all(
+        item.object_id in beatles for item in result.answers if item.grade > 0
+    )
+    # (b) grades equal the color grade (min(1, g) = g)
+    color = engine.bind(Atomic("AlbumColor", "red")).as_graded_set()
+    for item in result.answers:
+        if item.grade > 0:
+            assert item.grade == pytest.approx(color[item.object_id])
+    # cost tracks |S|, far below the naive 2N = 2000
+    assert result.database_access_cost < 200
+
+
+def test_red_and_round_example_section_3():
+    """'(Color='red') AND (Shape='round')' with two fuzzy subsystems:
+    A0 returns the min-rule top-k at sublinear cost."""
+    table = independent(4000, 2, seed=2)
+    sources = sources_from_columns(table, names=("Color=red", "Shape=round"))
+    result = fagin_top_k(sources, tnorms.MIN, 10)
+    expected = grade_everything(sources, tnorms.MIN).top(10)
+    assert result.answers.same_grade_multiset(expected)
+    assert result.database_access_cost < 2 * 4000 / 4
+
+
+def test_min_of_zero_and_one_grades_section_4_1():
+    """'If the artist is not the Beatles, then the grade is 0 (the
+    minimum of 0 and any grade is 0).  If the artist is the Beatles,
+    the grade is the QBIC grade (the minimum of 1 and g is g).'"""
+    assert tnorms.MIN((0.0, 0.73)) == 0.0
+    assert tnorms.MIN((1.0, 0.73)) == 0.73
+
+
+def test_twice_as_much_about_color_section_5():
+    """'If we care twice as much about the color as the shape, then we
+    would take theta_1 = 2/3 and theta_2 = 1/3' — and with the min rule
+    the Fagin-Wimmers score is (1/3) min-prefix + (2/3) min-pair."""
+    table = independent(500, 2, seed=3)
+    sources = sources_from_columns(table)
+    weighted = Weighted(
+        (Atomic("A1", 1), Atomic("A2", 1)), (2 / 3, 1 / 3)
+    )
+    from repro.core.evaluation import compile_query
+
+    rule = compile_query(weighted)
+    result = fagin_top_k(sources, rule, 10)
+    expected = grade_everything(sources, rule).top(10)
+    assert result.answers.same_grade_multiset(expected)
+    # spot-check the formula against the text
+    assert rule((0.9, 0.6)) == pytest.approx((1 / 3) * 0.9 + (2 / 3) * 0.6)
+
+
+def test_indifferent_weights_recover_min_section_5():
+    """'If we weight them equally ... we use the underlying rule.'"""
+    from repro.scoring.weighted import weighted_score
+
+    assert weighted_score(tnorms.MIN, (0.5, 0.5), (0.7, 0.4)) == pytest.approx(0.4)
+
+
+def test_weighted_average_is_theta1_x1_plus_theta2_x2_section_5():
+    """'When the scoring function is the average ... simply
+    theta_1 x_1 + theta_2 x_2.'"""
+    from repro.scoring.weighted import weighted_score
+
+    assert weighted_score(means.MEAN, (0.7, 0.3), (0.4, 0.9)) == pytest.approx(
+        0.7 * 0.4 + 0.3 * 0.9
+    )
+
+
+def test_adversarial_case_section_6():
+    """'A (somewhat artificial) case where the database access cost is
+    necessarily linear in the database size.'"""
+    n = 1001
+    result = fagin_top_k(hard_instance(n), tnorms.MIN, 1)
+    assert result.database_access_cost >= n
+    assert result.answers.best().object_id == expected_best_object(n)
+
+
+def test_sql_form_of_the_running_query():
+    engine = build_store(generate_catalog(400, seed=4))
+    result = execute(
+        "SELECT * FROM albums "
+        "WHERE Artist = 'Beatles' AND AlbumColor = 'red' STOP AFTER 10",
+        engine,
+    )
+    assert len(result.answers) == 10
+
+
+def test_arithmetic_mean_conjunction_section_3():
+    """TZZ79: the mean 'performs empirically quite well' and the bounds
+    still apply — A0 stays correct under it."""
+    table = independent(1000, 2, seed=5)
+    sources = sources_from_columns(table)
+    result = fagin_top_k(sources, means.MEAN, 10)
+    expected = grade_everything(sources, means.MEAN).top(10)
+    assert result.answers.same_grade_multiset(expected)
+    assert result.database_access_cost < 2 * 1000

@@ -1,0 +1,69 @@
+"""Source wrappers compose: verified, cached, batched, mapped stacks."""
+
+import pytest
+
+from repro.core.batching import BatchedSource
+from repro.core.fagin import fagin_top_k
+from repro.core.naive import grade_everything
+from repro.core.sources import ListSource, VerifyingSource, sources_from_columns
+from repro.middleware.caching import CachedSource
+from repro.middleware.idmap import IdMapping, MappedSource
+from repro.scoring import tnorms
+from repro.workloads.graded_lists import independent
+
+
+def oracle(table, k):
+    return grade_everything(sources_from_columns(table), tnorms.MIN).top(k)
+
+
+def test_cached_over_batched():
+    """The middleware caches what the repository shipped in batches:
+    a second pass costs the repository nothing, batch overshoot and all."""
+    table = independent(300, 2, seed=2)
+    inners = sources_from_columns(table)
+    stacks = [CachedSource(BatchedSource(inner, 20)) for inner in inners]
+    first = fagin_top_k(stacks, tnorms.MIN, 5)
+    assert first.answers.same_grade_multiset(oracle(table, 5))
+    repository_cost = sum(
+        s._inner.counter.database_access_cost for s in stacks
+    )
+    second = fagin_top_k(stacks, tnorms.MIN, 5)
+    assert second.answers.same_grade_multiset(first.answers)
+    assert (
+        sum(s._inner.counter.database_access_cost for s in stacks)
+        == repository_cost
+    )
+
+
+def test_verified_over_batched():
+    table = independent(200, 2, seed=3)
+    stacks = [
+        VerifyingSource(BatchedSource(inner, 16))
+        for inner in sources_from_columns(table)
+    ]
+    result = fagin_top_k(stacks, tnorms.MIN, 5)
+    assert result.answers.same_grade_multiset(oracle(table, 5))
+
+
+def test_mapped_over_cached():
+    local = ListSource({"l-a": 0.9, "l-b": 0.4}, name="local")
+    mapping = IdMapping({"g-a": "l-a", "g-b": "l-b"})
+    stack = MappedSource(CachedSource(local), mapping)
+    cursor = stack.cursor()
+    assert cursor.next().object_id == "g-a"
+    assert stack.random_access("g-b") == pytest.approx(0.4)
+    # second prefix read is a cache hit: no new repository charge
+    before = local.counter.sorted_accesses
+    stack.cursor().next()
+    assert local.counter.sorted_accesses == before
+
+
+def test_triple_stack_end_to_end():
+    """verified(cached(batched(list))) still answers correctly."""
+    table = independent(250, 2, seed=4)
+    stacks = [
+        VerifyingSource(CachedSource(BatchedSource(inner, 10)))
+        for inner in sources_from_columns(table)
+    ]
+    result = fagin_top_k(stacks, tnorms.MIN, 7)
+    assert result.answers.same_grade_multiset(oracle(table, 7))

@@ -1,0 +1,178 @@
+"""The middleware engine: registration, binding, evaluation, handles."""
+
+import pytest
+
+from repro.core.graded import GradedSet
+from repro.core.naive import grade_everything
+from repro.core.planner import Strategy
+from repro.core.query import Atomic, Scored, Weighted
+from repro.errors import MonotonicityError, PlanError
+from repro.middleware.engine import MiddlewareEngine
+from repro.middleware.idmap import IdMapping
+from repro.middleware.list_subsystem import ListSubsystem
+from repro.middleware.relational import RelationalSubsystem
+from repro.scoring import means
+from repro.scoring.base import FunctionScoring
+
+N = 60
+
+
+def build_engine(with_mapping=False):
+    import random
+
+    rng = random.Random(5)
+    rows = {
+        f"g{i}": {"Artist": "Beatles" if i % 6 == 0 else "Other"} for i in range(N)
+    }
+    engine = MiddlewareEngine()
+    engine.register(RelationalSubsystem("rdbms", rows))
+
+    colors = ListSubsystem("qbic")
+    if with_mapping:
+        colors.add_list(
+            "Color", "red", {f"local{i}": rng.random() for i in range(N)}
+        )
+        mapping = IdMapping({f"g{i}": f"local{i}" for i in range(N)})
+        engine.register(colors, id_mapping=mapping)
+    else:
+        colors.add_list("Color", "red", {f"g{i}": rng.random() for i in range(N)})
+        engine.register(colors)
+    return engine
+
+
+COLOR = Atomic("Color", "red")
+ARTIST = Atomic("Artist", "Beatles")
+
+
+def test_register_rejects_duplicate_names():
+    engine = build_engine()
+    with pytest.raises(PlanError):
+        engine.register(ListSubsystem("rdbms"))
+
+
+def test_subsystem_for_routes_by_attribute():
+    engine = build_engine()
+    assert engine.subsystem_for(COLOR).name == "qbic"
+    assert engine.subsystem_for(ARTIST).name == "rdbms"
+
+
+def test_unsupported_atom_raises():
+    engine = build_engine()
+    with pytest.raises(PlanError):
+        engine.subsystem_for(Atomic("Smell", "rose"))
+
+
+def test_ambiguous_attribute_raises():
+    engine = build_engine()
+    rival = ListSubsystem("rival")
+    rival.add_list("Color", "red", {f"g{i}": 0.5 for i in range(N)})
+    engine.register(rival)
+    with pytest.raises(PlanError):
+        engine.subsystem_for(COLOR)
+
+
+def test_duplicate_atoms_rejected():
+    engine = build_engine()
+    with pytest.raises(PlanError):
+        engine.top_k(COLOR & COLOR, 3)
+
+
+def test_conjunction_top_k_matches_oracle():
+    engine = build_engine()
+    result = engine.top_k(ARTIST & COLOR, 5)
+    sources = engine.bind_all(ARTIST & COLOR)
+    expected = grade_everything(sources, lambda g: min(g)).top(5)
+    assert result.answers.same_grade_multiset(expected)
+
+
+def test_beatles_query_uses_boolean_first():
+    engine = build_engine()
+    plan = engine.explain(ARTIST & COLOR, 5)
+    assert plan.strategy is Strategy.BOOLEAN_FIRST
+
+
+def test_disjunction_uses_mk_algorithm():
+    engine = build_engine()
+    result = engine.top_k(ARTIST | COLOR, 5)
+    assert result.algorithm == "disjunction-max"
+
+
+def test_id_mapping_end_to_end():
+    engine = build_engine(with_mapping=True)
+    result = engine.top_k(ARTIST & COLOR, 5)
+    # answers must be keyed by GLOBAL ids
+    assert all(str(item.object_id).startswith("g") for item in result.answers)
+    plain = build_engine(with_mapping=False).top_k(ARTIST & COLOR, 5)
+    assert result.answers.same_grade_multiset(plain.answers)
+
+
+def test_weighted_query_runs():
+    engine = build_engine()
+    result = engine.top_k(Weighted((ARTIST, COLOR), (0.7, 0.3)), 5)
+    sources = engine.bind_all(ARTIST & COLOR)
+    from repro.scoring.weighted import WeightedScoring
+    from repro.scoring.tnorms import MIN
+
+    expected = grade_everything(
+        sources, WeightedScoring(MIN, (0.7, 0.3))
+    ).top(5)
+    assert result.answers.same_grade_multiset(expected)
+
+
+def test_user_scored_query_passes_the_guard():
+    engine = build_engine()
+    user_rule = FunctionScoring(lambda g: min(g) * 0.9 + 0.1 * max(g), "blend")
+    result = engine.top_k(Scored(user_rule, (ARTIST, COLOR)), 5)
+    assert len(result.answers) == 5
+
+
+def test_bad_user_rule_is_rejected_by_the_guard():
+    engine = build_engine()
+    bad = FunctionScoring(lambda g: max(0.0, g[0] - g[1]), "difference")
+    with pytest.raises(MonotonicityError):
+        engine.top_k(Scored(bad, (ARTIST, COLOR)), 5)
+
+
+def test_open_query_fetches_disjoint_batches():
+    engine = build_engine()
+    handle = engine.open_query(COLOR)
+    first = handle.fetch(5)
+    second = handle.fetch(5)
+    assert not set(first.answers.objects()) & set(second.answers.objects())
+    assert handle.fetched == 10
+    combined = GradedSet(first.answers.as_dict() | second.answers.as_dict())
+    expected = grade_everything(engine.bind_all(COLOR), lambda g: g[0]).top(10)
+    assert combined.same_grade_multiset(expected)
+
+
+def test_scored_mean_query():
+    engine = build_engine()
+    result = engine.top_k(Scored(means.MEAN, (ARTIST, COLOR)), 5)
+    expected = grade_everything(
+        engine.bind_all(ARTIST & COLOR), means.MEAN
+    ).top(5)
+    assert result.answers.same_grade_multiset(expected)
+
+
+def test_negation_query_falls_back_to_naive():
+    """NOT makes the compiled rule non-monotone; the planner must refuse
+    the sublinear strategies and still answer correctly via the scan."""
+    engine = build_engine()
+    from repro.core.query import Not
+
+    query = COLOR & Not(ARTIST)
+    plan = engine.explain(query, 5)
+    assert plan.strategy is Strategy.NAIVE
+    result = engine.top_k(query, 5)
+    sources = engine.bind_all(query)
+    expected = grade_everything(
+        sources, lambda g: min(g[0], 1.0 - g[1])
+    ).top(5)
+    assert result.answers.same_grade_multiset(expected)
+
+
+def test_lookup_row_merges_relational_attributes():
+    engine = build_engine()
+    row = engine.lookup_row("g0")
+    assert row["Artist"] == "Beatles"
+    assert engine.lookup_row("not-an-object") == {}

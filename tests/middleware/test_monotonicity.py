@@ -1,0 +1,48 @@
+"""The monotonicity guard for user-defined scoring functions."""
+
+import pytest
+
+from repro.errors import MonotonicityError
+from repro.middleware.monotonicity import ensure_monotone
+from repro.scoring import tnorms
+from repro.scoring.base import FunctionScoring
+
+
+def test_catalog_rules_pass_without_testing():
+    assert ensure_monotone(tnorms.MIN, 2) is tnorms.MIN
+
+
+def test_good_user_rule_is_certified():
+    user = FunctionScoring(lambda g: 0.5 * g[0] + 0.5 * g[1], "user-avg")
+    certified = ensure_monotone(user, 2)
+    assert certified is user
+
+
+def test_plain_callable_is_wrapped_and_certified():
+    certified = ensure_monotone(lambda g: min(g), 3)
+    assert certified.is_monotone
+
+
+def test_declared_non_monotone_is_rejected_immediately():
+    user = FunctionScoring(lambda g: min(g), "liar", is_monotone=False)
+    with pytest.raises(MonotonicityError):
+        ensure_monotone(user, 2)
+
+
+def test_violating_user_rule_is_caught_with_witness():
+    user = FunctionScoring(lambda g: max(0.0, g[0] - g[1]), "difference")
+    with pytest.raises(MonotonicityError) as excinfo:
+        ensure_monotone(user, 2)
+    assert "difference" in str(excinfo.value)
+
+
+def test_subtle_violation_is_caught():
+    # Monotone except in a small region: g0 near 1 penalized.
+    def sneaky(grades):
+        value = min(grades)
+        if grades[0] > 0.95:
+            value *= 0.5
+        return value
+
+    with pytest.raises(MonotonicityError):
+        ensure_monotone(FunctionScoring(sneaky, "sneaky"), 2, trials=5000)

@@ -1,0 +1,63 @@
+"""Cost-model-aware planning and the robustness ablation."""
+
+import pytest
+
+from repro.core.cost import RANDOM_EXPENSIVE, SORTED_EXPENSIVE, UNIFORM, CostModel
+from repro.core.fagin import fagin_top_k
+from repro.core.naive import naive_top_k
+from repro.core.planner import Strategy
+from repro.core.sources import sources_from_columns
+from repro.middleware.optimizer import compare_under_models, plan_with_charges
+from repro.scoring import conorms, tnorms
+from repro.workloads.graded_lists import independent
+
+
+def sources(n=400, m=2, seed=5):
+    return sources_from_columns(independent(n, m, seed=seed))
+
+
+def test_uniform_charges_match_core_planner_choice():
+    charged = plan_with_charges(sources(), tnorms.MIN, 10, {})
+    assert charged.plan.strategy in (Strategy.THRESHOLD, Strategy.FAGIN)
+
+
+def test_expensive_random_access_pushes_toward_nra():
+    models = {"A1": RANDOM_EXPENSIVE, "A2": RANDOM_EXPENSIVE}
+    charged = plan_with_charges(sources(), tnorms.MIN, 10, models)
+    assert charged.plan.strategy in (Strategy.NRA, Strategy.THRESHOLD)
+    # with random probes 10x, a random-free strategy must win over A0
+    assert charged.plan.strategy is not Strategy.FAGIN
+
+
+def test_max_rule_still_wins_under_any_charges():
+    for models in ({}, {"A1": SORTED_EXPENSIVE}, {"A1": RANDOM_EXPENSIVE}):
+        charged = plan_with_charges(sources(), conorms.MAX, 10, models)
+        assert charged.plan.strategy is Strategy.DISJUNCTION
+
+
+def test_model_names_recorded():
+    charged = plan_with_charges(
+        sources(), tnorms.MIN, 10, {"A1": SORTED_EXPENSIVE}
+    )
+    assert charged.model_names["A1"] == "sorted-expensive"
+    assert charged.model_names["A2"] == "uniform"
+
+
+def test_compare_under_models_preserves_algorithm_ranking():
+    """The paper: results are 'fairly robust with respect to a choice of
+    cost measure'.  A0 beats naive under all three charge models."""
+    table = independent(2000, 2, seed=9)
+    fa = fagin_top_k(sources_from_columns(table), tnorms.MIN, 10)
+    naive = naive_top_k(sources_from_columns(table), tnorms.MIN, 10)
+    models = (UNIFORM, SORTED_EXPENSIVE, RANDOM_EXPENSIVE)
+    fa_costs = compare_under_models(fa.cost, models)
+    naive_costs = compare_under_models(naive.cost, models)
+    for model in models:
+        assert fa_costs[model.name] < naive_costs[model.name]
+
+
+def test_custom_model_charges():
+    table = independent(100, 2, seed=1)
+    result = fagin_top_k(sources_from_columns(table), tnorms.MIN, 5)
+    model = CostModel(sorted_charge=0.0, random_charge=1.0, name="random-only")
+    assert result.cost.cost(model) == result.cost.random_access_cost

@@ -1,0 +1,74 @@
+"""The relational subsystem: crisp grades, selection, sorted streaming."""
+
+import pytest
+
+from repro.core.query import Atomic
+from repro.middleware.relational import BooleanSource, RelationalSubsystem
+
+ROWS = {
+    "cd1": {"Artist": "Beatles", "Year": 1967},
+    "cd2": {"Artist": "Beatles", "Year": 1969},
+    "cd3": {"Artist": "Miles Davis", "Year": 1959},
+    "cd4": {"Artist": "Glenn Gould", "Year": 1981},
+}
+
+
+def make():
+    return RelationalSubsystem("rdbms", ROWS)
+
+
+def test_attributes_are_union_of_columns():
+    assert make().attributes() == frozenset({"Artist", "Year"})
+
+
+def test_grades_are_crisp():
+    source = make().bind(Atomic("Artist", "Beatles"))
+    graded = source.as_graded_set()
+    assert graded.is_crisp()
+    assert graded["cd1"] == 1.0
+    assert graded["cd3"] == 0.0
+
+
+def test_sorted_access_streams_ones_first():
+    source = make().bind(Atomic("Artist", "Beatles"))
+    cursor = source.cursor()
+    first_two = {cursor.next().object_id, cursor.next().object_id}
+    assert first_two == {"cd1", "cd2"}
+    assert cursor.next().grade == 0.0
+
+
+def test_boolean_source_metadata():
+    source = make().bind(Atomic("Artist", "Beatles"))
+    assert isinstance(source, BooleanSource)
+    assert source.is_boolean
+    assert source.positive_count == 2
+
+
+def test_select_returns_crisp_set():
+    assert make().select("Artist", "Beatles") == {"cd1", "cd2"}
+    assert make().select("Year", 1959) == {"cd3"}
+    assert make().select("Artist", "Nobody") == frozenset()
+
+
+def test_non_string_targets():
+    source = make().bind(Atomic("Year", 1967))
+    assert source.as_graded_set()["cd1"] == 1.0
+    assert source.as_graded_set()["cd2"] == 0.0
+
+
+def test_row_access_and_len():
+    subsystem = make()
+    assert subsystem.row("cd1")["Artist"] == "Beatles"
+    assert len(subsystem) == 4
+    with pytest.raises(KeyError):
+        subsystem.row("nope")
+
+
+def test_rows_are_copied_in_and_out():
+    rows = {"cd1": {"Artist": "Beatles"}}
+    subsystem = RelationalSubsystem("r", rows)
+    rows["cd1"]["Artist"] = "Mutated"
+    assert subsystem.row("cd1")["Artist"] == "Beatles"
+    fetched = subsystem.row("cd1")
+    fetched["Artist"] = "Mutated again"
+    assert subsystem.row("cd1")["Artist"] == "Beatles"

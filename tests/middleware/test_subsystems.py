@@ -1,0 +1,75 @@
+"""Subsystem protocol, list/grader subsystems, binding cache."""
+
+import pytest
+
+from repro.core.query import Atomic
+from repro.errors import PlanError
+from repro.middleware.list_subsystem import GraderSubsystem, ListSubsystem
+
+
+def make_list_subsystem():
+    subsystem = ListSubsystem("colors")
+    subsystem.add_list("Color", "red", {"a": 0.9, "b": 0.2})
+    subsystem.add_list("Color", "blue", {"a": 0.1, "b": 0.8})
+    return subsystem
+
+
+def test_attributes_and_supports():
+    subsystem = make_list_subsystem()
+    assert subsystem.attributes() == frozenset({"Color"})
+    assert subsystem.supports(Atomic("Color", "red"))
+    assert not subsystem.supports(Atomic("Color", "green"))  # no stored list
+    assert not subsystem.supports(Atomic("Shape", "round"))
+
+
+def test_bind_returns_ranked_list():
+    subsystem = make_list_subsystem()
+    source = subsystem.bind(Atomic("Color", "red"))
+    cursor = source.cursor()
+    assert cursor.next().object_id == "a"
+    assert len(source) == 2
+
+
+def test_bind_is_cached_per_atom():
+    subsystem = make_list_subsystem()
+    atom = Atomic("Color", "red")
+    first = subsystem.bind(atom)
+    second = subsystem.bind(atom)
+    assert first is second  # same counter keeps accumulating
+    other = subsystem.bind(Atomic("Color", "blue"))
+    assert other is not first
+
+
+def test_bind_unsupported_raises():
+    subsystem = make_list_subsystem()
+    with pytest.raises(PlanError):
+        subsystem.bind(Atomic("Shape", "round"))
+
+
+def test_grader_subsystem_grades_on_demand():
+    objects = {"a": 10.0, "b": 20.0, "c": 15.0}
+    subsystem = GraderSubsystem(
+        "numbers",
+        objects,
+        {"Near": lambda target, value: max(0.0, 1.0 - abs(value - target) / 20.0)},
+    )
+    source = subsystem.bind(Atomic("Near", 15.0))
+    cursor = source.cursor()
+    best = cursor.next()
+    assert best.object_id == "c"
+    assert best.grade == pytest.approx(1.0)
+    assert subsystem.object_count() == 3
+
+
+def test_grader_subsystem_validates_grades():
+    subsystem = GraderSubsystem(
+        "broken", {"a": 1.0}, {"Bad": lambda target, value: 2.0}
+    )
+    from repro.errors import GradeError
+
+    with pytest.raises(GradeError):
+        subsystem.bind(Atomic("Bad", 0))
+
+
+def test_repr_mentions_name_and_attributes():
+    assert "colors" in repr(make_list_subsystem())

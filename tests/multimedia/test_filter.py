@@ -1,0 +1,127 @@
+"""The Eq. 2 distance-bounding filter: soundness and effectiveness."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import IndexError_
+from repro.multimedia.filter import (
+    DistanceBoundingFilter,
+    linear_scan_knn,
+)
+from repro.multimedia.histogram import Palette, QuadraticFormDistance
+from repro.multimedia.images import ImageGenerator
+from repro.multimedia.similarity import laplacian_similarity, qbic_similarity
+from repro.workloads.image_corpus import corpus_histograms
+
+
+@pytest.fixture(scope="module")
+def setup():
+    palette = Palette.rgb_cube(4)
+    distance = QuadraticFormDistance(laplacian_similarity(palette))
+    filt = DistanceBoundingFilter(palette, distance)
+    corpus = ImageGenerator(11).corpus(80, themed_fraction=0.3)
+    histograms = corpus_histograms(corpus, palette)
+    return palette, distance, filt, histograms
+
+
+def random_histograms(k, count, seed):
+    rng = np.random.default_rng(seed)
+    raw = rng.random((count, k))
+    return raw / raw.sum(axis=1, keepdims=True)
+
+
+def test_short_vector_is_three_dimensional(setup):
+    palette, _, filt, histograms = setup
+    short = filt.summarize(next(iter(histograms.values())))
+    assert short.shape == (3,)
+
+
+def test_lower_bound_never_exceeds_true_distance_on_corpus(setup):
+    """Eq. 2: d^(x^, y^) <= d(x, y), with no exceptions."""
+    _, distance, filt, histograms = setup
+    items = list(histograms.values())[:25]
+    shorts = [filt.summarize(h) for h in items]
+    for i in range(len(items)):
+        for j in range(i + 1, len(items)):
+            true = distance(items[i], items[j])
+            bound = filt.lower_bound(shorts[i], shorts[j])
+            assert bound <= true + 1e-9
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=20, deadline=None)
+def test_lower_bound_holds_on_random_histograms(seed):
+    palette = Palette.rgb_cube(3)
+    distance = QuadraticFormDistance(laplacian_similarity(palette))
+    filt = DistanceBoundingFilter(palette, distance)
+    x, y = random_histograms(palette.k, 2, seed)
+    bound = filt.lower_bound(filt.summarize(x), filt.summarize(y))
+    assert bound <= distance(x, y) + 1e-9
+
+
+def test_bound_holds_for_ridged_qbic_matrix():
+    palette = Palette.rgb_cube(3)
+    distance = QuadraticFormDistance(qbic_similarity(palette, ridge=1e-4))
+    filt = DistanceBoundingFilter(palette, distance)
+    for seed in range(5):
+        x, y = random_histograms(palette.k, 2, seed)
+        assert filt.lower_bound(
+            filt.summarize(x), filt.summarize(y)
+        ) <= distance(x, y) + 1e-9
+
+
+def test_singular_similarity_rejected():
+    palette = Palette.rgb_cube(3)
+    distance = QuadraticFormDistance(qbic_similarity(palette))  # PSD, singular
+    if distance.min_eigenvalue < 1e-10:
+        with pytest.raises(IndexError_):
+            DistanceBoundingFilter(palette, distance)
+
+
+def test_search_matches_linear_scan_exactly(setup):
+    """No false dismissals: the filtered result equals the full scan's."""
+    _, distance, filt, histograms = setup
+    target = next(iter(histograms.values()))
+    filtered = filt.search(histograms, target, 10)
+    scan = linear_scan_knn(histograms, target, 10, distance)
+    assert sorted(d for _, d in filtered.neighbors) == pytest.approx(
+        sorted(d for _, d in scan)
+    )
+
+
+def test_search_prunes_a_meaningful_fraction(setup):
+    """With a concentrated target (a query color with planted near
+    matches), the k-th distance is small and the bound prunes most of
+    the corpus; the guarantee itself is exercised separately above."""
+    palette, _, filt, histograms = setup
+    from repro.multimedia.histogram import solid_color_histogram
+
+    target = solid_color_histogram((0.9, 0.1, 0.1), palette)
+    result = filt.search(histograms, target, 5)
+    assert result.pruned > 0
+    assert result.full_evaluations + result.pruned == len(histograms)
+    assert result.pruning_rate > 0.2
+
+
+def test_search_handles_small_k_and_empty_corpus(setup):
+    _, _, filt, histograms = setup
+    target = next(iter(histograms.values()))
+    assert len(filt.search(histograms, target, 1).neighbors) == 1
+    assert filt.search({}, target, 3).neighbors == []
+    with pytest.raises(ValueError):
+        filt.search(histograms, target, 0)
+
+
+def test_mismatched_palette_and_distance_rejected():
+    palette = Palette.rgb_cube(3)
+    other = Palette.rgb_cube(4)
+    distance = QuadraticFormDistance(laplacian_similarity(other))
+    with pytest.raises(IndexError_):
+        DistanceBoundingFilter(palette, distance)
+
+
+def test_linear_scan_validates_k(setup):
+    _, distance, _, histograms = setup
+    with pytest.raises(ValueError):
+        linear_scan_knn(histograms, next(iter(histograms.values())), 0, distance)

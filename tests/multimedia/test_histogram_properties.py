@@ -1,0 +1,75 @@
+"""Hypothesis-driven invariants of the color pipeline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.multimedia.histogram import (
+    Palette,
+    QuadraticFormDistance,
+    color_histogram,
+)
+from repro.multimedia.similarity import laplacian_similarity
+
+PALETTE = Palette.rgb_cube(3)
+DISTANCE = QuadraticFormDistance(laplacian_similarity(PALETTE))
+
+
+def rasters(size=6):
+    return st.lists(
+        st.tuples(
+            st.floats(min_value=0, max_value=1, allow_nan=False),
+            st.floats(min_value=0, max_value=1, allow_nan=False),
+            st.floats(min_value=0, max_value=1, allow_nan=False),
+        ),
+        min_size=size * size,
+        max_size=size * size,
+    ).map(lambda pixels: np.array(pixels).reshape(size, size, 3))
+
+
+@given(raster=rasters())
+@settings(max_examples=30, deadline=None)
+def test_histogram_is_a_distribution(raster):
+    histogram = color_histogram(raster, PALETTE)
+    assert histogram.shape == (PALETTE.k,)
+    assert histogram.sum() == pytest.approx(1.0)
+    assert (histogram >= 0).all()
+
+
+@given(raster=rasters(), seed=st.integers(min_value=0, max_value=1000))
+@settings(max_examples=30, deadline=None)
+def test_histogram_invariant_under_pixel_permutation(raster, seed):
+    """A histogram sees colors, not layout: shuffling pixels changes
+    nothing."""
+    rng = np.random.default_rng(seed)
+    pixels = raster.reshape(-1, 3)
+    shuffled = pixels[rng.permutation(len(pixels))].reshape(raster.shape)
+    assert np.allclose(
+        color_histogram(raster, PALETTE), color_histogram(shuffled, PALETTE)
+    )
+
+
+@given(raster=rasters())
+@settings(max_examples=30, deadline=None)
+def test_distance_to_self_is_zero(raster):
+    histogram = color_histogram(raster, PALETTE)
+    assert DISTANCE(histogram, histogram) == pytest.approx(0.0, abs=1e-9)
+
+
+@given(a=rasters(), b=rasters(), c=rasters())
+@settings(max_examples=20, deadline=None)
+def test_triangle_inequality_on_histograms(a, b, c):
+    ha = color_histogram(a, PALETTE)
+    hb = color_histogram(b, PALETTE)
+    hc = color_histogram(c, PALETTE)
+    assert DISTANCE(ha, hc) <= DISTANCE(ha, hb) + DISTANCE(hb, hc) + 1e-9
+
+
+@given(raster=rasters())
+@settings(max_examples=20, deadline=None)
+def test_upscaling_preserves_histogram(raster):
+    """Repeating every pixel 2x2 leaves the color distribution intact."""
+    upscaled = np.repeat(np.repeat(raster, 2, axis=0), 2, axis=1)
+    assert np.allclose(
+        color_histogram(raster, PALETTE), color_histogram(upscaled, PALETTE)
+    )

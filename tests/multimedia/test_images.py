@@ -1,0 +1,131 @@
+"""Synthetic image model: shapes, masks, boundaries, generators."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.multimedia.images import (
+    NAMED_COLORS,
+    SHAPE_KINDS,
+    ImageGenerator,
+    ShapeSpec,
+    SyntheticImage,
+)
+
+
+def spec(kind="circle", **kw):
+    defaults = dict(center=(0.5, 0.5), size=0.5, color=(1.0, 0.0, 0.0))
+    defaults.update(kw)
+    return ShapeSpec(kind=kind, **defaults)
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ValueError):
+        spec(kind="hexagon")
+
+
+def test_size_validated():
+    with pytest.raises(ValueError):
+        spec(size=0.0)
+    with pytest.raises(ValueError):
+        spec(size=1.5)
+
+
+@pytest.mark.parametrize("kind", SHAPE_KINDS)
+def test_mask_is_nonempty_and_inside_canvas(kind):
+    mask = spec(kind=kind).mask(32)
+    assert mask.shape == (32, 32)
+    assert mask.any()
+    assert mask.sum() < 32 * 32  # the shape doesn't cover everything
+
+
+def test_circle_mask_area_matches_formula():
+    mask = spec(kind="circle", size=0.5).mask(256)
+    area = mask.sum() / 256**2
+    assert area == pytest.approx(math.pi * 0.25**2, rel=0.02)
+
+
+def test_square_mask_area_matches_formula():
+    mask = spec(kind="square", size=0.5).mask(256)
+    assert mask.sum() / 256**2 == pytest.approx(0.25, rel=0.02)
+
+
+def test_rotation_preserves_area():
+    straight = spec(kind="square").mask(256).sum()
+    rotated = spec(kind="square", rotation=0.7).mask(256).sum()
+    assert rotated == pytest.approx(straight, rel=0.03)
+
+
+@pytest.mark.parametrize("kind", SHAPE_KINDS)
+def test_boundary_has_requested_samples(kind):
+    boundary = spec(kind=kind).boundary(48)
+    assert boundary.shape == (48, 2)
+
+
+def test_boundary_points_lie_on_circle():
+    boundary = spec(kind="circle", size=0.6).boundary(64)
+    radii = np.linalg.norm(boundary - np.array([0.5, 0.5]), axis=1)
+    assert np.allclose(radii, 0.3, atol=1e-9)
+
+
+def test_boundary_respects_rotation():
+    base = spec(kind="rectangle", aspect=0.5).boundary(32)
+    rotated = spec(kind="rectangle", aspect=0.5, rotation=math.pi / 2).boundary(32)
+    center = np.array([0.5, 0.5])
+    # rotating by 90 degrees maps the point set onto itself rotated
+    expected = (base - center) @ np.array([[0.0, 1.0], [-1.0, 0.0]]) + center
+    assert np.allclose(sorted(map(tuple, rotated)), sorted(map(tuple, expected)), atol=1e-9)
+
+
+def test_rasterize_shapes_paint_over_background():
+    image = SyntheticImage(
+        "img", background=(0.0, 0.0, 1.0), shapes=(spec(kind="circle"),)
+    )
+    raster = image.rasterize(32)
+    assert raster.shape == (32, 32, 3)
+    center_pixel = raster[16, 16]
+    assert tuple(center_pixel) == (1.0, 0.0, 0.0)  # shape color
+    corner_pixel = raster[0, 0]
+    assert tuple(corner_pixel) == (0.0, 0.0, 1.0)  # background
+
+
+def test_later_shapes_occlude_earlier():
+    image = SyntheticImage(
+        "img",
+        background=(0, 0, 0),
+        shapes=(
+            spec(kind="circle", color=(1, 0, 0)),
+            spec(kind="circle", color=(0, 1, 0)),
+        ),
+    )
+    assert tuple(image.rasterize(16)[8, 8]) == (0, 1, 0)
+
+
+def test_dominant_shape():
+    small = spec(size=0.2)
+    big = spec(size=0.5)
+    image = SyntheticImage("img", (0, 0, 0), (small, big))
+    assert image.dominant_shape() is big
+    assert SyntheticImage("plain", (0, 0, 0)).dominant_shape() is None
+
+
+def test_generator_is_deterministic():
+    a = ImageGenerator(7).corpus(10)
+    b = ImageGenerator(7).corpus(10)
+    assert [i.image_id for i in a] == [i.image_id for i in b]
+    assert a[0].background == b[0].background
+
+
+def test_themed_images_are_near_the_theme_color():
+    generator = ImageGenerator(3)
+    red = NAMED_COLORS["red"]
+    for i in range(10):
+        image = generator.themed(f"t{i}", "red")
+        assert abs(image.background[0] - red[0]) <= 0.19
+
+
+def test_corpus_mixes_and_shuffles():
+    corpus = ImageGenerator(1).corpus(20, themed_fraction=0.5, theme="blue")
+    assert len(corpus) == 20
+    assert len({img.image_id for img in corpus}) == 20

@@ -1,0 +1,83 @@
+"""Precomputed pairwise distances: lookups match live evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import UnknownObjectError
+from repro.multimedia.histogram import Palette, QuadraticFormDistance
+from repro.multimedia.images import ImageGenerator
+from repro.multimedia.precompute import PairwiseDistanceCache
+from repro.multimedia.similarity import laplacian_similarity
+from repro.workloads.image_corpus import corpus_histograms
+
+
+@pytest.fixture(scope="module")
+def setup():
+    palette = Palette.rgb_cube(3)
+    distance = QuadraticFormDistance(laplacian_similarity(palette))
+    corpus = ImageGenerator(2).corpus(30)
+    histograms = corpus_histograms(corpus, palette)
+    cache = PairwiseDistanceCache(histograms, distance)
+    return distance, histograms, cache
+
+
+def test_cached_distances_match_live_evaluation(setup):
+    distance, histograms, cache = setup
+    ids = list(histograms)
+    for a, b in zip(ids[:6], ids[6:12]):
+        assert cache.distance_between(a, b) == pytest.approx(
+            distance(histograms[a], histograms[b]), abs=1e-9
+        )
+
+
+def test_self_distance_is_zero(setup):
+    _, histograms, cache = setup
+    anchor = next(iter(histograms))
+    assert cache.distance_between(anchor, anchor) == pytest.approx(0.0, abs=1e-9)
+
+
+def test_neighbors_are_sorted_and_exclude_anchor(setup):
+    _, histograms, cache = setup
+    anchor = next(iter(histograms))
+    neighbors = cache.neighbors(anchor, 5)
+    assert len(neighbors) == 5
+    assert anchor not in [obj for obj, _ in neighbors]
+    distances = [d for _, d in neighbors]
+    assert distances == sorted(distances)
+
+
+def test_neighbors_match_brute_force(setup):
+    distance, histograms, cache = setup
+    anchor = next(iter(histograms))
+    brute = sorted(
+        (distance(histograms[anchor], h), str(obj))
+        for obj, h in histograms.items()
+        if obj != anchor
+    )[:5]
+    cached = cache.neighbors(anchor, 5)
+    assert [d for d, _ in brute] == pytest.approx([d for _, d in cached], abs=1e-9)
+
+
+def test_ranked_list_is_a_graded_set_anchored_at_one(setup):
+    _, histograms, cache = setup
+    anchor = next(iter(histograms))
+    graded = cache.ranked_list(anchor)
+    assert graded.best().object_id == anchor
+    assert graded.best().grade == pytest.approx(1.0)
+    assert len(graded) == len(histograms)
+
+
+def test_build_cost_is_all_pairs_and_queries_are_free(setup):
+    _, histograms, cache = setup
+    n = len(histograms)
+    assert cache.build_evaluations == n * (n - 1) // 2
+    cache.neighbors(next(iter(histograms)), 3)
+    assert cache.query_evaluations == 0
+
+
+def test_unknown_anchor_raises(setup):
+    _, _, cache = setup
+    with pytest.raises(UnknownObjectError):
+        cache.neighbors("ghost", 3)
+    with pytest.raises(ValueError):
+        cache.neighbors(next(iter(cache._ids)), 0)

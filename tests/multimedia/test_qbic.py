@@ -1,0 +1,123 @@
+"""The QBIC-style subsystem: atomic queries over a synthetic corpus."""
+
+import numpy as np
+import pytest
+
+from repro.core.query import Atomic
+from repro.errors import PlanError
+from repro.multimedia.images import ImageGenerator, SyntheticImage, ShapeSpec
+from repro.multimedia.qbic import QbicSubsystem, reference_boundary
+
+
+@pytest.fixture(scope="module")
+def qbic():
+    generator = ImageGenerator(42)
+    corpus = generator.corpus(40, themed_fraction=0.3, theme="red")
+    # plant one guaranteed round-dominant image and one square-dominant
+    corpus.append(
+        SyntheticImage(
+            "planted-round",
+            background=(0.2, 0.2, 0.2),
+            shapes=(ShapeSpec("circle", (0.5, 0.5), 0.5, (0.9, 0.1, 0.1)),),
+        )
+    )
+    corpus.append(
+        SyntheticImage(
+            "planted-square",
+            background=(0.2, 0.2, 0.2),
+            shapes=(ShapeSpec("square", (0.5, 0.5), 0.5, (0.1, 0.1, 0.9)),),
+        )
+    )
+    return QbicSubsystem("qbic", corpus)
+
+
+def test_attributes(qbic):
+    assert qbic.attributes() == {"Color", "Shape", "Texture"}
+    assert len(qbic) == 42
+
+
+def test_duplicate_image_ids_rejected():
+    image = ImageGenerator(0).random_image("dup")
+    with pytest.raises(PlanError):
+        QbicSubsystem("broken", [image, image])
+
+
+def test_color_query_by_name(qbic):
+    source = qbic.bind(Atomic("Color", "red"))
+    assert len(source) == 42
+    graded = source.as_graded_set()
+    # the reddest images must outrank blue-planted one
+    assert graded.grade("planted-round") > graded.grade("planted-square")
+
+
+def test_color_query_by_rgb_triple(qbic):
+    by_name = qbic.bind(Atomic("Color", "blue")).as_graded_set()
+    from repro.multimedia.images import NAMED_COLORS
+
+    by_rgb = qbic.bind(Atomic("Color", NAMED_COLORS["blue"])).as_graded_set()
+    assert by_name.grades_equal(by_rgb)
+
+
+def test_color_query_by_image_id_is_reflexive(qbic):
+    source = qbic.bind(Atomic("Color", "planted-round"))
+    graded = source.as_graded_set()
+    assert graded.best().object_id == "planted-round"
+    assert graded.best().grade == pytest.approx(1.0)
+
+
+def test_color_query_by_histogram(qbic):
+    histogram = qbic.histogram_of("planted-square")
+    graded = qbic.bind(Atomic("Color", histogram)).as_graded_set()
+    assert graded.best().object_id == "planted-square"
+
+
+def test_color_query_invalid_targets(qbic):
+    with pytest.raises(PlanError):
+        qbic.bind(Atomic("Color", "no-such-color"))
+    with pytest.raises(PlanError):
+        qbic.bind(Atomic("Color", np.zeros(7)))
+
+
+def test_shape_round_ranks_planted_circle_first(qbic):
+    graded = qbic.bind(Atomic("Shape", "round")).as_graded_set()
+    top_ids = [item.object_id for item in graded.top(3)]
+    assert "planted-round" in top_ids
+    assert graded.grade("planted-round") > graded.grade("planted-square")
+
+
+def test_shape_square_prefers_planted_square(qbic):
+    graded = qbic.bind(Atomic("Shape", "square")).as_graded_set()
+    assert graded.grade("planted-square") > graded.grade("planted-round")
+
+
+def test_shape_query_by_polygon(qbic):
+    polygon = reference_boundary("triangle")
+    graded = qbic.bind(Atomic("Shape", polygon)).as_graded_set()
+    assert len(graded) == 42
+
+
+def test_shape_query_invalid_target(qbic):
+    with pytest.raises(PlanError):
+        qbic.bind(Atomic("Shape", "dodecahedron"))
+    with pytest.raises(PlanError):
+        qbic.bind(Atomic("Shape", np.zeros((4, 3))))
+
+
+def test_texture_query_by_name_and_vector(qbic):
+    by_name = qbic.bind(Atomic("Texture", "smooth")).as_graded_set()
+    by_vector = qbic.bind(
+        Atomic("Texture", np.array([0.0, 0.05, 0.1]))
+    ).as_graded_set()
+    assert by_name.grades_equal(by_vector)
+    with pytest.raises(PlanError):
+        qbic.bind(Atomic("Texture", "fluffy"))
+
+
+def test_invalid_shape_method_rejected():
+    with pytest.raises(PlanError):
+        QbicSubsystem("q", [], shape_method="psychic")
+
+
+def test_reference_boundary_unknown_name():
+    with pytest.raises(PlanError):
+        reference_boundary("blob")

@@ -1,0 +1,207 @@
+"""Shape distances: identity, invariances, discrimination."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import IndexError_
+from repro.multimedia.images import ShapeSpec
+from repro.multimedia.shape import (
+    SHAPE_DISTANCES,
+    fourier_descriptor_distance,
+    fourier_descriptors,
+    hausdorff_distance,
+    moment_distance,
+    normalize_polygon,
+    turning_function,
+    turning_function_distance,
+)
+
+
+def boundary(kind, *, size=0.5, rotation=0.0, center=(0.5, 0.5), samples=64):
+    return ShapeSpec(
+        kind=kind, center=center, size=size, color=(0.5, 0.5, 0.5), rotation=rotation
+    ).boundary(samples)
+
+
+CIRCLE = boundary("circle")
+SQUARE = boundary("square")
+TRIANGLE = boundary("triangle")
+
+
+# ----------------------------------------------------------------------
+# normalize_polygon
+# ----------------------------------------------------------------------
+def test_normalize_centers_and_scales():
+    normalized = normalize_polygon(SQUARE)
+    assert np.allclose(normalized.mean(axis=0), 0.0, atol=1e-9)
+    rms = math.sqrt(float(np.mean(np.sum(normalized**2, axis=1))))
+    assert rms == pytest.approx(1.0)
+
+
+def test_normalize_rejects_degenerate():
+    with pytest.raises(IndexError_):
+        normalize_polygon(np.zeros((5, 2)))
+    with pytest.raises(IndexError_):
+        normalize_polygon(np.zeros((2, 2)))
+
+
+# ----------------------------------------------------------------------
+# Turning function
+# ----------------------------------------------------------------------
+def test_turning_function_of_convex_shape_is_monotone():
+    tf = turning_function(SQUARE)
+    assert all(b >= a - 1e-9 for a, b in zip(tf, tf[1:]))
+    assert tf[-1] <= 2 * math.pi + 1e-6
+
+
+def test_turning_distance_identity():
+    assert turning_function_distance(SQUARE, SQUARE) == pytest.approx(0.0, abs=1e-9)
+
+
+def test_turning_distance_translation_and_scale_invariant():
+    moved = boundary("square", size=0.2, center=(0.2, 0.8))
+    assert turning_function_distance(SQUARE, moved) == pytest.approx(0.0, abs=1e-6)
+
+
+def test_turning_distance_rotation_invariant():
+    rotated = boundary("square", rotation=0.6)
+    assert turning_function_distance(SQUARE, rotated) < 0.12
+
+
+def test_turning_distance_discriminates_kinds():
+    like = turning_function_distance(SQUARE, boundary("square", rotation=0.3))
+    unlike = turning_function_distance(SQUARE, CIRCLE)
+    assert unlike > 3 * like
+
+
+def test_turning_distance_symmetric():
+    assert turning_function_distance(SQUARE, TRIANGLE) == pytest.approx(
+        turning_function_distance(TRIANGLE, SQUARE), abs=1e-9
+    )
+
+
+# ----------------------------------------------------------------------
+# Hausdorff
+# ----------------------------------------------------------------------
+def test_hausdorff_identity_and_symmetry():
+    assert hausdorff_distance(SQUARE, SQUARE) == 0.0
+    assert hausdorff_distance(SQUARE, CIRCLE) == pytest.approx(
+        hausdorff_distance(CIRCLE, SQUARE)
+    )
+
+
+def test_hausdorff_known_value():
+    a = np.array([[0.0, 0.0], [1.0, 0.0], [1.0, 1.0]])
+    b = a + np.array([0.0, 2.0])
+    assert hausdorff_distance(a, b) == pytest.approx(2.0)
+
+
+def test_hausdorff_is_translation_sensitive_until_normalized():
+    moved = boundary("square", center=(0.1, 0.1))
+    raw = hausdorff_distance(SQUARE, moved)
+    normalized = hausdorff_distance(
+        normalize_polygon(SQUARE), normalize_polygon(moved)
+    )
+    assert raw > 0.1
+    assert normalized == pytest.approx(0.0, abs=1e-6)
+
+
+# ----------------------------------------------------------------------
+# Moments
+# ----------------------------------------------------------------------
+def mask(kind, rotation=0.0, size=0.5, center=(0.5, 0.5)):
+    return ShapeSpec(
+        kind=kind, center=center, size=size, color=(0, 0, 0), rotation=rotation
+    ).mask(64)
+
+
+def test_moment_distance_identity():
+    assert moment_distance(mask("circle"), mask("circle")) == 0.0
+
+
+def test_moment_distance_invariant_to_pose():
+    reference = mask("triangle")
+    transformed = mask("triangle", rotation=1.0, size=0.4, center=(0.4, 0.6))
+    reference_vs_other = moment_distance(reference, mask("circle"))
+    reference_vs_same = moment_distance(reference, transformed)
+    assert reference_vs_same < reference_vs_other
+
+
+def test_moment_distance_empty_mask_rejected():
+    with pytest.raises(IndexError_):
+        moment_distance(np.zeros((8, 8), dtype=bool), mask("circle"))
+
+
+# ----------------------------------------------------------------------
+# Fourier descriptors
+# ----------------------------------------------------------------------
+def test_fourier_descriptors_shape():
+    fd = fourier_descriptors(CIRCLE, coefficients=8)
+    assert fd.shape == (16,)
+
+
+def test_fourier_distance_identity_and_invariance():
+    assert fourier_descriptor_distance(CIRCLE, CIRCLE) == pytest.approx(0.0)
+    moved = boundary("circle", size=0.2, center=(0.3, 0.3))
+    assert fourier_descriptor_distance(CIRCLE, moved) == pytest.approx(0.0, abs=1e-9)
+
+
+def test_fourier_distance_discriminates():
+    same = fourier_descriptor_distance(SQUARE, boundary("square", rotation=0.5))
+    different = fourier_descriptor_distance(SQUARE, TRIANGLE)
+    assert different > same
+
+
+def test_registry_contains_all_methods():
+    assert set(SHAPE_DISTANCES) == {"turning", "hausdorff", "fourier", "dtw"}
+    for method in SHAPE_DISTANCES.values():
+        assert method(SQUARE, SQUARE) == pytest.approx(0.0, abs=1e-9)
+
+
+# ----------------------------------------------------------------------
+# Dynamic time warping (the [MKC+91] citation)
+# ----------------------------------------------------------------------
+def test_dtw_identity_and_symmetry():
+    from repro.multimedia.shape import dtw_distance
+
+    assert dtw_distance([1, 2, 3], [1, 2, 3]) == 0.0
+    a, b = [0.0, 0.5, 1.0, 0.5], [0.0, 1.0, 0.5, 0.0]
+    assert dtw_distance(a, b) == pytest.approx(dtw_distance(b, a))
+
+
+def test_dtw_tolerates_local_stretching():
+    from repro.multimedia.shape import dtw_distance
+
+    base = [0, 0, 1, 1, 0, 0]
+    stretched = [0, 0, 0, 1, 1, 1, 0, 0]
+    rigid = float(np.linalg.norm(np.array(base) - np.array(stretched[:6])))
+    assert dtw_distance(base, stretched) < rigid
+
+
+def test_dtw_validates_input():
+    from repro.multimedia.shape import dtw_distance
+
+    with pytest.raises(IndexError_):
+        dtw_distance([], [1.0])
+
+
+def test_dtw_turning_distance_invariances():
+    from repro.multimedia.shape import dtw_turning_distance
+
+    assert dtw_turning_distance(SQUARE, SQUARE) == pytest.approx(0.0, abs=1e-9)
+    rotated = boundary("square", rotation=0.7, size=0.3, center=(0.4, 0.6))
+    assert dtw_turning_distance(SQUARE, rotated) == pytest.approx(0.0, abs=0.05)
+
+
+def test_dtw_turning_distance_discriminates():
+    from repro.multimedia.shape import dtw_turning_distance
+
+    same = dtw_turning_distance(SQUARE, boundary("square", rotation=0.3))
+    different = dtw_turning_distance(SQUARE, CIRCLE)
+    assert different > 3 * same + 0.05
+
+
+def test_dtw_registered_in_catalog():
+    assert "dtw" in SHAPE_DISTANCES

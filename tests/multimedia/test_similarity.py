@@ -1,0 +1,68 @@
+"""Similarity matrix constructions for Eq. 1."""
+
+import numpy as np
+import pytest
+
+from repro.multimedia.histogram import Palette
+from repro.multimedia.similarity import (
+    identity_similarity,
+    laplacian_similarity,
+    qbic_similarity,
+)
+
+
+@pytest.fixture(scope="module")
+def palette():
+    return Palette.rgb_cube(3)
+
+
+def eigenvalues(matrix):
+    return np.linalg.eigvalsh(matrix)
+
+
+def test_laplacian_is_symmetric_psd_with_unit_diagonal(palette):
+    matrix = laplacian_similarity(palette)
+    assert np.allclose(matrix, matrix.T)
+    assert eigenvalues(matrix).min() > 0  # strictly PD for distinct colors
+    assert np.allclose(np.diag(matrix), 1.0)
+
+
+def test_laplacian_alpha_controls_coupling(palette):
+    tight = laplacian_similarity(palette, alpha=20.0)
+    loose = laplacian_similarity(palette, alpha=1.0)
+    off_diag = ~np.eye(palette.k, dtype=bool)
+    assert tight[off_diag].mean() < loose[off_diag].mean()
+
+
+def test_laplacian_similar_colors_score_higher(palette):
+    matrix = laplacian_similarity(palette)
+    centers = palette.centers
+    distances = np.linalg.norm(centers[0] - centers, axis=1)
+    nearest = np.argsort(distances)[1]
+    farthest = np.argsort(distances)[-1]
+    assert matrix[0, nearest] > matrix[0, farthest]
+
+
+def test_laplacian_validates_alpha(palette):
+    with pytest.raises(ValueError):
+        laplacian_similarity(palette, alpha=0.0)
+
+
+def test_qbic_matrix_is_psd_after_repair(palette):
+    matrix = qbic_similarity(palette)
+    assert eigenvalues(matrix).min() >= -1e-9
+    assert np.allclose(np.diag(matrix), 1.0)
+
+
+def test_qbic_ridge_makes_it_positive_definite(palette):
+    matrix = qbic_similarity(palette, ridge=1e-4)
+    assert eigenvalues(matrix).min() > 0
+
+
+def test_qbic_validates_ridge(palette):
+    with pytest.raises(ValueError):
+        qbic_similarity(palette, ridge=-1.0)
+
+
+def test_identity_similarity(palette):
+    assert np.array_equal(identity_similarity(palette), np.eye(palette.k))

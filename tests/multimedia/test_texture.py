@@ -1,0 +1,85 @@
+"""Texture features: ranges, discrimination, named targets."""
+
+import numpy as np
+import pytest
+
+from repro.errors import IndexError_
+from repro.multimedia.texture import (
+    NAMED_TEXTURES,
+    coarseness,
+    contrast,
+    directionality,
+    texture_distance,
+    texture_features,
+    to_grayscale,
+)
+
+
+def checkerboard(cell=2, size=32):
+    ys, xs = np.mgrid[:size, :size]
+    pattern = ((xs // cell + ys // cell) % 2).astype(float)
+    return np.stack([pattern] * 3, axis=-1)
+
+
+def stripes(size=32):
+    xs = np.arange(size)
+    pattern = np.tile((xs % 4 < 2).astype(float), (size, 1))
+    return np.stack([pattern] * 3, axis=-1)
+
+
+def flat(value=0.5, size=32):
+    return np.full((size, size, 3), value)
+
+
+def test_grayscale_shape_and_weights():
+    gray = to_grayscale(flat(0.5))
+    assert gray.shape == (32, 32)
+    assert gray[0, 0] == pytest.approx(0.5)
+    with pytest.raises(IndexError_):
+        to_grayscale(np.zeros((4, 4)))
+
+
+def test_flat_image_has_no_texture():
+    gray = to_grayscale(flat())
+    assert coarseness(gray) == 0.0
+    assert contrast(gray) == 0.0
+    assert directionality(gray) == 0.0
+
+
+def test_coarse_pattern_scores_coarser_than_fine():
+    fine = coarseness(to_grayscale(checkerboard(cell=2)))
+    coarse = coarseness(to_grayscale(checkerboard(cell=8)))
+    assert coarse > fine
+
+
+def test_contrast_orders_by_intensity_spread():
+    low = contrast(to_grayscale(flat() + 0.05 * checkerboard()))
+    high = contrast(to_grayscale(checkerboard()))
+    assert high > low
+
+
+def test_stripes_are_more_directional_than_checkerboard():
+    striped = directionality(to_grayscale(stripes()))
+    checked = directionality(to_grayscale(checkerboard()))
+    assert striped > checked
+
+
+def test_features_vector_in_unit_cube():
+    features = texture_features(checkerboard())
+    assert features.shape == (3,)
+    assert (features >= 0).all() and (features <= 1).all()
+
+
+def test_texture_distance_identity_and_symmetry():
+    a = texture_features(checkerboard())
+    b = texture_features(stripes())
+    assert texture_distance(a, a) == 0.0
+    assert texture_distance(a, b) == pytest.approx(texture_distance(b, a))
+    with pytest.raises(IndexError_):
+        texture_distance(a, np.zeros(2))
+
+
+def test_named_textures_are_valid_targets():
+    for name, features in NAMED_TEXTURES.items():
+        assert features.shape == (3,)
+        assert (features >= 0).all() and (features <= 1).all()

@@ -1,0 +1,146 @@
+"""Synthetic video: animation, motion energy, and the video subsystem."""
+
+import numpy as np
+import pytest
+
+from repro.core.query import Atomic
+from repro.errors import PlanError
+from repro.multimedia.images import ImageGenerator, ShapeSpec, SyntheticImage
+from repro.multimedia.video import (
+    NAMED_MOTION,
+    VideoClip,
+    VideoGenerator,
+    VideoSubsystem,
+    color_signature,
+    motion_energy,
+)
+from repro.multimedia.histogram import Palette
+
+
+def still_clip(clip_id="still"):
+    base = SyntheticImage(
+        clip_id,
+        background=(0.2, 0.2, 0.8),
+        shapes=(ShapeSpec("circle", (0.5, 0.5), 0.4, (0.9, 0.1, 0.1)),),
+    )
+    return VideoClip(clip_id, base, ((0.0, 0.0),))
+
+
+def moving_clip(clip_id="moving", speed=0.08):
+    base = SyntheticImage(
+        clip_id,
+        background=(0.2, 0.2, 0.8),
+        shapes=(ShapeSpec("circle", (0.3, 0.3), 0.4, (0.9, 0.1, 0.1)),),
+    )
+    return VideoClip(clip_id, base, ((speed, speed / 2),))
+
+
+def test_clip_validation():
+    base = still_clip().base
+    with pytest.raises(PlanError):
+        VideoClip("bad", base, ())  # velocity count mismatch
+    with pytest.raises(PlanError):
+        VideoClip("bad", base, ((0.0, 0.0),), frame_count=1)
+
+
+def test_frames_animate_shapes():
+    clip = moving_clip()
+    first = clip.frame(0)
+    last = clip.frame(clip.frame_count - 1)
+    assert first.shapes[0].center != last.shapes[0].center
+    assert len(clip.frames(16)) == clip.frame_count
+
+
+def test_still_clip_frames_are_identical():
+    clip = still_clip()
+    rasters = clip.frames(16)
+    assert all(np.array_equal(rasters[0], r) for r in rasters[1:])
+
+
+def test_motion_energy_separates_still_from_moving():
+    assert motion_energy(still_clip()) == pytest.approx(0.0)
+    assert motion_energy(moving_clip()) > 0.2
+
+
+def test_faster_motion_scores_higher():
+    slow = motion_energy(moving_clip("slow", speed=0.02))
+    fast = motion_energy(moving_clip("fast", speed=0.12))
+    assert fast > slow
+
+
+def test_color_signature_is_a_distribution():
+    palette = Palette.rgb_cube(3)
+    signature = color_signature(moving_clip(), palette)
+    assert signature.shape == (27,)
+    assert signature.sum() == pytest.approx(1.0)
+
+
+def test_generator_corpus_mixes_still_and_moving():
+    clips = VideoGenerator(5).corpus(12, still_fraction=0.25)
+    assert len(clips) == 12
+    energies = [motion_energy(clip) for clip in clips[:3]]
+    assert all(e == pytest.approx(0.0) for e in energies)
+
+
+@pytest.fixture(scope="module")
+def subsystem():
+    clips = VideoGenerator(7).corpus(20, still_fraction=0.3)
+    clips.append(still_clip("planted-still"))
+    clips.append(moving_clip("planted-moving", speed=0.1))
+    return VideoSubsystem("video", clips)
+
+
+def test_subsystem_attributes(subsystem):
+    assert subsystem.attributes() == {"ClipColor", "MotionEnergy"}
+    assert len(subsystem) == 22
+
+
+def test_motion_query_still(subsystem):
+    graded = subsystem.bind(Atomic("MotionEnergy", "still")).as_graded_set()
+    assert graded.grade("planted-still") > graded.grade("planted-moving")
+
+
+def test_motion_query_numeric_target(subsystem):
+    energy = subsystem.motion_of("planted-moving")
+    graded = subsystem.bind(Atomic("MotionEnergy", energy)).as_graded_set()
+    assert graded.best().object_id == "planted-moving"
+
+
+def test_clip_color_query_by_name_and_example(subsystem):
+    by_name = subsystem.bind(Atomic("ClipColor", "red")).as_graded_set()
+    assert len(by_name) == 22
+    by_example = subsystem.bind(
+        Atomic("ClipColor", "planted-still")
+    ).as_graded_set()
+    assert by_example.best().object_id == "planted-still"
+
+
+def test_invalid_targets(subsystem):
+    with pytest.raises(PlanError):
+        subsystem.bind(Atomic("MotionEnergy", "warp-speed"))
+    with pytest.raises(PlanError):
+        subsystem.bind(Atomic("MotionEnergy", 3.0))
+    with pytest.raises(PlanError):
+        subsystem.bind(Atomic("ClipColor", "no-such-thing"))
+
+
+def test_duplicate_clip_ids_rejected():
+    clip = still_clip("dup")
+    with pytest.raises(PlanError):
+        VideoSubsystem("broken", [clip, clip])
+
+
+def test_video_in_middleware_conjunction(subsystem):
+    """Red AND still: the full stack over video clips."""
+    from repro.middleware.engine import MiddlewareEngine
+
+    engine = MiddlewareEngine()
+    engine.register(subsystem)
+    query = Atomic("ClipColor", "red") & Atomic("MotionEnergy", "still")
+    result = engine.top_k(query, 3)
+    assert len(result.answers) == 3
+
+
+def test_named_motion_levels_in_range():
+    for level in NAMED_MOTION.values():
+        assert 0.0 <= level <= 1.0

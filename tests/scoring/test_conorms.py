@@ -1,0 +1,82 @@
+"""Co-norm catalog: V-conservation, duality, and non-strictness."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.scoring import conorms, negations, tnorms
+from repro.scoring.properties import (
+    check_associativity,
+    check_commutativity,
+    check_conorm_conservation,
+    check_de_morgan,
+    check_monotonicity,
+    check_strictness,
+)
+
+CATALOG = conorms.conorm_catalog()
+grades = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+@pytest.mark.parametrize("rule", CATALOG, ids=lambda r: r.name)
+def test_conorm_axioms(rule):
+    assert check_conorm_conservation(rule)
+    assert check_monotonicity(rule)
+    assert check_commutativity(rule)
+    assert check_associativity(rule)
+
+
+@pytest.mark.parametrize("rule", CATALOG, ids=lambda r: r.name)
+@given(a=grades, b=grades)
+def test_dominates_max(rule, a, b):
+    """Every co-norm is pointwise at least max."""
+    assert rule((a, b)) >= max(a, b) - 1e-12
+
+
+@pytest.mark.parametrize("rule", CATALOG, ids=lambda r: r.name)
+def test_conorms_are_not_strict(rule):
+    """s(1, x) = 1 for x < 1, so no co-norm is strict — the structural
+    reason the m*k disjunction algorithm escapes the Theorem 4.2 lower
+    bound."""
+    assert not check_strictness(rule)
+    assert rule((1.0, 0.3)) == pytest.approx(1.0)
+
+
+def test_max_exact_values():
+    assert conorms.MAX((0.3, 0.7)) == 0.7
+    assert conorms.MAX((0.3, 0.7, 0.5)) == 0.7
+
+
+def test_probabilistic_sum_exact():
+    assert conorms.PROBABILISTIC_SUM((0.5, 0.5)) == pytest.approx(0.75)
+
+
+def test_bounded_sum_exact():
+    assert conorms.BOUNDED_SUM((0.7, 0.5)) == 1.0
+    assert conorms.BOUNDED_SUM((0.2, 0.3)) == pytest.approx(0.5)
+
+
+def test_drastic_conorm_is_largest():
+    for rule in CATALOG:
+        for a, b in ((0.2, 0.9), (0.5, 0.5), (0.01, 0.01)):
+            assert rule((a, b)) <= conorms.DRASTIC_CONORM((a, b)) + 1e-12
+
+
+@pytest.mark.parametrize(
+    "tnorm,conorm", conorms.DE_MORGAN_PAIRS, ids=lambda x: getattr(x, "name", "")
+)
+def test_de_morgan_duality_with_standard_negation(tnorm, conorm):
+    assert check_de_morgan(tnorm, conorm, negations.STANDARD)
+
+
+def test_dual_conorm_construction_matches_closed_forms():
+    dual_of_product = conorms.DualConorm(tnorms.PRODUCT)
+    for a, b in ((0.2, 0.9), (0.5, 0.5), (0.0, 1.0)):
+        assert dual_of_product((a, b)) == pytest.approx(
+            conorms.PROBABILISTIC_SUM((a, b))
+        )
+
+
+def test_dual_of_min_is_max():
+    dual = conorms.DualConorm(tnorms.MIN)
+    for a, b in ((0.1, 0.9), (0.6, 0.4)):
+        assert dual((a, b)) == pytest.approx(max(a, b))

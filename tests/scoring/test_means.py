@@ -1,0 +1,106 @@
+"""Mean-type rules: strict, monotone, and NOT t-norms (the TZZ79 point)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import WeightingError
+from repro.scoring import means
+from repro.scoring.properties import (
+    check_monotonicity,
+    check_strictness,
+    check_tnorm_conservation,
+)
+
+grades = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+CATALOG = means.mean_catalog()
+
+
+@pytest.mark.parametrize("rule", CATALOG, ids=lambda r: r.name)
+def test_means_are_monotone(rule):
+    assert check_monotonicity(rule)
+    assert check_monotonicity(rule, arity=3)
+
+
+@pytest.mark.parametrize("rule", means.STANDARD_MEANS, ids=lambda r: r.name)
+def test_standard_means_are_strict(rule):
+    """Strictness + monotonicity is all Theorems 4.1/4.2 need — the
+    paper's reason for caring about means despite their not being
+    t-norms."""
+    assert check_strictness(rule)
+    assert check_strictness(rule, arity=3)
+
+
+def test_arithmetic_mean_violates_conservation():
+    """The paper's explicit example: mean(0, 1) = 1/2, not 0, so the
+    arithmetic mean does not conserve propositional semantics."""
+    assert means.MEAN((0.0, 1.0)) == pytest.approx(0.5)
+    assert not check_tnorm_conservation(means.MEAN)
+
+
+def test_geometric_mean_values():
+    assert means.GEOMETRIC_MEAN((0.25, 1.0)) == pytest.approx(0.5)
+    assert means.GEOMETRIC_MEAN((0.0, 0.9)) == 0.0
+
+
+def test_harmonic_mean_values():
+    assert means.HARMONIC_MEAN((0.5, 1.0)) == pytest.approx(2 / 3)
+    assert means.HARMONIC_MEAN((0.0, 1.0)) == 0.0
+
+
+@given(a=grades, b=grades)
+def test_classical_mean_inequality(a, b):
+    """harmonic <= geometric <= arithmetic."""
+    h = means.HARMONIC_MEAN((a, b))
+    g = means.GEOMETRIC_MEAN((a, b))
+    m = means.MEAN((a, b))
+    assert h <= g + 1e-9
+    assert g <= m + 1e-9
+
+
+@given(a=grades, b=grades)
+def test_power_mean_orders_by_exponent(a, b):
+    low = means.PowerMean(-1.0)((a, b))
+    mid = means.MEAN((a, b))
+    high = means.PowerMean(2.0)((a, b))
+    assert low <= mid + 1e-9 <= high + 2e-9
+
+
+def test_power_mean_rejects_zero_exponent():
+    with pytest.raises(ValueError):
+        means.PowerMean(0.0)
+
+
+def test_median_even_and_odd():
+    assert means.MEDIAN((0.1, 0.9)) == pytest.approx(0.5)
+    assert means.MEDIAN((0.1, 0.5, 0.9)) == pytest.approx(0.5)
+    assert means.MEDIAN((0.1, 0.2, 0.8, 0.9)) == pytest.approx(0.5)
+
+
+def test_median_is_monotone_but_not_strict():
+    assert check_monotonicity(means.MEDIAN, arity=3)
+    assert not check_strictness(means.MEDIAN, arity=3)
+    # witness: median hits 1 without all arguments being 1
+    assert means.MEDIAN((1.0, 1.0, 0.0)) == 1.0
+
+
+def test_weighted_mean_basic():
+    rule = means.WeightedArithmeticMean((2.0, 1.0))
+    assert rule((0.9, 0.3)) == pytest.approx(2 / 3 * 0.9 + 1 / 3 * 0.3)
+
+
+def test_weighted_mean_wrong_arity():
+    rule = means.WeightedArithmeticMean((0.5, 0.5))
+    with pytest.raises(WeightingError):
+        rule((0.1, 0.2, 0.3))
+
+
+def test_weighted_mean_rejects_bad_weights():
+    with pytest.raises(WeightingError):
+        means.WeightedArithmeticMean((-1.0, 2.0))
+    with pytest.raises(WeightingError):
+        means.WeightedArithmeticMean((0.0, 0.0))
+
+
+def test_weighted_mean_strictness_flag_tracks_weights():
+    assert means.WeightedArithmeticMean((0.5, 0.5)).is_strict
+    assert not means.WeightedArithmeticMean((1.0, 0.0)).is_strict

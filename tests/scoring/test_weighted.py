@@ -1,0 +1,188 @@
+"""The Fagin–Wimmers weighted rule: formula values and desiderata D1-D3'."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import WeightingError
+from repro.scoring import means, tnorms
+from repro.scoring.properties import (
+    check_local_linearity,
+    check_monotonicity,
+    check_strictness,
+)
+from repro.scoring.weighted import (
+    WeightedScoring,
+    mixture,
+    uniform_weighting,
+    validate_weighting,
+    weighted_score,
+)
+
+
+def ordered_weightings(m):
+    """Hypothesis strategy for ordered weightings of length m."""
+    return (
+        st.lists(
+            st.floats(min_value=0.01, max_value=1.0, allow_nan=False),
+            min_size=m,
+            max_size=m,
+        )
+        .map(lambda ws: sorted(ws, reverse=True))
+        .map(lambda ws: tuple(w / sum(ws) for w in ws))
+    )
+
+
+grades = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+# ----------------------------------------------------------------------
+# The formula itself
+# ----------------------------------------------------------------------
+def test_formula_hand_computed_min():
+    # Theta = (2/3, 1/3), f = min:
+    # (2/3 - 1/3) * min(x1) + 2 * (1/3) * min(x1, x2)
+    value = weighted_score(tnorms.MIN, (2 / 3, 1 / 3), (0.9, 0.6))
+    expected = (1 / 3) * 0.9 + (2 / 3) * 0.6
+    assert value == pytest.approx(expected)
+
+
+def test_formula_hand_computed_three_args():
+    theta = (0.5, 0.3, 0.2)
+    xs = (0.9, 0.6, 0.3)
+    expected = (
+        (0.5 - 0.3) * 0.9
+        + 2 * (0.3 - 0.2) * min(0.9, 0.6)
+        + 3 * 0.2 * min(0.9, 0.6, 0.3)
+    )
+    assert weighted_score(tnorms.MIN, theta, xs) == pytest.approx(expected)
+
+
+def test_weighted_average_is_plain_weighted_average():
+    """For f = arithmetic mean the weighted version is the weighted mean
+    (the paper's 'easy' case)."""
+    theta = (0.7, 0.3)
+    xs = (0.4, 0.9)
+    value = weighted_score(means.MEAN, theta, xs)
+    assert value == pytest.approx(0.7 * 0.4 + 0.3 * 0.9)
+
+
+@given(theta=ordered_weightings(3), xs=st.tuples(grades, grades, grades))
+def test_weighted_mean_closed_form_property(theta, xs):
+    value = weighted_score(means.MEAN, theta, xs)
+    expected = sum(w * x for w, x in zip(theta, xs))
+    assert value == pytest.approx(expected, abs=1e-9)
+
+
+def test_unordered_weights_sort_arguments_jointly():
+    # weight 0.3 on x1=0.9, weight 0.7 on x2=0.6 must equal the ordered
+    # call with the pairs swapped.
+    unordered = weighted_score(tnorms.MIN, (0.3, 0.7), (0.9, 0.6))
+    ordered = weighted_score(tnorms.MIN, (0.7, 0.3), (0.6, 0.9))
+    assert unordered == pytest.approx(ordered)
+
+
+# ----------------------------------------------------------------------
+# Desiderata
+# ----------------------------------------------------------------------
+@given(xs=st.tuples(grades, grades, grades))
+def test_d1_equal_weights_reduce_to_unweighted(xs):
+    value = weighted_score(tnorms.MIN, uniform_weighting(3), xs)
+    assert value == pytest.approx(min(xs), abs=1e-9)
+
+
+@given(theta=ordered_weightings(2), xs=st.tuples(grades, grades))
+def test_d2_zero_weight_argument_drops(theta, xs):
+    padded_theta = (theta[0], theta[1], 0.0)
+    padded_xs = (xs[0], xs[1], 0.123)
+    with_zero = weighted_score(tnorms.MIN, padded_theta, padded_xs)
+    without = weighted_score(tnorms.MIN, theta, xs)
+    assert with_zero == pytest.approx(without, abs=1e-9)
+
+
+def test_d3_continuity_in_weights():
+    xs = (0.9, 0.4)
+    base = weighted_score(tnorms.MIN, (0.6, 0.4), xs)
+    for epsilon in (1e-3, 1e-5, 1e-7):
+        nearby = weighted_score(
+            tnorms.MIN, (0.6 + epsilon, 0.4 - epsilon), xs
+        )
+        assert abs(nearby - base) < 10 * epsilon + 1e-9
+
+
+@pytest.mark.parametrize(
+    "rule", [tnorms.MIN, tnorms.PRODUCT, means.MEAN, means.GEOMETRIC_MEAN],
+    ids=lambda r: r.name,
+)
+def test_d3prime_local_linearity(rule):
+    assert check_local_linearity(rule, arity=3)
+
+
+def test_equal_middle_weights_are_well_defined():
+    """When theta_2 = theta_3 the tied coefficient is 0, so the value
+    must not depend on which tied argument enters the prefix."""
+    theta = (0.5, 0.25, 0.25)
+    a = weighted_score(tnorms.MIN, theta, (0.9, 0.7, 0.2))
+    b = weighted_score(tnorms.MIN, (0.5, 0.25, 0.25), (0.9, 0.2, 0.7))
+    # Both orders of the tied pair are the same multiset of
+    # (weight, grade) pairs, so the values must agree.
+    assert a == pytest.approx(b)
+
+
+# ----------------------------------------------------------------------
+# Inheritance (section 5's last claim)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("base", [tnorms.MIN, tnorms.PRODUCT, means.MEAN],
+                         ids=lambda r: r.name)
+def test_weighted_inherits_monotonicity_and_strictness(base):
+    weighted = WeightedScoring(base, (0.5, 0.3, 0.2))
+    assert weighted.is_monotone
+    assert weighted.is_strict
+    assert check_monotonicity(weighted, arity=3)
+    assert check_strictness(weighted, arity=3)
+
+
+def test_weighted_with_zero_weight_is_not_strict():
+    weighted = WeightedScoring(tnorms.MIN, (0.7, 0.3, 0.0))
+    assert not weighted.is_strict
+    # Witness: the zero-weight argument can be 0 while the value is 1.
+    assert weighted((1.0, 1.0, 0.0)) == pytest.approx(1.0)
+
+
+# ----------------------------------------------------------------------
+# Validation and helpers
+# ----------------------------------------------------------------------
+def test_validate_weighting_normalizes_drift():
+    theta = validate_weighting((0.3333333, 0.3333333, 0.3333334))
+    assert sum(theta) == pytest.approx(1.0)
+
+
+def test_validate_weighting_rejects_bad_input():
+    with pytest.raises(WeightingError):
+        validate_weighting(())
+    with pytest.raises(WeightingError):
+        validate_weighting((0.5, -0.5, 1.0))
+    with pytest.raises(WeightingError):
+        validate_weighting((0.5, 0.2))  # sums to 0.7
+
+
+def test_arity_mismatch_rejected():
+    with pytest.raises(WeightingError):
+        weighted_score(tnorms.MIN, (0.5, 0.5), (0.1, 0.2, 0.3))
+
+
+def test_mixture_validates_coefficient():
+    with pytest.raises(WeightingError):
+        mixture((0.5, 0.5), (0.7, 0.3), 1.5)
+
+
+def test_mixture_midpoint():
+    mixed = mixture((1.0, 0.0), (0.0, 1.0), 0.5)
+    assert mixed == pytest.approx((0.5, 0.5))
+
+
+def test_uniform_weighting():
+    assert uniform_weighting(4) == pytest.approx((0.25,) * 4)
+    with pytest.raises(WeightingError):
+        uniform_weighting(0)

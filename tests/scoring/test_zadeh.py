@@ -1,0 +1,35 @@
+"""Bundled fuzzy semantics."""
+
+import pytest
+
+from repro.scoring import conorms, tnorms
+from repro.scoring.base import FunctionScoring
+from repro.scoring.zadeh import ALL_SEMANTICS, LUKASIEWICZ_LOGIC, PROBABILISTIC, ZADEH, FuzzySemantics
+
+
+def test_zadeh_components():
+    assert ZADEH.conjunction is tnorms.MIN
+    assert ZADEH.disjunction is conorms.MAX
+    assert ZADEH.negation(0.25) == pytest.approx(0.75)
+
+
+def test_all_semantics_have_monotone_rules():
+    for semantics in ALL_SEMANTICS:
+        assert semantics.conjunction.is_monotone
+        assert semantics.disjunction.is_monotone
+
+
+def test_probabilistic_values():
+    assert PROBABILISTIC.conjunction((0.5, 0.5)) == pytest.approx(0.25)
+    assert PROBABILISTIC.disjunction((0.5, 0.5)) == pytest.approx(0.75)
+
+
+def test_lukasiewicz_values():
+    assert LUKASIEWICZ_LOGIC.conjunction((0.7, 0.7)) == pytest.approx(0.4)
+    assert LUKASIEWICZ_LOGIC.disjunction((0.7, 0.7)) == 1.0
+
+
+def test_semantics_rejects_non_monotone_rules():
+    bad = FunctionScoring(lambda g: 1 - min(g), "decreasing", is_monotone=False)
+    with pytest.raises(ValueError):
+        FuzzySemantics("broken", bad, conorms.MAX)

@@ -1,0 +1,141 @@
+"""Lowering and execution of SQL statements."""
+
+import pytest
+
+from repro.core.query import And, Atomic, Not, Or, Scored, Weighted
+from repro.errors import QuerySyntaxError
+from repro.scoring import means, tnorms
+from repro.sql.compiler import compile_sql, execute, resolve_scoring
+from repro.workloads.cd_store import build_store, generate_catalog
+
+
+def test_plain_conjunction_lowers_to_and():
+    query = compile_sql("SELECT * FROM t WHERE A = 1 AND B = 2")
+    assert isinstance(query, And)
+    assert query.children == (Atomic("A", 1), Atomic("B", 2))
+
+
+def test_using_turns_and_into_scored():
+    query = compile_sql("SELECT * FROM t WHERE A = 1 AND B = 2 USING mean")
+    assert isinstance(query, Scored)
+    assert query.scoring is means.MEAN
+
+
+def test_weights_turn_and_into_weighted():
+    query = compile_sql(
+        "SELECT * FROM t WHERE A = 1 WEIGHT 0.6 AND B = 2 WEIGHT 0.4"
+    )
+    assert isinstance(query, Weighted)
+    assert query.weights == pytest.approx((0.6, 0.4))
+    assert query.base is tnorms.MIN
+
+
+def test_weights_with_using_base():
+    query = compile_sql(
+        "SELECT * FROM t WHERE A = 1 WEIGHT 0.6 AND B = 2 WEIGHT 0.4 USING product"
+    )
+    assert isinstance(query, Weighted)
+    assert query.base is tnorms.PRODUCT
+
+
+def test_partial_weights_fill_leftover_mass():
+    query = compile_sql(
+        "SELECT * FROM t WHERE A = 1 WEIGHT 0.5 AND B = 2 AND C = 3"
+    )
+    assert isinstance(query, Weighted)
+    assert query.weights == pytest.approx((0.5, 0.25, 0.25))
+
+
+def test_all_zero_weights_rejected():
+    with pytest.raises(QuerySyntaxError):
+        compile_sql("SELECT * FROM t WHERE A = 1 WEIGHT 0 AND B = 2 WEIGHT 0")
+
+
+def test_or_and_not_lower_directly():
+    query = compile_sql("SELECT * FROM t WHERE A = 1 OR NOT B = 2")
+    assert isinstance(query, Or)
+    assert isinstance(query.children[1], Not)
+
+
+def test_using_applies_to_or():
+    query = compile_sql("SELECT * FROM t WHERE A = 1 OR B = 2 USING max")
+    assert isinstance(query, Scored)
+    assert query.scoring.name == "max"
+
+
+def test_unknown_scoring_rejected():
+    with pytest.raises(QuerySyntaxError):
+        resolve_scoring("telepathy")
+    assert resolve_scoring("MIN") is tnorms.MIN  # case-insensitive
+
+
+def test_execute_against_cd_store():
+    engine = build_store(generate_catalog(300, seed=2))
+    result = execute(
+        "SELECT * FROM albums WHERE Artist = 'Beatles' AND AlbumColor = 'red' "
+        "STOP AFTER 5",
+        engine,
+    )
+    assert len(result.answers) == 5
+    assert result.algorithm == "boolean-first"
+
+
+def test_execute_uses_default_k():
+    engine = build_store(generate_catalog(300, seed=2))
+    result = execute(
+        "SELECT * FROM albums WHERE AlbumColor = 'red'", engine, default_k=7
+    )
+    assert len(result.answers) == 7
+
+
+def test_execute_weighted_query():
+    engine = build_store(generate_catalog(200, seed=3))
+    result = execute(
+        "SELECT * FROM albums WHERE AlbumColor = 'red' WEIGHT 0.8 "
+        "AND AlbumColor = 'blue' WEIGHT 0.2 STOP AFTER 3",
+        engine,
+    )
+    assert len(result.answers) == 3
+
+
+def test_execute_disjunction_uses_mk_algorithm():
+    engine = build_store(generate_catalog(200, seed=3))
+    result = execute(
+        "SELECT * FROM albums WHERE AlbumColor = 'red' OR AlbumColor = 'blue' "
+        "STOP AFTER 4",
+        engine,
+    )
+    assert result.algorithm == "disjunction-max"
+    assert result.database_access_cost == 8
+
+
+def test_projection_hydrates_rows():
+    engine = build_store(generate_catalog(200, seed=5))
+    result = execute(
+        "SELECT Artist, Title FROM albums "
+        "WHERE Artist = 'Beatles' AND AlbumColor = 'red' STOP AFTER 3",
+        engine,
+    )
+    rows = result.extras["rows"]
+    assert len(rows) == 3
+    for row in rows:
+        assert set(row) == {"object_id", "grade", "Artist", "Title"}
+        if row["grade"] > 0:
+            assert row["Artist"] == "Beatles"
+
+
+def test_projection_unknown_column_rejected():
+    engine = build_store(generate_catalog(100, seed=5))
+    with pytest.raises(QuerySyntaxError):
+        execute(
+            "SELECT Smell FROM albums WHERE AlbumColor = 'red' STOP AFTER 2",
+            engine,
+        )
+
+
+def test_star_keeps_plain_result():
+    engine = build_store(generate_catalog(100, seed=5))
+    result = execute(
+        "SELECT * FROM albums WHERE AlbumColor = 'red' STOP AFTER 2", engine
+    )
+    assert "rows" not in result.extras

@@ -1,0 +1,85 @@
+"""Tokenizer for the SQL-like language."""
+
+import pytest
+
+from repro.errors import QuerySyntaxError
+from repro.sql.lexer import tokenize
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)]
+
+
+def test_keywords_case_insensitive():
+    assert kinds("select FROM where")[:3] == ["SELECT", "FROM", "WHERE"]
+
+
+def test_identifiers_and_literals():
+    tokens = tokenize("Color = 'red' 3.14 42")
+    assert [t.kind for t in tokens] == [
+        "IDENT", "EQUALS", "STRING", "NUMBER", "NUMBER", "EOF",
+    ]
+    assert tokens[2].text == "'red'"
+
+
+def test_string_with_escaped_quote():
+    tokens = tokenize(r"'it\'s'")
+    assert tokens[0].kind == "STRING"
+
+
+def test_punctuation():
+    assert kinds("( ) * = ,")[:5] == ["LPAREN", "RPAREN", "STAR", "EQUALS", "COMMA"]
+
+
+def test_positions_recorded():
+    tokens = tokenize("SELECT *")
+    assert tokens[0].position == 0
+    assert tokens[1].position == 7
+
+
+def test_unknown_character_raises_with_position():
+    with pytest.raises(QuerySyntaxError) as excinfo:
+        tokenize("SELECT ;")
+    assert "position 7" in str(excinfo.value)
+
+
+def test_hyphenated_identifier():
+    tokens = tokenize("geometric-mean")
+    assert tokens[0].kind == "IDENT"
+    assert tokens[0].text == "geometric-mean"
+
+
+def test_eof_always_appended():
+    assert tokenize("")[-1].kind == "EOF"
+
+
+# ----------------------------------------------------------------------
+# Fuzzing: the front end fails only with QuerySyntaxError
+# ----------------------------------------------------------------------
+from hypothesis import given, settings, strategies as st
+
+from repro.sql.parser import parse
+
+
+@given(st.text(max_size=60))
+@settings(max_examples=200, deadline=None)
+def test_lexer_never_raises_unexpected_exceptions(text):
+    try:
+        tokenize(text)
+    except QuerySyntaxError:
+        pass
+
+
+_fragments = st.sampled_from(
+    ["SELECT", "*", "FROM", "WHERE", "AND", "OR", "NOT", "USING", "STOP",
+     "AFTER", "WEIGHT", "(", ")", "=", ",", "Color", "'red'", "0.5", "10"]
+)
+
+
+@given(st.lists(_fragments, max_size=12).map(" ".join))
+@settings(max_examples=300, deadline=None)
+def test_parser_never_raises_unexpected_exceptions(text):
+    try:
+        parse(text)
+    except QuerySyntaxError:
+        pass

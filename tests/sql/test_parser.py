@@ -1,0 +1,107 @@
+"""Recursive-descent parser: structure, precedence, errors."""
+
+import pytest
+
+from repro.errors import QuerySyntaxError
+from repro.sql.ast import AndExpr, NotExpr, OrExpr, Predicate
+from repro.sql.parser import parse
+
+
+def test_minimal_statement():
+    statement = parse("SELECT * FROM albums WHERE Artist = 'Beatles'")
+    assert statement.table == "albums"
+    assert statement.condition == Predicate("Artist", "Beatles")
+    assert statement.scoring_name is None
+    assert statement.stop_after is None
+
+
+def test_full_statement():
+    statement = parse(
+        "SELECT * FROM images WHERE Color = 'red' AND Shape = 'round' "
+        "USING min STOP AFTER 10"
+    )
+    assert isinstance(statement.condition, AndExpr)
+    assert statement.scoring_name == "min"
+    assert statement.stop_after == 10
+
+
+def test_and_or_precedence():
+    statement = parse(
+        "SELECT * FROM t WHERE A = 1 OR B = 2 AND C = 3"
+    )
+    condition = statement.condition
+    assert isinstance(condition, OrExpr)
+    assert condition.operands[0] == Predicate("A", 1)
+    assert isinstance(condition.operands[1], AndExpr)
+
+
+def test_parentheses_override_precedence():
+    statement = parse("SELECT * FROM t WHERE (A = 1 OR B = 2) AND C = 3")
+    assert isinstance(statement.condition, AndExpr)
+    assert isinstance(statement.condition.operands[0], OrExpr)
+
+
+def test_not_binds_tightly():
+    statement = parse("SELECT * FROM t WHERE NOT A = 1 AND B = 2")
+    condition = statement.condition
+    assert isinstance(condition, AndExpr)
+    assert isinstance(condition.operands[0], NotExpr)
+
+
+def test_nested_not():
+    statement = parse("SELECT * FROM t WHERE NOT NOT A = 1")
+    assert isinstance(statement.condition, NotExpr)
+    assert isinstance(statement.condition.operand, NotExpr)
+
+
+def test_weight_annotations():
+    statement = parse(
+        "SELECT * FROM t WHERE Color = 'red' WEIGHT 0.7 AND Shape = 'round' WEIGHT 0.3"
+    )
+    ops = statement.condition.operands
+    assert ops[0].weight == pytest.approx(0.7)
+    assert ops[1].weight == pytest.approx(0.3)
+
+
+def test_literal_types():
+    statement = parse("SELECT * FROM t WHERE A = 1 AND B = 2.5 AND C = red")
+    ops = statement.condition.operands
+    assert ops[0].target == 1 and isinstance(ops[0].target, int)
+    assert ops[1].target == pytest.approx(2.5)
+    assert ops[2].target == "red"
+
+
+def test_stop_after_validation():
+    with pytest.raises(QuerySyntaxError):
+        parse("SELECT * FROM t WHERE A = 1 STOP AFTER 0")
+    with pytest.raises(QuerySyntaxError):
+        parse("SELECT * FROM t WHERE A = 1 STOP AFTER 2.5")
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "SELECT FROM t WHERE A = 1",       # missing *
+        "SELECT * FROM WHERE A = 1",       # missing table
+        "SELECT * FROM t",                 # missing WHERE
+        "SELECT * FROM t WHERE A =",       # missing literal
+        "SELECT * FROM t WHERE A = 1 extra",  # trailing junk
+        "SELECT * FROM t WHERE (A = 1",    # unclosed paren
+        "SELECT * FROM t WHERE A = 1 STOP 5",  # missing AFTER
+    ],
+)
+def test_syntax_errors(bad):
+    with pytest.raises(QuerySyntaxError):
+        parse(bad)
+
+
+def test_projection_column_list():
+    statement = parse("SELECT Artist, Title FROM t WHERE A = 1")
+    assert statement.columns == ("Artist", "Title")
+    star = parse("SELECT * FROM t WHERE A = 1")
+    assert star.columns is None
+
+
+def test_projection_trailing_comma_rejected():
+    with pytest.raises(QuerySyntaxError):
+        parse("SELECT Artist, FROM t WHERE A = 1")

@@ -1,0 +1,56 @@
+"""Image corpus builders and the advertisements scenario."""
+
+import pytest
+
+from repro.core.query import Atomic
+from repro.multimedia.histogram import Palette
+from repro.workloads.image_corpus import (
+    advertisements_scenario,
+    build_image_database,
+    corpus_histograms,
+    mixed_corpus,
+)
+
+
+def test_mixed_corpus_size_and_determinism():
+    corpus = mixed_corpus(30, seed=1)
+    assert len(corpus) == 30
+    assert [i.image_id for i in corpus] == [i.image_id for i in mixed_corpus(30, seed=1)]
+
+
+def test_corpus_histograms_are_distributions():
+    palette = Palette.rgb_cube(3)
+    histograms = corpus_histograms(mixed_corpus(10, seed=2), palette)
+    assert len(histograms) == 10
+    for histogram in histograms.values():
+        assert histogram.sum() == pytest.approx(1.0)
+
+
+def test_image_database_answers_mixed_queries():
+    engine = build_image_database(40, seed=3)
+    query = Atomic("Category", "product") & Atomic("Color", "red")
+    result = engine.top_k(query, 5)
+    assert len(result.answers) == 5
+
+
+def test_advertisements_scenario_structure():
+    photos, containment = advertisements_scenario(10, photos_per_ad=3, seed=4)
+    assert len(containment) == 10
+    for ad in containment.parents():
+        assert len(containment.children_of(ad)) == 3
+    photo_ids = {p.image_id for p in photos}
+    for ad in containment.parents():
+        for child in containment.children_of(ad):
+            assert child in photo_ids
+
+
+def test_advertisements_share_photos():
+    _, containment = advertisements_scenario(
+        40, photos_per_ad=3, seed=5, shared_fraction=0.5
+    )
+    assert containment.shared_children()
+
+
+def test_advertisements_validation():
+    with pytest.raises(ValueError):
+        advertisements_scenario(5, photos_per_ad=0)
