@@ -1,0 +1,154 @@
+"""E19 — bulk access: columnar ArraySource vs per-item ListSource.
+
+Paper context (§4): the cost measure counts *accesses*, not Python
+calls — so a backend is free to serve a batch of sorted accesses or a
+set of random probes in one request as long as it charges the same.
+This benchmark measures the wall-clock value of doing so at scale:
+TA top-10 over N=100k objects, m=4 independent lists, comparing
+
+* the seed path — :class:`ListSource` built item-by-item, TA issuing
+  one ``cursor.next()`` / ``random_access()`` per access (replicated
+  here verbatim from the pre-bulk implementation); against
+* the bulk path — :class:`ArraySource` built with one vectorized
+  validate + argsort, TA draining windows via ``next_batch`` and
+  probing via ``random_access_many``.
+
+Both paths must return the same answers at the same uniform cost; the
+acceptance bar is a >= 3x end-to-end (build + query) speedup.  Results
+are written to BENCH_bulk.json next to this file.
+"""
+
+import heapq
+import json
+import time
+from pathlib import Path
+
+from repro.core.cost import CostMeter
+from repro.core.graded import GradedSet
+from repro.core.result import TopKResult
+from repro.core.sources import check_same_objects, sources_from_columns
+from repro.core.threshold import threshold_top_k
+from repro.harness.experiments import e19_bulk_access
+from repro.harness.reporting import format_table
+from repro.scoring import tnorms
+from repro.scoring.base import as_scoring_function
+from repro.workloads.graded_lists import independent
+
+N, M, K, SEED = 100_000, 4, 10, 19
+OUTPUT = Path(__file__).parent / "BENCH_bulk.json"
+
+
+def per_item_threshold_top_k(sources, scoring, k):
+    """The seed's item-at-a-time TA: one access per Python call.
+
+    Kept as the benchmark baseline so the speedup measures the bulk
+    protocol itself, not unrelated drift in the library implementation.
+    """
+    rule = as_scoring_function(scoring)
+    database_size = check_same_objects(sources)
+    k = min(k, database_size)
+    m = len(sources)
+    meter = CostMeter(sources)
+
+    cursors = [s.cursor() for s in sources]
+    bottoms = [1.0] * m
+    overall = {}
+    best_k = []
+    depth = 0
+    stop = False
+    while not stop:
+        progressed = False
+        for i, cursor in enumerate(cursors):
+            item = cursor.next()
+            if item is None:
+                continue
+            progressed = True
+            depth = max(depth, cursor.position)
+            bottoms[i] = item.grade
+            if item.object_id in overall:
+                continue
+            grades = [
+                sources[j].random_access(item.object_id) if j != i else item.grade
+                for j in range(m)
+            ]
+            grade = rule(grades)
+            overall[item.object_id] = grade
+            if len(best_k) < k:
+                heapq.heappush(best_k, grade)
+            elif grade > best_k[0]:
+                heapq.heapreplace(best_k, grade)
+        if not progressed:
+            break
+        if len(best_k) >= k and best_k[0] >= rule(bottoms):
+            stop = True
+
+    return TopKResult(
+        answers=GradedSet(overall).top(k),
+        cost=meter.report(),
+        algorithm="threshold-ta-per-item",
+        sorted_depth=depth,
+    )
+
+
+def _timed_run(table, *, bulk):
+    start = time.perf_counter()
+    backend = "array" if bulk else "list"
+    sources = sources_from_columns(table, backend=backend)
+    built = time.perf_counter()
+    if bulk:
+        result = threshold_top_k(sources, tnorms.MIN, K)
+    else:
+        result = per_item_threshold_top_k(sources, tnorms.MIN, K)
+    done = time.perf_counter()
+    return {
+        "backend": backend,
+        "build_seconds": built - start,
+        "query_seconds": done - built,
+        "total_seconds": done - start,
+        "uniform_cost": result.database_access_cost,
+        "sorted_cost": result.cost.sorted_access_cost,
+        "random_cost": result.cost.random_access_cost,
+    }, result
+
+
+def test_e19_bulk_access_speedup(benchmark):
+    table = independent(N, M, seed=SEED)
+    seed_run, seed_result = _timed_run(table, bulk=False)
+    bulk_run, bulk_result = _timed_run(table, bulk=True)
+
+    assert bulk_result.answers.same_grade_multiset(seed_result.answers)
+    assert bulk_run["uniform_cost"] == seed_run["uniform_cost"]
+
+    speedup = seed_run["total_seconds"] / bulk_run["total_seconds"]
+    payload = {
+        "experiment": "E19",
+        "n": N,
+        "m": M,
+        "k": K,
+        "seed": SEED,
+        "baseline": seed_run,
+        "bulk": bulk_run,
+        "speedup": speedup,
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+
+    headers = ("path", "build s", "query s", "total s", "uniform cost")
+    rows = [
+        (
+            run["backend"],
+            round(run["build_seconds"], 3),
+            round(run["query_seconds"], 3),
+            round(run["total_seconds"], 3),
+            run["uniform_cost"],
+        )
+        for run in (seed_run, bulk_run)
+    ]
+    print()
+    print(format_table(headers, rows))
+    print(f"end-to-end speedup: {speedup:.2f}x (wrote {OUTPUT.name})")
+
+    # The acceptance bar for the bulk-access refactor.
+    assert speedup >= 3.0, f"expected >= 3x speedup, measured {speedup:.2f}x"
+
+    # The smaller harness experiment doubles as the timed benchmark body.
+    benchmark(lambda: e19_bulk_access(n=20_000, m=M, k=K, repeats=1))

@@ -1,4 +1,4 @@
-"""Regenerate every experiment table (E1-E14) in one run.
+"""Regenerate every experiment table (E1-E19) in one run.
 
 This is the script behind EXPERIMENTS.md: it runs the full experiment
 index from DESIGN.md and prints each table with its reproduction notes.
@@ -30,6 +30,7 @@ from repro.harness import (
     e16_pruning,
     e17_concentration,
     e18_resumption,
+    e19_bulk_access,
 )
 from repro.harness.reporting import format_table
 
@@ -53,6 +54,7 @@ FULL = (
     ("E16 — A0 random-access pruning", lambda: e16_pruning()),
     ("E17 — cost concentration (w.h.p.)", lambda: e17_concentration()),
     ("E18 — resumption amortization", lambda: e18_resumption()),
+    ("E19 — bulk access (columnar vs per-item)", lambda: e19_bulk_access()),
 )
 
 QUICK = (

@@ -22,6 +22,7 @@ Quickstart::
 from repro import scoring
 from repro.core import (
     And,
+    ArraySource,
     Atomic,
     FaginAlgorithm,
     GradedItem,
@@ -64,6 +65,7 @@ __all__ = [
     "GradedSet",
     "GradedSource",
     "ListSource",
+    "ArraySource",
     "SortedOnlySource",
     "sources_from_columns",
     "Query",

@@ -44,6 +44,8 @@ from repro.core.query import (
 )
 from repro.core.result import TopKResult
 from repro.core.sources import (
+    DEFAULT_BATCH_SIZE,
+    ArraySource,
     GradedSource,
     ListSource,
     SortedCursor,
@@ -80,9 +82,11 @@ __all__ = [
     "RANDOM_EXPENSIVE",
     "GradedSource",
     "ListSource",
+    "ArraySource",
     "SortedOnlySource",
     "VerifyingSource",
     "SortedCursor",
+    "DEFAULT_BATCH_SIZE",
     "sources_from_columns",
     "check_same_objects",
     "TopKResult",

@@ -21,7 +21,7 @@ trade-off experiment E15 sweeps.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.graded import GradedItem, ObjectId
 from repro.core.sources import GradedSource, SortedCursor
@@ -30,10 +30,11 @@ from repro.core.sources import GradedSource, SortedCursor
 class _BatchCursor(SortedCursor):
     """Sorted access that pays per *batch fetched*, not per item.
 
-    The batch charge happens inside :meth:`BatchedSource._item_at` when
-    the read position crosses the fetched window, so the counter always
-    equals the number of items the repository has shipped — overshoot
-    included.  Items inside an already-fetched window are free.
+    The batch charge happens inside :meth:`BatchedSource._item_at` (and
+    its bulk form ``_items_range``) when the read position crosses the
+    fetched window, so the counter always equals the number of items the
+    repository has shipped — overshoot included.  Items inside an
+    already-fetched window are free.
     """
 
     def next(self) -> Optional[GradedItem]:
@@ -42,6 +43,13 @@ class _BatchCursor(SortedCursor):
             return None
         self.position += 1
         return item
+
+    def next_batch(self, n: int) -> List[GradedItem]:
+        if n <= 0:
+            return []
+        items = self._source._items_range(self.position, n)
+        self.position += len(items)
+        return items
 
 
 class BatchedSource(GradedSource):
@@ -70,27 +78,40 @@ class BatchedSource(GradedSource):
     def cursor(self) -> _BatchCursor:
         return _BatchCursor(self)
 
-    def _item_at(self, index: int) -> Optional[GradedItem]:
-        item = self._inner._item_at(index)
-        if item is None:
-            return None
+    def _charge_through(self, index: int) -> None:
+        """Fetch (and pay for) whole batches until ``index`` is covered."""
         while index >= self.fetched:
             batch = min(self.batch_size, len(self._inner) - self.fetched)
             self.requests += 1
             self.fetched += batch
             self.counter.record_sorted(batch)
+
+    def _item_at(self, index: int) -> Optional[GradedItem]:
+        item = self._inner._item_at(index)
+        if item is None:
+            return None
+        self._charge_through(index)
         return item
+
+    def _items_range(self, start: int, count: int):
+        items = self._inner._items_range(start, count)
+        if items:
+            self._charge_through(start + len(items) - 1)
+        return items
+
+    def _peek_at(self, index: int) -> Optional[GradedItem]:
+        # Peeking never extends the fetched window — only a consuming
+        # read makes the repository ship (and charge for) a batch.
+        return self._inner._peek_at(index)
+
+    def _peek_range(self, start: int, count: int):
+        return self._inner._peek_range(start, count)
 
     def _grade_of(self, object_id: ObjectId) -> float:
         return self._inner._grade_of(object_id)
 
-    def as_graded_set(self):
-        """Accounting-free materialization (delegates past the batching)."""
-        return self._inner.as_graded_set()
-
-    def object_ids(self):
-        """Accounting-free id listing (delegates past the batching)."""
-        return self._inner.object_ids()
+    def _grades_of_many(self, object_ids: Sequence[ObjectId]) -> Dict[ObjectId, float]:
+        return self._inner._grades_of_many(object_ids)
 
     def __len__(self) -> int:
         return len(self._inner)

@@ -26,12 +26,12 @@ grade ties).
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import List, Sequence
 
 from repro.core.cost import CostMeter
 from repro.core.graded import GradedSet, ObjectId
 from repro.core.result import TopKResult
-from repro.core.sources import GradedSource, check_same_objects
+from repro.core.sources import DEFAULT_BATCH_SIZE, GradedSource, check_same_objects
 from repro.errors import PlanError
 from repro.scoring.base import as_scoring_function
 
@@ -62,40 +62,65 @@ def boolean_first_top_k(
     others = [s for i, s in enumerate(sources) if i != boolean_index]
     meter = CostMeter(sources)
 
-    # Phase 1: S = all objects satisfying the Boolean conjunct.
+    # Phase 1: S = all objects satisfying the Boolean conjunct, read in
+    # bulk: peek a window (free), find where the grade-1 prefix ends,
+    # and consume exactly the items the item-at-a-time scan would have —
+    # the |S| satisfying objects plus the one item that broke the run.
     satisfied: List[ObjectId] = []
     cursor = boolean.cursor()
     depth = 0
-    while True:
-        item = cursor.next()
+    scanning = True
+    while scanning:
+        window = cursor.peek_batch(DEFAULT_BATCH_SIZE)
+        if not window:
+            break
+        take = 0
+        for item in window:
+            take += 1
+            if item.grade < 1.0:
+                scanning = False
+                break
+        consumed = cursor.next_batch(take)
         depth = cursor.position
-        if item is None:
-            break
-        if item.grade < 1.0:
-            break
-        satisfied.append(item.object_id)
+        satisfied.extend(
+            item.object_id for item in consumed if item.grade >= 1.0
+        )
 
-    # Phase 2: random access to the fuzzy conjuncts, only for S.
+    # Phase 2: random access to the fuzzy conjuncts, only for S — one
+    # bulk request per fuzzy list (|S| accesses each, exactly what |S|
+    # single probes would charge).
     overall = GradedSet()
+    fetched = [source.random_access_many(satisfied) for source in others]
     for object_id in satisfied:
         grades: List[float] = []
-        other_iter = iter(others)
+        other_iter = iter(fetched)
         for i in range(m):
             if i == boolean_index:
                 grades.append(1.0)
             else:
-                grades.append(next(other_iter).random_access(object_id))
+                grades.append(next(other_iter)[object_id])
         overall[object_id] = rule(grades)
 
     # Phase 3: pad with zero-grade objects if the predicate was too
     # selective to fill k slots (their overall grade is exactly 0).
+    # Peek a window, find how many items an item-at-a-time scan would
+    # consume before the set reaches k, and consume exactly those.
     while len(overall) < k:
-        item = cursor.next()
-        depth = cursor.position
-        if item is None:
+        window = cursor.peek_batch(k - len(overall))
+        if not window:
             break
-        if item.object_id not in overall:
-            overall[item.object_id] = 0.0
+        take = 0
+        added = 0
+        for item in window:
+            take += 1
+            if item.object_id not in overall:
+                added += 1
+                if len(overall) + added >= k:
+                    break
+        for item in cursor.next_batch(take):
+            if item.object_id not in overall:
+                overall[item.object_id] = 0.0
+        depth = cursor.position
 
     return TopKResult(
         answers=overall.top(k),

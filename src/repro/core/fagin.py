@@ -35,12 +35,17 @@ already-emitted objects.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set
+from typing import Dict, List, Sequence, Set
 
 from repro.core.cost import CostMeter
 from repro.core.graded import GradedSet, ObjectId
 from repro.core.result import TopKResult
-from repro.core.sources import GradedSource, SortedCursor, check_same_objects
+from repro.core.sources import (
+    DEFAULT_BATCH_SIZE,
+    GradedSource,
+    SortedCursor,
+    check_same_objects,
+)
 from repro.errors import MonotonicityError, ScoringError
 from repro.scoring.base import ScoringFunction, as_scoring_function
 
@@ -60,6 +65,14 @@ class FaginAlgorithm:
         When True (default), refuse a scoring function whose
         ``is_monotone`` flag is False — A0 is guaranteed correct only
         for monotone rules (section 4.2's first implementation issue).
+    batch_size:
+        Window size for bulk sorted access.  Phase 1 peeks a window of
+        this many upcoming items per list (free), replays the paper's
+        one-item-per-list round robin over the windows in memory, and
+        then consumes exactly the items the round robin used with one
+        ``next_batch`` per list — so the access counts are identical to
+        item-at-a-time draining for every window size (1 reproduces the
+        per-item call pattern exactly).
     """
 
     def __init__(
@@ -69,6 +82,7 @@ class FaginAlgorithm:
         *,
         require_monotone: bool = True,
         prune_random_access: bool = False,
+        batch_size: int = DEFAULT_BATCH_SIZE,
     ) -> None:
         self.sources: List[GradedSource] = list(sources)
         self.database_size = check_same_objects(self.sources)
@@ -84,6 +98,9 @@ class FaginAlgorithm:
         #: best exact grade dominates every remaining bound.  Sound for
         #: any monotone rule; cheapest for min, where the bound is tight.
         self.prune_random_access = prune_random_access
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self.batch_size = batch_size
         self._cursors: List[SortedCursor] = [s.cursor() for s in self.sources]
         #: grades learned so far: object -> {source index -> grade}
         self._known: Dict[ObjectId, Dict[int, float]] = {}
@@ -116,31 +133,66 @@ class FaginAlgorithm:
         return self._matched
 
     def _sorted_phase(self, needed_matches: int) -> None:
-        """Round-robin sorted access until L holds ``needed_matches`` objects."""
-        exhausted = [cursor.exhausted for cursor in self._cursors]
-        while self._match_count() < needed_matches and not all(exhausted):
+        """Round-robin sorted access until L holds ``needed_matches`` objects.
+
+        Bulk form of the paper's parallel scan: peek one window per list
+        (side-effect- and charge-free), replay the one-item-per-list
+        round robin over the windows, and consume exactly the rows the
+        round robin processed with one ``next_batch`` per list.  The
+        per-item algorithm checks the stopping condition between rounds
+        and otherwise takes one item from every list, so draining whole
+        rounds in bulk charges exactly the same sorted accesses.
+        """
+        sightings = self._sightings
+        known = self._known
+        while self._match_count() < needed_matches:
+            windows = [cursor.peek_batch(self.batch_size) for cursor in self._cursors]
+            rows = max((len(window) for window in windows), default=0)
+            if rows == 0:
+                break  # every list exhausted
+            consumed = 0
+            while consumed < rows and self._match_count() < needed_matches:
+                row = consumed
+                for i, window in enumerate(windows):
+                    if row >= len(window):
+                        continue
+                    item = window[row]
+                    object_id = item.object_id
+                    if object_id not in self._seen_by_source[i]:
+                        self._seen_by_source[i].add(object_id)
+                        seen = sightings.get(object_id, 0) + 1
+                        sightings[object_id] = seen
+                        if seen == self.m:
+                            self._matched += 1
+                    grades = known.get(object_id)
+                    if grades is None:
+                        grades = known[object_id] = {}
+                    grades[i] = item.grade
+                    self._bottoms[i] = item.grade
+                consumed += 1
             for i, cursor in enumerate(self._cursors):
-                if exhausted[i]:
-                    continue
-                item = cursor.next()
-                if item is None:
-                    exhausted[i] = True
-                    continue
-                if item.object_id not in self._seen_by_source[i]:
-                    self._seen_by_source[i].add(item.object_id)
-                    sightings = self._sightings.get(item.object_id, 0) + 1
-                    self._sightings[item.object_id] = sightings
-                    if sightings == self.m:
-                        self._matched += 1
-                self._known.setdefault(item.object_id, {})[i] = item.grade
-                self._bottoms[i] = item.grade
+                take = min(consumed, len(windows[i]))
+                if take:
+                    cursor.next_batch(take)
 
     def _random_phase(self) -> None:
-        """Fill in every missing grade of every seen object."""
-        for object_id, grades in self._known.items():
-            for i, source in enumerate(self.sources):
-                if i not in grades:
-                    grades[i] = source.random_access(object_id)
+        """Fill in every missing grade of every seen object.
+
+        One bulk random-access request per list: the paper's cost is one
+        access per (object, list) pair either way, the bulk call merely
+        amortizes the round trip.
+        """
+        for i, source in enumerate(self.sources):
+            missing = [
+                object_id
+                for object_id, grades in self._known.items()
+                if i not in grades
+            ]
+            if not missing:
+                continue
+            fetched = source.random_access_many(missing)
+            for object_id in missing:
+                self._known[object_id][i] = fetched[object_id]
 
     def _compute_phase(self) -> GradedSet:
         """Overall grades for every fully-known seen object."""
@@ -277,6 +329,7 @@ def fagin_top_k(
     *,
     require_monotone: bool = True,
     prune_random_access: bool = False,
+    batch_size: int = DEFAULT_BATCH_SIZE,
 ) -> TopKResult:
     """One-shot convenience wrapper: the top k answers via algorithm A0."""
     algorithm = FaginAlgorithm(
@@ -284,5 +337,6 @@ def fagin_top_k(
         scoring,
         require_monotone=require_monotone,
         prune_random_access=prune_random_access,
+        batch_size=batch_size,
     )
     return algorithm.next_k(k)

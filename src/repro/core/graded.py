@@ -16,7 +16,6 @@ The module provides:
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import (
     Callable,

@@ -30,7 +30,31 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Uni
 
 from repro.core.cost import AccessCounter
 from repro.core.graded import GradedItem, GradedSet, ObjectId, validate_grade
-from repro.errors import AccessError, UnknownObjectError
+from repro.errors import AccessError, GradeError, UnknownObjectError
+
+try:  # numpy is a declared dependency, but keep the core importable without it
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised only on numpy-less installs
+    _np = None
+
+#: Default window size for the algorithms' bulk sorted access.  One
+#: ``next_batch`` per list per round replaces ``batch_size`` Python call
+#: chains; 128 keeps the overshoot-free peek windows small while
+#: amortizing the per-call overhead by two orders of magnitude.
+DEFAULT_BATCH_SIZE = 128
+
+
+def _fast_item(object_id: ObjectId, grade: float) -> GradedItem:
+    """Build a :class:`GradedItem` bypassing ``__post_init__`` validation.
+
+    Only for grades already validated in bulk (e.g. one vectorized check
+    at :class:`ArraySource` construction) — re-validating per item would
+    put a Python call back on the hot path the bulk protocol removes.
+    """
+    item = object.__new__(GradedItem)
+    object.__setattr__(item, "object_id", object_id)
+    object.__setattr__(item, "grade", grade)
+    return item
 
 
 class SortedCursor:
@@ -39,6 +63,16 @@ class SortedCursor:
     ``next()`` returns the next :class:`GradedItem` in nonincreasing
     grade order (charging one sorted access), or ``None`` once the list
     is exhausted.  ``position`` counts items already delivered.
+
+    ``next_batch(n)`` is the bulk form of the same access mode — the
+    paper's "ask the subsystem for, say, the top 10 objects … then
+    request the next 10".  It delivers up to ``n`` items in one call
+    (fewer only at the end of the list) and charges exactly one sorted
+    access per delivered item, so batch draining and item-at-a-time
+    draining of the same prefix cost the same under the paper's uniform
+    measure.  ``peek_batch(n)`` is the accounting-free, side-effect-free
+    lookahead the algorithms use to decide how much of a batch to
+    actually consume.
     """
 
     def __init__(self, source: "GradedSource") -> None:
@@ -53,18 +87,40 @@ class SortedCursor:
         self._source.counter.record_sorted()
         return item
 
+    def next_batch(self, n: int) -> List[GradedItem]:
+        """The next ``n`` items in sorted order (charging one sorted
+        access per item delivered).  Returns fewer than ``n`` items only
+        when the list runs out; an exhausted cursor returns ``[]``."""
+        if n <= 0:
+            return []
+        items = self._source._items_range(self.position, n)
+        if items:
+            self.position += len(items)
+            self._source.counter.record_sorted(len(items))
+        return items
+
+    def peek_batch(self, n: int) -> List[GradedItem]:
+        """Up to ``n`` upcoming items, without paying or advancing.
+
+        Peeks are side-effect-free: no counter is charged, no wrapper
+        state (verification history, batch windows, caches) moves.
+        """
+        if n <= 0:
+            return []
+        return self._source._peek_range(self.position, n)
+
     def peek_grade(self) -> Optional[float]:
         """Grade the next sorted access would return, without paying.
 
-        Not part of the paper's access model — used only by tests and
-        internal invariant checks, never by the algorithms.
+        Not part of the paper's access model — used by the algorithms'
+        batch planning, tests, and internal invariant checks.
         """
-        item = self._source._item_at(self.position)
+        item = self._source._peek_at(self.position)
         return None if item is None else item.grade
 
     @property
     def exhausted(self) -> bool:
-        return self._source._item_at(self.position) is None
+        return self._source._peek_at(self.position) is None
 
 
 class GradedSource(ABC):
@@ -88,6 +144,9 @@ class GradedSource(ABC):
         self.name = name
         self.counter = AccessCounter()
 
+    #: chunk size used by the accounting-free materialization helpers
+    _MATERIALIZE_CHUNK = 1024
+
     # -- implementation hooks -------------------------------------------------
     @abstractmethod
     def _item_at(self, index: int) -> Optional[GradedItem]:
@@ -101,6 +160,47 @@ class GradedSource(ABC):
     def __len__(self) -> int:
         """Number of objects in the list (the database size N)."""
 
+    # -- bulk implementation hooks --------------------------------------------
+    # Wrappers MUST override these to delegate to the wrapped source's
+    # bulk hooks; otherwise wrapping silently degrades bulk access back
+    # to one Python call per item.  Backends (ListSource, ArraySource)
+    # override them with slice/vector implementations.
+    def _items_range(self, start: int, count: int) -> List[GradedItem]:
+        """Items ``start .. start+count-1`` of the sorted list (short at
+        the end).  May carry the same side effects as ``_item_at``
+        (verification, batch-window charging, cache extension)."""
+        items: List[GradedItem] = []
+        for index in range(start, start + count):
+            item = self._item_at(index)
+            if item is None:
+                break
+            items.append(item)
+        return items
+
+    def _peek_at(self, index: int) -> Optional[GradedItem]:
+        """Like ``_item_at`` but guaranteed side-effect- and charge-free.
+
+        The default assumes ``_item_at`` is already pure (true for plain
+        backends); stateful wrappers override this to bypass their
+        delivery bookkeeping.
+        """
+        return self._item_at(index)
+
+    def _peek_range(self, start: int, count: int) -> List[GradedItem]:
+        """Bulk, side-effect-free lookahead (see :meth:`_peek_at`)."""
+        items: List[GradedItem] = []
+        for index in range(start, start + count):
+            item = self._peek_at(index)
+            if item is None:
+                break
+            items.append(item)
+        return items
+
+    def _grades_of_many(self, object_ids: Sequence[ObjectId]) -> Dict[ObjectId, float]:
+        """Grades of the named objects, without accounting (bulk form of
+        ``_grade_of``); raise UnknownObjectError if any is absent."""
+        return {object_id: self._grade_of(object_id) for object_id in object_ids}
+
     # -- public access modes ---------------------------------------------------
     def cursor(self) -> SortedCursor:
         """Open a fresh sorted-access cursor at the top of the list."""
@@ -112,28 +212,59 @@ class GradedSource(ABC):
         self.counter.record_random()
         return grade
 
+    def random_access_many(
+        self, object_ids: Iterable[ObjectId]
+    ) -> Dict[ObjectId, float]:
+        """Grades of the named objects in one bulk request.
+
+        The bulk form of :meth:`random_access`: one access is charged
+        per requested object, so probing a set in bulk costs exactly
+        what probing it one object at a time would — the call only
+        amortizes the round trip, never the paper's cost measure.
+        Callers should pass distinct ids (duplicates are charged per
+        request, like repeated :meth:`random_access` calls would be).
+
+        Sources that override :meth:`random_access` with special
+        accounting must override this method consistently.
+        """
+        ids = list(object_ids)
+        if not ids:
+            return {}
+        grades = self._grades_of_many(ids)
+        self.counter.record_random(len(ids))
+        return grades
+
     # -- conveniences ----------------------------------------------------------
     def object_ids(self) -> Iterable[ObjectId]:
         """All object ids, in sorted-list order.  Free (used by tests
-        and the naive baseline's result checking, not by algorithms)."""
+        and the naive baseline's result checking, not by algorithms);
+        routed through the peek path so no wrapper charges for it."""
         index = 0
         while True:
-            item = self._item_at(index)
-            if item is None:
+            chunk = self._peek_range(index, self._MATERIALIZE_CHUNK)
+            for item in chunk:
+                yield item.object_id
+            if len(chunk) < self._MATERIALIZE_CHUNK:
                 return
-            yield item.object_id
-            index += 1
+            index += self._MATERIALIZE_CHUNK
 
     def as_graded_set(self) -> GradedSet:
-        """Materialize the full list as a graded set (accounting-free)."""
+        """Materialize the full list as a graded set (accounting-free).
+
+        Uses the side-effect-free peek path, so it stays free even
+        through wrappers with their own charging rules (e.g. a
+        :class:`~repro.core.batching.BatchedSource` charging whole
+        batches per read).
+        """
         result = GradedSet()
         index = 0
         while True:
-            item = self._item_at(index)
-            if item is None:
+            chunk = self._peek_range(index, self._MATERIALIZE_CHUNK)
+            for item in chunk:
+                result[item.object_id] = item.grade
+            if len(chunk) < self._MATERIALIZE_CHUNK:
                 return result
-            result[item.object_id] = item.grade
-            index += 1
+            index += self._MATERIALIZE_CHUNK
 
     def __repr__(self) -> str:
         return f"<{type(self).__name__} {self.name!r} n={len(self)}>"
@@ -165,6 +296,12 @@ class ListSource(GradedSource):
             return self._sorted[index]
         return None
 
+    def _items_range(self, start: int, count: int) -> List[GradedItem]:
+        return self._sorted[start : start + count]
+
+    def _peek_range(self, start: int, count: int) -> List[GradedItem]:
+        return self._sorted[start : start + count]
+
     def _grade_of(self, object_id: ObjectId) -> float:
         try:
             return self._grades[object_id]
@@ -173,8 +310,146 @@ class ListSource(GradedSource):
                 f"source {self.name!r} holds no object {object_id!r}"
             ) from None
 
+    def _grades_of_many(self, object_ids: Sequence[ObjectId]) -> Dict[ObjectId, float]:
+        grades = self._grades
+        try:
+            return {object_id: grades[object_id] for object_id in object_ids}
+        except KeyError as exc:
+            raise UnknownObjectError(
+                f"source {self.name!r} holds no object {exc.args[0]!r}"
+            ) from None
+
+    def as_graded_set(self) -> GradedSet:
+        return GradedSet(self._grades)
+
     def __len__(self) -> int:
         return len(self._sorted)
+
+
+class ArraySource(GradedSource):
+    """Columnar, numpy-backed graded list — a drop-in ListSource alternative.
+
+    Grades live in one contiguous ``float64`` array; sorted order is one
+    ``argsort`` at construction (descending grade, ties by stringified
+    object id — exactly :class:`ListSource`'s order, so the two backends
+    are interchangeable object-for-object, not just grade-for-grade).
+    Bulk sorted access (``_items_range``/``_peek_range``) is an array
+    slice instead of one Python call per item, and grade validation is a
+    single vectorized check instead of N ``validate_grade`` calls, which
+    is where the bulk-access protocol's wall-clock win comes from on
+    large synthetic workloads (benchmark E19).
+
+    Accounting is identical to :class:`ListSource`: the base class
+    charges one sorted access per delivered item and one random access
+    per probed object, whichever access form the caller uses.
+    """
+
+    def __init__(
+        self,
+        items: Union[GradedSet, Mapping[ObjectId, float], Iterable[Tuple[ObjectId, float]]],
+        name: str = "array",
+    ) -> None:
+        if isinstance(items, GradedSet):
+            mapping: Dict[ObjectId, float] = items.as_dict()
+        elif isinstance(items, Mapping):
+            mapping = dict(items)
+        else:
+            mapping = dict(items)  # pairs or GradedItems (both unpack)
+        self._init_from_arrays(list(mapping.keys()), list(mapping.values()), name)
+
+    @classmethod
+    def from_arrays(
+        cls,
+        object_ids: Sequence[ObjectId],
+        grades,
+        name: str = "array",
+    ) -> "ArraySource":
+        """Fast path: build directly from parallel id/grade sequences.
+
+        ``grades`` may be any array-like; ids must be distinct (unlike
+        the mapping constructor there is no dict to absorb duplicates,
+        so they are rejected loudly).
+        """
+        source = cls.__new__(cls)
+        source._init_from_arrays(list(object_ids), grades, name)
+        if len(source._grades) != len(source._sorted_ids):
+            raise AccessError(
+                f"source {name!r}: duplicate object ids in from_arrays input"
+            )
+        return source
+
+    def _init_from_arrays(self, ids: List[ObjectId], grades, name: str) -> None:
+        if _np is None:  # pragma: no cover - exercised only without numpy
+            raise AccessError(
+                "ArraySource requires numpy; install it or use ListSource"
+            )
+        super().__init__(name)
+        try:
+            values = _np.asarray(grades, dtype=_np.float64)
+        except (TypeError, ValueError) as exc:
+            raise GradeError(f"grades must be real numbers: {exc}") from exc
+        if values.ndim != 1 or len(ids) != values.shape[0]:
+            raise AccessError(
+                f"source {name!r}: expected one grade per object, got "
+                f"{len(ids)} ids and shape {values.shape} grades"
+            )
+        if values.size and (
+            not _np.isfinite(values).all()
+            or float(values.min()) < 0.0
+            or float(values.max()) > 1.0
+        ):
+            raise GradeError(
+                f"source {name!r}: grades must be finite and lie in [0, 1]"
+            )
+        # One argsort replaces N log N Python comparisons.  lexsort's last
+        # key is primary: descending grade, then ascending str(id) — the
+        # exact GradedItem sort key, so ties break as ListSource's do.
+        tie_break = _np.asarray([str(obj) for obj in ids])
+        order = _np.lexsort((tie_break, -values))
+        self._sorted_grades = values[order]
+        self._sorted_ids: List[ObjectId] = [ids[j] for j in order]
+        self._grades: Dict[ObjectId, float] = dict(zip(ids, values.tolist()))
+
+    def _item_at(self, index: int) -> Optional[GradedItem]:
+        if 0 <= index < len(self._sorted_ids):
+            return _fast_item(
+                self._sorted_ids[index], float(self._sorted_grades[index])
+            )
+        return None
+
+    def _items_range(self, start: int, count: int) -> List[GradedItem]:
+        ids = self._sorted_ids[start : start + count]
+        grades = self._sorted_grades[start : start + count].tolist()
+        return [_fast_item(obj, grade) for obj, grade in zip(ids, grades)]
+
+    def _peek_range(self, start: int, count: int) -> List[GradedItem]:
+        return self._items_range(start, count)
+
+    def _grade_of(self, object_id: ObjectId) -> float:
+        try:
+            return self._grades[object_id]
+        except KeyError:
+            raise UnknownObjectError(
+                f"source {self.name!r} holds no object {object_id!r}"
+            ) from None
+
+    def _grades_of_many(self, object_ids: Sequence[ObjectId]) -> Dict[ObjectId, float]:
+        grades = self._grades
+        try:
+            return {object_id: grades[object_id] for object_id in object_ids}
+        except KeyError as exc:
+            raise UnknownObjectError(
+                f"source {self.name!r} holds no object {exc.args[0]!r}"
+            ) from None
+
+    def object_ids(self) -> Iterable[ObjectId]:
+        return list(self._sorted_ids)
+
+    def as_graded_set(self) -> GradedSet:
+        return GradedSet(self._grades)
+
+    def __len__(self) -> int:
+        return len(self._sorted_ids)
 
 
 class SortedOnlySource(GradedSource):
@@ -198,7 +473,24 @@ class SortedOnlySource(GradedSource):
     def _item_at(self, index: int) -> Optional[GradedItem]:
         return self._inner._item_at(index)
 
+    def _items_range(self, start: int, count: int) -> List[GradedItem]:
+        return self._inner._items_range(start, count)
+
+    def _peek_at(self, index: int) -> Optional[GradedItem]:
+        return self._inner._peek_at(index)
+
+    def _peek_range(self, start: int, count: int) -> List[GradedItem]:
+        return self._inner._peek_range(start, count)
+
     def _grade_of(self, object_id: ObjectId) -> float:
+        from repro.errors import UnsupportedAccessError
+
+        raise UnsupportedAccessError(
+            f"source {self.name!r} does not support random access"
+        )
+
+    def _grades_of_many(self, object_ids: Sequence[ObjectId]) -> Dict[ObjectId, float]:
+        # Bulk random access is just as unsupported as the single form.
         from repro.errors import UnsupportedAccessError
 
         raise UnsupportedAccessError(
@@ -238,10 +530,8 @@ class VerifyingSource(GradedSource):
         self._delivered: Dict[ObjectId, float] = {}
         self._max_position_grade: Optional[Tuple[int, float]] = None
 
-    def _item_at(self, index: int) -> Optional[GradedItem]:
-        item = self._inner._item_at(index)
-        if item is None:
-            return None
+    def _observe_delivery(self, index: int, item: GradedItem) -> None:
+        """Record one sorted delivery, raising on an order violation."""
         if self._max_position_grade is not None:
             deepest, grade_there = self._max_position_grade
             if index > deepest and item.grade > grade_there + self._tolerance:
@@ -253,10 +543,8 @@ class VerifyingSource(GradedSource):
         if self._max_position_grade is None or index > self._max_position_grade[0]:
             self._max_position_grade = (index, item.grade)
         self._delivered[item.object_id] = item.grade
-        return item
 
-    def _grade_of(self, object_id: ObjectId) -> float:
-        grade = self._inner._grade_of(object_id)
+    def _check_consistent(self, object_id: ObjectId, grade: float) -> None:
         seen = self._delivered.get(object_id)
         if seen is not None and abs(seen - grade) > self._tolerance:
             raise AccessError(
@@ -264,7 +552,39 @@ class VerifyingSource(GradedSource):
                 f"{object_id!r} graded {seen} under sorted access but "
                 f"{grade} under random access"
             )
+
+    def _item_at(self, index: int) -> Optional[GradedItem]:
+        item = self._inner._item_at(index)
+        if item is None:
+            return None
+        self._observe_delivery(index, item)
+        return item
+
+    def _items_range(self, start: int, count: int) -> List[GradedItem]:
+        items = self._inner._items_range(start, count)
+        for offset, item in enumerate(items):
+            self._observe_delivery(start + offset, item)
+        return items
+
+    def _peek_at(self, index: int) -> Optional[GradedItem]:
+        # Peeks are not deliveries: no verification state moves, so a
+        # peek can never alter what a later random access is checked
+        # against (the algorithms only ever *pay* for what they use).
+        return self._inner._peek_at(index)
+
+    def _peek_range(self, start: int, count: int) -> List[GradedItem]:
+        return self._inner._peek_range(start, count)
+
+    def _grade_of(self, object_id: ObjectId) -> float:
+        grade = self._inner._grade_of(object_id)
+        self._check_consistent(object_id, grade)
         return grade
+
+    def _grades_of_many(self, object_ids: Sequence[ObjectId]) -> Dict[ObjectId, float]:
+        grades = self._inner._grades_of_many(object_ids)
+        for object_id, grade in grades.items():
+            self._check_consistent(object_id, grade)
+        return grades
 
     def __len__(self) -> int:
         return len(self._inner)
@@ -273,12 +593,21 @@ class VerifyingSource(GradedSource):
 def sources_from_columns(
     grades_by_object: Mapping[ObjectId, Sequence[float]],
     names: Optional[Sequence[str]] = None,
-) -> List[ListSource]:
-    """Build one :class:`ListSource` per grade column.
+    *,
+    backend: str = "array",
+) -> List[GradedSource]:
+    """Build one ranked-list source per grade column.
 
     ``grades_by_object`` maps each object to its grade vector
     ``(g_1, ..., g_m)``; the result is the m ranked lists the section-4
     algorithms consume.  All vectors must share the same length.
+
+    ``backend`` selects the storage: ``"array"`` (default) builds
+    numpy-backed :class:`ArraySource` columns in one vectorized pass,
+    ``"list"`` the classic per-item :class:`ListSource`.  Both produce
+    the same sorted order and the same accounting; without numpy the
+    array backend silently degrades to lists so callers never have to
+    care.
     """
     arities = {len(v) for v in grades_by_object.values()}
     if len(arities) > 1:
@@ -286,14 +615,31 @@ def sources_from_columns(
     m = arities.pop() if arities else 0
     if names is not None and len(names) != m:
         raise AccessError(f"expected {m} names, got {len(names)}")
-    sources = []
+    if backend not in ("array", "list"):
+        raise AccessError(f"unknown source backend {backend!r}; use array or list")
+    labels = [
+        names[i] if names is not None else f"A{i + 1}" for i in range(m)
+    ]
+    sources: List[GradedSource] = []
+    if backend == "array" and _np is not None and m > 0:
+        objects = list(grades_by_object.keys())
+        try:
+            matrix = _np.asarray(
+                [grades_by_object[obj] for obj in objects], dtype=_np.float64
+            )
+        except (TypeError, ValueError) as exc:
+            raise GradeError(f"grades must be real numbers: {exc}") from exc
+        for i in range(m):
+            sources.append(
+                ArraySource.from_arrays(objects, matrix[:, i], name=labels[i])
+            )
+        return sources
     for i in range(m):
         column = {
             obj: validate_grade(vector[i])
             for obj, vector in grades_by_object.items()
         }
-        label = names[i] if names is not None else f"A{i + 1}"
-        sources.append(ListSource(column, name=label))
+        sources.append(ListSource(column, name=labels[i]))
     return sources
 
 

@@ -38,7 +38,7 @@ from typing import Dict, List, Optional, Sequence, Set
 from repro.core.cost import CostMeter
 from repro.core.graded import GradedSet, ObjectId
 from repro.core.result import TopKResult
-from repro.core.sources import GradedSource, check_same_objects
+from repro.core.sources import DEFAULT_BATCH_SIZE, GradedSource, check_same_objects
 from repro.errors import MonotonicityError
 from repro.scoring.base import ScoringFunction, as_scoring_function
 
@@ -57,10 +57,24 @@ def threshold_top_k(
     k: int,
     *,
     require_monotone: bool = True,
+    batch_size: int = DEFAULT_BATCH_SIZE,
 ) -> TopKResult:
-    """Top k answers via the threshold algorithm (TA)."""
+    """Top k answers via the threshold algorithm (TA).
+
+    Sorted access is drained in bulk: each super-round peeks a window of
+    ``batch_size`` upcoming items per list (free), replays TA's
+    one-item-per-list rounds over the windows in memory — issuing the
+    random probes for each round's newly seen objects as one bulk
+    request per list — and then consumes exactly the rounds processed
+    with one ``next_batch`` per list.  The stopping rule is still
+    evaluated between rounds, so the access counts are identical to
+    item-at-a-time TA for every ``batch_size`` (1 reproduces the
+    per-item pattern exactly).
+    """
     if k <= 0:
         raise ValueError(f"k must be positive, got {k}")
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
     rule = as_scoring_function(scoring)
     if require_monotone:
         _require_monotone(rule, "TA")
@@ -70,44 +84,60 @@ def threshold_top_k(
     meter = CostMeter(sources)
 
     cursors = [s.cursor() for s in sources]
-    exhausted = [False] * m
+    others = [[j for j in range(m) if j != i] for i in range(m)]
     bottoms = [1.0] * m
     overall: Dict[ObjectId, float] = {}
     # Min-heap of the k best overall grades seen so far, so the stopping
     # test is O(log k) per object instead of a re-sort per round.
     best_k: List[float] = []
     depth = 0
+    stop = False
 
-    while True:
-        progressed = False
+    while not stop:
+        windows = [cursor.peek_batch(batch_size) for cursor in cursors]
+        rows = max((len(window) for window in windows), default=0)
+        if rows == 0:
+            break  # no list can progress: exhausted
+        consumed = 0
+        for row in range(rows):
+            # One TA round: the row-th item of every list, with bulk
+            # random probes for the objects this round saw first.
+            fresh: List[tuple] = []
+            for i, window in enumerate(windows):
+                if row >= len(window):
+                    continue
+                item = window[row]
+                bottoms[i] = item.grade
+                if item.object_id not in overall:
+                    overall[item.object_id] = 0.0  # placeholder: seen
+                    fresh.append((item.object_id, i, item.grade))
+            if fresh:
+                probes: List[Dict[ObjectId, float]] = [{} for _ in range(m)]
+                needed: List[List[ObjectId]] = [[] for _ in range(m)]
+                for object_id, first, _ in fresh:
+                    for j in others[first]:
+                        needed[j].append(object_id)
+                for j, ids in enumerate(needed):
+                    if ids:
+                        probes[j] = sources[j].random_access_many(ids)
+                for object_id, first, sorted_grade in fresh:
+                    grades = [probes[j][object_id] for j in range(m) if j != first]
+                    grades.insert(first, sorted_grade)
+                    grade = rule(grades)
+                    overall[object_id] = grade
+                    if len(best_k) < k:
+                        heapq.heappush(best_k, grade)
+                    elif grade > best_k[0]:
+                        heapq.heapreplace(best_k, grade)
+            consumed = row + 1
+            if len(best_k) >= k and best_k[0] >= rule(bottoms):
+                stop = True
+                break
         for i, cursor in enumerate(cursors):
-            if exhausted[i]:
-                continue
-            item = cursor.next()
-            if item is None:
-                exhausted[i] = True
-                continue
-            progressed = True
-            bottoms[i] = item.grade
-            depth = max(depth, cursor.position)
-            if item.object_id not in overall:
-                grades = [0.0] * m
-                grades[i] = item.grade
-                for j, source in enumerate(sources):
-                    if j != i:
-                        grades[j] = source.random_access(item.object_id)
-                grade = rule(grades)
-                overall[item.object_id] = grade
-                if len(best_k) < k:
-                    heapq.heappush(best_k, grade)
-                elif grade > best_k[0]:
-                    heapq.heapreplace(best_k, grade)
-
-        threshold = rule(bottoms)
-        if len(best_k) >= k and best_k[0] >= threshold:
-            break
-        if not progressed:
-            break
+            take = min(consumed, len(windows[i]))
+            if take:
+                cursor.next_batch(take)
+                depth = max(depth, cursor.position)
 
     return TopKResult(
         answers=GradedSet(overall).top(k),
@@ -145,6 +175,7 @@ def nra_top_k(
     require_monotone: bool = True,
     exact_grades: bool = True,
     tol: float = 1e-12,
+    batch_size: int = 4096,
 ) -> TopKResult:
     """Top k answers using sorted access only (NRA).
 
@@ -154,9 +185,18 @@ def nra_top_k(
     would make the algorithm quadratic in the database size.  The
     schedule can overshoot the minimal stopping depth by at most a
     factor of two, which leaves the cost's asymptotic shape intact.
+
+    Because the stop test only ever runs at those scheduled rounds, the
+    rounds between two checks can be drained with one ``next_batch`` per
+    list — there is no decision to make in between, so bulk draining
+    consumes (and charges) exactly the same accesses as item-at-a-time
+    draining.  ``batch_size`` merely caps how many rounds one request
+    may cover.
     """
     if k <= 0:
         raise ValueError(f"k must be positive, got {k}")
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
     rule = as_scoring_function(scoring)
     if require_monotone:
         _require_monotone(rule, "NRA")
@@ -206,20 +246,27 @@ def nra_top_k(
         return top
 
     while answers is None:
+        # Drain everything up to the next scheduled stop check in one
+        # batch per list; nothing is decided between checks, so this is
+        # access-for-access identical to one-item rounds.
+        window = min(max(next_check - rounds, 1), batch_size)
         progressed = False
+        drained = 0
         for i, cursor in enumerate(cursors):
             if exhausted[i]:
                 continue
-            item = cursor.next()
-            if item is None:
+            batch = cursor.next_batch(window)
+            if not batch:
                 exhausted[i] = True
                 bottoms[i] = 0.0
                 continue
             progressed = True
-            bottoms[i] = item.grade
+            bottoms[i] = batch[-1].grade
             depth = max(depth, cursor.position)
-            states.setdefault(item.object_id, _NraState()).known[i] = item.grade
-        rounds += 1
+            drained = max(drained, len(batch))
+            for item in batch:
+                states.setdefault(item.object_id, _NraState()).known[i] = item.grade
+        rounds += drained if progressed else 1
         if rounds >= next_check or not progressed:
             answers = evaluate_stop()
             next_check = rounds * 2

@@ -8,7 +8,7 @@ EXPERIMENTS.md can quote the output verbatim.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Sequence
 
 
 def format_table(

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import itertools
 import statistics
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Mapping, Sequence
 
 

@@ -8,9 +8,8 @@ vectors, run the same queries, and report per-index work counters.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
-import numpy as np
 
 from repro.index.base import LinearScanIndex, Neighbor, VectorIndex
 from repro.index.gridfile import GridFile

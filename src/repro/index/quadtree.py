@@ -27,7 +27,6 @@ from repro.index.base import Neighbor, VectorIndex
 def interleave_bits(coordinates: Tuple[int, ...], depth: int) -> int:
     """Morton code: bit-interleave quantized coordinates at ``depth`` bits."""
     code = 0
-    d = len(coordinates)
     for bit in range(depth - 1, -1, -1):
         for axis, coordinate in enumerate(coordinates):
             code = (code << 1) | ((coordinate >> bit) & 1)

@@ -25,7 +25,7 @@ exactly the regime E13 shows the R-tree losing.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 import numpy as np
 

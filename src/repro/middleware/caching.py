@@ -18,14 +18,21 @@ middlewares keep such lookups in the query cache.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional
 
 from repro.core.graded import GradedItem, ObjectId
 from repro.core.sources import GradedSource
 
 
 class CachedSource(GradedSource):
-    """A ranked list with a middleware-side prefix + probe cache."""
+    """A ranked list with a middleware-side prefix + probe cache.
+
+    Bulk access composes with the cache: ``_items_range`` serves the
+    cached prefix and extends it with one bulk request to the repository
+    (same hit/miss tallies and repository charges as item-at-a-time
+    reads), and peeks never extend the cache — looking ahead must not
+    make the repository ship anything.
+    """
 
     def __init__(self, inner: GradedSource) -> None:
         super().__init__(f"cached({inner.name})")
@@ -53,6 +60,36 @@ class CachedSource(GradedSource):
             self.misses += 1
         return self._prefix[index]
 
+    def _items_range(self, start: int, count: int) -> List[GradedItem]:
+        end = start + count
+        cached = len(self._prefix)
+        if end > cached:
+            fetched = self._inner_cursor.next_batch(end - cached)
+            for item in fetched:
+                self._prefix.append(item)
+                self._probes.setdefault(item.object_id, item.grade)
+            self.misses += len(fetched)
+        # Positions already cached before this read count as hits, the
+        # newly fetched ones as misses — the same tallies an
+        # item-at-a-time read of the range would have produced.
+        self.hits += max(0, min(cached, end) - min(start, cached))
+        return self._prefix[start:end]
+
+    def _peek_at(self, index: int) -> Optional[GradedItem]:
+        # Peeks never extend (or charge) the repository stream, and they
+        # do not touch the hit/miss statistics: only consuming reads do.
+        if index < len(self._prefix):
+            return self._prefix[index]
+        return self._inner._peek_at(index)
+
+    def _peek_range(self, start: int, count: int) -> List[GradedItem]:
+        end = start + count
+        window = self._prefix[start:end]
+        missing = end - (start + len(window))
+        if missing > 0:
+            window = window + self._inner._peek_range(start + len(window), missing)
+        return window
+
     def random_access(self, object_id: ObjectId) -> float:
         """Memoized probe: repeated lookups charge the repository once.
 
@@ -69,6 +106,38 @@ class CachedSource(GradedSource):
             self._probes[object_id] = grade
         self.counter.record_random()
         return grade
+
+    def random_access_many(
+        self, object_ids: Iterable[ObjectId]
+    ) -> Dict[ObjectId, float]:
+        """Bulk memoized probes: one repository request for the misses.
+
+        Charges, hits, and misses match what the same ids probed one at
+        a time would produce — including repeated ids within one call,
+        which hit the cache the repeated times just as repeated
+        :meth:`random_access` calls would.
+        """
+        ids = list(object_ids)
+        result: Dict[ObjectId, float] = {}
+        missing: List[ObjectId] = []
+        missing_set = set()
+        for object_id in ids:
+            if object_id in self._probes:
+                self.hits += 1
+                result[object_id] = self._probes[object_id]
+            elif object_id in missing_set:
+                self.hits += 1  # fetched below; a repeat would have hit
+            else:
+                self.misses += 1
+                missing.append(object_id)
+                missing_set.add(object_id)
+        if missing:
+            fetched = self._inner.random_access_many(missing)
+            self._probes.update(fetched)
+            result.update(fetched)
+        if ids:
+            self.counter.record_random(len(ids))
+        return result
 
     def _grade_of(self, object_id: ObjectId) -> float:  # pragma: no cover
         # random_access is fully overridden; this hook is unreachable,

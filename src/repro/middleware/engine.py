@@ -27,7 +27,7 @@ where we left off" feature of algorithm A0.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.evaluation import compile_query
 from repro.core.fagin import FaginAlgorithm

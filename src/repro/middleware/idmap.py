@@ -16,7 +16,7 @@ guard against.
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional
+from typing import Dict, List, Mapping, Optional
 
 from repro.core.graded import GradedItem, ObjectId
 from repro.core.sources import GradedSource
@@ -99,8 +99,37 @@ class MappedSource(GradedSource):
             return None
         return GradedItem(self._mapping.to_global(item.object_id), item.grade)
 
+    def _items_range(self, start: int, count: int) -> List[GradedItem]:
+        to_global = self._mapping.to_global
+        return [
+            GradedItem(to_global(item.object_id), item.grade)
+            for item in self._inner._items_range(start, count)
+        ]
+
+    def _peek_at(self, index: int) -> Optional[GradedItem]:
+        item = self._inner._peek_at(index)
+        if item is None:
+            return None
+        return GradedItem(self._mapping.to_global(item.object_id), item.grade)
+
+    def _peek_range(self, start: int, count: int) -> List[GradedItem]:
+        to_global = self._mapping.to_global
+        return [
+            GradedItem(to_global(item.object_id), item.grade)
+            for item in self._inner._peek_range(start, count)
+        ]
+
     def _grade_of(self, object_id: ObjectId) -> float:
         return self._inner._grade_of(self._mapping.to_local(object_id))
+
+    def _grades_of_many(self, object_ids) -> Dict[ObjectId, float]:
+        to_local = self._mapping.to_local
+        local_ids = [to_local(object_id) for object_id in object_ids]
+        local_grades = self._inner._grades_of_many(local_ids)
+        return {
+            global_id: local_grades[local_id]
+            for global_id, local_id in zip(object_ids, local_ids)
+        }
 
     def __len__(self) -> int:
         return len(self._inner)

@@ -21,7 +21,6 @@ from typing import Dict, Mapping, Optional, Sequence
 
 from repro.core.cost import UNIFORM, CostModel, CostReport
 from repro.core.planner import Plan, Strategy, plan_top_k
-from repro.core.result import TopKResult
 from repro.core.sources import GradedSource, check_same_objects
 from repro.scoring.base import as_scoring_function
 

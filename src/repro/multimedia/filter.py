@@ -31,7 +31,7 @@ verifies the zero-false-dismissal guarantee against a linear scan.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 

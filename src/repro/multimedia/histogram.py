@@ -20,7 +20,6 @@ both exist to avoid.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 

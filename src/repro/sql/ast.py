@@ -9,7 +9,7 @@ model with syntax concerns.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Tuple, Union
 
 Literal = Union[str, int, float]

@@ -15,7 +15,11 @@ generates that model plus the structured variants the experiments use:
   for the Beatles-style Boolean-conjunct experiments.
 
 All generators are seeded and return either the raw grade table
-(``object -> (g_1, ..., g_m)``) or ready :class:`ListSource` columns.
+(``object -> (g_1, ..., g_m)``) or ready ranked-list columns.  Columns
+are numpy-backed :class:`~repro.core.sources.ArraySource` by default
+(one vectorized build + argsort instead of N Python calls); pass
+``backend="list"`` for the classic :class:`ListSource`.  Both backends
+produce identical sorted order and accounting.
 """
 
 from __future__ import annotations
@@ -24,7 +28,7 @@ import random
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.adversary import hard_instance
-from repro.core.sources import ListSource, sources_from_columns
+from repro.core.sources import GradedSource, ListSource, sources_from_columns
 
 GradeTable = Dict[str, Tuple[float, ...]]
 
@@ -127,25 +131,33 @@ def boolean_column(
 
 
 def make_sources(
-    table: GradeTable, names: Optional[Sequence[str]] = None
-) -> List[ListSource]:
-    """Column :class:`ListSource` objects for a generated grade table."""
-    return sources_from_columns(table, names)
+    table: GradeTable,
+    names: Optional[Sequence[str]] = None,
+    *,
+    backend: str = "array",
+) -> List[GradedSource]:
+    """Ranked-list columns for a generated grade table.
+
+    ``backend="array"`` (default) builds numpy-backed
+    :class:`~repro.core.sources.ArraySource` columns; ``backend="list"``
+    builds the classic :class:`ListSource`.
+    """
+    return sources_from_columns(table, names, backend=backend)
 
 
 def workload(
-    kind: str, n: int, m: int, seed: int = 0
-) -> List[ListSource]:
+    kind: str, n: int, m: int, seed: int = 0, *, backend: str = "array"
+) -> List[GradedSource]:
     """Generate sources by workload name ('independent', 'correlated',
     'anti-correlated', 'reversed')."""
     if kind == "independent":
-        return make_sources(independent(n, m, seed))
+        return make_sources(independent(n, m, seed), backend=backend)
     if kind == "correlated":
-        return make_sources(correlated(n, m, seed))
+        return make_sources(correlated(n, m, seed), backend=backend)
     if kind == "anti-correlated":
-        return make_sources(anti_correlated(n, m, seed))
+        return make_sources(anti_correlated(n, m, seed), backend=backend)
     if kind == "zipf":
-        return make_sources(zipf_skewed(n, m, seed))
+        return make_sources(zipf_skewed(n, m, seed), backend=backend)
     if kind == "reversed":
         if m != 2:
             raise ValueError("the reversed workload is defined for m = 2")

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.sources import ListSource, sources_from_columns
+from repro.core.sources import sources_from_columns
 from repro.workloads.graded_lists import anti_correlated, correlated, independent
 
 

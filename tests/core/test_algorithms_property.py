@@ -11,7 +11,7 @@ from hypothesis import given, settings, strategies as st
 from repro.core.disjunction import disjunction_top_k
 from repro.core.fagin import fagin_top_k
 from repro.core.filter_condition import filter_condition_top_k
-from repro.core.naive import grade_everything, naive_top_k
+from repro.core.naive import grade_everything
 from repro.core.sources import sources_from_columns
 from repro.core.threshold import nra_top_k, threshold_top_k
 from repro.scoring import conorms, means, tnorms

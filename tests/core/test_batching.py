@@ -4,7 +4,6 @@ import pytest
 
 from repro.core.batching import BatchedSource, LatencyModel, batched
 from repro.core.fagin import fagin_top_k
-from repro.core.naive import grade_everything
 from repro.core.sources import ListSource, sources_from_columns
 from repro.scoring import tnorms
 from repro.workloads.graded_lists import independent

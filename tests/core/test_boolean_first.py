@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.boolean_first import boolean_first_top_k
 from repro.core.naive import grade_everything
-from repro.core.sources import ListSource, sources_from_columns
+from repro.core.sources import ListSource
 from repro.errors import PlanError
 from repro.middleware.relational import BooleanSource
 from repro.scoring import tnorms

@@ -1,6 +1,5 @@
 """Access accounting: counters, cost models, reports, meters."""
 
-import pytest
 
 from repro.core.cost import (
     RANDOM_EXPENSIVE,

@@ -4,10 +4,10 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.core.evaluation import compile_query, evaluate
-from repro.core.query import Atomic, Not, Scored, Weighted
+from repro.core.query import Atomic, Scored, Weighted
 from repro.errors import ScoringError
-from repro.scoring import means, tnorms
-from repro.scoring.zadeh import PROBABILISTIC, ZADEH
+from repro.scoring import means
+from repro.scoring.zadeh import PROBABILISTIC
 
 A = Atomic("A", 1)
 B = Atomic("B", 1)

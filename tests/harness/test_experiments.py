@@ -5,7 +5,6 @@ experiment *code* under fast regression coverage so a refactor cannot
 silently break the reproduction harness.
 """
 
-import pytest
 
 from repro.harness import experiments as ex
 

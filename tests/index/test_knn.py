@@ -1,7 +1,6 @@
 """The shared k-NN harness and the dimensionality-curse setup of E13."""
 
 import numpy as np
-import pytest
 
 from repro.index.base import LinearScanIndex
 from repro.index.knn import (

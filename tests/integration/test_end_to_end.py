@@ -6,7 +6,6 @@ from repro.core.graded import GradedSet
 from repro.core.naive import grade_everything
 from repro.core.query import Atomic, Weighted
 from repro.middleware.complex_objects import PromotedSource
-from repro.middleware.engine import MiddlewareEngine
 from repro.multimedia.qbic import QbicSubsystem
 from repro.sql.compiler import execute
 from repro.workloads.image_corpus import (
@@ -103,7 +102,6 @@ def test_mixed_corpus_plant_is_retrievable():
     qbic = QbicSubsystem("q", corpus)
     graded = qbic.bind(Atomic("Color", "red")).as_graded_set()
     top10 = [item.object_id for item in graded.top(10)]
-    themed_ids = {img.image_id for img in corpus if img.image_id.startswith("img")}
     # themed images occupy low indices by construction (img0..img14)
     themed_low = {f"img{i}" for i in range(15)}
     hits = sum(1 for object_id in top10 if object_id in themed_low)

@@ -9,9 +9,9 @@ import pytest
 
 from repro.core.adversary import expected_best_object, hard_instance
 from repro.core.fagin import fagin_top_k
-from repro.core.naive import grade_everything, naive_top_k
+from repro.core.naive import grade_everything
 from repro.core.planner import Strategy
-from repro.core.query import Atomic, Scored, Weighted
+from repro.core.query import Atomic, Weighted
 from repro.core.sources import sources_from_columns
 from repro.scoring import means, tnorms
 from repro.sql.compiler import execute

@@ -1,6 +1,5 @@
 """Middleware-side prefix caching of ranked lists."""
 
-import pytest
 
 from repro.core.fagin import fagin_top_k
 from repro.core.sources import ListSource, sources_from_columns

@@ -1,6 +1,5 @@
 """Cost-model-aware planning and the robustness ablation."""
 
-import pytest
 
 from repro.core.cost import RANDOM_EXPENSIVE, SORTED_EXPENSIVE, UNIFORM, CostModel
 from repro.core.fagin import fagin_top_k

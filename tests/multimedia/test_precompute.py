@@ -1,6 +1,5 @@
 """Precomputed pairwise distances: lookups match live evaluation."""
 
-import numpy as np
 import pytest
 
 from repro.errors import UnknownObjectError

@@ -5,7 +5,7 @@ import pytest
 
 from repro.core.query import Atomic
 from repro.errors import PlanError
-from repro.multimedia.images import ImageGenerator, ShapeSpec, SyntheticImage
+from repro.multimedia.images import ShapeSpec, SyntheticImage
 from repro.multimedia.video import (
     NAMED_MOTION,
     VideoClip,

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.errors import WeightingError
-from repro.scoring import means, tnorms, conorms
+from repro.scoring import means
 from repro.scoring.owa import (
     OwaScoring,
     fagin_wimmers_owa_weights,

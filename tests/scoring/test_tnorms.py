@@ -1,6 +1,5 @@
 """T-norm catalog: every member satisfies the section-3 axioms."""
 
-import math
 
 import pytest
 from hypothesis import given, strategies as st

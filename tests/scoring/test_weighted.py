@@ -1,6 +1,5 @@
 """The Fagin–Wimmers weighted rule: formula values and desiderata D1-D3'."""
 
-import math
 
 import pytest
 from hypothesis import given, strategies as st
