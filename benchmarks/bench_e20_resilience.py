@@ -1,0 +1,146 @@
+"""E20 — resilience: cost/quality of top-k under injected subsystem faults.
+
+Paper context (§4): the middleware's subsystems are autonomous remote
+repositories, so access can fail — transiently, or permanently (random
+access dying is exactly the regime NRA was designed for).  This
+benchmark drives TA and A0 through the fault injector at transient
+rates 0–50% with the resilience wrapper (retry + backoff + breakers)
+enabled, and then permanently breaks one subsystem's random access
+mid-query with the NRA fallback ablated on and off.
+
+Acceptance: at every fault rate the retried run returns *exactly* the
+fault-free answers at the fault-free access cost (failed attempts
+charge nothing); with random access dead the degraded run still
+returns the exact top k from sorted access alone, while the ablated
+run aborts.  Results are written to BENCH_resilience.json.
+"""
+
+import json
+from pathlib import Path
+
+from repro.core.fagin import fagin_top_k
+from repro.core.sources import sources_from_columns
+from repro.core.threshold import threshold_top_k
+from repro.errors import AccessError
+from repro.harness.experiments import e20_resilience
+from repro.harness.reporting import format_table
+from repro.middleware.faults import FaultInjectingSource, FaultProfile
+from repro.middleware.resilience import ResiliencePolicy, ResilientSource, VirtualClock
+from repro.scoring import tnorms
+from repro.workloads.graded_lists import independent
+
+N, M, K, SEED, FAULT_SEED = 20_000, 3, 10, 20, 11
+RATES = (0.0, 0.1, 0.3, 0.5)
+OUTPUT = Path(__file__).parent / "BENCH_resilience.json"
+
+
+def wrapped_sources(table, profile, only=None):
+    clock = VirtualClock()
+    sources = []
+    for j, source in enumerate(sources_from_columns(table)):
+        if only is None or j in only:
+            source = FaultInjectingSource(source, profile, clock=clock)
+            source = ResilientSource(source, ResiliencePolicy(), clock=clock)
+        sources.append(source)
+    return sources
+
+
+def key(result):
+    return [(item.object_id, item.grade) for item in result.answers]
+
+
+def test_e20_resilience(benchmark):
+    table = independent(N, M, seed=SEED)
+    runs = {
+        "ta": threshold_top_k(sources_from_columns(table), tnorms.MIN, K),
+        "a0": fagin_top_k(sources_from_columns(table), tnorms.MIN, K),
+    }
+
+    sweep = []
+    for rate in RATES:
+        profile = FaultProfile(transient_rate=rate, seed=FAULT_SEED)
+        for algo, run in (
+            ("ta", threshold_top_k),
+            ("a0", fagin_top_k),
+        ):
+            sources = wrapped_sources(table, profile)
+            result = run(sources, tnorms.MIN, K)
+            retries = sum(s.stats.retries for s in sources)
+            entry = {
+                "algorithm": algo,
+                "transient_rate": rate,
+                "uniform_cost": result.database_access_cost,
+                "baseline_cost": runs[algo].database_access_cost,
+                "retries": retries,
+                "exact": key(result) == key(runs[algo]),
+                "degraded": result.degraded is not None,
+            }
+            sweep.append(entry)
+            # The acceptance bar: retries reproduce the fault-free run.
+            assert entry["exact"], entry
+            assert entry["uniform_cost"] == entry["baseline_cost"], entry
+            assert not entry["degraded"]
+
+    broken = FaultProfile(break_random_after=5, seed=FAULT_SEED)
+    fallback = threshold_top_k(
+        wrapped_sources(table, broken, only={M - 1}), tnorms.MIN, K
+    )
+    assert fallback.algorithm == "threshold-ta+nra"
+    assert key(fallback) == key(runs["ta"])
+    assert fallback.degraded is not None and fallback.degraded.complete
+    try:
+        threshold_top_k(
+            wrapped_sources(table, broken, only={M - 1}),
+            tnorms.MIN,
+            K,
+            degrade=False,
+        )
+        aborted = False
+    except AccessError:
+        aborted = True
+    assert aborted, "ablated run should abort on the dead random access"
+
+    degradation = {
+        "fallback_on": {
+            "algorithm": fallback.algorithm,
+            "uniform_cost": fallback.database_access_cost,
+            "exact": True,
+            "complete": fallback.degraded.complete,
+            "failed_sources": sorted(fallback.degraded.failed_sources),
+        },
+        "fallback_off": {"aborted": aborted},
+    }
+    payload = {
+        "experiment": "E20",
+        "n": N,
+        "m": M,
+        "k": K,
+        "seed": SEED,
+        "fault_seed": FAULT_SEED,
+        "retry_sweep": sweep,
+        "degradation": degradation,
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+
+    headers = ("algorithm", "rate", "cost", "baseline", "retries", "exact")
+    rows = [
+        (
+            entry["algorithm"],
+            entry["transient_rate"],
+            entry["uniform_cost"],
+            entry["baseline_cost"],
+            entry["retries"],
+            entry["exact"],
+        )
+        for entry in sweep
+    ]
+    print()
+    print(format_table(headers, rows))
+    print(
+        f"NRA fallback: {fallback.algorithm} exact at cost "
+        f"{fallback.database_access_cost}; ablated run aborted: {aborted} "
+        f"(wrote {OUTPUT.name})"
+    )
+
+    # The smaller harness experiment doubles as the timed benchmark body.
+    benchmark(lambda: e20_resilience(n=2000, m=M, k=K))

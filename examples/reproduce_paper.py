@@ -1,4 +1,4 @@
-"""Regenerate every experiment table (E1-E19) in one run.
+"""Regenerate every experiment table (E1-E20) in one run.
 
 This is the script behind EXPERIMENTS.md: it runs the full experiment
 index from DESIGN.md and prints each table with its reproduction notes.
@@ -31,6 +31,7 @@ from repro.harness import (
     e17_concentration,
     e18_resumption,
     e19_bulk_access,
+    e20_resilience,
 )
 from repro.harness.reporting import format_table
 
@@ -55,6 +56,7 @@ FULL = (
     ("E17 — cost concentration (w.h.p.)", lambda: e17_concentration()),
     ("E18 — resumption amortization", lambda: e18_resumption()),
     ("E19 — bulk access (columnar vs per-item)", lambda: e19_bulk_access()),
+    ("E20 — resilience (retries, NRA fallback ablation)", lambda: e20_resilience()),
 )
 
 QUICK = (

@@ -14,6 +14,13 @@ Commands
     query is given) against a generated demo database.
 ``experiments [--quick]``
     Regenerate the E1–E18 tables (EXPERIMENTS.md's numbers).
+
+``demo`` and ``sql`` accept ``--fault-profile`` (inject subsystem
+failures: a preset like ``flaky`` or ``key=value`` pairs, see
+:mod:`repro.middleware.faults`) and ``--retry-policy`` (retry/breaker
+settings, see :mod:`repro.middleware.resilience`).  Giving a fault
+profile turns the default resilience policy on, so the demo survives
+its own chaos; add ``--retry-policy`` to tune it.
 """
 
 from __future__ import annotations
@@ -40,11 +47,53 @@ def _build_database(kind: str, size: int) -> MiddlewareEngine:
     raise ReproError(f"unknown demo database {kind!r}; use 'cds' or 'images'")
 
 
+def _apply_resilience(engine: MiddlewareEngine, args: argparse.Namespace) -> None:
+    """Wire --fault-profile / --retry-policy into the engine, if given."""
+    fault_spec = getattr(args, "fault_profile", None)
+    retry_spec = getattr(args, "retry_policy", None)
+    if not fault_spec and not retry_spec:
+        return
+    from repro.middleware.faults import FaultProfile
+    from repro.middleware.resilience import ResiliencePolicy
+
+    profile = FaultProfile.parse(fault_spec) if fault_spec else None
+    if retry_spec:
+        policy = ResiliencePolicy.parse(retry_spec)
+    else:
+        # Injecting faults without any resilience would just crash the
+        # demo; default the policy on so degradation can be watched.
+        policy = ResiliencePolicy() if profile is not None else None
+    engine.configure_resilience(policy, fault_profile=profile)
+
+
 def _print_result(result) -> None:
     print(f"algorithm: {result.algorithm}   "
           f"cost: {result.database_access_cost} accesses "
           f"(sorted {result.cost.sorted_access_cost}, "
           f"random {result.cost.random_access_cost})")
+    degraded = getattr(result, "degraded", None)
+    if degraded is not None:
+        failed = "; ".join(
+            f"{name}: {reason}"
+            for name, reason in sorted(degraded.failed_sources.items())
+        )
+        status = "answers still exact" if degraded.complete else "partial answers"
+        print(f"degraded: fell back to {degraded.fallback} ({status})")
+        print(f"  failures: {failed}")
+    resilience = result.extras.get("resilience")
+    if resilience:
+        for name, entry in sorted(resilience.items()):
+            parts = [f"retries={entry.get('retries', 0)}"]
+            if "sorted_circuit" in entry:
+                parts.append(
+                    f"circuits sorted={entry['sorted_circuit']} "
+                    f"random={entry['random_circuit']}"
+                )
+            injected = entry.get("injected")
+            if injected:
+                shaped = ", ".join(f"{kind}={n}" for kind, n in injected.items() if n)
+                parts.append(f"injected [{shaped or 'none'}]")
+            print(f"  resilience {name}: " + "  ".join(parts))
     rows = result.extras.get("rows")
     if rows:
         for row in rows:
@@ -62,6 +111,7 @@ def _print_result(result) -> None:
 def cmd_demo(args: argparse.Namespace) -> int:
     """The guided tour: the Beatles query with plan and costs."""
     engine = _build_database("cds", 2000)
+    _apply_resilience(engine, args)
     query = Atomic("Artist", "Beatles") & Atomic("AlbumColor", "red")
     print(f"query: {query}")
     plan = engine.explain(query, args.k)
@@ -75,6 +125,7 @@ def cmd_demo(args: argparse.Namespace) -> int:
 def cmd_sql(args: argparse.Namespace) -> int:
     """One-shot statement or interactive shell over a demo database."""
     engine = _build_database(args.database, args.size)
+    _apply_resilience(engine, args)
     if args.query:
         return _run_statement(engine, " ".join(args.query), args.k)
     print(f"repro SQL shell over the {args.database!r} demo database "
@@ -138,8 +189,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_resilience_options(command: argparse.ArgumentParser) -> None:
+        command.add_argument(
+            "--fault-profile", metavar="SPEC", default=None,
+            help="inject subsystem faults: preset (none, flaky, slow, "
+            "no-random, dying) and/or key=value pairs, e.g. "
+            "'flaky,seed=7' or 'transient=0.3,kill-after=500'",
+        )
+        command.add_argument(
+            "--retry-policy", metavar="SPEC", default=None,
+            help="resilience settings as key=value pairs, e.g. "
+            "'attempts=6,base=0.01,threshold=3,recovery=10'",
+        )
+
     demo = sub.add_parser("demo", help="guided tour of the Beatles query")
     demo.add_argument("-k", type=int, default=5, help="answers to return")
+    add_resilience_options(demo)
     demo.set_defaults(func=cmd_demo)
 
     sql = sub.add_parser("sql", help="SQL shell / one-shot statement")
@@ -150,6 +215,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sql.add_argument("--size", type=int, default=1000, help="database size")
     sql.add_argument("-k", type=int, default=10, help="default STOP AFTER")
+    add_resilience_options(sql)
     sql.set_defaults(func=cmd_sql)
 
     experiments = sub.add_parser(

@@ -46,6 +46,7 @@ from repro.core.sources import (
     SortedCursor,
     check_same_objects,
 )
+from repro.core.threshold import DEGRADABLE_ACCESS_ERRORS, _NraState, _nra_run
 from repro.errors import MonotonicityError, ScoringError
 from repro.scoring.base import ScoringFunction, as_scoring_function
 
@@ -83,6 +84,7 @@ class FaginAlgorithm:
         require_monotone: bool = True,
         prune_random_access: bool = False,
         batch_size: int = DEFAULT_BATCH_SIZE,
+        degrade: bool = True,
     ) -> None:
         self.sources: List[GradedSource] = list(sources)
         self.database_size = check_same_objects(self.sources)
@@ -98,6 +100,11 @@ class FaginAlgorithm:
         #: best exact grade dominates every remaining bound.  Sound for
         #: any monotone rule; cheapest for min, where the bound is tight.
         self.prune_random_access = prune_random_access
+        #: When True (default), a random-access failure in phase 2 (an
+        #: open circuit, exhausted retries, a blown deadline) degrades
+        #: the run to NRA-style sorted-only processing over the state
+        #: accumulated so far instead of aborting the query.
+        self.degrade = degrade
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         self.batch_size = batch_size
@@ -190,7 +197,11 @@ class FaginAlgorithm:
             ]
             if not missing:
                 continue
-            fetched = source.random_access_many(missing)
+            try:
+                fetched = source.random_access_many(missing)
+            except DEGRADABLE_ACCESS_ERRORS as error:
+                error.source_name = source.name
+                raise
             for object_id in missing:
                 self._known[object_id][i] = fetched[object_id]
 
@@ -261,7 +272,11 @@ class FaginAlgorithm:
             grades = self._known[object_id]
             for i, source in enumerate(self.sources):
                 if i not in grades:
-                    grades[i] = source.random_access(object_id)
+                    try:
+                        grades[i] = source.random_access(object_id)
+                    except DEGRADABLE_ACCESS_ERRORS as error:
+                        error.source_name = source.name
+                        raise
             vector = [grades[i] for i in range(self.m)]
             exact = self.scoring(vector)
             self._complete[object_id] = exact
@@ -271,6 +286,67 @@ class FaginAlgorithm:
             elif exact > best_k[0]:
                 heapq.heapreplace(best_k, exact)
         return GradedSet(fresh)
+
+    def _degrade_to_nra(self, k: int, meter: CostMeter, error) -> TopKResult:
+        """Continue as NRA over the state phase 1 (and any successful
+        probes) already accumulated.
+
+        The NRA continuation shares this algorithm's cursors, bottoms,
+        and per-list grade dictionaries, so no sorted access is re-paid
+        and everything the continuation learns flows back into
+        ``_known`` for later ``next_k`` calls (which will re-attempt
+        random access and degrade again if it is still down).
+        """
+        states: Dict[ObjectId, _NraState] = {}
+        for object_id, grades in self._known.items():
+            state = _NraState()
+            state.known = grades  # shared dict: NRA updates reach _known
+            states[object_id] = state
+        k_total = min(len(self._emitted) + k, self.database_size)
+        result = _nra_run(
+            self.sources,
+            self.scoring,
+            k_total,
+            cursors=self._cursors,
+            states=states,
+            bottoms=self._bottoms,
+            exhausted=[False for _ in self.sources],
+            meter=meter,
+            depth=max(c.position for c in self._cursors),
+            batch_size=self.batch_size,
+            algorithm="fagin-a0+nra",
+            prior_failures={
+                getattr(error, "source_name", "random access"): str(error)
+            },
+        )
+        for object_id, state in states.items():
+            if object_id not in self._known:
+                self._known[object_id] = state.known
+        fresh = {
+            item.object_id: item.grade
+            for item in result.answers
+            if item.object_id not in self._emitted
+        }
+        batch = GradedSet(fresh).top(min(k, len(fresh))) if fresh else GradedSet()
+        for item in batch:
+            self._emitted.add(item.object_id)
+            self._emitted_set[item.object_id] = item.grade
+        degraded = result.degraded
+        if degraded is not None:
+            degraded.bounds = {
+                object_id: bounds
+                for object_id, bounds in degraded.bounds.items()
+                if object_id in batch
+            }
+        return TopKResult(
+            answers=batch,
+            cost=meter.report(),
+            algorithm="fagin-a0+nra",
+            sorted_depth=max(c.position for c in self._cursors),
+            grades_exact=result.grades_exact,
+            degraded=degraded,
+            extras={"objects_seen": len(self._known)},
+        )
 
     # ------------------------------------------------------------------
     def next_k(self, k: int) -> TopKResult:
@@ -286,14 +362,19 @@ class FaginAlgorithm:
         total_needed = min(len(self._emitted) + k, self.database_size)
         self._sorted_phase(total_needed)
         sorted_phase_cost = meter.report().database_access_cost
-        if self.prune_random_access:
-            fresh = self._pruned_selection(k)
-        else:
-            self._random_phase()
-            overall = self._compute_phase()
-            fresh = GradedSet(
-                item for item in overall if item.object_id not in self._emitted
-            )
+        try:
+            if self.prune_random_access:
+                fresh = self._pruned_selection(k)
+            else:
+                self._random_phase()
+                overall = self._compute_phase()
+                fresh = GradedSet(
+                    item for item in overall if item.object_id not in self._emitted
+                )
+        except DEGRADABLE_ACCESS_ERRORS as error:
+            if not self.degrade:
+                raise
+            return self._degrade_to_nra(k, meter, error)
         report = meter.report()
         batch = fresh.top(min(k, len(fresh)))
         for item in batch:
@@ -330,6 +411,7 @@ def fagin_top_k(
     require_monotone: bool = True,
     prune_random_access: bool = False,
     batch_size: int = DEFAULT_BATCH_SIZE,
+    degrade: bool = True,
 ) -> TopKResult:
     """One-shot convenience wrapper: the top k answers via algorithm A0."""
     algorithm = FaginAlgorithm(
@@ -338,5 +420,6 @@ def fagin_top_k(
         require_monotone=require_monotone,
         prune_random_access=prune_random_access,
         batch_size=batch_size,
+        degrade=degrade,
     )
     return algorithm.next_k(k)

@@ -128,7 +128,11 @@ def plan_top_k(
     n = check_same_objects(sources)
     m = len(sources)
     k_eff = min(k, n)
-    random_ok = all(s.supports_random_access for s in sources)
+    # Dynamic, not just protocol-level: a resilient source whose
+    # random-access circuit breaker is open reports unavailable here, so
+    # the planner picks a sorted-only strategy up front instead of
+    # letting the execution degrade mid-query.
+    random_ok = all(s.random_access_available() for s in sources)
 
     candidates: Dict[Strategy, Plan] = {}
 

@@ -3,9 +3,47 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
 
 from repro.core.cost import CostReport
-from repro.core.graded import GradedSet
+from repro.core.graded import GradedSet, ObjectId
+
+
+@dataclass
+class DegradedResult:
+    """Structured report of a degraded (but not aborted) evaluation.
+
+    Produced when subsystem failures forced the running algorithm off
+    its planned path — a random-access circuit opened and execution fell
+    back to NRA-style sorted-only processing, or a source died entirely
+    and only a partial answer is possible.
+
+    ``failed_sources``
+        Source name -> human-readable reason for each failure that
+        shaped the result.
+    ``fallback``
+        What the execution degraded to (``"nra-sorted-only"`` when
+        sorted streams sufficed, ``"partial-bounds"`` when they did not).
+    ``complete``
+        True when the reported answers are still provably the exact
+        top k despite the failures; False for best-effort partials.
+    ``bounds``
+        NRA-style (lower, upper) overall-grade bounds for each reported
+        answer.  When ``complete`` they coincide up to tolerance; for
+        partials they bracket the true grade of each candidate.
+    """
+
+    failed_sources: Dict[str, str] = field(default_factory=dict)
+    fallback: str = "nra-sorted-only"
+    complete: bool = True
+    bounds: Dict[ObjectId, Tuple[float, float]] = field(default_factory=dict)
+
+    def __repr__(self) -> str:
+        return (
+            f"DegradedResult(fallback={self.fallback!r}, "
+            f"complete={self.complete}, "
+            f"failed={sorted(self.failed_sources)})"
+        )
 
 
 @dataclass
@@ -29,6 +67,9 @@ class TopKResult:
     ``restarts``
         Number of times a restarting strategy (filter-condition
         simulation) had to lower its threshold and rescan.
+    ``degraded``
+        A :class:`DegradedResult` when subsystem failures forced a
+        fallback or a partial answer; None for a clean run.
     """
 
     answers: GradedSet
@@ -38,6 +79,7 @@ class TopKResult:
     grades_exact: bool = True
     restarts: int = 0
     extras: dict = field(default_factory=dict)
+    degraded: Optional[DegradedResult] = None
 
     @property
     def database_access_cost(self) -> int:

@@ -206,6 +206,17 @@ class GradedSource(ABC):
         """Open a fresh sorted-access cursor at the top of the list."""
         return SortedCursor(self)
 
+    def random_access_available(self) -> bool:
+        """Whether random access is currently worth attempting.
+
+        The static ``supports_random_access`` flag says what the
+        repository's protocol offers; this dynamic check also reflects
+        runtime health (a resilient wrapper whose random-access circuit
+        breaker is open reports False here so the planner can choose a
+        sorted-only strategy up front).
+        """
+        return self.supports_random_access
+
     def random_access(self, object_id: ObjectId) -> float:
         """Grade of ``object_id`` under this source's query (one access)."""
         grade = self._grade_of(object_id)

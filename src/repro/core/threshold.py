@@ -28,19 +28,46 @@ the library's extension algorithms and exercised by ablation E12:
   resolve the most promising incomplete object.
 
 All require a *monotone* scoring function, like A0.
+
+**Graceful degradation.**  NRA was defined for repositories where random
+access is *unavailable* — which in a production middleware is not a
+static property but a runtime one: a subsystem's random access can die
+mid-query (its circuit breaker opens, see
+:mod:`repro.middleware.resilience`).  The NRA core here is therefore a
+resumable continuation, :func:`_nra_run`, that can start from *any*
+accumulated :class:`_NraState` bookkeeping; TA maintains that
+bookkeeping as it goes, and when a random probe fails degradably it
+hands its cursors, bottoms, and states to the NRA continuation instead
+of aborting.  If sorted streams later die too, the continuation returns
+a best-effort partial answer carrying NRA lower/upper grade bounds and a
+structured :class:`~repro.core.result.DegradedResult` report.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Dict, List, Optional, Sequence, Set
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.cost import CostMeter
 from repro.core.graded import GradedSet, ObjectId
-from repro.core.result import TopKResult
+from repro.core.result import DegradedResult, TopKResult
 from repro.core.sources import DEFAULT_BATCH_SIZE, GradedSource, check_same_objects
-from repro.errors import MonotonicityError
+from repro.errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    MonotonicityError,
+    TransientAccessError,
+)
 from repro.scoring.base import ScoringFunction, as_scoring_function
+
+#: Failures an in-flight algorithm may survive by degrading instead of
+#: aborting: retryable errors whose retries were already exhausted by
+#: the resilience layer, open circuits, and blown deadline budgets.
+DEGRADABLE_ACCESS_ERRORS = (
+    TransientAccessError,
+    CircuitOpenError,
+    DeadlineExceededError,
+)
 
 
 def _require_monotone(rule: ScoringFunction, algorithm: str) -> None:
@@ -49,102 +76,6 @@ def _require_monotone(rule: ScoringFunction, algorithm: str) -> None:
             f"scoring function {rule.name!r} is declared non-monotone; "
             f"{algorithm} is only correct for monotone rules"
         )
-
-
-def threshold_top_k(
-    sources: Sequence[GradedSource],
-    scoring,
-    k: int,
-    *,
-    require_monotone: bool = True,
-    batch_size: int = DEFAULT_BATCH_SIZE,
-) -> TopKResult:
-    """Top k answers via the threshold algorithm (TA).
-
-    Sorted access is drained in bulk: each super-round peeks a window of
-    ``batch_size`` upcoming items per list (free), replays TA's
-    one-item-per-list rounds over the windows in memory — issuing the
-    random probes for each round's newly seen objects as one bulk
-    request per list — and then consumes exactly the rounds processed
-    with one ``next_batch`` per list.  The stopping rule is still
-    evaluated between rounds, so the access counts are identical to
-    item-at-a-time TA for every ``batch_size`` (1 reproduces the
-    per-item pattern exactly).
-    """
-    if k <= 0:
-        raise ValueError(f"k must be positive, got {k}")
-    if batch_size < 1:
-        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
-    rule = as_scoring_function(scoring)
-    if require_monotone:
-        _require_monotone(rule, "TA")
-    database_size = check_same_objects(sources)
-    k = min(k, database_size)
-    m = len(sources)
-    meter = CostMeter(sources)
-
-    cursors = [s.cursor() for s in sources]
-    others = [[j for j in range(m) if j != i] for i in range(m)]
-    bottoms = [1.0] * m
-    overall: Dict[ObjectId, float] = {}
-    # Min-heap of the k best overall grades seen so far, so the stopping
-    # test is O(log k) per object instead of a re-sort per round.
-    best_k: List[float] = []
-    depth = 0
-    stop = False
-
-    while not stop:
-        windows = [cursor.peek_batch(batch_size) for cursor in cursors]
-        rows = max((len(window) for window in windows), default=0)
-        if rows == 0:
-            break  # no list can progress: exhausted
-        consumed = 0
-        for row in range(rows):
-            # One TA round: the row-th item of every list, with bulk
-            # random probes for the objects this round saw first.
-            fresh: List[tuple] = []
-            for i, window in enumerate(windows):
-                if row >= len(window):
-                    continue
-                item = window[row]
-                bottoms[i] = item.grade
-                if item.object_id not in overall:
-                    overall[item.object_id] = 0.0  # placeholder: seen
-                    fresh.append((item.object_id, i, item.grade))
-            if fresh:
-                probes: List[Dict[ObjectId, float]] = [{} for _ in range(m)]
-                needed: List[List[ObjectId]] = [[] for _ in range(m)]
-                for object_id, first, _ in fresh:
-                    for j in others[first]:
-                        needed[j].append(object_id)
-                for j, ids in enumerate(needed):
-                    if ids:
-                        probes[j] = sources[j].random_access_many(ids)
-                for object_id, first, sorted_grade in fresh:
-                    grades = [probes[j][object_id] for j in range(m) if j != first]
-                    grades.insert(first, sorted_grade)
-                    grade = rule(grades)
-                    overall[object_id] = grade
-                    if len(best_k) < k:
-                        heapq.heappush(best_k, grade)
-                    elif grade > best_k[0]:
-                        heapq.heapreplace(best_k, grade)
-            consumed = row + 1
-            if len(best_k) >= k and best_k[0] >= rule(bottoms):
-                stop = True
-                break
-        for i, cursor in enumerate(cursors):
-            take = min(consumed, len(windows[i]))
-            if take:
-                cursor.next_batch(take)
-                depth = max(depth, cursor.position)
-
-    return TopKResult(
-        answers=GradedSet(overall).top(k),
-        cost=meter.report(),
-        algorithm="threshold-ta",
-        sorted_depth=depth,
-    )
 
 
 class _NraState:
@@ -167,17 +98,30 @@ class _NraState:
         return len(self.known) == m
 
 
-def nra_top_k(
+def _nra_run(
     sources: Sequence[GradedSource],
-    scoring,
+    rule: ScoringFunction,
     k: int,
     *,
-    require_monotone: bool = True,
+    cursors,
+    states: Dict[ObjectId, _NraState],
+    bottoms: List[float],
+    exhausted: List[bool],
+    meter: CostMeter,
+    depth: int = 0,
     exact_grades: bool = True,
     tol: float = 1e-12,
     batch_size: int = 4096,
+    algorithm: str = "nra",
+    prior_failures: Optional[Dict[str, str]] = None,
+    failed_sorted: Optional[Dict[int, str]] = None,
 ) -> TopKResult:
-    """Top k answers using sorted access only (NRA).
+    """The NRA main loop, resumable from arbitrary accumulated state.
+
+    :func:`nra_top_k` calls it with fresh cursors and empty state; the
+    degradation paths of TA and A0 call it mid-query with everything
+    they already learned (their cursors keep their positions, so sorted
+    work is never re-paid).
 
     The stopping condition is evaluated on a doubling schedule (rounds
     1, 2, 4, 8, ...) rather than after every access: recomputing every
@@ -192,28 +136,27 @@ def nra_top_k(
     consumes (and charges) exactly the same accesses as item-at-a-time
     draining.  ``batch_size`` merely caps how many rounds one request
     may cover.
+
+    A sorted stream that fails with one of
+    :data:`DEGRADABLE_ACCESS_ERRORS` is marked dead: its bottom freezes
+    at the last grade it delivered (still a sound upper bound for its
+    unseen grades) and the loop continues on the surviving lists.  When
+    no list can progress and the stop test still fails, the best-effort
+    top k by *lower* bound is returned with ``grades_exact=False`` and a
+    ``partial-bounds`` :class:`~repro.core.result.DegradedResult`.
     """
-    if k <= 0:
-        raise ValueError(f"k must be positive, got {k}")
-    if batch_size < 1:
-        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
-    rule = as_scoring_function(scoring)
-    if require_monotone:
-        _require_monotone(rule, "NRA")
     database_size = check_same_objects(sources)
     k = min(k, database_size)
     m = len(sources)
-    meter = CostMeter(sources)
-
-    cursors = [s.cursor() for s in sources]
-    exhausted = [False] * m
-    bottoms = [1.0] * m
-    states: Dict[ObjectId, _NraState] = {}
-    depth = 0
+    #: lists whose sorted stream is dead, index -> reason; seeded by the
+    #: caller when a stream already died before the continuation started
+    #: (those indexes must also be pre-marked in ``exhausted``).
+    sorted_failures: Dict[int, str] = dict(failed_sorted or {})
     rounds = 0
     next_check = 1
     answers: Optional[GradedSet] = None
     converged = True
+    partial = False
 
     def evaluate_stop() -> Optional[GradedSet]:
         nonlocal converged
@@ -255,7 +198,14 @@ def nra_top_k(
         for i, cursor in enumerate(cursors):
             if exhausted[i]:
                 continue
-            batch = cursor.next_batch(window)
+            try:
+                batch = cursor.next_batch(window)
+            except DEGRADABLE_ACCESS_ERRORS as error:
+                # Dead stream: freeze its bottom (a sound upper bound
+                # for everything it never delivered) and carry on.
+                exhausted[i] = True
+                sorted_failures[i] = str(error)
+                continue
             if not batch:
                 exhausted[i] = True
                 bottoms[i] = 0.0
@@ -271,20 +221,259 @@ def nra_top_k(
             answers = evaluate_stop()
             next_check = rounds * 2
         if not progressed and answers is None:
-            # Lists exhausted: every grade is known, so the lower bounds
-            # are the true grades and the pool is the whole database.
+            # Nothing can progress.  Without failures every grade is
+            # known (the lists were fully drained), so the lower bounds
+            # are the true grades; with dead streams this is the
+            # best-effort ranking by lower bound.
             scored = GradedSet(
                 {obj: state.lower(rule, m) for obj, state in states.items()}
             )
             answers = scored.top(k)
-            converged = True
+            if sorted_failures:
+                partial = True
+                converged = False
+            else:
+                converged = True
+
+    failures: Dict[str, str] = dict(prior_failures or {})
+    for i, reason in sorted_failures.items():
+        failures[sources[i].name] = reason
+    degraded: Optional[DegradedResult] = None
+    if failures:
+        degraded = DegradedResult(
+            failed_sources=failures,
+            fallback="partial-bounds" if partial else "nra-sorted-only",
+            complete=not partial,
+            bounds={
+                item.object_id: (
+                    states[item.object_id].lower(rule, m),
+                    states[item.object_id].upper(rule, m, bottoms),
+                )
+                for item in answers
+            },
+        )
 
     return TopKResult(
         answers=answers,
         cost=meter.report(),
-        algorithm="nra",
+        algorithm=algorithm,
         sorted_depth=depth,
         grades_exact=converged,
+        degraded=degraded,
+    )
+
+
+def threshold_top_k(
+    sources: Sequence[GradedSource],
+    scoring,
+    k: int,
+    *,
+    require_monotone: bool = True,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+    degrade: bool = True,
+) -> TopKResult:
+    """Top k answers via the threshold algorithm (TA).
+
+    Sorted access is drained in bulk: each super-round peeks a window of
+    ``batch_size`` upcoming items per list (free), replays TA's
+    one-item-per-list rounds over the windows in memory — issuing the
+    random probes for each round's newly seen objects as one bulk
+    request per list — and then consumes exactly the rounds processed
+    with one ``next_batch`` per list.  The stopping rule is still
+    evaluated between rounds, so the access counts are identical to
+    item-at-a-time TA for every ``batch_size`` (1 reproduces the
+    per-item pattern exactly).
+
+    TA keeps NRA's per-list bookkeeping as it goes, so when ``degrade``
+    is True (the default) and a random probe fails with one of
+    :data:`DEGRADABLE_ACCESS_ERRORS` — e.g. the source's random-access
+    circuit breaker opened — the execution does not abort: it consumes
+    the sorted rows it already used and continues as an NRA run over the
+    same cursors and accumulated state, still returning correct top-k
+    answers from sorted access alone.  With ``degrade=False`` the error
+    propagates (the E20 ablation).
+    """
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    rule = as_scoring_function(scoring)
+    if require_monotone:
+        _require_monotone(rule, "TA")
+    database_size = check_same_objects(sources)
+    k = min(k, database_size)
+    m = len(sources)
+    meter = CostMeter(sources)
+
+    cursors = [s.cursor() for s in sources]
+    others = [[j for j in range(m) if j != i] for i in range(m)]
+    bottoms = [1.0] * m
+    #: NRA-style per-list bookkeeping, doubling as TA's seen-set; kept
+    #: current so a mid-query fallback starts fully informed.
+    states: Dict[ObjectId, _NraState] = {}
+    overall: Dict[ObjectId, float] = {}
+    # Min-heap of the k best overall grades seen so far, so the stopping
+    # test is O(log k) per object instead of a re-sort per round.
+    best_k: List[float] = []
+    depth = 0
+    stop = False
+
+    def fall_back(
+        consumed_rows: int,
+        windows,
+        prior_failures: Dict[str, str],
+        dead: Optional[Dict[int, str]] = None,
+    ) -> TopKResult:
+        """Consume the sorted rows already used, then continue as NRA.
+
+        A stream that dies while shipping those rows (``dead``, or a
+        fresh failure during the consume here) is frozen in place and
+        handed to the continuation as already-exhausted; the surviving
+        lists carry the query.
+        """
+        nonlocal depth
+        failed_sorted: Dict[int, str] = dict(dead or {})
+        pre_exhausted = [i in failed_sorted for i in range(m)]
+        for i, cursor in enumerate(cursors):
+            if pre_exhausted[i]:
+                continue
+            take = min(consumed_rows, len(windows[i]))
+            if take:
+                try:
+                    cursor.next_batch(take)
+                except DEGRADABLE_ACCESS_ERRORS as err:
+                    failed_sorted[i] = str(err)
+                    pre_exhausted[i] = True
+                    continue
+                depth = max(depth, cursor.position)
+        return _nra_run(
+            sources,
+            rule,
+            k,
+            cursors=cursors,
+            states=states,
+            bottoms=bottoms,
+            exhausted=pre_exhausted,
+            meter=meter,
+            depth=depth,
+            batch_size=max(batch_size, 1),
+            algorithm="threshold-ta+nra",
+            prior_failures=prior_failures,
+            failed_sorted=failed_sorted,
+        )
+
+    while not stop:
+        windows = [cursor.peek_batch(batch_size) for cursor in cursors]
+        rows = max((len(window) for window in windows), default=0)
+        if rows == 0:
+            break  # no list can progress: exhausted
+        consumed = 0
+        for row in range(rows):
+            # One TA round: the row-th item of every list, with bulk
+            # random probes for the objects this round saw first.
+            fresh: List[tuple] = []
+            for i, window in enumerate(windows):
+                if row >= len(window):
+                    continue
+                item = window[row]
+                bottoms[i] = item.grade
+                state = states.get(item.object_id)
+                if state is None:
+                    state = states[item.object_id] = _NraState()
+                    fresh.append((item.object_id, i))
+                state.known[i] = item.grade
+            consumed = row + 1
+            if fresh:
+                needed: List[List[ObjectId]] = [[] for _ in range(m)]
+                for object_id, first in fresh:
+                    for j in others[first]:
+                        needed[j].append(object_id)
+                for j, ids in enumerate(needed):
+                    if not ids:
+                        continue
+                    try:
+                        fetched = sources[j].random_access_many(ids)
+                    except DEGRADABLE_ACCESS_ERRORS as error:
+                        if not degrade:
+                            raise
+                        return fall_back(
+                            consumed, windows, {sources[j].name: str(error)}
+                        )
+                    for object_id, grade in fetched.items():
+                        states[object_id].known[j] = grade
+                for object_id, _ in fresh:
+                    known = states[object_id].known
+                    grade = rule([known[j] for j in range(m)])
+                    overall[object_id] = grade
+                    if len(best_k) < k:
+                        heapq.heappush(best_k, grade)
+                    elif grade > best_k[0]:
+                        heapq.heapreplace(best_k, grade)
+            if len(best_k) >= k and best_k[0] >= rule(bottoms):
+                stop = True
+                break
+        died: Dict[int, str] = {}
+        for i, cursor in enumerate(cursors):
+            take = min(consumed, len(windows[i]))
+            if take:
+                try:
+                    cursor.next_batch(take)
+                except DEGRADABLE_ACCESS_ERRORS as error:
+                    if not degrade:
+                        raise
+                    died[i] = str(error)
+                    continue
+                depth = max(depth, cursor.position)
+        if died and not stop:
+            # A sorted stream died mid-round; its cursor is stuck, so the
+            # next peek would replay the same rows forever.  Hand the
+            # accumulated state to NRA with the dead list frozen out.
+            return fall_back(0, windows, {}, dead=died)
+
+    return TopKResult(
+        answers=GradedSet(overall).top(k),
+        cost=meter.report(),
+        algorithm="threshold-ta",
+        sorted_depth=depth,
+    )
+
+
+def nra_top_k(
+    sources: Sequence[GradedSource],
+    scoring,
+    k: int,
+    *,
+    require_monotone: bool = True,
+    exact_grades: bool = True,
+    tol: float = 1e-12,
+    batch_size: int = 4096,
+) -> TopKResult:
+    """Top k answers using sorted access only (NRA).
+
+    A thin wrapper over :func:`_nra_run` with fresh cursors and empty
+    state; see there for the batching/stop-schedule mechanics and the
+    behaviour when sorted streams die mid-run.
+    """
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    rule = as_scoring_function(scoring)
+    if require_monotone:
+        _require_monotone(rule, "NRA")
+    m = len(sources)
+    return _nra_run(
+        sources,
+        rule,
+        k,
+        cursors=[s.cursor() for s in sources],
+        states={},
+        bottoms=[1.0] * m,
+        exhausted=[False] * m,
+        meter=CostMeter(sources),
+        exact_grades=exact_grades,
+        tol=tol,
+        batch_size=batch_size,
     )
 
 

@@ -48,6 +48,39 @@ class UnsupportedAccessError(AccessError):
     """The subsystem does not support the requested access mode."""
 
 
+class TransientAccessError(AccessError):
+    """A subsystem access failed in a way that may succeed on retry.
+
+    The middleware setting of section 4 integrates autonomous, often
+    remote subsystems; a timeout or dropped connection aborts one access
+    without implying the repository is gone.  The resilience layer
+    (:mod:`repro.middleware.resilience`) retries these with backoff; a
+    permanently failing subsystem keeps raising them until its circuit
+    breaker opens.
+    """
+
+
+class CircuitOpenError(AccessError):
+    """An access was refused because the subsystem's circuit is open.
+
+    Raised without contacting the subsystem: repeated failures tripped
+    the :class:`~repro.middleware.resilience.CircuitBreaker`, and until
+    its recovery window elapses the middleware fails fast instead of
+    hammering a dead repository.  The top-k algorithms treat an open
+    *random-access* circuit as a cue to degrade to sorted-only (NRA)
+    processing.
+    """
+
+
+class DeadlineExceededError(AccessError):
+    """An access (including its retries) exceeded its deadline budget.
+
+    Raised by :class:`~repro.middleware.resilience.ResilientSource` when
+    the per-operation time budget of its retry policy is spent — e.g.
+    after latency spikes or backoff sleeps consumed the allowance.
+    """
+
+
 class IdMappingError(ReproError):
     """Object-ID correspondence between subsystems is missing or not 1-to-1."""
 

@@ -23,11 +23,25 @@ The engine answers *ranked* queries ("give me the top 10"), returning a
 :class:`~repro.core.result.TopKResult`; :meth:`MiddlewareEngine.open_query`
 returns a resumable handle for fetching the next batch — the "continue
 where we left off" feature of algorithm A0.
+
+**Resilience.**  Real subsystems fail, so the engine can wrap every
+binding in the resilience stack: a
+:class:`~repro.middleware.faults.FaultInjectingSource` (for chaos
+testing, when a fault profile is configured) innermost, the ID mapping
+in the middle, and a
+:class:`~repro.middleware.resilience.ResilientSource` (retry with
+backoff, deadline budgets, circuit breakers) outermost — outermost so
+the planner's ``random_access_available`` probe sees breaker state and
+plans around a known-bad subsystem up front.  Wrapped bindings are
+cached per atom, so breaker state persists across queries the way a
+long-lived connection pool's health does; :meth:`MiddlewareEngine.invalidate`
+is the reset.  When anything was injected or retried, the query result
+carries a per-source report in ``result.extras["resilience"]``.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.core.evaluation import compile_query
 from repro.core.fagin import FaginAlgorithm
@@ -36,20 +50,53 @@ from repro.core.query import Atomic, Query, Scored
 from repro.core.result import TopKResult
 from repro.core.sources import GradedSource
 from repro.errors import PlanError
+from repro.middleware.faults import FaultInjectingSource, FaultProfile
 from repro.middleware.idmap import IdMapping, MappedSource
 from repro.middleware.interface import Subsystem
 from repro.middleware.monotonicity import ensure_monotone
+from repro.middleware.resilience import (
+    ResiliencePolicy,
+    ResilientSource,
+    VirtualClock,
+    resilience_report,
+)
 from repro.scoring.base import FunctionScoring
 from repro.scoring.zadeh import ZADEH, FuzzySemantics
+
+#: Either one setting for every subsystem, or a per-subsystem-name map
+#: (the key ``"*"`` supplies the default for unlisted subsystems).
+PerSubsystem = Union[None, ResiliencePolicy, Dict[str, ResiliencePolicy]]
+PerSubsystemFaults = Union[None, FaultProfile, Dict[str, FaultProfile]]
+
+
+def _for_subsystem(setting, name: str):
+    """Resolve a global-or-per-subsystem setting for one subsystem."""
+    if setting is None or not isinstance(setting, dict):
+        return setting
+    return setting.get(name, setting.get("*"))
 
 
 class MiddlewareEngine:
     """Integrates subsystems and evaluates fuzzy queries over them."""
 
-    def __init__(self, semantics: FuzzySemantics = ZADEH) -> None:
+    def __init__(
+        self,
+        semantics: FuzzySemantics = ZADEH,
+        *,
+        resilience: PerSubsystem = None,
+        fault_profile: PerSubsystemFaults = None,
+        clock=None,
+    ) -> None:
         self.semantics = semantics
         self._subsystems: List[Subsystem] = []
         self._mappings: Dict[str, IdMapping] = {}
+        self._resilience: PerSubsystem = resilience
+        self._fault_profile: PerSubsystemFaults = fault_profile
+        self._clock = clock if clock is not None else VirtualClock()
+        #: per-atom cache of fully wrapped bindings (fault injector,
+        #: mapping, resilience), so breaker/fault state persists across
+        #: queries on the same atom.
+        self._wrapped: Dict[Atomic, GradedSource] = {}
 
     # ------------------------------------------------------------------
     # Registration
@@ -85,13 +132,67 @@ class MiddlewareEngine:
         return supporting[0]
 
     def bind(self, atom: Atomic) -> GradedSource:
-        """The ranked list for one atom, re-keyed to global ids if mapped."""
+        """The fully wrapped ranked list for one atom (cached per atom).
+
+        Wrapping order is fault injector (innermost, it stands in for
+        the unreliable repository itself), then the global-ID mapping,
+        then the resilience wrapper (outermost, so retries cover the
+        whole chain and the planner sees live breaker state).
+        """
+        cached = self._wrapped.get(atom)
+        if cached is not None:
+            return cached
         subsystem = self.subsystem_for(atom)
         source = subsystem.bind(atom)
+        profile = _for_subsystem(self._fault_profile, subsystem.name)
+        if profile is not None:
+            source = FaultInjectingSource(source, profile, clock=self._clock)
         mapping = self._mappings.get(subsystem.name)
         if mapping is not None:
             source = MappedSource(source, mapping)
+        policy = _for_subsystem(self._resilience, subsystem.name)
+        if policy is not None:
+            source = ResilientSource(source, policy, clock=self._clock)
+        self._wrapped[atom] = source
         return source
+
+    def configure_resilience(
+        self,
+        resilience: PerSubsystem = None,
+        *,
+        fault_profile: PerSubsystemFaults = None,
+        clock=None,
+    ) -> None:
+        """Replace the resilience/fault configuration.
+
+        Both settings are replaced wholesale (pass the previous value to
+        keep it), and the wrapped-binding cache is cleared so the next
+        bind of each atom rebuilds its wrapper stack — existing breaker
+        and fault state is discarded.
+        """
+        self._resilience = resilience
+        self._fault_profile = fault_profile
+        if clock is not None:
+            self._clock = clock
+        self._wrapped.clear()
+
+    def invalidate(self, atom: Optional[Atomic] = None) -> None:
+        """Drop cached bindings (one atom, or everything).
+
+        Clears the engine's wrapper cache and the owning subsystems'
+        binding caches, so the next use rebuilds from the repository —
+        the reset after underlying data changed or a subsystem recovered
+        from the failures that tripped its breakers.
+        """
+        if atom is not None:
+            self._wrapped.pop(atom, None)
+            for subsystem in self._subsystems:
+                if subsystem.supports(atom):
+                    subsystem.unbind(atom)
+            return
+        self._wrapped.clear()
+        for subsystem in self._subsystems:
+            subsystem.invalidate()
 
     def bind_all(self, query: Query) -> List[GradedSource]:
         """Ranked lists for each distinct atom of a query, in atom order."""
@@ -132,7 +233,11 @@ class MiddlewareEngine:
         sources = self.bind_all(query)
         compiled = self._compile(query)
         plan = plan_top_k(sources, compiled, k, prefer=prefer)
-        return execute(plan, sources)
+        result = execute(plan, sources)
+        report = resilience_report(sources)
+        if report:
+            result.extras["resilience"] = report
+        return result
 
     def explain(self, query: Query, k: int):
         """The plan the engine would execute, without running it."""
@@ -144,7 +249,7 @@ class MiddlewareEngine:
         """A resumable handle: fetch the top k, then the next k, etc."""
         sources = self.bind_all(query)
         compiled = self._compile(query)
-        return QueryHandle(FaginAlgorithm(sources, compiled))
+        return QueryHandle(FaginAlgorithm(sources, compiled), sources)
 
     def lookup_row(self, object_id) -> Dict[str, object]:
         """Merge the relational attributes known for one object.
@@ -173,11 +278,19 @@ class QueryHandle:
     section 4.1 promises.
     """
 
-    def __init__(self, algorithm: FaginAlgorithm) -> None:
+    def __init__(
+        self,
+        algorithm: FaginAlgorithm,
+        sources: Optional[List[GradedSource]] = None,
+    ) -> None:
         self._algorithm = algorithm
+        self._sources = sources if sources is not None else list(algorithm.sources)
         self.fetched = 0
 
     def fetch(self, k: int = 10) -> TopKResult:
         result = self._algorithm.next_k(k)
         self.fetched += len(result.answers)
+        report = resilience_report(self._sources)
+        if report:
+            result.extras["resilience"] = report
         return result

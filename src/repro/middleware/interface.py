@@ -56,5 +56,22 @@ class Subsystem(ABC):
             self._bindings[atom] = self._bind(atom)
         return self._bindings[atom]
 
+    def unbind(self, atom: Atomic) -> bool:
+        """Drop the cached binding for one atom, if any.
+
+        The next :meth:`bind` for the atom rebuilds the ranked list from
+        the repository — the escape hatch when underlying data changed
+        or a wrapped binding accumulated unwanted state (e.g. a tripped
+        circuit breaker after the subsystem recovered).  Returns whether
+        a binding was actually dropped.
+        """
+        return self._bindings.pop(atom, None) is not None
+
+    def invalidate(self) -> int:
+        """Drop every cached binding; returns how many were dropped."""
+        count = len(self._bindings)
+        self._bindings.clear()
+        return count
+
     def __repr__(self) -> str:
         return f"<{type(self).__name__} {self.name!r} attrs={sorted(self.attributes())}>"

@@ -1,0 +1,422 @@
+"""Fault tolerance for subsystem access: retries, breakers, deadlines.
+
+The middleware of section 4 integrates *autonomous* subsystems — remote,
+independently administered, independently failing.  The paper's access
+model (sorted and random access) says nothing about what happens when an
+access fails; a production middleware must decide.  This module supplies
+the standard answers:
+
+* :class:`RetryPolicy` — exponential backoff with jitter and an optional
+  per-operation deadline budget;
+* :class:`CircuitBreaker` — after repeated failures, stop contacting the
+  subsystem and fail fast (:class:`~repro.errors.CircuitOpenError`)
+  until a recovery window elapses, then probe again (half-open);
+* :class:`ResilientSource` — a :class:`~repro.core.sources.GradedSource`
+  wrapper applying both, with *separate* circuits for sorted and random
+  access: the follow-up NRA work (Fagin–Lotem–Naor) exists precisely
+  because random access can be unavailable while sorted access works,
+  and the degradation machinery in :mod:`repro.core.threshold` exploits
+  exactly that asymmetry.
+
+Only :class:`~repro.errors.TransientAccessError` is retried.  Protocol
+errors (:class:`~repro.errors.UnknownObjectError`,
+:class:`~repro.errors.UnsupportedAccessError`) pass through untouched —
+retrying a wrong question does not make it right.
+
+Time is injectable: every component takes a ``clock`` with ``now()`` and
+``sleep(seconds)``.  The default :class:`VirtualClock` advances virtually
+(no real sleeping), which keeps deterministic tests and benchmarks fast;
+pass :class:`MonotonicClock` to wait in real time against live
+subsystems.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.core.graded import GradedItem, ObjectId
+from repro.core.sources import GradedSource
+from repro.errors import (
+    AccessError,
+    CircuitOpenError,
+    DeadlineExceededError,
+    TransientAccessError,
+)
+
+
+class VirtualClock:
+    """A clock whose sleeps advance virtual time instantly.
+
+    Deterministic and fast: backoff schedules, deadlines, and breaker
+    recovery windows all behave exactly as in real time, without the
+    wall-clock wait.  The default clock throughout the resilience layer.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            self._now += seconds
+
+
+class MonotonicClock:
+    """Real time: ``time.monotonic`` and ``time.sleep``."""
+
+    def now(self) -> float:
+        return time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            time.sleep(seconds)
+
+
+def _parse_spec(text: str, aliases: Dict[str, str], what: str) -> Dict[str, str]:
+    """Parse ``key=value,key=value`` option strings for the CLI."""
+    options: Dict[str, str] = {}
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if "=" not in part:
+            raise AccessError(
+                f"bad {what} option {part!r}: expected key=value "
+                f"(known keys: {sorted(aliases)})"
+            )
+        key, _, value = part.partition("=")
+        key = key.strip().lower().replace("_", "-")
+        if key not in aliases:
+            raise AccessError(
+                f"unknown {what} option {key!r} (known: {sorted(aliases)})"
+            )
+        options[aliases[key]] = value.strip()
+    return options
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with jitter, capped, under a deadline budget.
+
+    Attempt ``i`` (0-based) that fails transiently sleeps
+    ``min(base_delay * multiplier**i, max_delay)`` scaled by a jitter
+    factor drawn uniformly from ``[1 - jitter, 1 + jitter]`` — the
+    standard "equal jitter" defence against retry synchronization across
+    clients.  ``deadline`` bounds one logical operation *including* its
+    retries and backoff sleeps; when the clock passes it, the operation
+    raises :class:`~repro.errors.DeadlineExceededError`.
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.5
+    deadline: Optional[float] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise AccessError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise AccessError(f"jitter must lie in [0, 1], got {self.jitter}")
+
+    def backoff(self, attempt: int, rng: random.Random) -> float:
+        """Sleep before retrying after the ``attempt``-th failure (0-based)."""
+        delay = min(self.base_delay * self.multiplier**attempt, self.max_delay)
+        if self.jitter:
+            delay *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return delay
+
+    @classmethod
+    def parse(cls, text: str) -> "RetryPolicy":
+        """Build from a CLI spec like ``attempts=6,base=0.01,deadline=2``."""
+        aliases = {
+            "attempts": "max_attempts",
+            "max-attempts": "max_attempts",
+            "base": "base_delay",
+            "base-delay": "base_delay",
+            "multiplier": "multiplier",
+            "max-delay": "max_delay",
+            "jitter": "jitter",
+            "deadline": "deadline",
+            "seed": "seed",
+        }
+        options = _parse_spec(text, aliases, "retry policy")
+        kwargs: Dict[str, object] = {}
+        for name, value in options.items():
+            if name in ("max_attempts", "seed"):
+                kwargs[name] = int(value)
+            else:
+                kwargs[name] = float(value)
+        return cls(**kwargs)  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """Per-subsystem policy: how to retry and when to trip the breaker."""
+
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    failure_threshold: int = 5
+    recovery_time: float = 30.0
+
+    @classmethod
+    def parse(cls, text: str) -> "ResiliencePolicy":
+        """Build from a CLI spec; retry keys plus ``threshold``/``recovery``."""
+        aliases = {"threshold": "failure_threshold", "recovery": "recovery_time"}
+        own: Dict[str, str] = {}
+        retry_parts: List[str] = []
+        for part in text.split(","):
+            key = part.partition("=")[0].strip().lower().replace("_", "-")
+            if key in aliases:
+                own.update(_parse_spec(part, aliases, "resilience policy"))
+            elif part.strip():
+                retry_parts.append(part)
+        return cls(
+            retry=RetryPolicy.parse(",".join(retry_parts)),
+            failure_threshold=int(own.get("failure_threshold", 5)),
+            recovery_time=float(own.get("recovery_time", 30.0)),
+        )
+
+
+class CircuitBreaker:
+    """Classic three-state breaker: closed, open, half-open.
+
+    ``failure_threshold`` consecutive failures trip the circuit; while
+    open, :meth:`allow` is False (callers should raise
+    :class:`~repro.errors.CircuitOpenError` without touching the
+    subsystem).  Once ``recovery_time`` has elapsed the breaker is
+    half-open: one trial call is allowed, and its outcome either closes
+    the circuit or re-opens it for another recovery window.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        recovery_time: float = 30.0,
+        clock=None,
+    ) -> None:
+        if failure_threshold < 1:
+            raise AccessError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        self.failure_threshold = failure_threshold
+        self.recovery_time = recovery_time
+        self.clock = clock if clock is not None else VirtualClock()
+        self._failures = 0
+        self._opened_at: Optional[float] = None
+        #: lifetime count of trips to the open state (observability)
+        self.opens = 0
+
+    @property
+    def state(self) -> str:
+        if self._opened_at is None:
+            return self.CLOSED
+        if self.clock.now() - self._opened_at >= self.recovery_time:
+            return self.HALF_OPEN
+        return self.OPEN
+
+    def allow(self) -> bool:
+        """Whether a call may proceed (half-open admits the trial call)."""
+        return self.state != self.OPEN
+
+    def record_success(self) -> None:
+        self._failures = 0
+        self._opened_at = None
+
+    def record_failure(self) -> None:
+        if self._opened_at is not None:
+            # The half-open trial failed: re-open for a fresh window.
+            self._opened_at = self.clock.now()
+            self.opens += 1
+            return
+        self._failures += 1
+        if self._failures >= self.failure_threshold:
+            self._opened_at = self.clock.now()
+            self.opens += 1
+
+    def __repr__(self) -> str:
+        return f"<CircuitBreaker {self.state} failures={self._failures}>"
+
+
+@dataclass
+class ResilienceStats:
+    """Observable tallies of one :class:`ResilientSource`'s behaviour."""
+
+    failures: int = 0
+    retries: int = 0
+    exhausted: int = 0
+    rejections: int = 0
+    deadline_exceeded: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "failures": self.failures,
+            "retries": self.retries,
+            "exhausted": self.exhausted,
+            "rejections": self.rejections,
+            "deadline_exceeded": self.deadline_exceeded,
+        }
+
+
+class ResilientSource(GradedSource):
+    """Retry + circuit-breaking wrapper over one subsystem's ranked list.
+
+    Every charged access (sorted deliveries and random probes) runs
+    through :meth:`_call`: transient failures are retried under the
+    policy's backoff until they succeed, the attempts run out, or the
+    access kind's circuit breaker opens.  Sorted and random access have
+    *independent* breakers, so a repository whose random probes died
+    keeps serving its sorted stream — the planner and the running
+    algorithms then degrade to NRA-style sorted-only processing.
+
+    Accounting is untouched: the wrapped source's counter is shared, and
+    a failed attempt charges nothing (the subsystem never answered), so
+    a retried-then-successful run costs exactly what a fault-free run
+    costs under the paper's uniform measure.
+
+    Peeks bypass the machinery entirely — they are the algorithms' free,
+    side-effect-free planning reads, and must stay free of breaker state.
+    """
+
+    def __init__(
+        self,
+        inner: GradedSource,
+        policy: Optional[ResiliencePolicy] = None,
+        *,
+        clock=None,
+    ) -> None:
+        super().__init__(f"resilient({inner.name})")
+        self._inner = inner
+        self.counter = inner.counter
+        self.supports_random_access = inner.supports_random_access
+        self.is_boolean = inner.is_boolean
+        self.policy = policy if policy is not None else ResiliencePolicy()
+        self.clock = clock if clock is not None else VirtualClock()
+        self._rng = random.Random(self.policy.retry.seed)
+        self.sorted_breaker = CircuitBreaker(
+            self.policy.failure_threshold, self.policy.recovery_time, self.clock
+        )
+        self.random_breaker = CircuitBreaker(
+            self.policy.failure_threshold, self.policy.recovery_time, self.clock
+        )
+        self.stats = ResilienceStats()
+
+    # -- retry core ------------------------------------------------------------
+    def _call(self, breaker: CircuitBreaker, operation: Callable, describe: str):
+        retry = self.policy.retry
+        started = self.clock.now()
+        attempt = 0
+        while True:
+            if not breaker.allow():
+                self.stats.rejections += 1
+                raise CircuitOpenError(
+                    f"circuit open for {describe} on {self._inner.name!r} "
+                    f"(recovers after {self.policy.recovery_time:g}s)"
+                )
+            if (
+                retry.deadline is not None
+                and self.clock.now() - started > retry.deadline
+            ):
+                self.stats.deadline_exceeded += 1
+                breaker.record_failure()
+                raise DeadlineExceededError(
+                    f"{describe} on {self._inner.name!r} exceeded its "
+                    f"{retry.deadline:g}s deadline budget"
+                )
+            try:
+                result = operation()
+            except TransientAccessError:
+                breaker.record_failure()
+                self.stats.failures += 1
+                attempt += 1
+                if attempt >= retry.max_attempts:
+                    self.stats.exhausted += 1
+                    raise
+                self.stats.retries += 1
+                self.clock.sleep(retry.backoff(attempt - 1, self._rng))
+            else:
+                breaker.record_success()
+                return result
+
+    def random_access_available(self) -> bool:
+        """Whether random probes are currently worth attempting."""
+        return self.supports_random_access and self.random_breaker.allow()
+
+    # -- access hooks ----------------------------------------------------------
+    def _item_at(self, index: int) -> Optional[GradedItem]:
+        return self._call(
+            self.sorted_breaker,
+            lambda: self._inner._item_at(index),
+            "sorted access",
+        )
+
+    def _items_range(self, start: int, count: int) -> List[GradedItem]:
+        return self._call(
+            self.sorted_breaker,
+            lambda: self._inner._items_range(start, count),
+            "sorted access",
+        )
+
+    def _peek_at(self, index: int) -> Optional[GradedItem]:
+        return self._inner._peek_at(index)
+
+    def _peek_range(self, start: int, count: int) -> List[GradedItem]:
+        return self._inner._peek_range(start, count)
+
+    def _grade_of(self, object_id: ObjectId) -> float:
+        return self._call(
+            self.random_breaker,
+            lambda: self._inner._grade_of(object_id),
+            "random access",
+        )
+
+    def _grades_of_many(self, object_ids: Sequence[ObjectId]) -> Dict[ObjectId, float]:
+        return self._call(
+            self.random_breaker,
+            lambda: self._inner._grades_of_many(object_ids),
+            "random access",
+        )
+
+    def __len__(self) -> int:
+        return len(self._inner)
+
+
+def resilience_report(sources: Iterable[GradedSource]) -> Dict[str, Dict[str, object]]:
+    """Per-source resilience observability, walking wrapper chains.
+
+    For every source whose chain contains a :class:`ResilientSource`
+    (retry/breaker tallies, circuit states) or a fault injector (its
+    ``injected`` tallies, duck-typed so this module never imports the
+    test-side :mod:`repro.middleware.faults`), one entry keyed by the
+    outermost source name.  Sources with nothing to report are omitted,
+    so a fault-free run carries no extra baggage.
+    """
+    report: Dict[str, Dict[str, object]] = {}
+    for source in sources:
+        entry: Dict[str, object] = {}
+        node = source
+        while node is not None:
+            if isinstance(node, ResilientSource):
+                entry.update(node.stats.as_dict())
+                entry["sorted_circuit"] = node.sorted_breaker.state
+                entry["random_circuit"] = node.random_breaker.state
+                entry["circuit_opens"] = (
+                    node.sorted_breaker.opens + node.random_breaker.opens
+                )
+            injected = getattr(node, "injected", None)
+            if injected is not None and hasattr(injected, "as_dict"):
+                entry["injected"] = injected.as_dict()
+            node = getattr(node, "_inner", None)
+        if entry:
+            report[source.name] = entry
+    return report

@@ -1,0 +1,142 @@
+"""Graceful degradation: TA/A0 fall back to NRA when random access dies,
+and return bounded partial answers when sorted streams die too."""
+
+import pytest
+
+from repro.core.fagin import FaginAlgorithm, fagin_top_k
+from repro.core.planner import Strategy, plan_top_k
+from repro.core.sources import sources_from_columns
+from repro.core.threshold import nra_top_k, threshold_top_k
+from repro.errors import TransientAccessError
+from repro.middleware.faults import FaultInjectingSource, FaultProfile
+from repro.middleware.resilience import (
+    ResiliencePolicy,
+    ResilientSource,
+    RetryPolicy,
+    VirtualClock,
+)
+from repro.scoring.tnorms import MIN
+from repro.workloads.graded_lists import independent
+
+K = 10
+
+
+def build(n=300, m=3, seed=7, profile=None, only=None, policy=None):
+    clock = VirtualClock()
+    sources = sources_from_columns(independent(n, m, seed=seed))
+    wrapped = []
+    for j, source in enumerate(sources):
+        if profile is not None and (only is None or j in only):
+            source = FaultInjectingSource(source, profile, clock=clock)
+        if policy is not None:
+            source = ResilientSource(source, policy, clock=clock)
+        wrapped.append(source)
+    return wrapped
+
+
+def answers_of(result):
+    return [(item.object_id, item.grade) for item in result.answers]
+
+
+@pytest.fixture(scope="module")
+def truth():
+    return threshold_top_k(build(), MIN, K)
+
+
+def test_ta_falls_back_to_nra_when_random_access_dies(truth):
+    sources = build(profile=FaultProfile(break_random_after=5), only={2})
+    result = threshold_top_k(sources, MIN, K)
+    assert result.algorithm == "threshold-ta+nra"
+    assert answers_of(result) == answers_of(truth)
+    assert result.degraded is not None
+    assert result.degraded.complete
+    assert result.degraded.fallback == "nra-sorted-only"
+    assert len(result.degraded.failed_sources) == 1
+    # the bounds of a complete fallback pinch the exact grades
+    for object_id, grade in answers_of(result):
+        low, high = result.degraded.bounds[object_id]
+        assert low <= grade + 1e-9 and grade - 1e-9 <= high
+
+
+def test_ta_degrade_off_propagates_the_failure(truth):
+    sources = build(profile=FaultProfile(break_random_after=5), only={2})
+    with pytest.raises(TransientAccessError):
+        threshold_top_k(sources, MIN, K, degrade=False)
+
+
+def test_a0_falls_back_to_nra_when_random_access_dies(truth):
+    sources = build(profile=FaultProfile(break_random_after=5), only={2})
+    result = fagin_top_k(sources, MIN, K)
+    assert result.algorithm == "fagin-a0+nra"
+    assert answers_of(result) == answers_of(truth)
+    assert result.degraded is not None and result.degraded.complete
+
+
+def test_a0_degrade_off_propagates_the_failure():
+    sources = build(profile=FaultProfile(break_random_after=5), only={2})
+    with pytest.raises(TransientAccessError):
+        fagin_top_k(sources, MIN, K, degrade=False)
+
+
+def test_a0_handle_keeps_paging_after_degradation(truth):
+    """Incremental fetches stay correct across the fallback boundary."""
+    clean = FaginAlgorithm(build(), MIN)
+    faulty = FaginAlgorithm(
+        build(profile=FaultProfile(break_random_after=5), only={2}), MIN
+    )
+    first_clean, first_faulty = clean.next_k(5), faulty.next_k(5)
+    assert answers_of(first_faulty) == answers_of(first_clean)
+    second_clean, second_faulty = clean.next_k(5), faulty.next_k(5)
+    assert answers_of(second_faulty) == answers_of(second_clean)
+
+
+def test_total_source_death_yields_bounded_partial(truth):
+    sources = build(profile=FaultProfile(kill_after=50), only={2})
+    result = threshold_top_k(sources, MIN, K)
+    assert result.algorithm == "threshold-ta+nra"
+    assert len(result.answers) == K
+    assert not result.grades_exact
+    degraded = result.degraded
+    assert degraded is not None
+    assert degraded.fallback == "partial-bounds"
+    assert not degraded.complete
+    # the reported bounds must bracket each answer's true overall grade
+    exact = {
+        obj: grade
+        for obj, grade in (
+            (item.object_id, item.grade)
+            for item in threshold_top_k(build(), MIN, len(build()[0])).answers
+        )
+    }
+    for item in result.answers:
+        low, high = degraded.bounds[item.object_id]
+        assert low - 1e-9 <= exact[item.object_id] <= high + 1e-9
+
+
+def test_source_dead_from_the_start_still_returns_answers():
+    sources = build(profile=FaultProfile(kill_after=0), only={2})
+    result = threshold_top_k(sources, MIN, K)
+    assert len(result.answers) == K
+    assert result.degraded is not None and not result.degraded.complete
+
+
+def test_nra_survives_mid_stream_sorted_death():
+    sources = build(profile=FaultProfile(kill_after=40), only={1})
+    result = nra_top_k(sources, MIN, K)
+    assert len(result.answers) == K
+    assert result.degraded is not None
+    assert any("dead" in why for why in result.degraded.failed_sources.values())
+
+
+def test_planner_routes_around_an_open_random_circuit():
+    policy = ResiliencePolicy(retry=RetryPolicy(max_attempts=1), failure_threshold=1)
+    sources = build(
+        profile=FaultProfile(break_random_after=0), policy=policy
+    )
+    # trip one source's random breaker the way a prior query would
+    with pytest.raises(TransientAccessError):
+        sources[0].random_access(next(iter(sources[0].cursor().peek_batch(1))).object_id)
+    assert not sources[0].random_access_available()
+    plan = plan_top_k(sources, MIN, K)
+    assert plan.strategy in (Strategy.NRA, Strategy.NAIVE)
+    assert plan.strategy is Strategy.NRA  # cheaper of the two here

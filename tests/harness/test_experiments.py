@@ -115,3 +115,14 @@ def test_e17_small():
     result = ex.e17_concentration(n=400, k=4, trials=10)
     quantiles = dict(result.rows)
     assert quantiles["median"] <= quantiles["max"]
+
+
+def test_e20_small():
+    result = ex.e20_resilience(n=400, k=5, rates=(0.0, 0.3))
+    rows = rows_of(result)
+    retry_rows = [row for row in rows if row[0] == "retry"]
+    assert all(row[-1] for row in retry_rows)  # exact at every rate
+    fallback = next(row for row in rows if row[0] == "fallback-on")
+    assert fallback[2] == "threshold-ta+nra" and fallback[-1]
+    ablated = next(row for row in rows if row[0] == "fallback-off")
+    assert ablated[2] == "aborted"

@@ -1,0 +1,143 @@
+"""End-to-end resilience through the engine: wrapping, reports, resets."""
+
+import random
+
+import pytest
+
+from repro.core.query import Atomic
+from repro.middleware.engine import MiddlewareEngine
+from repro.middleware.faults import FaultInjectingSource, FaultProfile
+from repro.middleware.idmap import IdMapping
+from repro.middleware.list_subsystem import ListSubsystem
+from repro.middleware.resilience import ResiliencePolicy, ResilientSource
+
+N = 80
+SHAPE = Atomic("Shape", "round")
+COLOR = Atomic("Color", "red")
+QUERY = SHAPE & COLOR
+
+
+def build_engine(**engine_kwargs):
+    rng = random.Random(5)
+    shapes = ListSubsystem("shapes")
+    shapes.add_list("Shape", "round", {f"g{i}": rng.random() for i in range(N)})
+    colors = ListSubsystem("qbic")
+    colors.add_list("Color", "red", {f"local{i}": rng.random() for i in range(N)})
+    mapping = IdMapping({f"g{i}": f"local{i}" for i in range(N)})
+    engine = MiddlewareEngine(**engine_kwargs)
+    engine.register(shapes)
+    engine.register(colors, id_mapping=mapping)
+    return engine
+
+
+def answers_of(result):
+    return [(item.object_id, item.grade) for item in result.answers]
+
+
+def test_faulty_engine_reproduces_the_clean_answers():
+    clean = build_engine().top_k(QUERY, 10)
+    faulty = build_engine(
+        fault_profile=FaultProfile(transient_rate=0.3, seed=11),
+        resilience=ResiliencePolicy(),
+    ).top_k(QUERY, 10)
+    assert answers_of(faulty) == answers_of(clean)
+    assert faulty.degraded is None
+    assert faulty.cost.database_access_cost == clean.cost.database_access_cost
+
+
+def test_result_carries_the_resilience_report():
+    engine = build_engine(
+        fault_profile=FaultProfile(transient_rate=0.4, seed=3),
+        resilience=ResiliencePolicy(),
+    )
+    report = engine.top_k(QUERY, 5).extras["resilience"]
+    assert len(report) == 2
+    assert any(entry["injected"]["transients"] for entry in report.values())
+    assert all("sorted_circuit" in entry for entry in report.values())
+
+
+def test_clean_engine_attaches_no_report():
+    assert "resilience" not in build_engine().top_k(QUERY, 5).extras
+
+
+def test_wrapping_order_is_fault_mapping_resilience():
+    engine = build_engine(
+        fault_profile=FaultProfile(), resilience=ResiliencePolicy()
+    )
+    outer = engine.bind(COLOR)
+    assert isinstance(outer, ResilientSource)
+    assert isinstance(outer._inner._inner, FaultInjectingSource)
+    # global ids flow out of the whole stack despite the local-id mapping
+    assert outer.cursor().peek_batch(1)[0].object_id.startswith("g")
+
+
+def test_wrapped_bindings_are_cached_until_invalidated():
+    engine = build_engine(resilience=ResiliencePolicy())
+    first = engine.bind(COLOR)
+    assert engine.bind(COLOR) is first  # breaker state persists
+    engine.invalidate(COLOR)
+    assert engine.bind(COLOR) is not first
+    engine.invalidate()
+    assert engine.bind(COLOR) is not first
+
+
+def test_per_subsystem_policies_with_wildcard_default():
+    engine = build_engine(
+        resilience={
+            "qbic": ResiliencePolicy(failure_threshold=2),
+            "*": ResiliencePolicy(failure_threshold=9),
+        }
+    )
+    assert engine.bind(COLOR).policy.failure_threshold == 2
+    assert engine.bind(SHAPE).policy.failure_threshold == 9
+
+
+def test_per_subsystem_fault_profile_only_hits_the_named_subsystem():
+    engine = build_engine(
+        fault_profile={"qbic": FaultProfile(transient_rate=1.0, seed=0)},
+        resilience=ResiliencePolicy(),
+    )
+    assert isinstance(engine.bind(COLOR)._inner._inner, FaultInjectingSource)
+    assert not isinstance(engine.bind(SHAPE)._inner, FaultInjectingSource)
+
+
+def test_configure_resilience_rewraps_existing_bindings():
+    engine = build_engine()
+    plain = engine.bind(COLOR)
+    assert not isinstance(plain, ResilientSource)
+    engine.configure_resilience(ResiliencePolicy())
+    assert isinstance(engine.bind(COLOR), ResilientSource)
+
+
+def test_open_query_handle_reports_resilience():
+    engine = build_engine(
+        fault_profile=FaultProfile(transient_rate=0.4, seed=3),
+        resilience=ResiliencePolicy(),
+    )
+    clean = build_engine().open_query(QUERY)
+    handle = engine.open_query(QUERY)
+    first = handle.fetch(5)
+    assert answers_of(first) == answers_of(clean.fetch(5))
+    assert "resilience" in first.extras
+
+
+def test_degradation_surfaces_through_the_engine():
+    clean = build_engine().top_k(QUERY, 10)
+    engine = build_engine(
+        fault_profile=FaultProfile(break_random_after=4, seed=0),
+        resilience=ResiliencePolicy(),
+    )
+    result = engine.top_k(QUERY, 10)
+    assert result.degraded is not None and result.degraded.complete
+    assert answers_of(result) == answers_of(clean)
+
+
+@pytest.mark.parametrize("k", [1, 5, 10])
+def test_engine_resilience_is_cost_neutral(k):
+    clean = build_engine().top_k(QUERY, k)
+    resilient_only = build_engine(resilience=ResiliencePolicy()).top_k(QUERY, k)
+    assert answers_of(resilient_only) == answers_of(clean)
+    assert (
+        resilient_only.cost.database_access_cost
+        == clean.cost.database_access_cost
+    )

@@ -71,5 +71,27 @@ def test_grader_subsystem_validates_grades():
         subsystem.bind(Atomic("Bad", 0))
 
 
+def test_unbind_invalidates_the_cached_binding():
+    # Regression: bind() used to cache forever with no escape hatch, so
+    # a binding that accumulated unwanted state (stale data, a tripped
+    # breaker) could never be rebuilt.
+    subsystem = make_list_subsystem()
+    atom = Atomic("Color", "red")
+    first = subsystem.bind(atom)
+    assert subsystem.unbind(atom)
+    assert subsystem.bind(atom) is not first
+    assert not subsystem.unbind(Atomic("Color", "blue"))  # never bound
+
+
+def test_invalidate_drops_every_binding():
+    subsystem = make_list_subsystem()
+    red, blue = Atomic("Color", "red"), Atomic("Color", "blue")
+    first_red, first_blue = subsystem.bind(red), subsystem.bind(blue)
+    assert subsystem.invalidate() == 2
+    assert subsystem.bind(red) is not first_red
+    assert subsystem.bind(blue) is not first_blue
+    assert subsystem.invalidate() == 2
+
+
 def test_repr_mentions_name_and_attributes():
     assert "colors" in repr(make_list_subsystem())
