@@ -1,0 +1,77 @@
+"""E21 — the TA threshold's descent toward the kth grade, observed.
+
+Paper context (§4.2, Theorem 4.4): TA halts as soon as k buffered
+objects have overall grade at least the threshold tau = t(b_1,...,b_m)
+computed from the bottom grades of the sorted streams.  The
+observability layer makes that argument visible: the algorithm samples
+``ta.tau`` and ``ta.kth_grade`` once per round into the tracer's
+metrics registry, so the trajectory — tau monotonically descending, the
+kth grade climbing, the run stopping at the first crossing — comes
+straight from the recorded run rather than from ad-hoc printf probes.
+
+Acceptance: tau is nonincreasing across every round, the run stops with
+kth grade >= tau, and the traced access tally equals the reported
+uniform cost exactly.  The trajectory (downsampled) and the invariant
+checks are written to BENCH_tau.json next to this file.
+"""
+
+import json
+from pathlib import Path
+
+from repro.core.sources import sources_from_columns
+from repro.core.threshold import threshold_top_k
+from repro.harness.experiments import e21_tau_trajectory
+from repro.harness.reporting import format_table
+from repro.observability import MetricsRegistry, QueryTracer, validate_trace
+from repro.scoring import tnorms
+from repro.workloads.graded_lists import independent
+
+N, M, K, SEED = 20_000, 3, 10, 21
+OUTPUT = Path(__file__).parent / "BENCH_tau.json"
+
+
+def test_e21_tau_trajectory(benchmark):
+    table = independent(N, M, seed=SEED)
+    tracer = QueryTracer(metrics=MetricsRegistry())
+    result = threshold_top_k(
+        sources_from_columns(table), tnorms.MIN, K, tracer=tracer
+    )
+    validate_trace(tracer.as_dict())
+
+    taus = [value for _, value in tracer.samples("ta.tau")]
+    kths = [value for _, value in tracer.samples("ta.kth_grade")]
+    assert taus, "TA must sample ta.tau every round"
+    assert all(a >= b for a, b in zip(taus, taus[1:])), "tau must descend"
+    assert kths and kths[-1] >= taus[-1], "stop requires kth grade >= tau"
+    traced = sum(s + r for s, r in tracer.access_counts().values())
+    assert traced == result.database_access_cost
+
+    payload = {
+        "experiment": "E21",
+        "n": N,
+        "m": M,
+        "k": K,
+        "seed": SEED,
+        "rounds": len(taus),
+        "uniform_cost": result.database_access_cost,
+        "traced_accesses": traced,
+        "tau_first": taus[0],
+        "tau_final": taus[-1],
+        "kth_final": kths[-1],
+        "tau_nonincreasing": True,
+        "trajectory": [
+            {"round": i + 1, "tau": taus[i], "kth": kths[i] if i < len(kths) else None}
+            for i in range(0, len(taus), max(1, len(taus) // 24))
+        ],
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+
+    small = e21_tau_trajectory(n=2000, m=M, k=K)
+    print()
+    print(format_table(small.headers, small.rows))
+    for note in small.notes:
+        print(note)
+    print(f"(wrote {OUTPUT.name})")
+
+    # The smaller harness experiment doubles as the timed benchmark body.
+    benchmark(lambda: e21_tau_trajectory(n=2000, m=M, k=K))

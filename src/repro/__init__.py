@@ -55,6 +55,12 @@ from repro.core import (
     top_k,
 )
 from repro.errors import ReproError
+from repro.observability import (
+    MetricsRegistry,
+    QueryTracer,
+    TracingSource,
+    validate_trace,
+)
 
 __version__ = "1.0.0"
 
@@ -93,5 +99,9 @@ __all__ = [
     "plan_top_k",
     "execute",
     "top_k",
+    "QueryTracer",
+    "MetricsRegistry",
+    "TracingSource",
+    "validate_trace",
     "__version__",
 ]

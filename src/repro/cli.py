@@ -47,6 +47,31 @@ def _build_database(kind: str, size: int) -> MiddlewareEngine:
     raise ReproError(f"unknown demo database {kind!r}; use 'cds' or 'images'")
 
 
+def _apply_observability(engine: MiddlewareEngine, args: argparse.Namespace):
+    """Install a session tracer when --explain / --trace-out asked for one."""
+    if not getattr(args, "explain", False) and not getattr(args, "trace_out", None):
+        return None
+    from repro.observability import MetricsRegistry, QueryTracer
+
+    return engine.configure_observability(QueryTracer(metrics=MetricsRegistry()))
+
+
+def _finish_observability(tracer, args: argparse.Namespace) -> None:
+    """Print the EXPLAIN view and/or write the trace file after a run."""
+    if tracer is None:
+        return
+    from repro.observability import render_trace_explain, validate_trace
+
+    if getattr(args, "explain", False):
+        print(render_trace_explain(tracer))
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out:
+        validate_trace(tracer.as_dict())
+        with open(trace_out, "w", encoding="utf-8") as handle:
+            handle.write(tracer.to_json())
+        print(f"trace written: {trace_out} ({len(tracer.events)} events)")
+
+
 def _apply_resilience(engine: MiddlewareEngine, args: argparse.Namespace) -> None:
     """Wire --fault-profile / --retry-policy into the engine, if given."""
     fault_spec = getattr(args, "fault_profile", None)
@@ -112,12 +137,14 @@ def cmd_demo(args: argparse.Namespace) -> int:
     """The guided tour: the Beatles query with plan and costs."""
     engine = _build_database("cds", 2000)
     _apply_resilience(engine, args)
+    tracer = _apply_observability(engine, args)
     query = Atomic("Artist", "Beatles") & Atomic("AlbumColor", "red")
     print(f"query: {query}")
     plan = engine.explain(query, args.k)
     print(f"plan:  {plan.strategy.value} — {plan.reason} "
           f"(estimated cost {plan.estimated_cost:.0f})")
     _print_result(engine.top_k(query, args.k))
+    _finish_observability(tracer, args)
     print("\ntry the SQL shell:  python -m repro sql")
     return 0
 
@@ -126,8 +153,11 @@ def cmd_sql(args: argparse.Namespace) -> int:
     """One-shot statement or interactive shell over a demo database."""
     engine = _build_database(args.database, args.size)
     _apply_resilience(engine, args)
+    tracer = _apply_observability(engine, args)
     if args.query:
-        return _run_statement(engine, " ".join(args.query), args.k)
+        code = _run_statement(engine, " ".join(args.query), args.k)
+        _finish_observability(tracer, args)
+        return code
     print(f"repro SQL shell over the {args.database!r} demo database "
           f"({args.size} objects).")
     print("example: SELECT * FROM albums WHERE Artist = 'Beatles' "
@@ -138,8 +168,10 @@ def cmd_sql(args: argparse.Namespace) -> int:
             line = input("fuzzy> ").strip()
         except EOFError:
             print()
+            _finish_observability(tracer, args)
             return 0
         if not line:
+            _finish_observability(tracer, args)
             return 0
         _run_statement(engine, line, args.k)
 
@@ -200,6 +232,16 @@ def build_parser() -> argparse.ArgumentParser:
             "--retry-policy", metavar="SPEC", default=None,
             help="resilience settings as key=value pairs, e.g. "
             "'attempts=6,base=0.01,threshold=3,recovery=10'",
+        )
+        command.add_argument(
+            "--explain", action="store_true",
+            help="after executing, print the EXPLAIN view derived from "
+            "the access trace (plan, per-source and per-phase accesses)",
+        )
+        command.add_argument(
+            "--trace-out", metavar="FILE", default=None,
+            help="write the query's access timeline as deterministic "
+            "JSON to FILE (validated against the trace schema)",
         )
 
     demo = sub.add_parser("demo", help="guided tour of the Beatles query")

@@ -52,6 +52,7 @@ from repro.core.sources import (
     SortedOnlySource,
     VerifyingSource,
     check_same_objects,
+    iter_wrapper_chain,
     sources_from_columns,
 )
 from repro.core.threshold import combined_top_k, nra_top_k, threshold_top_k
@@ -89,6 +90,7 @@ __all__ = [
     "DEFAULT_BATCH_SIZE",
     "sources_from_columns",
     "check_same_objects",
+    "iter_wrapper_chain",
     "TopKResult",
     "BatchedSource",
     "LatencyModel",

@@ -26,6 +26,7 @@ grade ties).
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import List, Sequence
 
 from repro.core.cost import CostMeter
@@ -42,6 +43,7 @@ def boolean_first_top_k(
     k: int,
     *,
     boolean_index: int = 0,
+    tracer=None,
 ) -> TopKResult:
     """Top k answers by filtering on a Boolean conjunct first.
 
@@ -67,60 +69,85 @@ def boolean_first_top_k(
     # and consume exactly the items the item-at-a-time scan would have —
     # the |S| satisfying objects plus the one item that broke the run.
     satisfied: List[ObjectId] = []
+    #: the item that broke the grade-1 run, if any — already consumed and
+    #: paid for, so it is the first candidate for zero-padding below.
+    run_breaker = None
     cursor = boolean.cursor()
     depth = 0
     scanning = True
-    while scanning:
-        window = cursor.peek_batch(DEFAULT_BATCH_SIZE)
-        if not window:
-            break
-        take = 0
-        for item in window:
-            take += 1
-            if item.grade < 1.0:
-                scanning = False
+    with nullcontext() if tracer is None else tracer.phase("boolean-scan"):
+        while scanning:
+            window = cursor.peek_batch(DEFAULT_BATCH_SIZE)
+            if not window:
                 break
-        consumed = cursor.next_batch(take)
-        depth = cursor.position
-        satisfied.extend(
-            item.object_id for item in consumed if item.grade >= 1.0
-        )
+            take = 0
+            for item in window:
+                take += 1
+                if item.grade < 1.0:
+                    scanning = False
+                    break
+            position = cursor.position
+            consumed = cursor.next_batch(take)
+            if tracer is not None:
+                tracer.record_sorted_batch(boolean.name, consumed, position)
+            depth = cursor.position
+            for item in consumed:
+                if item.grade >= 1.0:
+                    satisfied.append(item.object_id)
+                else:
+                    run_breaker = item
 
     # Phase 2: random access to the fuzzy conjuncts, only for S — one
     # bulk request per fuzzy list (|S| accesses each, exactly what |S|
     # single probes would charge).
     overall = GradedSet()
-    fetched = [source.random_access_many(satisfied) for source in others]
-    for object_id in satisfied:
-        grades: List[float] = []
-        other_iter = iter(fetched)
-        for i in range(m):
-            if i == boolean_index:
-                grades.append(1.0)
-            else:
-                grades.append(next(other_iter)[object_id])
-        overall[object_id] = rule(grades)
+    with nullcontext() if tracer is None else tracer.phase("random-fill"):
+        fetched = [source.random_access_many(satisfied) for source in others]
+        if tracer is not None:
+            for source, grades_by_id in zip(others, fetched):
+                for object_id in satisfied:
+                    tracer.record_random(
+                        source.name, object_id, grades_by_id[object_id]
+                    )
+        for object_id in satisfied:
+            grades: List[float] = []
+            other_iter = iter(fetched)
+            for i in range(m):
+                if i == boolean_index:
+                    grades.append(1.0)
+                else:
+                    grades.append(next(other_iter)[object_id])
+            overall[object_id] = rule(grades)
 
     # Phase 3: pad with zero-grade objects if the predicate was too
     # selective to fill k slots (their overall grade is exactly 0).
-    # Peek a window, find how many items an item-at-a-time scan would
-    # consume before the set reaches k, and consume exactly those.
-    while len(overall) < k:
-        window = cursor.peek_batch(k - len(overall))
-        if not window:
-            break
-        take = 0
-        added = 0
-        for item in window:
-            take += 1
-            if item.object_id not in overall:
-                added += 1
-                if len(overall) + added >= k:
-                    break
-        for item in cursor.next_batch(take):
-            if item.object_id not in overall:
-                overall[item.object_id] = 0.0
-        depth = cursor.position
+    # The run-breaking item from phase 1 pads for free (it was already
+    # consumed and charged); after that, peek a window, find how many
+    # items an item-at-a-time scan would consume before the set reaches
+    # k, and consume exactly those.
+    if len(overall) < k and run_breaker is not None:
+        overall[run_breaker.object_id] = 0.0
+    with nullcontext() if tracer is None else tracer.phase("zero-padding"):
+        while len(overall) < k:
+            window = cursor.peek_batch(k - len(overall))
+            if not window:
+                break
+            take = 0
+            added = 0
+            for item in window:
+                take += 1
+                if item.object_id not in overall:
+                    added += 1
+                    if len(overall) + added >= k:
+                        break
+            position = cursor.position
+            consumed = cursor.next_batch(take)
+            if tracer is not None:
+                tracer.record_sorted_batch(boolean.name, consumed, position)
+            for item in consumed:
+                if item.object_id not in overall:
+                    overall[item.object_id] = 0.0
+            depth = cursor.position
 
     return TopKResult(
         answers=overall.top(k),

@@ -22,6 +22,7 @@ m*k cost profile across database sizes.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import Dict, Sequence
 
 from repro.core.cost import CostMeter
@@ -30,7 +31,9 @@ from repro.core.result import TopKResult
 from repro.core.sources import GradedSource, check_same_objects
 
 
-def disjunction_top_k(sources: Sequence[GradedSource], k: int) -> TopKResult:
+def disjunction_top_k(
+    sources: Sequence[GradedSource], k: int, *, tracer=None
+) -> TopKResult:
     """Top k answers of ``A_1 OR ... OR A_m`` under the max scoring rule.
 
     Costs exactly ``min(k, N) * m`` sorted accesses and zero random
@@ -43,15 +46,23 @@ def disjunction_top_k(sources: Sequence[GradedSource], k: int) -> TopKResult:
     meter = CostMeter(sources)
 
     best_seen: Dict[ObjectId, float] = {}
-    for source in sources:
-        cursor = source.cursor()
-        for _ in range(depth):
-            item = cursor.next()
-            if item is None:
-                break
-            current = best_seen.get(item.object_id)
-            if current is None or item.grade > current:
-                best_seen[item.object_id] = item.grade
+    with nullcontext() if tracer is None else tracer.phase("mk-scan"):
+        for source in sources:
+            cursor = source.cursor()
+            for _ in range(depth):
+                item = cursor.next()
+                if item is None:
+                    break
+                if tracer is not None:
+                    tracer.record_sorted(
+                        source.name,
+                        item.object_id,
+                        item.grade,
+                        position=cursor.position,
+                    )
+                current = best_seen.get(item.object_id)
+                if current is None or item.grade > current:
+                    best_seen[item.object_id] = item.grade
 
     pool = GradedSet(best_seen)
     return TopKResult(

@@ -35,6 +35,7 @@ already-emitted objects.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import Dict, List, Sequence, Set
 
 from repro.core.cost import CostMeter
@@ -85,7 +86,12 @@ class FaginAlgorithm:
         prune_random_access: bool = False,
         batch_size: int = DEFAULT_BATCH_SIZE,
         degrade: bool = True,
+        tracer=None,
     ) -> None:
+        #: optional QueryTracer; phases and accesses are emitted at
+        #: logical access time (see the paper's phase structure), not at
+        #: the deferred bulk consumes.  None stays entirely off the path.
+        self.tracer = tracer
         self.sources: List[GradedSource] = list(sources)
         self.database_size = check_same_objects(self.sources)
         self.scoring: ScoringFunction = as_scoring_function(scoring)
@@ -152,35 +158,49 @@ class FaginAlgorithm:
         """
         sightings = self._sightings
         known = self._known
-        while self._match_count() < needed_matches:
-            windows = [cursor.peek_batch(self.batch_size) for cursor in self._cursors]
-            rows = max((len(window) for window in windows), default=0)
-            if rows == 0:
-                break  # every list exhausted
-            consumed = 0
-            while consumed < rows and self._match_count() < needed_matches:
-                row = consumed
-                for i, window in enumerate(windows):
-                    if row >= len(window):
-                        continue
-                    item = window[row]
-                    object_id = item.object_id
-                    if object_id not in self._seen_by_source[i]:
-                        self._seen_by_source[i].add(object_id)
-                        seen = sightings.get(object_id, 0) + 1
-                        sightings[object_id] = seen
-                        if seen == self.m:
-                            self._matched += 1
-                    grades = known.get(object_id)
-                    if grades is None:
-                        grades = known[object_id] = {}
-                    grades[i] = item.grade
-                    self._bottoms[i] = item.grade
-                consumed += 1
-            for i, cursor in enumerate(self._cursors):
-                take = min(consumed, len(windows[i]))
-                if take:
-                    cursor.next_batch(take)
+        tracer = self.tracer
+        with nullcontext() if tracer is None else tracer.phase("sorted-phase"):
+            while self._match_count() < needed_matches:
+                windows = [
+                    cursor.peek_batch(self.batch_size) for cursor in self._cursors
+                ]
+                rows = max((len(window) for window in windows), default=0)
+                if rows == 0:
+                    break  # every list exhausted
+                consumed = 0
+                while consumed < rows and self._match_count() < needed_matches:
+                    row = consumed
+                    for i, window in enumerate(windows):
+                        if row >= len(window):
+                            continue
+                        item = window[row]
+                        if tracer is not None:
+                            tracer.record_sorted(
+                                self.sources[i].name,
+                                item.object_id,
+                                item.grade,
+                                position=self._cursors[i].position + row + 1,
+                            )
+                        object_id = item.object_id
+                        if object_id not in self._seen_by_source[i]:
+                            self._seen_by_source[i].add(object_id)
+                            seen = sightings.get(object_id, 0) + 1
+                            sightings[object_id] = seen
+                            if seen == self.m:
+                                self._matched += 1
+                        grades = known.get(object_id)
+                        if grades is None:
+                            grades = known[object_id] = {}
+                        grades[i] = item.grade
+                        self._bottoms[i] = item.grade
+                    consumed += 1
+                for i, cursor in enumerate(self._cursors):
+                    take = min(consumed, len(windows[i]))
+                    if take:
+                        cursor.next_batch(take)
+                if tracer is not None:
+                    tracer.sample("a0.matched", float(self._matched))
+                    tracer.sample("a0.seen", float(len(known)))
 
     def _random_phase(self) -> None:
         """Fill in every missing grade of every seen object.
@@ -189,33 +209,42 @@ class FaginAlgorithm:
         access per (object, list) pair either way, the bulk call merely
         amortizes the round trip.
         """
-        for i, source in enumerate(self.sources):
-            missing = [
-                object_id
-                for object_id, grades in self._known.items()
-                if i not in grades
-            ]
-            if not missing:
-                continue
-            try:
-                fetched = source.random_access_many(missing)
-            except DEGRADABLE_ACCESS_ERRORS as error:
-                error.source_name = source.name
-                raise
-            for object_id in missing:
-                self._known[object_id][i] = fetched[object_id]
+        tracer = self.tracer
+        with nullcontext() if tracer is None else tracer.phase("random-phase"):
+            for i, source in enumerate(self.sources):
+                missing = [
+                    object_id
+                    for object_id, grades in self._known.items()
+                    if i not in grades
+                ]
+                if not missing:
+                    continue
+                try:
+                    fetched = source.random_access_many(missing)
+                except DEGRADABLE_ACCESS_ERRORS as error:
+                    error.source_name = source.name
+                    raise
+                if tracer is not None:
+                    for object_id in missing:
+                        tracer.record_random(
+                            source.name, object_id, fetched[object_id]
+                        )
+                for object_id in missing:
+                    self._known[object_id][i] = fetched[object_id]
 
     def _compute_phase(self) -> GradedSet:
         """Overall grades for every fully-known seen object."""
+        tracer = self.tracer
         result = GradedSet()
-        for object_id, grades in self._known.items():
-            if len(grades) != self.m:
-                raise ScoringError(
-                    f"object {object_id!r} has incomplete grades after "
-                    "the random-access phase"
-                )
-            vector = [grades[i] for i in range(self.m)]
-            result[object_id] = self.scoring(vector)
+        with nullcontext() if tracer is None else tracer.phase("compute-phase"):
+            for object_id, grades in self._known.items():
+                if len(grades) != self.m:
+                    raise ScoringError(
+                        f"object {object_id!r} has incomplete grades after "
+                        "the random-access phase"
+                    )
+                vector = [grades[i] for i in range(self.m)]
+                result[object_id] = self.scoring(vector)
         return result
 
     def _pruned_selection(self, k: int) -> GradedSet:
@@ -266,25 +295,29 @@ class FaginAlgorithm:
             ),
             reverse=True,
         )
-        for bound, _, object_id in pending:
-            if bound <= threshold():
-                break
-            grades = self._known[object_id]
-            for i, source in enumerate(self.sources):
-                if i not in grades:
-                    try:
-                        grades[i] = source.random_access(object_id)
-                    except DEGRADABLE_ACCESS_ERRORS as error:
-                        error.source_name = source.name
-                        raise
-            vector = [grades[i] for i in range(self.m)]
-            exact = self.scoring(vector)
-            self._complete[object_id] = exact
-            fresh[object_id] = exact
-            if len(best_k) < k:
-                heapq.heappush(best_k, exact)
-            elif exact > best_k[0]:
-                heapq.heapreplace(best_k, exact)
+        tracer = self.tracer
+        with nullcontext() if tracer is None else tracer.phase("pruned-selection"):
+            for bound, _, object_id in pending:
+                if bound <= threshold():
+                    break
+                grades = self._known[object_id]
+                for i, source in enumerate(self.sources):
+                    if i not in grades:
+                        try:
+                            grades[i] = source.random_access(object_id)
+                        except DEGRADABLE_ACCESS_ERRORS as error:
+                            error.source_name = source.name
+                            raise
+                        if tracer is not None:
+                            tracer.record_random(source.name, object_id, grades[i])
+                vector = [grades[i] for i in range(self.m)]
+                exact = self.scoring(vector)
+                self._complete[object_id] = exact
+                fresh[object_id] = exact
+                if len(best_k) < k:
+                    heapq.heappush(best_k, exact)
+                elif exact > best_k[0]:
+                    heapq.heapreplace(best_k, exact)
         return GradedSet(fresh)
 
     def _degrade_to_nra(self, k: int, meter: CostMeter, error) -> TopKResult:
@@ -297,6 +330,15 @@ class FaginAlgorithm:
         ``_known`` for later ``next_k`` calls (which will re-attempt
         random access and degrade again if it is still down).
         """
+        if self.tracer is not None:
+            self.tracer.event(
+                "degraded",
+                algorithm="fagin-a0",
+                fallback="nra",
+                failures={
+                    getattr(error, "source_name", "random access"): str(error)
+                },
+            )
         states: Dict[ObjectId, _NraState] = {}
         for object_id, grades in self._known.items():
             state = _NraState()
@@ -318,6 +360,8 @@ class FaginAlgorithm:
             prior_failures={
                 getattr(error, "source_name", "random access"): str(error)
             },
+            tracer=self.tracer,
+            phase_name="nra-fallback",
         )
         for object_id, state in states.items():
             if object_id not in self._known:
@@ -412,6 +456,7 @@ def fagin_top_k(
     prune_random_access: bool = False,
     batch_size: int = DEFAULT_BATCH_SIZE,
     degrade: bool = True,
+    tracer=None,
 ) -> TopKResult:
     """One-shot convenience wrapper: the top k answers via algorithm A0."""
     algorithm = FaginAlgorithm(
@@ -421,5 +466,6 @@ def fagin_top_k(
         prune_random_access=prune_random_access,
         batch_size=batch_size,
         degrade=degrade,
+        tracer=tracer,
     )
     return algorithm.next_k(k)

@@ -22,6 +22,7 @@ paper's cost measure; each restart pays for its rescans in full.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import Dict, Sequence, Set
 
 from repro.core.cost import CostMeter
@@ -30,7 +31,9 @@ from repro.core.result import TopKResult
 from repro.core.sources import GradedSource, check_same_objects
 
 
-def filter_retrieve(source: GradedSource, tau: float) -> Dict[ObjectId, float]:
+def filter_retrieve(
+    source: GradedSource, tau: float, *, tracer=None
+) -> Dict[ObjectId, float]:
     """All objects of ``source`` with grade >= tau, via sorted access.
 
     Pays one extra sorted access for the first object *below* tau (the
@@ -42,6 +45,10 @@ def filter_retrieve(source: GradedSource, tau: float) -> Dict[ObjectId, float]:
         item = cursor.next()
         if item is None:
             break
+        if tracer is not None:
+            tracer.record_sorted(
+                source.name, item.object_id, item.grade, position=cursor.position
+            )
         if item.grade < tau:
             break
         found[item.object_id] = item.grade
@@ -55,6 +62,7 @@ def filter_condition_top_k(
     initial_tau: float = 0.5,
     decay: float = 0.5,
     max_restarts: int = 64,
+    tracer=None,
 ) -> TopKResult:
     """Top k answers under the min rule via threshold filters with restarts.
 
@@ -76,29 +84,36 @@ def filter_condition_top_k(
 
     tau = initial_tau
     restarts = 0
-    while True:
-        per_source = [filter_retrieve(source, tau) for source in sources]
-        candidate_ids: Set[ObjectId] = set(per_source[0])
-        for found in per_source[1:]:
-            candidate_ids &= set(found)
-        candidates = GradedSet(
-            {
-                obj: min(found[obj] for found in per_source)
-                for obj in candidate_ids
-            }
-        )
-        # Survivors must also clear tau overall (they do by construction)
-        # and there must be k of them for the threshold proof to apply.
-        if len(candidates) >= k or tau <= 0.0:
-            return TopKResult(
-                answers=candidates.top(k),
-                cost=meter.report(),
-                algorithm="filter-condition",
-                sorted_depth=max(len(found) for found in per_source),
-                restarts=restarts,
+    with nullcontext() if tracer is None else tracer.phase("filter-scan"):
+        while True:
+            if tracer is not None:
+                tracer.sample("filter.tau", tau)
+            per_source = [
+                filter_retrieve(source, tau, tracer=tracer) for source in sources
+            ]
+            candidate_ids: Set[ObjectId] = set(per_source[0])
+            for found in per_source[1:]:
+                candidate_ids &= set(found)
+            candidates = GradedSet(
+                {
+                    obj: min(found[obj] for found in per_source)
+                    for obj in candidate_ids
+                }
             )
-        restarts += 1
-        if restarts >= max_restarts:
-            tau = 0.0
-        else:
-            tau *= decay
+            # Survivors must also clear tau overall (they do by construction)
+            # and there must be k of them for the threshold proof to apply.
+            if len(candidates) >= k or tau <= 0.0:
+                return TopKResult(
+                    answers=candidates.top(k),
+                    cost=meter.report(),
+                    algorithm="filter-condition",
+                    sorted_depth=max(len(found) for found in per_source),
+                    restarts=restarts,
+                )
+            restarts += 1
+            if tracer is not None:
+                tracer.event("restart", tau=tau, survivors=len(candidates))
+            if restarts >= max_restarts:
+                tau = 0.0
+            else:
+                tau *= decay

@@ -14,6 +14,7 @@ oracle in the test suite.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import Dict, List, Sequence
 
 from repro.core.cost import CostMeter
@@ -28,8 +29,17 @@ from repro.scoring.base import as_scoring_function
 _DRAIN_CHUNK = 4096
 
 
-def naive_top_k(sources: Sequence[GradedSource], scoring, k: int) -> TopKResult:
-    """Top k answers by exhaustively scanning every list (cost m * N)."""
+def naive_top_k(
+    sources: Sequence[GradedSource], scoring, k: int, *, tracer=None
+) -> TopKResult:
+    """Top k answers by exhaustively scanning every list (cost m * N).
+
+    ``tracer`` is an optional
+    :class:`~repro.observability.tracer.QueryTracer`; when given, every
+    sorted delivery is recorded under a ``naive-scan`` phase (and the
+    access-free grading under ``naive-compute``).  ``None`` adds nothing
+    to the hot path.
+    """
     if k <= 0:
         raise ValueError(f"k must be positive, got {k}")
     rule = as_scoring_function(scoring)
@@ -38,18 +48,23 @@ def naive_top_k(sources: Sequence[GradedSource], scoring, k: int) -> TopKResult:
 
     grades: Dict[ObjectId, List[float]] = {}
     m = len(sources)
-    for i, source in enumerate(sources):
-        cursor = source.cursor()
-        while True:
-            batch = cursor.next_batch(_DRAIN_CHUNK)
-            if not batch:
-                break
-            for item in batch:
-                grades.setdefault(item.object_id, [0.0] * m)[i] = item.grade
+    with nullcontext() if tracer is None else tracer.phase("naive-scan"):
+        for i, source in enumerate(sources):
+            cursor = source.cursor()
+            while True:
+                position = cursor.position
+                batch = cursor.next_batch(_DRAIN_CHUNK)
+                if not batch:
+                    break
+                if tracer is not None:
+                    tracer.record_sorted_batch(source.name, batch, position)
+                for item in batch:
+                    grades.setdefault(item.object_id, [0.0] * m)[i] = item.grade
 
     overall = GradedSet()
-    for object_id, vector in grades.items():
-        overall[object_id] = rule(vector)
+    with nullcontext() if tracer is None else tracer.phase("naive-compute"):
+        for object_id, vector in grades.items():
+            overall[object_id] = rule(vector)
 
     return TopKResult(
         answers=overall.top(min(k, database_size)),

@@ -206,23 +206,34 @@ def plan_top_k(
     )
 
 
-def execute(plan: Plan, sources: Sequence[GradedSource]) -> TopKResult:
-    """Run a plan produced by :func:`plan_top_k` over the same sources."""
+def execute(
+    plan: Plan, sources: Sequence[GradedSource], *, tracer=None
+) -> TopKResult:
+    """Run a plan produced by :func:`plan_top_k` over the same sources.
+
+    ``tracer`` (an optional
+    :class:`~repro.observability.tracer.QueryTracer`) is forwarded to the
+    chosen algorithm, which emits its phase spans and per-access events.
+    """
     if plan.strategy is Strategy.NAIVE:
-        return naive_top_k(sources, plan.scoring, plan.k)
+        return naive_top_k(sources, plan.scoring, plan.k, tracer=tracer)
     if plan.strategy is Strategy.DISJUNCTION:
-        return disjunction_top_k(sources, plan.k)
+        return disjunction_top_k(sources, plan.k, tracer=tracer)
     if plan.strategy is Strategy.FAGIN:
-        return fagin_top_k(sources, plan.scoring, plan.k)
+        return fagin_top_k(sources, plan.scoring, plan.k, tracer=tracer)
     if plan.strategy is Strategy.THRESHOLD:
-        return threshold_top_k(sources, plan.scoring, plan.k)
+        return threshold_top_k(sources, plan.scoring, plan.k, tracer=tracer)
     if plan.strategy is Strategy.NRA:
-        return nra_top_k(sources, plan.scoring, plan.k)
+        return nra_top_k(sources, plan.scoring, plan.k, tracer=tracer)
     if plan.strategy is Strategy.BOOLEAN_FIRST:
         if plan.boolean_index is None:
             raise PlanError("Boolean-first plan lacks a boolean_index")
         return boolean_first_top_k(
-            sources, plan.scoring, plan.k, boolean_index=plan.boolean_index
+            sources,
+            plan.scoring,
+            plan.k,
+            boolean_index=plan.boolean_index,
+            tracer=tracer,
         )
     raise PlanError(f"unknown strategy {plan.strategy!r}")
 
@@ -233,7 +244,16 @@ def top_k(
     k: int = 10,
     *,
     prefer: Optional[Strategy] = None,
+    tracer=None,
 ) -> TopKResult:
     """Plan and execute in one call — the library's main entry point."""
     plan = plan_top_k(sources, scoring, k, prefer=prefer)
-    return execute(plan, sources)
+    if tracer is not None:
+        tracer.event(
+            "plan",
+            strategy=plan.strategy.value,
+            reason=plan.reason,
+            estimated_cost=plan.estimated_cost,
+            k=plan.k,
+        )
+    return execute(plan, sources, tracer=tracer)

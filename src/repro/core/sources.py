@@ -654,6 +654,22 @@ def sources_from_columns(
     return sources
 
 
+def iter_wrapper_chain(source: GradedSource):
+    """Yield a source and every source it wraps, outermost first.
+
+    The wrapper convention throughout the library is an ``_inner``
+    attribute pointing at the wrapped source (verifying, sorted-only,
+    fault-injecting, resilient, mapped, tracing wrappers all follow it).
+    Observability consumers — the resilience report, EXPLAIN's per-atom
+    statistics — walk the chain through this helper instead of
+    re-implementing the traversal.
+    """
+    node: Optional[GradedSource] = source
+    while node is not None:
+        yield node
+        node = getattr(node, "_inner", None)
+
+
 def check_same_objects(sources: Sequence[GradedSource]) -> int:
     """Verify all sources rank the same object universe; return its size.
 

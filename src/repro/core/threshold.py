@@ -46,6 +46,7 @@ structured :class:`~repro.core.result.DegradedResult` report.
 from __future__ import annotations
 
 import heapq
+from contextlib import nullcontext
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.cost import CostMeter
@@ -115,6 +116,8 @@ def _nra_run(
     algorithm: str = "nra",
     prior_failures: Optional[Dict[str, str]] = None,
     failed_sorted: Optional[Dict[int, str]] = None,
+    tracer=None,
+    phase_name: str = "nra",
 ) -> TopKResult:
     """The NRA main loop, resumable from arbitrary accumulated state.
 
@@ -173,6 +176,10 @@ def _nra_run(
             if obj in top:
                 continue
             rivals_upper = max(rivals_upper, state.upper(rule, m, bottoms))
+        if tracer is not None:
+            tracer.sample("nra.kth_lower", kth_lower)
+            tracer.sample("nra.rivals_upper", rivals_upper)
+            tracer.sample("nra.buffer_objects", float(len(states)))
         if kth_lower + tol < rivals_upper:
             return None
         if exact_grades:
@@ -188,52 +195,63 @@ def _nra_run(
             )
         return top
 
-    while answers is None:
-        # Drain everything up to the next scheduled stop check in one
-        # batch per list; nothing is decided between checks, so this is
-        # access-for-access identical to one-item rounds.
-        window = min(max(next_check - rounds, 1), batch_size)
-        progressed = False
-        drained = 0
-        for i, cursor in enumerate(cursors):
-            if exhausted[i]:
-                continue
-            try:
-                batch = cursor.next_batch(window)
-            except DEGRADABLE_ACCESS_ERRORS as error:
-                # Dead stream: freeze its bottom (a sound upper bound
-                # for everything it never delivered) and carry on.
-                exhausted[i] = True
-                sorted_failures[i] = str(error)
-                continue
-            if not batch:
-                exhausted[i] = True
-                bottoms[i] = 0.0
-                continue
-            progressed = True
-            bottoms[i] = batch[-1].grade
-            depth = max(depth, cursor.position)
-            drained = max(drained, len(batch))
-            for item in batch:
-                states.setdefault(item.object_id, _NraState()).known[i] = item.grade
-        rounds += drained if progressed else 1
-        if rounds >= next_check or not progressed:
-            answers = evaluate_stop()
-            next_check = rounds * 2
-        if not progressed and answers is None:
-            # Nothing can progress.  Without failures every grade is
-            # known (the lists were fully drained), so the lower bounds
-            # are the true grades; with dead streams this is the
-            # best-effort ranking by lower bound.
-            scored = GradedSet(
-                {obj: state.lower(rule, m) for obj, state in states.items()}
-            )
-            answers = scored.top(k)
-            if sorted_failures:
-                partial = True
-                converged = False
-            else:
-                converged = True
+    with nullcontext() if tracer is None else tracer.phase(phase_name):
+        while answers is None:
+            # Drain everything up to the next scheduled stop check in one
+            # batch per list; nothing is decided between checks, so this is
+            # access-for-access identical to one-item rounds.
+            window = min(max(next_check - rounds, 1), batch_size)
+            progressed = False
+            drained = 0
+            for i, cursor in enumerate(cursors):
+                if exhausted[i]:
+                    continue
+                try:
+                    batch = cursor.next_batch(window)
+                except DEGRADABLE_ACCESS_ERRORS as error:
+                    # Dead stream: freeze its bottom (a sound upper bound
+                    # for everything it never delivered) and carry on.
+                    exhausted[i] = True
+                    sorted_failures[i] = str(error)
+                    if tracer is not None:
+                        tracer.event(
+                            "sorted-stream-failed",
+                            source=sources[i].name,
+                            reason=str(error),
+                        )
+                    continue
+                if not batch:
+                    exhausted[i] = True
+                    bottoms[i] = 0.0
+                    continue
+                progressed = True
+                if tracer is not None:
+                    tracer.record_sorted_batch(
+                        sources[i].name, batch, cursor.position - len(batch)
+                    )
+                bottoms[i] = batch[-1].grade
+                depth = max(depth, cursor.position)
+                drained = max(drained, len(batch))
+                for item in batch:
+                    states.setdefault(item.object_id, _NraState()).known[i] = item.grade
+            rounds += drained if progressed else 1
+            if rounds >= next_check or not progressed:
+                answers = evaluate_stop()
+                next_check = rounds * 2
+            if not progressed and answers is None:
+                # Nothing can progress.  Without failures every grade is
+                # known (the lists were fully drained), so the lower bounds
+                # are the true grades; with dead streams this is the
+                # best-effort ranking by lower bound.
+                scored = GradedSet(
+                    {obj: state.lower(rule, m) for obj, state in states.items()}
+                )
+                answers = scored.top(k)
+                if sorted_failures:
+                    partial = True
+                    converged = False
+                else:
+                    converged = True
 
     failures: Dict[str, str] = dict(prior_failures or {})
     for i, reason in sorted_failures.items():
@@ -271,6 +289,7 @@ def threshold_top_k(
     require_monotone: bool = True,
     batch_size: int = DEFAULT_BATCH_SIZE,
     degrade: bool = True,
+    tracer=None,
 ) -> TopKResult:
     """Top k answers via the threshold algorithm (TA).
 
@@ -292,6 +311,12 @@ def threshold_top_k(
     same cursors and accumulated state, still returning correct top-k
     answers from sorted access alone.  With ``degrade=False`` the error
     propagates (the E20 ablation).
+
+    Under a ``tracer``, accesses are emitted at *logical* time — each
+    row's sorted deliveries as TA's round processes them (even though
+    the underlying cursor consumes them in bulk afterwards), each random
+    probe when its grade arrives — and the threshold trajectory is
+    sampled as ``ta.tau`` / ``ta.kth_grade`` once per round.
     """
     if k <= 0:
         raise ValueError(f"k must be positive, got {k}")
@@ -332,6 +357,13 @@ def threshold_top_k(
         lists carry the query.
         """
         nonlocal depth
+        if tracer is not None:
+            tracer.event(
+                "degraded",
+                algorithm="threshold-ta",
+                fallback="nra",
+                failures={**prior_failures, **{sources[i].name: r for i, r in (dead or {}).items()}},
+            )
         failed_sorted: Dict[int, str] = dict(dead or {})
         pre_exhausted = [i in failed_sorted for i in range(m)]
         for i, cursor in enumerate(cursors):
@@ -360,75 +392,98 @@ def threshold_top_k(
             algorithm="threshold-ta+nra",
             prior_failures=prior_failures,
             failed_sorted=failed_sorted,
+            tracer=tracer,
+            phase_name="nra-fallback",
         )
 
-    while not stop:
-        windows = [cursor.peek_batch(batch_size) for cursor in cursors]
-        rows = max((len(window) for window in windows), default=0)
-        if rows == 0:
-            break  # no list can progress: exhausted
-        consumed = 0
-        for row in range(rows):
-            # One TA round: the row-th item of every list, with bulk
-            # random probes for the objects this round saw first.
-            fresh: List[tuple] = []
-            for i, window in enumerate(windows):
-                if row >= len(window):
-                    continue
-                item = window[row]
-                bottoms[i] = item.grade
-                state = states.get(item.object_id)
-                if state is None:
-                    state = states[item.object_id] = _NraState()
-                    fresh.append((item.object_id, i))
-                state.known[i] = item.grade
-            consumed = row + 1
-            if fresh:
-                needed: List[List[ObjectId]] = [[] for _ in range(m)]
-                for object_id, first in fresh:
-                    for j in others[first]:
-                        needed[j].append(object_id)
-                for j, ids in enumerate(needed):
-                    if not ids:
+    with nullcontext() if tracer is None else tracer.phase("ta"):
+        while not stop:
+            windows = [cursor.peek_batch(batch_size) for cursor in cursors]
+            rows = max((len(window) for window in windows), default=0)
+            if rows == 0:
+                break  # no list can progress: exhausted
+            consumed = 0
+            for row in range(rows):
+                # One TA round: the row-th item of every list, with bulk
+                # random probes for the objects this round saw first.
+                # Under a tracer each delivery is recorded here, at
+                # logical access time, not at the deferred bulk consume.
+                fresh: List[tuple] = []
+                for i, window in enumerate(windows):
+                    if row >= len(window):
                         continue
+                    item = window[row]
+                    if tracer is not None:
+                        tracer.record_sorted(
+                            sources[i].name,
+                            item.object_id,
+                            item.grade,
+                            position=cursors[i].position + row + 1,
+                        )
+                    bottoms[i] = item.grade
+                    state = states.get(item.object_id)
+                    if state is None:
+                        state = states[item.object_id] = _NraState()
+                        fresh.append((item.object_id, i))
+                    state.known[i] = item.grade
+                consumed = row + 1
+                if fresh:
+                    needed: List[List[ObjectId]] = [[] for _ in range(m)]
+                    for object_id, first in fresh:
+                        for j in others[first]:
+                            needed[j].append(object_id)
+                    for j, ids in enumerate(needed):
+                        if not ids:
+                            continue
+                        try:
+                            fetched = sources[j].random_access_many(ids)
+                        except DEGRADABLE_ACCESS_ERRORS as error:
+                            if not degrade:
+                                raise
+                            return fall_back(
+                                consumed, windows, {sources[j].name: str(error)}
+                            )
+                        if tracer is not None:
+                            for object_id in ids:
+                                tracer.record_random(
+                                    sources[j].name, object_id, fetched[object_id]
+                                )
+                        for object_id, grade in fetched.items():
+                            states[object_id].known[j] = grade
+                    for object_id, _ in fresh:
+                        known = states[object_id].known
+                        grade = rule([known[j] for j in range(m)])
+                        overall[object_id] = grade
+                        if len(best_k) < k:
+                            heapq.heappush(best_k, grade)
+                        elif grade > best_k[0]:
+                            heapq.heapreplace(best_k, grade)
+                if tracer is not None:
+                    tracer.sample("ta.tau", rule(bottoms))
+                    if len(best_k) >= k:
+                        tracer.sample("ta.kth_grade", best_k[0])
+                if len(best_k) >= k and best_k[0] >= rule(bottoms):
+                    stop = True
+                    if tracer is not None:
+                        tracer.event("stop", tau=rule(bottoms), kth=best_k[0])
+                    break
+            died: Dict[int, str] = {}
+            for i, cursor in enumerate(cursors):
+                take = min(consumed, len(windows[i]))
+                if take:
                     try:
-                        fetched = sources[j].random_access_many(ids)
+                        cursor.next_batch(take)
                     except DEGRADABLE_ACCESS_ERRORS as error:
                         if not degrade:
                             raise
-                        return fall_back(
-                            consumed, windows, {sources[j].name: str(error)}
-                        )
-                    for object_id, grade in fetched.items():
-                        states[object_id].known[j] = grade
-                for object_id, _ in fresh:
-                    known = states[object_id].known
-                    grade = rule([known[j] for j in range(m)])
-                    overall[object_id] = grade
-                    if len(best_k) < k:
-                        heapq.heappush(best_k, grade)
-                    elif grade > best_k[0]:
-                        heapq.heapreplace(best_k, grade)
-            if len(best_k) >= k and best_k[0] >= rule(bottoms):
-                stop = True
-                break
-        died: Dict[int, str] = {}
-        for i, cursor in enumerate(cursors):
-            take = min(consumed, len(windows[i]))
-            if take:
-                try:
-                    cursor.next_batch(take)
-                except DEGRADABLE_ACCESS_ERRORS as error:
-                    if not degrade:
-                        raise
-                    died[i] = str(error)
-                    continue
-                depth = max(depth, cursor.position)
-        if died and not stop:
-            # A sorted stream died mid-round; its cursor is stuck, so the
-            # next peek would replay the same rows forever.  Hand the
-            # accumulated state to NRA with the dead list frozen out.
-            return fall_back(0, windows, {}, dead=died)
+                        died[i] = str(error)
+                        continue
+                    depth = max(depth, cursor.position)
+            if died and not stop:
+                # A sorted stream died mid-round; its cursor is stuck, so the
+                # next peek would replay the same rows forever.  Hand the
+                # accumulated state to NRA with the dead list frozen out.
+                return fall_back(0, windows, {}, dead=died)
 
     return TopKResult(
         answers=GradedSet(overall).top(k),
@@ -447,6 +502,7 @@ def nra_top_k(
     exact_grades: bool = True,
     tol: float = 1e-12,
     batch_size: int = 4096,
+    tracer=None,
 ) -> TopKResult:
     """Top k answers using sorted access only (NRA).
 
@@ -474,6 +530,7 @@ def nra_top_k(
         exact_grades=exact_grades,
         tol=tol,
         batch_size=batch_size,
+        tracer=tracer,
     )
 
 
@@ -484,6 +541,7 @@ def combined_top_k(
     *,
     ratio: float = 8.0,
     require_monotone: bool = True,
+    tracer=None,
 ) -> TopKResult:
     """Top k answers via the combined algorithm (CA).
 
@@ -543,6 +601,8 @@ def combined_top_k(
         for j, source in enumerate(sources):
             if j not in grades:
                 grades[j] = source.random_access(best_id)
+                if tracer is not None:
+                    tracer.record_random(source.name, best_id, grades[j])
         record_complete(best_id, rule([grades[j] for j in range(m)]))
 
     def should_stop() -> bool:
@@ -558,41 +618,49 @@ def combined_top_k(
                 return False
         return True
 
-    while True:
-        progressed = False
-        for i, cursor in enumerate(cursors):
-            if exhausted[i]:
-                continue
-            item = cursor.next()
-            if item is None:
-                exhausted[i] = True
-                bottoms[i] = 0.0
-                continue
-            progressed = True
-            bottoms[i] = item.grade
-            depth = max(depth, cursor.position)
-            state = states.setdefault(item.object_id, _NraState())
-            state.known[i] = item.grade
-            if item.object_id not in complete and state.complete(m):
-                record_complete(
-                    item.object_id,
-                    rule([state.known[j] for j in range(m)]),
-                )
-        rounds += 1
-        if rounds % resolve_every == 0:
-            resolve_best_incomplete()
-        if rounds >= next_check or not progressed:
-            if should_stop():
-                break
-            next_check = rounds * 2
-        if not progressed:
-            # Lists exhausted: every grade known via sorted access.
-            for object_id, state in states.items():
-                if object_id not in complete:
-                    record_complete(
-                        object_id, rule([state.known[j] for j in range(m)])
+    with nullcontext() if tracer is None else tracer.phase("ca"):
+        while True:
+            progressed = False
+            for i, cursor in enumerate(cursors):
+                if exhausted[i]:
+                    continue
+                item = cursor.next()
+                if item is None:
+                    exhausted[i] = True
+                    bottoms[i] = 0.0
+                    continue
+                progressed = True
+                if tracer is not None:
+                    tracer.record_sorted(
+                        sources[i].name,
+                        item.object_id,
+                        item.grade,
+                        position=cursor.position,
                     )
-            break
+                bottoms[i] = item.grade
+                depth = max(depth, cursor.position)
+                state = states.setdefault(item.object_id, _NraState())
+                state.known[i] = item.grade
+                if item.object_id not in complete and state.complete(m):
+                    record_complete(
+                        item.object_id,
+                        rule([state.known[j] for j in range(m)]),
+                    )
+            rounds += 1
+            if rounds % resolve_every == 0:
+                resolve_best_incomplete()
+            if rounds >= next_check or not progressed:
+                if should_stop():
+                    break
+                next_check = rounds * 2
+            if not progressed:
+                # Lists exhausted: every grade known via sorted access.
+                for object_id, state in states.items():
+                    if object_id not in complete:
+                        record_complete(
+                            object_id, rule([state.known[j] for j in range(m)])
+                        )
+                break
 
     return TopKResult(
         answers=GradedSet(complete).top(k),

@@ -95,3 +95,7 @@ class QuerySyntaxError(ReproError, ValueError):
 
 class IndexError_(ReproError):
     """A multidimensional index was misused (dimension mismatch, ...)."""
+
+
+class TraceError(ReproError):
+    """A recorded access timeline violates the trace schema."""

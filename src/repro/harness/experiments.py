@@ -945,3 +945,72 @@ def e20_resilience(
             f"(complete={degraded_ok}); ablated run aborted: {aborted}",
         ],
     )
+
+
+# ----------------------------------------------------------------------
+# E21: the TA threshold's descent, observed through the tracer
+# ----------------------------------------------------------------------
+def e21_tau_trajectory(
+    n: int = 2000,
+    m: int = 3,
+    k: int = 10,
+    seed: int = 45,
+    points: int = 12,
+) -> ExperimentResult:
+    """E21: tau and the kth buffered grade, round by round, under TA.
+
+    Runs TA once with a :class:`~repro.observability.QueryTracer` and
+    reads back the ``ta.tau`` / ``ta.kth_grade`` series the algorithm
+    samples each round: tau (the threshold rule applied to the bottom
+    grades) descends, the kth best buffered overall grade climbs, and
+    the run stops at the first crossing — the correctness argument of
+    Theorem 4.4 rendered as data.  Rows are the trajectory downsampled
+    to about ``points`` rounds (always keeping the first and the last);
+    the notes assert the invariants the observability layer guarantees:
+    tau nonincreasing and traced accesses equal to the reported cost.
+    """
+    from repro.observability import MetricsRegistry, QueryTracer
+
+    sources = sources_from_columns(independent(n, m, seed=seed))
+    tracer = QueryTracer(metrics=MetricsRegistry())
+    result = threshold_top_k(sources, tnorms.MIN, k, tracer=tracer)
+
+    taus = tracer.samples("ta.tau")
+    kths = tracer.samples("ta.kth_grade")
+    rounds = len(taus)
+    # ta.kth_grade starts once the buffer is nonempty and is then
+    # sampled every round: align it to the trailing tau samples.
+    offset = rounds - len(kths)
+    rows: List[tuple] = []
+    stride = max(1, rounds // max(1, points))
+    picked = sorted(set(range(0, rounds, stride)) | {rounds - 1})
+    for index in picked:
+        step, tau = taus[index]
+        kth = kths[index - offset][1] if index >= offset else None
+        rows.append(
+            (
+                index + 1,
+                step,
+                round(tau, 4),
+                round(kth, 4) if kth is not None else "-",
+            )
+        )
+
+    tau_values = [tau for _, tau in taus]
+    monotone = all(a >= b for a, b in zip(tau_values, tau_values[1:]))
+    traced = sum(s + r for s, r in tracer.access_counts().values())
+    final_tau = tau_values[-1]
+    final_kth = kths[-1][1] if kths else float("nan")
+    return ExperimentResult(
+        "E21",
+        ("round", "step", "tau", "kth grade"),
+        rows,
+        notes=[
+            f"tau nonincreasing: {monotone}; rounds: {rounds}",
+            f"stopped with kth grade {final_kth:.4f} >= tau {final_tau:.4f}: "
+            f"{final_kth >= final_tau}",
+            f"traced accesses {traced} == reported cost "
+            f"{result.database_access_cost}: "
+            f"{traced == result.database_access_cost}",
+        ],
+    )

@@ -97,6 +97,37 @@ class MiddlewareEngine:
         #: mapping, resilience), so breaker/fault state persists across
         #: queries on the same atom.
         self._wrapped: Dict[Atomic, GradedSource] = {}
+        #: session-level QueryTracer set by configure_observability; when
+        #: None (the default) nothing observability-related runs.
+        self._tracer = None
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def configure_observability(self, tracer=None, *, metrics=None):
+        """Install (or clear) a session-level query tracer.
+
+        ``tracer`` is a
+        :class:`~repro.observability.tracer.QueryTracer`; passing only
+        ``metrics`` (a
+        :class:`~repro.observability.metrics.MetricsRegistry`) builds a
+        tracer around it.  Every subsequent :meth:`top_k` runs under the
+        tracer — a ``query`` span wrapping plan choice and execution,
+        resilience observers attached to every wrapped binding — until
+        this is called again with no arguments.  Returns the installed
+        tracer (or None when cleared).
+        """
+        if tracer is None and metrics is not None:
+            from repro.observability.tracer import QueryTracer
+
+            tracer = QueryTracer(metrics=metrics)
+        self._tracer = tracer
+        return tracer
+
+    @property
+    def tracer(self):
+        """The session-level tracer, or None when observability is off."""
+        return self._tracer
 
     # ------------------------------------------------------------------
     # Registration
@@ -228,12 +259,34 @@ class MiddlewareEngine:
         k: int,
         *,
         prefer: Optional[Strategy] = None,
+        tracer=None,
     ) -> TopKResult:
-        """The top k answers to a query, with their grades and cost."""
+        """The top k answers to a query, with their grades and cost.
+
+        ``tracer`` overrides the session tracer installed by
+        :meth:`configure_observability` for this one query; with neither,
+        the query runs with zero instrumentation overhead.
+        """
+        tracer = tracer if tracer is not None else self._tracer
         sources = self.bind_all(query)
         compiled = self._compile(query)
-        plan = plan_top_k(sources, compiled, k, prefer=prefer)
-        result = execute(plan, sources)
+        if tracer is None:
+            plan = plan_top_k(sources, compiled, k, prefer=prefer)
+            result = execute(plan, sources)
+        else:
+            from repro.observability.tracer import attach_resilience_observers
+
+            attach_resilience_observers(sources, tracer)
+            with tracer.phase("query", query=str(query), k=k):
+                plan = plan_top_k(sources, compiled, k, prefer=prefer)
+                tracer.event(
+                    "plan",
+                    strategy=plan.strategy.value,
+                    reason=plan.reason,
+                    estimated_cost=plan.estimated_cost,
+                    k=plan.k,
+                )
+                result = execute(plan, sources, tracer=tracer)
         report = resilience_report(sources)
         if report:
             result.extras["resilience"] = report
@@ -245,11 +298,37 @@ class MiddlewareEngine:
         compiled = self._compile(query)
         return plan_top_k(sources, compiled, k)
 
-    def open_query(self, query: Query) -> "QueryHandle":
-        """A resumable handle: fetch the top k, then the next k, etc."""
+    def explain_report(self, query: Query, k: int, *, run: bool = False):
+        """The full EXPLAIN view of a query: plan, atoms, optionally actuals.
+
+        With ``run=False`` (the default) nothing is executed — the report
+        covers the chosen plan and per-atom statistics.  With ``run=True``
+        the query executes under a throwaway tracer and the report also
+        carries the actual cost, the actual/estimated ratio, and the
+        per-phase access breakdown.
+        """
+        from repro.observability.explain import explain_report
+        from repro.observability.tracer import QueryTracer
+
         sources = self.bind_all(query)
         compiled = self._compile(query)
-        return QueryHandle(FaginAlgorithm(sources, compiled), sources)
+        plan = plan_top_k(sources, compiled, k)
+        if not run:
+            return explain_report(str(query), plan, sources)
+        tracer = QueryTracer()
+        result = execute(plan, sources, tracer=tracer)
+        return explain_report(
+            str(query), plan, sources, result=result, tracer=tracer
+        )
+
+    def open_query(self, query: Query, *, tracer=None) -> "QueryHandle":
+        """A resumable handle: fetch the top k, then the next k, etc."""
+        tracer = tracer if tracer is not None else self._tracer
+        sources = self.bind_all(query)
+        compiled = self._compile(query)
+        return QueryHandle(
+            FaginAlgorithm(sources, compiled, tracer=tracer), sources
+        )
 
     def lookup_row(self, object_id) -> Dict[str, object]:
         """Merge the relational attributes known for one object.

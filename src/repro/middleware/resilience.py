@@ -38,7 +38,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from repro.core.graded import GradedItem, ObjectId
-from repro.core.sources import GradedSource
+from repro.core.sources import GradedSource, iter_wrapper_chain
 from repro.errors import (
     AccessError,
     CircuitOpenError,
@@ -310,6 +310,24 @@ class ResilientSource(GradedSource):
             self.policy.failure_threshold, self.policy.recovery_time, self.clock
         )
         self.stats = ResilienceStats()
+        #: optional ``observe(kind, detail)`` callback, notified with the
+        #: same kind strings as the :class:`ResilienceStats` field names
+        #: ("failures", "retries", "exhausted", "rejections",
+        #: "deadline_exceeded") plus "circuit_open" when a breaker trips.
+        #: The observability layer attaches one per resilient node; when
+        #: None (the default) nothing extra runs on the access path.
+        self.observer: Optional[Callable[[str, str], None]] = None
+
+    def _notify(self, kind: str, detail: str) -> None:
+        if self.observer is not None:
+            self.observer(kind, detail)
+
+    def _record_failure(self, breaker: CircuitBreaker, describe: str) -> None:
+        """Record a failure, announcing a breaker that newly tripped."""
+        before = breaker.opens
+        breaker.record_failure()
+        if breaker.opens > before:
+            self._notify("circuit_open", describe)
 
     # -- retry core ------------------------------------------------------------
     def _call(self, breaker: CircuitBreaker, operation: Callable, describe: str):
@@ -319,6 +337,7 @@ class ResilientSource(GradedSource):
         while True:
             if not breaker.allow():
                 self.stats.rejections += 1
+                self._notify("rejections", describe)
                 raise CircuitOpenError(
                     f"circuit open for {describe} on {self._inner.name!r} "
                     f"(recovers after {self.policy.recovery_time:g}s)"
@@ -328,7 +347,8 @@ class ResilientSource(GradedSource):
                 and self.clock.now() - started > retry.deadline
             ):
                 self.stats.deadline_exceeded += 1
-                breaker.record_failure()
+                self._notify("deadline_exceeded", describe)
+                self._record_failure(breaker, describe)
                 raise DeadlineExceededError(
                     f"{describe} on {self._inner.name!r} exceeded its "
                     f"{retry.deadline:g}s deadline budget"
@@ -336,13 +356,16 @@ class ResilientSource(GradedSource):
             try:
                 result = operation()
             except TransientAccessError:
-                breaker.record_failure()
+                self._record_failure(breaker, describe)
                 self.stats.failures += 1
+                self._notify("failures", describe)
                 attempt += 1
                 if attempt >= retry.max_attempts:
                     self.stats.exhausted += 1
+                    self._notify("exhausted", describe)
                     raise
                 self.stats.retries += 1
+                self._notify("retries", describe)
                 self.clock.sleep(retry.backoff(attempt - 1, self._rng))
             else:
                 breaker.record_success()
@@ -404,8 +427,7 @@ def resilience_report(sources: Iterable[GradedSource]) -> Dict[str, Dict[str, ob
     report: Dict[str, Dict[str, object]] = {}
     for source in sources:
         entry: Dict[str, object] = {}
-        node = source
-        while node is not None:
+        for node in iter_wrapper_chain(source):
             if isinstance(node, ResilientSource):
                 entry.update(node.stats.as_dict())
                 entry["sorted_circuit"] = node.sorted_breaker.state
@@ -416,7 +438,6 @@ def resilience_report(sources: Iterable[GradedSource]) -> Dict[str, Dict[str, ob
             injected = getattr(node, "injected", None)
             if injected is not None and hasattr(injected, "as_dict"):
                 entry["injected"] = injected.as_dict()
-            node = getattr(node, "_inner", None)
         if entry:
             report[source.name] = entry
     return report

@@ -1,0 +1,70 @@
+"""Observability for the middleware: access tracing, metrics, EXPLAIN.
+
+Fagin's cost model (section 4) *defines* an algorithm by what it touches
+— database access cost = sorted-access cost + random-access cost — so a
+middleware that can only report end-of-query totals cannot show *why* a
+query cost what it did, whether the optimizer's estimate (section 4.2)
+matched reality, or what the resilience layer retried along the way.
+This package is the instrumentation the rest of the system threads
+through:
+
+* :class:`~repro.observability.tracer.QueryTracer` — a span/event
+  recorder producing a structured, deterministic, JSON-serializable
+  timeline (query → algorithm phase → individual access).  Algorithms
+  accept an optional ``tracer`` and emit every sorted/random access with
+  object id, grade, list name, enclosing phase, and a monotonic step
+  counter.  ``tracer=None`` (the default everywhere) costs nothing.
+* :class:`~repro.observability.tracer.TracingSource` — a side-effect-free
+  source wrapper recording charged accesses at the source boundary, for
+  consumers outside the algorithms' own emission (drivers, tests).
+* :class:`~repro.observability.metrics.MetricsRegistry` — counters,
+  gauges, histograms, and step-indexed series (per-phase access counts,
+  buffer depths, the TA threshold trajectory, resilience retries, and
+  wall-clock per phase under an injectable clock).
+* :mod:`~repro.observability.explain` — EXPLAIN rendering: the chosen
+  plan, per-atom source statistics, and the per-phase access breakdown,
+  used by ``MiddlewareEngine.explain_report`` and the CLI's
+  ``--explain`` / ``--trace-out`` flags.
+"""
+
+from repro.observability.explain import (
+    AtomStats,
+    ExplainReport,
+    describe_sources,
+    phase_breakdown,
+    render_trace_explain,
+)
+from repro.observability.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Series,
+)
+from repro.observability.tracer import (
+    TRACE_VERSION,
+    QueryTracer,
+    TracingSource,
+    attach_resilience_observers,
+    traced,
+    validate_trace,
+)
+
+__all__ = [
+    "TRACE_VERSION",
+    "QueryTracer",
+    "TracingSource",
+    "traced",
+    "validate_trace",
+    "attach_resilience_observers",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Series",
+    "MetricsRegistry",
+    "AtomStats",
+    "ExplainReport",
+    "describe_sources",
+    "phase_breakdown",
+    "render_trace_explain",
+]

@@ -1,0 +1,217 @@
+"""EXPLAIN rendering: plan, per-atom statistics, phase breakdown.
+
+Section 4.2: "In order to use an optimizer, we need to understand the
+cost of applying various operators over various data in various
+repositories."  The planner already records *why* it chose a strategy;
+this module turns that choice — plus what the sources look like and, for
+executed queries, what each phase actually touched — into a readable
+report and a structured object.
+
+Two entry points:
+
+* :func:`explain_report` builds an :class:`ExplainReport` from a plan
+  and its sources (optionally with an executed result and its tracer) —
+  the engine's ``explain_report`` method wraps this;
+* :func:`render_trace_explain` renders the post-hoc view straight from
+  a recorded timeline, which is what the CLI's ``--explain`` prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.planner import Plan
+from repro.core.sources import GradedSource, iter_wrapper_chain
+
+
+@dataclass(frozen=True)
+class AtomStats:
+    """Optimizer-relevant statistics for one bound ranked list."""
+
+    name: str
+    size: int
+    is_boolean: bool
+    supports_random_access: bool
+    random_access_available: bool
+    positive_count: Optional[int] = None
+    wrappers: Tuple[str, ...] = ()
+
+    def describe(self) -> str:
+        flags = []
+        if self.is_boolean:
+            selectivity = (
+                f", {self.positive_count} positive"
+                if self.positive_count is not None
+                else ""
+            )
+            flags.append(f"boolean{selectivity}")
+        if not self.supports_random_access:
+            flags.append("sorted-only")
+        elif not self.random_access_available:
+            flags.append("random access unavailable (breaker open)")
+        chain = " -> ".join(self.wrappers) if self.wrappers else "bare"
+        detail = f" [{', '.join(flags)}]" if flags else ""
+        return f"{self.name}: N={self.size}{detail}  ({chain})"
+
+
+@dataclass
+class ExplainReport:
+    """The full EXPLAIN output for one query."""
+
+    query: str
+    plan: Plan
+    atoms: List[AtomStats]
+    #: filled only when the query was executed under a tracer
+    executed: Optional[Dict[str, object]] = None
+    phases: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+    def render(self) -> str:
+        lines = [f"query: {self.query}"]
+        lines.append(
+            f"plan:  {self.plan.strategy.value} (k={self.plan.k}, "
+            f"estimated cost {self.plan.estimated_cost:.0f})"
+        )
+        lines.append(f"       reason: {self.plan.reason}")
+        lines.append("atoms:")
+        for atom in self.atoms:
+            lines.append(f"  {atom.describe()}")
+        if self.executed is not None:
+            lines.append(
+                "executed: cost {cost} (sorted {sorted}, random {random}), "
+                "depth {depth}".format(**self.executed)
+            )
+            if self.executed.get("estimate_ratio") is not None:
+                lines.append(
+                    f"          actual/estimated = "
+                    f"{self.executed['estimate_ratio']:.2f}"
+                )
+        if self.phases:
+            lines.append("phases:")
+            for phase, counts in self.phases.items():
+                lines.append(
+                    f"  {phase}: sorted {counts.get('sorted', 0)}, "
+                    f"random {counts.get('random', 0)}"
+                )
+        return "\n".join(lines)
+
+
+def describe_sources(sources: Sequence[GradedSource]) -> List[AtomStats]:
+    """Per-atom statistics straight from the bound sources."""
+    atoms = []
+    for source in sources:
+        chain = tuple(type(node).__name__ for node in iter_wrapper_chain(source))
+        positive = getattr(source, "positive_count", None)
+        atoms.append(
+            AtomStats(
+                name=source.name,
+                size=len(source),
+                is_boolean=source.is_boolean,
+                supports_random_access=source.supports_random_access,
+                random_access_available=source.random_access_available(),
+                positive_count=int(positive) if positive is not None else None,
+                wrappers=chain,
+            )
+        )
+    return atoms
+
+
+def phase_breakdown(events: Sequence[Dict[str, object]]) -> Dict[str, Dict[str, int]]:
+    """Per-phase sorted/random access counts from a recorded timeline.
+
+    Phases appear in first-access order; accesses outside any span are
+    grouped under ``"-"``.
+    """
+    breakdown: Dict[str, Dict[str, int]] = {}
+    for event in events:
+        kind = event.get("type")
+        if kind not in ("sorted", "random"):
+            continue
+        phase = str(event.get("phase") or "-")
+        counts = breakdown.setdefault(phase, {"sorted": 0, "random": 0})
+        counts[kind] += 1
+    return breakdown
+
+
+def explain_report(
+    query: str,
+    plan: Plan,
+    sources: Sequence[GradedSource],
+    *,
+    result=None,
+    tracer=None,
+) -> ExplainReport:
+    """Assemble an :class:`ExplainReport` (see the engine's wrapper)."""
+    report = ExplainReport(
+        query=query, plan=plan, atoms=describe_sources(sources)
+    )
+    if result is not None:
+        ratio = (
+            result.cost.database_access_cost / plan.estimated_cost
+            if plan.estimated_cost > 0
+            else None
+        )
+        report.executed = {
+            "algorithm": result.algorithm,
+            "cost": result.cost.database_access_cost,
+            "sorted": result.cost.sorted_access_cost,
+            "random": result.cost.random_access_cost,
+            "depth": result.sorted_depth,
+            "estimate_ratio": ratio,
+        }
+    if tracer is not None:
+        report.phases = phase_breakdown(tracer.events)
+    return report
+
+
+def render_trace_explain(tracer) -> str:
+    """Render the post-hoc EXPLAIN view of a recorded timeline.
+
+    Used by the CLI after executing with ``--explain``: shows each plan
+    the engine chose, the per-source access tallies, the per-phase
+    breakdown, and a summary of any resilience events — everything
+    derived from the trace alone.
+    """
+    lines: List[str] = ["-- explain (from trace) --"]
+    for event in tracer.events:
+        if event.get("type") == "event" and event.get("name") == "plan":
+            attrs = event.get("attrs", {})
+            lines.append(
+                f"plan: {attrs.get('strategy')} (k={attrs.get('k')}, "
+                f"estimated cost {attrs.get('estimated_cost', 0):.0f}) — "
+                f"{attrs.get('reason')}"
+            )
+    counts = tracer.access_counts()
+    if counts:
+        lines.append("accesses by source:")
+        for name in sorted(counts):
+            sorted_n, random_n = counts[name]
+            lines.append(
+                f"  {name}: sorted {sorted_n}, random {random_n}, "
+                f"total {sorted_n + random_n}"
+            )
+    breakdown = phase_breakdown(tracer.events)
+    if breakdown:
+        lines.append("accesses by phase:")
+        for phase, tally in breakdown.items():
+            lines.append(
+                f"  {phase}: sorted {tally['sorted']}, random {tally['random']}"
+            )
+    resilience: Dict[str, int] = {}
+    for event in tracer.events:
+        if event.get("type") == "event" and event.get("name") == "resilience":
+            kind = str(event.get("attrs", {}).get("kind", "?"))
+            resilience[kind] = resilience.get(kind, 0) + 1
+    if resilience:
+        lines.append(
+            "resilience events: "
+            + ", ".join(f"{kind}={n}" for kind, n in sorted(resilience.items()))
+        )
+    taus = tracer.samples("ta.tau")
+    if taus:
+        lines.append(
+            f"threshold τ: start {taus[0][1]:.4f} -> final {taus[-1][1]:.4f} "
+            f"over {len(taus)} checkpoints"
+        )
+    lines.append(f"trace: {len(tracer.events)} events")
+    return "\n".join(lines)

@@ -1,0 +1,184 @@
+"""Counters, gauges, histograms, and series for query observability.
+
+A deliberately small, dependency-free metrics model in the Prometheus
+style: named instruments with string labels, owned by a
+:class:`MetricsRegistry`.  The tracer bridges access events into
+counters (``accesses.sorted{source,phase}``), algorithms feed the
+threshold/τ trajectory and buffer depths into series, the resilience
+observer feeds retry/breaker counters, and phase spans feed wall-clock
+histograms when the tracer has a clock.
+
+Everything renders to plain dicts with deterministically ordered keys
+(:meth:`MetricsRegistry.as_dict`), so metric snapshots can be asserted
+byte-for-byte in tests and serialized next to trace timelines.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+#: label sets are stored as sorted (key, value) tuples so the same
+#: labels always address the same instrument regardless of kwarg order
+LabelKey = Tuple[Tuple[str, str], ...]
+InstrumentKey = Tuple[str, LabelKey]
+
+
+def _key(name: str, labels: Dict[str, object]) -> InstrumentKey:
+    return (name, tuple(sorted((k, str(v)) for k, v in labels.items())))
+
+
+def _render(key: InstrumentKey) -> str:
+    name, labels = key
+    if not labels:
+        return name
+    rendered = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{rendered}}}"
+
+
+class Counter:
+    """A monotonically increasing tally."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def set_to(self, value: int) -> None:
+        """Resynchronize to an authoritative external tally.
+
+        Used when an observer attaches to a component that already has
+        history (e.g. a cached resilient binding whose retry stats
+        predate observability being configured), so live increments from
+        then on keep the counter exactly equal to the component's own
+        count.
+        """
+        self.value = int(value)
+
+
+class Gauge:
+    """A value that goes up and down (buffer depth, circuit state)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Streaming summary of observed values: count, sum, min, max."""
+
+    __slots__ = ("count", "total", "minimum", "maximum")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.minimum: Optional[float] = None
+        self.maximum: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.minimum if self.minimum is not None else 0.0,
+            "max": self.maximum if self.maximum is not None else 0.0,
+        }
+
+
+class Series:
+    """An append-only (step, value) time series.
+
+    The step axis is the tracer's monotonic event counter, so series
+    points line up exactly with the access timeline — this is what lets
+    an experiment plot the TA threshold τ against accesses performed.
+    """
+
+    __slots__ = ("points",)
+
+    def __init__(self) -> None:
+        self.points: List[Tuple[int, float]] = []
+
+    def append(self, step: int, value: float) -> None:
+        self.points.append((int(step), float(value)))
+
+    @property
+    def steps(self) -> List[int]:
+        return [step for step, _ in self.points]
+
+    @property
+    def values(self) -> List[float]:
+        return [value for _, value in self.points]
+
+    def last(self) -> Optional[float]:
+        return self.points[-1][1] if self.points else None
+
+
+class MetricsRegistry:
+    """Get-or-create home for all instruments of one observed run."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[InstrumentKey, Counter] = {}
+        self._gauges: Dict[InstrumentKey, Gauge] = {}
+        self._histograms: Dict[InstrumentKey, Histogram] = {}
+        self._series: Dict[InstrumentKey, Series] = {}
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._counters.setdefault(_key(name, labels), Counter())
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._gauges.setdefault(_key(name, labels), Gauge())
+
+    def histogram(self, name: str, **labels) -> Histogram:
+        return self._histograms.setdefault(_key(name, labels), Histogram())
+
+    def series(self, name: str, **labels) -> Series:
+        return self._series.setdefault(_key(name, labels), Series())
+
+    # -- read side -------------------------------------------------------------
+    def counters(self, name: str) -> Dict[str, int]:
+        """All counters of one name, keyed by rendered labels."""
+        return {
+            _render(key): counter.value
+            for key, counter in sorted(self._counters.items())
+            if key[0] == name
+        }
+
+    def counter_total(self, name: str) -> int:
+        """Sum of one counter name across every label combination."""
+        return sum(c.value for key, c in self._counters.items() if key[0] == name)
+
+    def as_dict(self) -> Dict[str, Dict[str, object]]:
+        """Deterministic snapshot of every instrument (sorted keys)."""
+        return {
+            "counters": {
+                _render(k): c.value for k, c in sorted(self._counters.items())
+            },
+            "gauges": {
+                _render(k): g.value for k, g in sorted(self._gauges.items())
+            },
+            "histograms": {
+                _render(k): h.as_dict() for k, h in sorted(self._histograms.items())
+            },
+            "series": {
+                _render(k): [[step, value] for step, value in s.points]
+                for k, s in sorted(self._series.items())
+            },
+        }

@@ -1,0 +1,52 @@
+"""Golden-trace regression: canonical timelines are byte-stable.
+
+Each golden file is the exact ``QueryTracer.to_json()`` output for a
+fixed 6-object database (see :mod:`tests.observability.regenerate_golden`
+for the table and query parameters).  A failure here means the trace
+*schema or event ordering changed* — if the change is intentional,
+regenerate with::
+
+    PYTHONPATH=src python -m tests.observability.regenerate_golden
+
+review the diff, and commit the new files.
+"""
+
+import json
+
+import pytest
+
+from repro.observability import validate_trace
+from tests.observability.regenerate_golden import BUILDERS, GOLDEN_DIR, K, TABLE
+
+
+@pytest.mark.parametrize("name", sorted(BUILDERS))
+def test_trace_matches_golden_bytes(name):
+    expected = (GOLDEN_DIR / name).read_text(encoding="utf-8")
+    tracer = BUILDERS[name]()
+    assert tracer.to_json() == expected, (
+        f"{name} drifted; if intentional, rerun "
+        "tests/observability/regenerate_golden and commit the diff"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(BUILDERS))
+def test_golden_files_are_schema_valid(name):
+    payload = json.loads((GOLDEN_DIR / name).read_text(encoding="utf-8"))
+    validate_trace(payload)
+
+
+def test_golden_recording_is_stable_within_process():
+    for record in BUILDERS.values():
+        assert record().to_json() == record().to_json()
+
+
+def test_golden_a0_trace_shape():
+    """Spot-check the A0 golden file semantically, not just by bytes."""
+    payload = json.loads((GOLDEN_DIR / "a0_min_k2.json").read_text("utf-8"))
+    events = payload["events"]
+    phases = [e["phase"] for e in events if e["type"] == "phase_start"]
+    assert phases[:2] == ["sorted-phase", "random-phase"]
+    objects = {e["object"] for e in events if e["type"] in ("sorted", "random")}
+    assert objects <= set(TABLE)
+    grades = [e["grade"] for e in events if e["type"] == "sorted"]
+    assert len(grades) >= 2 * K

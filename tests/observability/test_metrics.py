@@ -1,0 +1,82 @@
+"""MetricsRegistry unit behaviour: instruments, labels, determinism."""
+
+import pytest
+
+from repro.observability import MetricsRegistry
+
+
+def test_counter_get_or_create_by_name_and_labels():
+    registry = MetricsRegistry()
+    a = registry.counter("hits", source="L")
+    b = registry.counter("hits", source="L")
+    c = registry.counter("hits", source="M")
+    a.inc()
+    b.inc(2)
+    assert a is b
+    assert a is not c
+    assert a.value == 3
+    assert c.value == 0
+
+
+def test_counter_set_to_resynchronizes():
+    registry = MetricsRegistry()
+    counter = registry.counter("retries")
+    counter.inc()
+    counter.set_to(10)
+    counter.inc()
+    assert counter.value == 11
+
+
+def test_counter_total_sums_across_labels():
+    registry = MetricsRegistry()
+    registry.counter("hits", source="L").inc(2)
+    registry.counter("hits", source="M").inc(3)
+    registry.counter("misses", source="L").inc(7)
+    assert registry.counter_total("hits") == 5
+    assert len(registry.counters("hits")) == 2
+
+
+def test_gauge_tracks_last_value():
+    registry = MetricsRegistry()
+    gauge = registry.gauge("depth")
+    gauge.set(4)
+    gauge.set(2)
+    assert gauge.value == 2
+
+
+def test_histogram_summary_statistics():
+    registry = MetricsRegistry()
+    histogram = registry.histogram("latency")
+    for value in (1.0, 3.0, 2.0):
+        histogram.observe(value)
+    assert histogram.count == 3
+    assert histogram.total == pytest.approx(6.0)
+    assert histogram.minimum == 1.0
+    assert histogram.maximum == 3.0
+    assert histogram.mean == pytest.approx(2.0)
+
+
+def test_series_remembers_steps_and_values():
+    registry = MetricsRegistry()
+    series = registry.series("tau")
+    series.append(3, 0.9)
+    series.append(8, 0.5)
+    assert series.steps == [3, 8]
+    assert series.values == [0.9, 0.5]
+    assert series.last() == 0.5
+
+
+def test_as_dict_is_deterministic_and_label_rendered():
+    def build():
+        registry = MetricsRegistry()
+        registry.counter("hits", source="M").inc(1)
+        registry.counter("hits", source="L").inc(2)
+        registry.gauge("depth").set(5)
+        registry.histogram("latency").observe(1.5)
+        registry.series("tau").append(0, 0.9)
+        return registry.as_dict()
+
+    first, second = build(), build()
+    assert first == second
+    assert "hits{source=L}" in first["counters"]
+    assert list(first["counters"]) == sorted(first["counters"])
