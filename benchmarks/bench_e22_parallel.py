@@ -1,0 +1,166 @@
+"""E22 — parallelism: wall-clock speedup from overlapping subsystem I/O.
+
+Paper context (§4): database access cost counts *accesses*, not
+seconds, across m independent subsystems; Fagin–Lotem–Naor note the m
+sorted accesses of one round "can be done in parallel".  Serially
+issued, a round of m accesses against remote repositories costs the
+*sum* of their latencies; fanned out it costs the *max* — the access
+counts (the paper's measure) are identical either way.
+
+Two measurements:
+
+* **speedup sweep** — TA over m=4 subsystems behind a fault injector
+  charging 1ms of real latency per access call (``MonotonicClock``),
+  at ``max_workers`` in {1, 2, 4, 8}.  Acceptance: >= 2x at 4 workers
+  vs the serial path, identical answers and access costs throughout.
+  (The latency is sleep-based, so the overlap needs no extra cores.)
+* **serial overhead** — the classic ``executor=None`` path vs an
+  installed ``max_workers=1`` executor on a pure-compute workload (no
+  injected latency).  Acceptance: < 5% overhead (min over repeats), so
+  leaving parallelism configured but off costs nothing measurable.
+
+Results are written to BENCH_parallel.json.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.core.sources import sources_from_columns
+from repro.core.threshold import threshold_top_k
+from repro.harness.reporting import format_table
+from repro.middleware.faults import FaultInjectingSource, FaultProfile
+from repro.middleware.resilience import MonotonicClock
+from repro.parallel import ParallelAccessExecutor
+from repro.scoring import tnorms
+from repro.workloads.graded_lists import independent
+
+M, K, SEED = 4, 10, 22
+LATENCY_N = 400
+LATENCY = 0.001  # 1ms per charged access call
+BATCH = 4
+WORKER_SWEEP = (1, 2, 4, 8)
+OVERHEAD_N = 20_000
+OVERHEAD_REPEATS = 7
+OUTPUT = Path(__file__).parent / "BENCH_parallel.json"
+
+#: every charged access call stalls 1ms of real time; nothing else fails
+SLOW_PROFILE = FaultProfile(latency_rate=1.0, latency=LATENCY, seed=SEED)
+
+
+def slow_sources(table):
+    clock = MonotonicClock()
+    return [
+        FaultInjectingSource(source, SLOW_PROFILE, clock=clock)
+        for source in sources_from_columns(table)
+    ]
+
+
+def key(result):
+    return [(item.object_id, item.grade) for item in result.answers]
+
+
+def timed_run(table, executor):
+    started = time.perf_counter()
+    result = threshold_top_k(
+        slow_sources(table), tnorms.MIN, K, batch_size=BATCH, executor=executor
+    )
+    return time.perf_counter() - started, result
+
+
+def test_e22_parallel(benchmark):
+    table = independent(LATENCY_N, M, seed=SEED)
+
+    # -- speedup sweep under 1ms per-access latency -------------------------
+    serial_seconds, serial_result = timed_run(table, None)
+    sweep = []
+    for workers in WORKER_SWEEP:
+        with ParallelAccessExecutor(workers) as executor:
+            seconds, result = timed_run(table, executor)
+        assert key(result) == key(serial_result), workers
+        assert result.cost == serial_result.cost, workers
+        sweep.append(
+            {
+                "max_workers": workers,
+                "seconds": round(seconds, 4),
+                "speedup": round(serial_seconds / seconds, 2),
+                "uniform_cost": result.database_access_cost,
+            }
+        )
+    at_four = next(e for e in sweep if e["max_workers"] == 4)
+    assert at_four["speedup"] >= 2.0, (
+        f"expected >= 2x at 4 workers over {M} subsystems, got "
+        f"{at_four['speedup']}x ({serial_seconds:.3f}s serial vs "
+        f"{at_four['seconds']}s)"
+    )
+
+    # -- serial overhead: executor=None vs max_workers=1 --------------------
+    # Interleaved best-of: alternating the two variants within each
+    # repeat makes background load drift hit both measurements equally,
+    # instead of penalizing whichever variant happens to run second.
+    pure = independent(OVERHEAD_N, 3, seed=SEED)
+
+    def once(executor):
+        started = time.perf_counter()
+        threshold_top_k(
+            sources_from_columns(pure), tnorms.MIN, K, executor=executor
+        )
+        return time.perf_counter() - started
+
+    baseline = with_executor = float("inf")
+    with ParallelAccessExecutor(1) as serial_executor:
+        for _ in range(OVERHEAD_REPEATS):
+            baseline = min(baseline, once(None))
+            with_executor = min(with_executor, once(serial_executor))
+    overhead = with_executor / baseline - 1.0
+    assert overhead < 0.05, (
+        f"max_workers=1 costs {overhead:+.1%} vs the classic serial path "
+        f"({with_executor:.4f}s vs {baseline:.4f}s)"
+    )
+
+    payload = {
+        "experiment": "E22",
+        "latency_workload": {
+            "n": LATENCY_N,
+            "m": M,
+            "k": K,
+            "batch_size": BATCH,
+            "latency_seconds": LATENCY,
+            "serial_seconds": round(serial_seconds, 4),
+            "sweep": sweep,
+        },
+        "serial_overhead": {
+            "n": OVERHEAD_N,
+            "m": 3,
+            "k": K,
+            "repeats": OVERHEAD_REPEATS,
+            "baseline_seconds": round(baseline, 4),
+            "max_workers_1_seconds": round(with_executor, 4),
+            "overhead": round(overhead, 4),
+        },
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+
+    headers = ("max_workers", "seconds", "speedup", "cost")
+    rows = [
+        (e["max_workers"], e["seconds"], e["speedup"], e["uniform_cost"])
+        for e in sweep
+    ]
+    print()
+    print(format_table(headers, rows))
+    print(
+        f"serial {serial_seconds:.3f}s; max_workers=1 overhead "
+        f"{overhead:+.1%} (wrote {OUTPUT.name})"
+    )
+
+    # The timed body: one parallel TA round-trip at 4 workers.
+    with ParallelAccessExecutor(4) as executor:
+        benchmark(
+            lambda: threshold_top_k(
+                slow_sources(table),
+                tnorms.MIN,
+                K,
+                batch_size=BATCH,
+                executor=executor,
+            )
+        )

@@ -55,6 +55,7 @@ from repro.core import (
     top_k,
 )
 from repro.errors import ReproError
+from repro.parallel import ParallelAccessExecutor
 from repro.observability import (
     MetricsRegistry,
     QueryTracer,
@@ -99,6 +100,7 @@ __all__ = [
     "plan_top_k",
     "execute",
     "top_k",
+    "ParallelAccessExecutor",
     "QueryTracer",
     "MetricsRegistry",
     "TracingSource",

@@ -72,6 +72,13 @@ def _finish_observability(tracer, args: argparse.Namespace) -> None:
         print(f"trace written: {trace_out} ({len(tracer.events)} events)")
 
 
+def _apply_parallelism(engine: MiddlewareEngine, args: argparse.Namespace) -> None:
+    """Wire --max-workers into the engine, if given."""
+    max_workers = getattr(args, "max_workers", None)
+    if max_workers is not None:
+        engine.configure_parallelism(max_workers)
+
+
 def _apply_resilience(engine: MiddlewareEngine, args: argparse.Namespace) -> None:
     """Wire --fault-profile / --retry-policy into the engine, if given."""
     fault_spec = getattr(args, "fault_profile", None)
@@ -137,6 +144,7 @@ def cmd_demo(args: argparse.Namespace) -> int:
     """The guided tour: the Beatles query with plan and costs."""
     engine = _build_database("cds", 2000)
     _apply_resilience(engine, args)
+    _apply_parallelism(engine, args)
     tracer = _apply_observability(engine, args)
     query = Atomic("Artist", "Beatles") & Atomic("AlbumColor", "red")
     print(f"query: {query}")
@@ -153,6 +161,7 @@ def cmd_sql(args: argparse.Namespace) -> int:
     """One-shot statement or interactive shell over a demo database."""
     engine = _build_database(args.database, args.size)
     _apply_resilience(engine, args)
+    _apply_parallelism(engine, args)
     tracer = _apply_observability(engine, args)
     if args.query:
         code = _run_statement(engine, " ".join(args.query), args.k)
@@ -242,6 +251,12 @@ def build_parser() -> argparse.ArgumentParser:
             "--trace-out", metavar="FILE", default=None,
             help="write the query's access timeline as deterministic "
             "JSON to FILE (validated against the trace schema)",
+        )
+        command.add_argument(
+            "--max-workers", metavar="N", type=int, default=None,
+            help="fan each algorithm round's subsystem accesses across "
+            "N threads (1 = serial; answers, costs, and traces are "
+            "identical either way)",
         )
 
     demo = sub.add_parser("demo", help="guided tour of the Beatles query")

@@ -34,6 +34,7 @@ from repro.core.graded import GradedSet, ObjectId
 from repro.core.result import TopKResult
 from repro.core.sources import DEFAULT_BATCH_SIZE, GradedSource, check_same_objects
 from repro.errors import PlanError
+from repro.parallel import fan_out, raise_first_error
 from repro.scoring.base import as_scoring_function
 
 
@@ -44,6 +45,7 @@ def boolean_first_top_k(
     *,
     boolean_index: int = 0,
     tracer=None,
+    executor=None,
 ) -> TopKResult:
     """Top k answers by filtering on a Boolean conjunct first.
 
@@ -102,7 +104,13 @@ def boolean_first_top_k(
     # single probes would charge).
     overall = GradedSet()
     with nullcontext() if tracer is None else tracer.phase("random-fill"):
-        fetched = [source.random_access_many(satisfied) for source in others]
+        outcomes = fan_out(
+            executor,
+            [(lambda s=source: s.random_access_many(satisfied)) for source in others],
+            stop_on_error=True,
+        )
+        raise_first_error(outcomes)
+        fetched = [outcome.value for outcome in outcomes]
         if tracer is not None:
             for source, grades_by_id in zip(others, fetched):
                 for object_id in satisfied:

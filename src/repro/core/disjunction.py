@@ -29,15 +29,30 @@ from repro.core.cost import CostMeter
 from repro.core.graded import GradedSet, ObjectId
 from repro.core.result import TopKResult
 from repro.core.sources import GradedSource, check_same_objects
+from repro.parallel import fan_out, raise_first_error
+
+
+def _prefix(source: GradedSource, depth: int):
+    """The list's ``depth``-item prefix as ``(item, position)`` pairs."""
+    cursor = source.cursor()
+    taken = []
+    for _ in range(depth):
+        item = cursor.next()
+        if item is None:
+            break
+        taken.append((item, cursor.position))
+    return taken
 
 
 def disjunction_top_k(
-    sources: Sequence[GradedSource], k: int, *, tracer=None
+    sources: Sequence[GradedSource], k: int, *, tracer=None, executor=None
 ) -> TopKResult:
     """Top k answers of ``A_1 OR ... OR A_m`` under the max scoring rule.
 
     Costs exactly ``min(k, N) * m`` sorted accesses and zero random
-    accesses.  The reported grades are exact overall grades.
+    accesses.  The reported grades are exact overall grades.  The m
+    prefix scans are independent, so an ``executor`` overlaps them
+    whole; the candidate pool is merged in source order either way.
     """
     if k <= 0:
         raise ValueError(f"k must be positive, got {k}")
@@ -47,18 +62,18 @@ def disjunction_top_k(
 
     best_seen: Dict[ObjectId, float] = {}
     with nullcontext() if tracer is None else tracer.phase("mk-scan"):
-        for source in sources:
-            cursor = source.cursor()
-            for _ in range(depth):
-                item = cursor.next()
-                if item is None:
-                    break
+        outcomes = fan_out(
+            executor, [(lambda s=source: _prefix(s, depth)) for source in sources]
+        )
+        raise_first_error(outcomes)
+        for source, outcome in zip(sources, outcomes):
+            for item, position in outcome.value:
                 if tracer is not None:
                     tracer.record_sorted(
                         source.name,
                         item.object_id,
                         item.grade,
-                        position=cursor.position,
+                        position=position,
                     )
                 current = best_seen.get(item.object_id)
                 if current is None or item.grade > current:

@@ -49,6 +49,7 @@ from repro.core.sources import (
 )
 from repro.core.threshold import DEGRADABLE_ACCESS_ERRORS, _NraState, _nra_run
 from repro.errors import MonotonicityError, ScoringError
+from repro.parallel import fan_out
 from repro.scoring.base import ScoringFunction, as_scoring_function
 
 
@@ -87,11 +88,17 @@ class FaginAlgorithm:
         batch_size: int = DEFAULT_BATCH_SIZE,
         degrade: bool = True,
         tracer=None,
+        executor=None,
     ) -> None:
         #: optional QueryTracer; phases and accesses are emitted at
         #: logical access time (see the paper's phase structure), not at
         #: the deferred bulk consumes.  None stays entirely off the path.
         self.tracer = tracer
+        #: optional ParallelAccessExecutor; phase 1's per-list consumes
+        #: and phase 2's per-list bulk probes fan out across its workers
+        #: and merge in list order, so results and accounting match the
+        #: serial path exactly.  None keeps the classic serial path.
+        self.executor = executor
         self.sources: List[GradedSource] = list(sources)
         self.database_size = check_same_objects(self.sources)
         self.scoring: ScoringFunction = as_scoring_function(scoring)
@@ -194,10 +201,24 @@ class FaginAlgorithm:
                         grades[i] = item.grade
                         self._bottoms[i] = item.grade
                     consumed += 1
-                for i, cursor in enumerate(self._cursors):
-                    take = min(consumed, len(windows[i]))
-                    if take:
-                        cursor.next_batch(take)
+                takers = [
+                    i
+                    for i in range(self.m)
+                    if min(consumed, len(windows[i])) > 0
+                ]
+                outcomes = fan_out(
+                    self.executor,
+                    [
+                        (
+                            lambda c=self._cursors[i],
+                            t=min(consumed, len(windows[i])): c.next_batch(t)
+                        )
+                        for i in takers
+                    ],
+                )
+                for outcome in outcomes:
+                    if outcome.error is not None:
+                        raise outcome.error
                 if tracer is not None:
                     tracer.sample("a0.matched", float(self._matched))
                     tracer.sample("a0.seen", float(len(known)))
@@ -211,19 +232,31 @@ class FaginAlgorithm:
         """
         tracer = self.tracer
         with nullcontext() if tracer is None else tracer.phase("random-phase"):
+            targets = []
             for i, source in enumerate(self.sources):
                 missing = [
                     object_id
                     for object_id, grades in self._known.items()
                     if i not in grades
                 ]
-                if not missing:
-                    continue
-                try:
-                    fetched = source.random_access_many(missing)
-                except DEGRADABLE_ACCESS_ERRORS as error:
-                    error.source_name = source.name
-                    raise
+                if missing:
+                    targets.append((i, source, missing))
+            outcomes = fan_out(
+                self.executor,
+                [
+                    (lambda s=source, ids=missing: s.random_access_many(ids))
+                    for _, source, missing in targets
+                ],
+                stop_on_error=True,
+            )
+            for (i, source, missing), outcome in zip(targets, outcomes):
+                if not outcome.ran:
+                    break
+                if outcome.error is not None:
+                    if isinstance(outcome.error, DEGRADABLE_ACCESS_ERRORS):
+                        outcome.error.source_name = source.name
+                    raise outcome.error
+                fetched = outcome.value
                 if tracer is not None:
                     for object_id in missing:
                         tracer.record_random(
@@ -301,15 +334,31 @@ class FaginAlgorithm:
                 if bound <= threshold():
                     break
                 grades = self._known[object_id]
-                for i, source in enumerate(self.sources):
-                    if i not in grades:
-                        try:
-                            grades[i] = source.random_access(object_id)
-                        except DEGRADABLE_ACCESS_ERRORS as error:
-                            error.source_name = source.name
-                            raise
-                        if tracer is not None:
-                            tracer.record_random(source.name, object_id, grades[i])
+                missing = [i for i in range(self.m) if i not in grades]
+                probe_outcomes = fan_out(
+                    self.executor,
+                    [
+                        (
+                            lambda s=self.sources[i], o=object_id: (
+                                s.random_access(o)
+                            )
+                        )
+                        for i in missing
+                    ],
+                    stop_on_error=True,
+                )
+                for i, outcome in zip(missing, probe_outcomes):
+                    if not outcome.ran:
+                        break
+                    if outcome.error is not None:
+                        if isinstance(outcome.error, DEGRADABLE_ACCESS_ERRORS):
+                            outcome.error.source_name = self.sources[i].name
+                        raise outcome.error
+                    grades[i] = outcome.value
+                    if tracer is not None:
+                        tracer.record_random(
+                            self.sources[i].name, object_id, grades[i]
+                        )
                 vector = [grades[i] for i in range(self.m)]
                 exact = self.scoring(vector)
                 self._complete[object_id] = exact
@@ -362,6 +411,7 @@ class FaginAlgorithm:
             },
             tracer=self.tracer,
             phase_name="nra-fallback",
+            executor=self.executor,
         )
         for object_id, state in states.items():
             if object_id not in self._known:
@@ -457,6 +507,7 @@ def fagin_top_k(
     batch_size: int = DEFAULT_BATCH_SIZE,
     degrade: bool = True,
     tracer=None,
+    executor=None,
 ) -> TopKResult:
     """One-shot convenience wrapper: the top k answers via algorithm A0."""
     algorithm = FaginAlgorithm(
@@ -467,5 +518,6 @@ def fagin_top_k(
         batch_size=batch_size,
         degrade=degrade,
         tracer=tracer,
+        executor=executor,
     )
     return algorithm.next_k(k)

@@ -21,6 +21,7 @@ from repro.core.cost import CostMeter
 from repro.core.graded import GradedSet, ObjectId
 from repro.core.result import TopKResult
 from repro.core.sources import GradedSource, check_same_objects
+from repro.parallel import fan_out, raise_first_error
 from repro.scoring.base import as_scoring_function
 
 #: Chunk size for draining whole lists under bulk sorted access.  The
@@ -29,8 +30,20 @@ from repro.scoring.base import as_scoring_function
 _DRAIN_CHUNK = 4096
 
 
+def _drain(source: GradedSource):
+    """Stream one list to exhaustion; returns ``(position, batch)`` runs."""
+    cursor = source.cursor()
+    runs = []
+    while True:
+        position = cursor.position
+        batch = cursor.next_batch(_DRAIN_CHUNK)
+        if not batch:
+            return runs
+        runs.append((position, batch))
+
+
 def naive_top_k(
-    sources: Sequence[GradedSource], scoring, k: int, *, tracer=None
+    sources: Sequence[GradedSource], scoring, k: int, *, tracer=None, executor=None
 ) -> TopKResult:
     """Top k answers by exhaustively scanning every list (cost m * N).
 
@@ -38,7 +51,10 @@ def naive_top_k(
     :class:`~repro.observability.tracer.QueryTracer`; when given, every
     sorted delivery is recorded under a ``naive-scan`` phase (and the
     access-free grading under ``naive-compute``).  ``None`` adds nothing
-    to the hot path.
+    to the hot path.  ``executor`` is an optional
+    :class:`~repro.parallel.ParallelAccessExecutor`; the m full-list
+    drains are independent, so they fan out whole — the merge into the
+    grade table happens in source order either way.
     """
     if k <= 0:
         raise ValueError(f"k must be positive, got {k}")
@@ -49,13 +65,12 @@ def naive_top_k(
     grades: Dict[ObjectId, List[float]] = {}
     m = len(sources)
     with nullcontext() if tracer is None else tracer.phase("naive-scan"):
-        for i, source in enumerate(sources):
-            cursor = source.cursor()
-            while True:
-                position = cursor.position
-                batch = cursor.next_batch(_DRAIN_CHUNK)
-                if not batch:
-                    break
+        outcomes = fan_out(
+            executor, [(lambda s=source: _drain(s)) for source in sources]
+        )
+        raise_first_error(outcomes)
+        for i, (source, outcome) in enumerate(zip(sources, outcomes)):
+            for position, batch in outcome.value:
                 if tracer is not None:
                     tracer.record_sorted_batch(source.name, batch, position)
                 for item in batch:

@@ -207,24 +207,36 @@ def plan_top_k(
 
 
 def execute(
-    plan: Plan, sources: Sequence[GradedSource], *, tracer=None
+    plan: Plan, sources: Sequence[GradedSource], *, tracer=None, executor=None
 ) -> TopKResult:
     """Run a plan produced by :func:`plan_top_k` over the same sources.
 
     ``tracer`` (an optional
     :class:`~repro.observability.tracer.QueryTracer`) is forwarded to the
     chosen algorithm, which emits its phase spans and per-access events.
+    ``executor`` (an optional
+    :class:`~repro.parallel.ParallelAccessExecutor`) overlaps each
+    round's independent subsystem accesses; results are byte-identical
+    to serial execution.
     """
     if plan.strategy is Strategy.NAIVE:
-        return naive_top_k(sources, plan.scoring, plan.k, tracer=tracer)
+        return naive_top_k(
+            sources, plan.scoring, plan.k, tracer=tracer, executor=executor
+        )
     if plan.strategy is Strategy.DISJUNCTION:
-        return disjunction_top_k(sources, plan.k, tracer=tracer)
+        return disjunction_top_k(sources, plan.k, tracer=tracer, executor=executor)
     if plan.strategy is Strategy.FAGIN:
-        return fagin_top_k(sources, plan.scoring, plan.k, tracer=tracer)
+        return fagin_top_k(
+            sources, plan.scoring, plan.k, tracer=tracer, executor=executor
+        )
     if plan.strategy is Strategy.THRESHOLD:
-        return threshold_top_k(sources, plan.scoring, plan.k, tracer=tracer)
+        return threshold_top_k(
+            sources, plan.scoring, plan.k, tracer=tracer, executor=executor
+        )
     if plan.strategy is Strategy.NRA:
-        return nra_top_k(sources, plan.scoring, plan.k, tracer=tracer)
+        return nra_top_k(
+            sources, plan.scoring, plan.k, tracer=tracer, executor=executor
+        )
     if plan.strategy is Strategy.BOOLEAN_FIRST:
         if plan.boolean_index is None:
             raise PlanError("Boolean-first plan lacks a boolean_index")
@@ -234,6 +246,7 @@ def execute(
             plan.k,
             boolean_index=plan.boolean_index,
             tracer=tracer,
+            executor=executor,
         )
     raise PlanError(f"unknown strategy {plan.strategy!r}")
 
@@ -245,6 +258,7 @@ def top_k(
     *,
     prefer: Optional[Strategy] = None,
     tracer=None,
+    executor=None,
 ) -> TopKResult:
     """Plan and execute in one call — the library's main entry point."""
     plan = plan_top_k(sources, scoring, k, prefer=prefer)
@@ -256,4 +270,4 @@ def top_k(
             estimated_cost=plan.estimated_cost,
             k=plan.k,
         )
-    return execute(plan, sources, tracer=tracer)
+    return execute(plan, sources, tracer=tracer, executor=executor)

@@ -53,6 +53,7 @@ from repro.core.cost import CostMeter
 from repro.core.graded import GradedSet, ObjectId
 from repro.core.result import DegradedResult, TopKResult
 from repro.core.sources import DEFAULT_BATCH_SIZE, GradedSource, check_same_objects
+from repro.parallel import fan_out, raise_first_error
 from repro.errors import (
     CircuitOpenError,
     DeadlineExceededError,
@@ -118,6 +119,7 @@ def _nra_run(
     failed_sorted: Optional[Dict[int, str]] = None,
     tracer=None,
     phase_name: str = "nra",
+    executor=None,
 ) -> TopKResult:
     """The NRA main loop, resumable from arbitrary accumulated state.
 
@@ -203,23 +205,34 @@ def _nra_run(
             window = min(max(next_check - rounds, 1), batch_size)
             progressed = False
             drained = 0
-            for i, cursor in enumerate(cursors):
-                if exhausted[i]:
-                    continue
-                try:
-                    batch = cursor.next_batch(window)
-                except DEGRADABLE_ACCESS_ERRORS as error:
+            # One round of sorted access across the surviving lists is m
+            # independent pulls: fan them out, then merge in list-index
+            # order so the accumulated state is identical to serial.
+            active = [i for i in range(m) if not exhausted[i]]
+            outcomes = fan_out(
+                executor,
+                [
+                    (lambda c=cursors[i], w=window: c.next_batch(w))
+                    for i in active
+                ],
+            )
+            for i, outcome in zip(active, outcomes):
+                if outcome.error is not None:
+                    if not isinstance(outcome.error, DEGRADABLE_ACCESS_ERRORS):
+                        raise outcome.error
                     # Dead stream: freeze its bottom (a sound upper bound
                     # for everything it never delivered) and carry on.
                     exhausted[i] = True
-                    sorted_failures[i] = str(error)
+                    sorted_failures[i] = str(outcome.error)
                     if tracer is not None:
                         tracer.event(
                             "sorted-stream-failed",
                             source=sources[i].name,
-                            reason=str(error),
+                            reason=str(outcome.error),
                         )
                     continue
+                batch = outcome.value
+                cursor = cursors[i]
                 if not batch:
                     exhausted[i] = True
                     bottoms[i] = 0.0
@@ -290,6 +303,7 @@ def threshold_top_k(
     batch_size: int = DEFAULT_BATCH_SIZE,
     degrade: bool = True,
     tracer=None,
+    executor=None,
 ) -> TopKResult:
     """Top k answers via the threshold algorithm (TA).
 
@@ -317,6 +331,14 @@ def threshold_top_k(
     the underlying cursor consumes them in bulk afterwards), each random
     probe when its grade arrives — and the threshold trajectory is
     sampled as ``ta.tau`` / ``ta.kth_grade`` once per round.
+
+    ``executor`` is an optional
+    :class:`~repro.parallel.ParallelAccessExecutor`: each round's bulk
+    random probes (one request per list) and each super-round's sorted
+    consumes fan out across its workers, with results merged in list
+    order in the coordinating thread, so answers, cost, and traces are
+    identical to serial execution.  ``None`` keeps the classic serial
+    path.
     """
     if k <= 0:
         raise ValueError(f"k must be positive, got {k}")
@@ -366,18 +388,30 @@ def threshold_top_k(
             )
         failed_sorted: Dict[int, str] = dict(dead or {})
         pre_exhausted = [i in failed_sorted for i in range(m)]
-        for i, cursor in enumerate(cursors):
-            if pre_exhausted[i]:
+        takers = [
+            i
+            for i in range(m)
+            if not pre_exhausted[i] and min(consumed_rows, len(windows[i])) > 0
+        ]
+        consume_outcomes = fan_out(
+            executor,
+            [
+                (
+                    lambda c=cursors[i], t=min(consumed_rows, len(windows[i])): (
+                        c.next_batch(t)
+                    )
+                )
+                for i in takers
+            ],
+        )
+        for i, outcome in zip(takers, consume_outcomes):
+            if outcome.error is not None:
+                if not isinstance(outcome.error, DEGRADABLE_ACCESS_ERRORS):
+                    raise outcome.error
+                failed_sorted[i] = str(outcome.error)
+                pre_exhausted[i] = True
                 continue
-            take = min(consumed_rows, len(windows[i]))
-            if take:
-                try:
-                    cursor.next_batch(take)
-                except DEGRADABLE_ACCESS_ERRORS as err:
-                    failed_sorted[i] = str(err)
-                    pre_exhausted[i] = True
-                    continue
-                depth = max(depth, cursor.position)
+            depth = max(depth, cursors[i].position)
         return _nra_run(
             sources,
             rule,
@@ -394,6 +428,7 @@ def threshold_top_k(
             failed_sorted=failed_sorted,
             tracer=tracer,
             phase_name="nra-fallback",
+            executor=executor,
         )
 
     with nullcontext() if tracer is None else tracer.phase("ta"):
@@ -432,17 +467,36 @@ def threshold_top_k(
                     for object_id, first in fresh:
                         for j in others[first]:
                             needed[j].append(object_id)
-                    for j, ids in enumerate(needed):
-                        if not ids:
-                            continue
-                        try:
-                            fetched = sources[j].random_access_many(ids)
-                        except DEGRADABLE_ACCESS_ERRORS as error:
+                    # The round's random probes are one bulk request per
+                    # list: fan them out, merge grades (and emit trace
+                    # events) in list order.  The first failure, taken
+                    # in list order, is handled exactly as serial TA
+                    # handles it; probes beyond it are discarded.
+                    targets = [(j, ids) for j, ids in enumerate(needed) if ids]
+                    probe_outcomes = fan_out(
+                        executor,
+                        [
+                            (lambda s=sources[j], i=ids: s.random_access_many(i))
+                            for j, ids in targets
+                        ],
+                        stop_on_error=True,
+                    )
+                    for (j, ids), outcome in zip(targets, probe_outcomes):
+                        if not outcome.ran:
+                            break
+                        if outcome.error is not None:
+                            if not isinstance(
+                                outcome.error, DEGRADABLE_ACCESS_ERRORS
+                            ):
+                                raise outcome.error
                             if not degrade:
-                                raise
+                                raise outcome.error
                             return fall_back(
-                                consumed, windows, {sources[j].name: str(error)}
+                                consumed,
+                                windows,
+                                {sources[j].name: str(outcome.error)},
                             )
+                        fetched = outcome.value
                         if tracer is not None:
                             for object_id in ids:
                                 tracer.record_random(
@@ -468,17 +522,29 @@ def threshold_top_k(
                         tracer.event("stop", tau=rule(bottoms), kth=best_k[0])
                     break
             died: Dict[int, str] = {}
-            for i, cursor in enumerate(cursors):
-                take = min(consumed, len(windows[i]))
-                if take:
-                    try:
-                        cursor.next_batch(take)
-                    except DEGRADABLE_ACCESS_ERRORS as error:
-                        if not degrade:
-                            raise
-                        died[i] = str(error)
-                        continue
-                    depth = max(depth, cursor.position)
+            takers = [
+                i for i in range(m) if min(consumed, len(windows[i])) > 0
+            ]
+            consume_outcomes = fan_out(
+                executor,
+                [
+                    (
+                        lambda c=cursors[i], t=min(consumed, len(windows[i])): (
+                            c.next_batch(t)
+                        )
+                    )
+                    for i in takers
+                ],
+            )
+            for i, outcome in zip(takers, consume_outcomes):
+                if outcome.error is not None:
+                    if not isinstance(outcome.error, DEGRADABLE_ACCESS_ERRORS):
+                        raise outcome.error
+                    if not degrade:
+                        raise outcome.error
+                    died[i] = str(outcome.error)
+                    continue
+                depth = max(depth, cursors[i].position)
             if died and not stop:
                 # A sorted stream died mid-round; its cursor is stuck, so the
                 # next peek would replay the same rows forever.  Hand the
@@ -503,6 +569,7 @@ def nra_top_k(
     tol: float = 1e-12,
     batch_size: int = 4096,
     tracer=None,
+    executor=None,
 ) -> TopKResult:
     """Top k answers using sorted access only (NRA).
 
@@ -531,6 +598,7 @@ def nra_top_k(
         tol=tol,
         batch_size=batch_size,
         tracer=tracer,
+        executor=executor,
     )
 
 
@@ -542,6 +610,7 @@ def combined_top_k(
     ratio: float = 8.0,
     require_monotone: bool = True,
     tracer=None,
+    executor=None,
 ) -> TopKResult:
     """Top k answers via the combined algorithm (CA).
 
@@ -598,11 +667,23 @@ def combined_top_k(
         if best_id is None:
             return
         grades = states[best_id].known
-        for j, source in enumerate(sources):
-            if j not in grades:
-                grades[j] = source.random_access(best_id)
-                if tracer is not None:
-                    tracer.record_random(source.name, best_id, grades[j])
+        missing = [j for j in range(m) if j not in grades]
+        probe_outcomes = fan_out(
+            executor,
+            [
+                (lambda s=sources[j], o=best_id: s.random_access(o))
+                for j in missing
+            ],
+            stop_on_error=True,
+        )
+        for j, outcome in zip(missing, probe_outcomes):
+            if not outcome.ran:
+                break
+            if outcome.error is not None:
+                raise outcome.error
+            grades[j] = outcome.value
+            if tracer is not None:
+                tracer.record_random(sources[j].name, best_id, grades[j])
         record_complete(best_id, rule([grades[j] for j in range(m)]))
 
     def should_stop() -> bool:
@@ -621,10 +702,19 @@ def combined_top_k(
     with nullcontext() if tracer is None else tracer.phase("ca"):
         while True:
             progressed = False
-            for i, cursor in enumerate(cursors):
-                if exhausted[i]:
-                    continue
-                item = cursor.next()
+            active = [i for i in range(m) if not exhausted[i]]
+            round_outcomes = fan_out(
+                executor,
+                [(lambda c=cursors[i]: c.next()) for i in active],
+                stop_on_error=True,
+            )
+            for i, outcome in zip(active, round_outcomes):
+                if not outcome.ran:
+                    break
+                if outcome.error is not None:
+                    raise outcome.error
+                item = outcome.value
+                cursor = cursors[i]
                 if item is None:
                     exhausted[i] = True
                     bottoms[i] = 0.0

@@ -60,6 +60,7 @@ from repro.middleware.resilience import (
     VirtualClock,
     resilience_report,
 )
+from repro.parallel import ParallelAccessExecutor
 from repro.scoring.base import FunctionScoring
 from repro.scoring.zadeh import ZADEH, FuzzySemantics
 
@@ -100,6 +101,9 @@ class MiddlewareEngine:
         #: session-level QueryTracer set by configure_observability; when
         #: None (the default) nothing observability-related runs.
         self._tracer = None
+        #: session-level ParallelAccessExecutor set by
+        #: configure_parallelism; None means the classic serial path.
+        self._executor: Optional[ParallelAccessExecutor] = None
 
     # ------------------------------------------------------------------
     # Observability
@@ -128,6 +132,43 @@ class MiddlewareEngine:
     def tracer(self):
         """The session-level tracer, or None when observability is off."""
         return self._tracer
+
+    # ------------------------------------------------------------------
+    # Parallelism
+    # ------------------------------------------------------------------
+    def configure_parallelism(
+        self, max_workers: Optional[int] = None
+    ) -> Optional[ParallelAccessExecutor]:
+        """Install (or clear) the session-level access executor.
+
+        ``max_workers > 1`` makes every subsequent query fan its rounds'
+        independent subsystem accesses across that many threads (answers,
+        costs, and traces stay byte-identical to serial — see
+        :mod:`repro.parallel`).  ``max_workers=1`` installs the explicit
+        serial executor; ``None`` (or no argument) clears parallelism and
+        releases the worker threads.  Returns the installed executor.
+        """
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+        if max_workers is not None:
+            self._executor = ParallelAccessExecutor(max_workers)
+        return self._executor
+
+    @property
+    def executor(self) -> Optional[ParallelAccessExecutor]:
+        """The session-level access executor, or None for serial."""
+        return self._executor
+
+    def _executor_for(self, max_workers: Optional[int]):
+        """Resolve one query's executor: per-query override or session.
+
+        Returns ``(executor, transient)``; a transient executor was built
+        for this query alone and must be shut down when the query ends.
+        """
+        if max_workers is None:
+            return self._executor, False
+        return ParallelAccessExecutor(max_workers), True
 
     # ------------------------------------------------------------------
     # Registration
@@ -260,33 +301,41 @@ class MiddlewareEngine:
         *,
         prefer: Optional[Strategy] = None,
         tracer=None,
+        max_workers: Optional[int] = None,
     ) -> TopKResult:
         """The top k answers to a query, with their grades and cost.
 
         ``tracer`` overrides the session tracer installed by
         :meth:`configure_observability` for this one query; with neither,
         the query runs with zero instrumentation overhead.
+        ``max_workers`` likewise overrides the session parallelism
+        (:meth:`configure_parallelism`) for this one query.
         """
         tracer = tracer if tracer is not None else self._tracer
+        executor, transient = self._executor_for(max_workers)
         sources = self.bind_all(query)
         compiled = self._compile(query)
-        if tracer is None:
-            plan = plan_top_k(sources, compiled, k, prefer=prefer)
-            result = execute(plan, sources)
-        else:
-            from repro.observability.tracer import attach_resilience_observers
-
-            attach_resilience_observers(sources, tracer)
-            with tracer.phase("query", query=str(query), k=k):
+        try:
+            if tracer is None:
                 plan = plan_top_k(sources, compiled, k, prefer=prefer)
-                tracer.event(
-                    "plan",
-                    strategy=plan.strategy.value,
-                    reason=plan.reason,
-                    estimated_cost=plan.estimated_cost,
-                    k=plan.k,
-                )
-                result = execute(plan, sources, tracer=tracer)
+                result = execute(plan, sources, executor=executor)
+            else:
+                from repro.observability.tracer import attach_resilience_observers
+
+                attach_resilience_observers(sources, tracer)
+                with tracer.phase("query", query=str(query), k=k):
+                    plan = plan_top_k(sources, compiled, k, prefer=prefer)
+                    tracer.event(
+                        "plan",
+                        strategy=plan.strategy.value,
+                        reason=plan.reason,
+                        estimated_cost=plan.estimated_cost,
+                        k=plan.k,
+                    )
+                    result = execute(plan, sources, tracer=tracer, executor=executor)
+        finally:
+            if transient and executor is not None:
+                executor.shutdown()
         report = resilience_report(sources)
         if report:
             result.extras["resilience"] = report
@@ -327,7 +376,10 @@ class MiddlewareEngine:
         sources = self.bind_all(query)
         compiled = self._compile(query)
         return QueryHandle(
-            FaginAlgorithm(sources, compiled, tracer=tracer), sources
+            FaginAlgorithm(
+                sources, compiled, tracer=tracer, executor=self._executor
+            ),
+            sources,
         )
 
     def lookup_row(self, object_id) -> Dict[str, object]:

@@ -30,6 +30,7 @@ fault-free cost.
 from __future__ import annotations
 
 import random
+import threading
 import zlib
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
@@ -148,6 +149,13 @@ class FaultInjectingSource(GradedSource):
     CRC, not Python's salted ``hash``), so two runs over the same data
     see the same faults — across processes, which is what lets the E20
     benchmark and the property tests reproduce failures exactly.
+
+    Each injector holds a per-source lock across every charged access
+    (dice roll, inner call, and served tallies together), so the fault
+    schedule consumes its RNG stream in access order even when a
+    parallel fan-out issues accesses to *different* sources from
+    different threads — per-source determinism is what the stress suite
+    relies on.
     """
 
     def __init__(
@@ -167,6 +175,8 @@ class FaultInjectingSource(GradedSource):
         self._rng = random.Random(
             profile.seed ^ zlib.crc32(inner.name.encode("utf-8"))
         )
+        #: held across each charged access: schedule + tallies together
+        self._lock = threading.Lock()
         self.injected = FaultStats()
         #: charged accesses served so far (sorted deliveries + probes)
         self.served = 0
@@ -220,35 +230,42 @@ class FaultInjectingSource(GradedSource):
         self._consecutive = 0
 
     # -- charged access hooks --------------------------------------------------
+    # Each holds the per-source lock for the whole access — a subsystem
+    # serves one request at a time, and the seeded schedule stays in
+    # access order under concurrent fan-outs from other sources.
     def _item_at(self, index: int) -> Optional[GradedItem]:
-        self._maybe_fail("sorted")
-        item = self._inner._item_at(index)
-        if item is not None:
-            self.served += 1
-        return item
+        with self._lock:
+            self._maybe_fail("sorted")
+            item = self._inner._item_at(index)
+            if item is not None:
+                self.served += 1
+            return item
 
     def _items_range(self, start: int, count: int) -> List[GradedItem]:
-        # Probe the true batch size (short at the end of the list) so a
-        # final short batch is not refused for items it would not ship.
-        prospective = len(self._inner._peek_range(start, count))
-        self._maybe_fail("sorted", max(prospective, 1))
-        items = self._inner._items_range(start, count)
-        self.served += len(items)
-        return items
+        with self._lock:
+            # Probe the true batch size (short at the end of the list) so a
+            # final short batch is not refused for items it would not ship.
+            prospective = len(self._inner._peek_range(start, count))
+            self._maybe_fail("sorted", max(prospective, 1))
+            items = self._inner._items_range(start, count)
+            self.served += len(items)
+            return items
 
     def _grade_of(self, object_id: ObjectId) -> float:
-        self._maybe_fail("random")
-        grade = self._inner._grade_of(object_id)
-        self.served += 1
-        self.random_served += 1
-        return grade
+        with self._lock:
+            self._maybe_fail("random")
+            grade = self._inner._grade_of(object_id)
+            self.served += 1
+            self.random_served += 1
+            return grade
 
     def _grades_of_many(self, object_ids: Sequence[ObjectId]) -> Dict[ObjectId, float]:
-        self._maybe_fail("random", max(len(list(object_ids)), 1))
-        grades = self._inner._grades_of_many(object_ids)
-        self.served += len(grades)
-        self.random_served += len(grades)
-        return grades
+        with self._lock:
+            self._maybe_fail("random", max(len(list(object_ids)), 1))
+            grades = self._inner._grades_of_many(object_ids)
+            self.served += len(grades)
+            self.random_served += len(grades)
+            return grades
 
     # -- fault-free paths ------------------------------------------------------
     def _peek_at(self, index: int) -> Optional[GradedItem]:

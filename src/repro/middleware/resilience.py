@@ -33,6 +33,7 @@ subsystems.
 from __future__ import annotations
 
 import random
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
@@ -57,13 +58,16 @@ class VirtualClock:
 
     def __init__(self, start: float = 0.0) -> None:
         self._now = float(start)
+        self._lock = threading.Lock()
 
     def now(self) -> float:
-        return self._now
+        with self._lock:
+            return self._now
 
     def sleep(self, seconds: float) -> None:
         if seconds > 0:
-            self._now += seconds
+            with self._lock:
+                self._now += seconds
 
 
 class MonotonicClock:
@@ -193,6 +197,10 @@ class CircuitBreaker:
     subsystem).  Once ``recovery_time`` has elapsed the breaker is
     half-open: one trial call is allowed, and its outcome either closes
     the circuit or re-opens it for another recovery window.
+
+    State transitions are serialized by an internal lock, so concurrent
+    failure reports from a parallel fan-out never lose a count or
+    double-trip the breaker.
     """
 
     CLOSED = "closed"
@@ -212,37 +220,47 @@ class CircuitBreaker:
         self.failure_threshold = failure_threshold
         self.recovery_time = recovery_time
         self.clock = clock if clock is not None else VirtualClock()
+        self._lock = threading.Lock()
         self._failures = 0
         self._opened_at: Optional[float] = None
         #: lifetime count of trips to the open state (observability)
         self.opens = 0
 
-    @property
-    def state(self) -> str:
+    def _state_locked(self) -> str:
         if self._opened_at is None:
             return self.CLOSED
         if self.clock.now() - self._opened_at >= self.recovery_time:
             return self.HALF_OPEN
         return self.OPEN
 
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state_locked()
+
     def allow(self) -> bool:
         """Whether a call may proceed (half-open admits the trial call)."""
         return self.state != self.OPEN
 
     def record_success(self) -> None:
-        self._failures = 0
-        self._opened_at = None
+        with self._lock:
+            self._failures = 0
+            self._opened_at = None
 
-    def record_failure(self) -> None:
-        if self._opened_at is not None:
-            # The half-open trial failed: re-open for a fresh window.
-            self._opened_at = self.clock.now()
-            self.opens += 1
-            return
-        self._failures += 1
-        if self._failures >= self.failure_threshold:
-            self._opened_at = self.clock.now()
-            self.opens += 1
+    def record_failure(self) -> bool:
+        """Record one failure; True when this report tripped the breaker."""
+        with self._lock:
+            if self._opened_at is not None:
+                # The half-open trial failed: re-open for a fresh window.
+                self._opened_at = self.clock.now()
+                self.opens += 1
+                return True
+            self._failures += 1
+            if self._failures >= self.failure_threshold:
+                self._opened_at = self.clock.now()
+                self.opens += 1
+                return True
+            return False
 
     def __repr__(self) -> str:
         return f"<CircuitBreaker {self.state} failures={self._failures}>"
@@ -286,6 +304,10 @@ class ResilientSource(GradedSource):
 
     Peeks bypass the machinery entirely — they are the algorithms' free,
     side-effect-free planning reads, and must stay free of breaker state.
+
+    The wrapper is thread-safe: stats tallies and backoff jitter draws
+    hold a per-source lock, and the breakers serialize their own state,
+    so concurrent accesses from a parallel fan-out never lose a count.
     """
 
     def __init__(
@@ -303,6 +325,8 @@ class ResilientSource(GradedSource):
         self.policy = policy if policy is not None else ResiliencePolicy()
         self.clock = clock if clock is not None else VirtualClock()
         self._rng = random.Random(self.policy.retry.seed)
+        #: serializes stats tallies and jitter draws across worker threads
+        self._lock = threading.RLock()
         self.sorted_breaker = CircuitBreaker(
             self.policy.failure_threshold, self.policy.recovery_time, self.clock
         )
@@ -324,10 +348,14 @@ class ResilientSource(GradedSource):
 
     def _record_failure(self, breaker: CircuitBreaker, describe: str) -> None:
         """Record a failure, announcing a breaker that newly tripped."""
-        before = breaker.opens
-        breaker.record_failure()
-        if breaker.opens > before:
+        if breaker.record_failure():
             self._notify("circuit_open", describe)
+
+    def _tally(self, kind: str, describe: str) -> None:
+        """Bump one stats field under the lock and notify the observer."""
+        with self._lock:
+            setattr(self.stats, kind, getattr(self.stats, kind) + 1)
+        self._notify(kind, describe)
 
     # -- retry core ------------------------------------------------------------
     def _call(self, breaker: CircuitBreaker, operation: Callable, describe: str):
@@ -336,8 +364,7 @@ class ResilientSource(GradedSource):
         attempt = 0
         while True:
             if not breaker.allow():
-                self.stats.rejections += 1
-                self._notify("rejections", describe)
+                self._tally("rejections", describe)
                 raise CircuitOpenError(
                     f"circuit open for {describe} on {self._inner.name!r} "
                     f"(recovers after {self.policy.recovery_time:g}s)"
@@ -346,8 +373,7 @@ class ResilientSource(GradedSource):
                 retry.deadline is not None
                 and self.clock.now() - started > retry.deadline
             ):
-                self.stats.deadline_exceeded += 1
-                self._notify("deadline_exceeded", describe)
+                self._tally("deadline_exceeded", describe)
                 self._record_failure(breaker, describe)
                 raise DeadlineExceededError(
                     f"{describe} on {self._inner.name!r} exceeded its "
@@ -357,16 +383,15 @@ class ResilientSource(GradedSource):
                 result = operation()
             except TransientAccessError:
                 self._record_failure(breaker, describe)
-                self.stats.failures += 1
-                self._notify("failures", describe)
+                self._tally("failures", describe)
                 attempt += 1
                 if attempt >= retry.max_attempts:
-                    self.stats.exhausted += 1
-                    self._notify("exhausted", describe)
+                    self._tally("exhausted", describe)
                     raise
-                self.stats.retries += 1
-                self._notify("retries", describe)
-                self.clock.sleep(retry.backoff(attempt - 1, self._rng))
+                self._tally("retries", describe)
+                with self._lock:
+                    delay = retry.backoff(attempt - 1, self._rng)
+                self.clock.sleep(delay)
             else:
                 breaker.record_success()
                 return result

@@ -11,10 +11,18 @@ histograms when the tracer has a clock.
 Everything renders to plain dicts with deterministically ordered keys
 (:meth:`MetricsRegistry.as_dict`), so metric snapshots can be asserted
 byte-for-byte in tests and serialized next to trace timelines.
+
+Instruments and the registry are thread-safe: every mutation holds a
+per-instrument lock and instrument creation holds a registry lock, so
+parallel access fan-outs (``repro.parallel``) never lose updates.
+Snapshots (:meth:`MetricsRegistry.as_dict`) are taken under the
+registry lock and each instrument's lock, so they are internally
+consistent per instrument.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, List, Optional, Tuple
 
 #: label sets are stored as sorted (key, value) tuples so the same
@@ -38,13 +46,15 @@ def _render(key: InstrumentKey) -> str:
 class Counter:
     """A monotonically increasing tally."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_lock")
 
     def __init__(self) -> None:
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, n: int = 1) -> None:
-        self.value += n
+        with self._lock:
+            self.value += n
 
     def set_to(self, value: int) -> None:
         """Resynchronize to an authoritative external tally.
@@ -55,52 +65,59 @@ class Counter:
         then on keep the counter exactly equal to the component's own
         count.
         """
-        self.value = int(value)
+        with self._lock:
+            self.value = int(value)
 
 
 class Gauge:
     """A value that goes up and down (buffer depth, circuit state)."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_lock")
 
     def __init__(self) -> None:
         self.value: float = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
-        self.value = float(value)
+        with self._lock:
+            self.value = float(value)
 
 
 class Histogram:
     """Streaming summary of observed values: count, sum, min, max."""
 
-    __slots__ = ("count", "total", "minimum", "maximum")
+    __slots__ = ("count", "total", "minimum", "maximum", "_lock")
 
     def __init__(self) -> None:
         self.count = 0
         self.total = 0.0
         self.minimum: Optional[float] = None
         self.maximum: Optional[float] = None
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
         value = float(value)
-        self.count += 1
-        self.total += value
-        if self.minimum is None or value < self.minimum:
-            self.minimum = value
-        if self.maximum is None or value > self.maximum:
-            self.maximum = value
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if self.minimum is None or value < self.minimum:
+                self.minimum = value
+            if self.maximum is None or value > self.maximum:
+                self.maximum = value
 
     @property
     def mean(self) -> float:
-        return self.total / self.count if self.count else 0.0
+        with self._lock:
+            return self.total / self.count if self.count else 0.0
 
     def as_dict(self) -> Dict[str, float]:
-        return {
-            "count": self.count,
-            "sum": self.total,
-            "min": self.minimum if self.minimum is not None else 0.0,
-            "max": self.maximum if self.maximum is not None else 0.0,
-        }
+        with self._lock:
+            return {
+                "count": self.count,
+                "sum": self.total,
+                "min": self.minimum if self.minimum is not None else 0.0,
+                "max": self.maximum if self.maximum is not None else 0.0,
+            }
 
 
 class Series:
@@ -111,13 +128,15 @@ class Series:
     an experiment plot the TA threshold τ against accesses performed.
     """
 
-    __slots__ = ("points",)
+    __slots__ = ("points", "_lock")
 
     def __init__(self) -> None:
         self.points: List[Tuple[int, float]] = []
+        self._lock = threading.Lock()
 
     def append(self, step: int, value: float) -> None:
-        self.points.append((int(step), float(value)))
+        with self._lock:
+            self.points.append((int(step), float(value)))
 
     @property
     def steps(self) -> List[int]:
@@ -132,53 +151,69 @@ class Series:
 
 
 class MetricsRegistry:
-    """Get-or-create home for all instruments of one observed run."""
+    """Get-or-create home for all instruments of one observed run.
+
+    Creation and snapshots hold a registry-wide lock, so concurrent
+    threads asking for the same (name, labels) always receive the same
+    instrument instance.
+    """
 
     def __init__(self) -> None:
+        self._lock = threading.Lock()
         self._counters: Dict[InstrumentKey, Counter] = {}
         self._gauges: Dict[InstrumentKey, Gauge] = {}
         self._histograms: Dict[InstrumentKey, Histogram] = {}
         self._series: Dict[InstrumentKey, Series] = {}
 
     def counter(self, name: str, **labels) -> Counter:
-        return self._counters.setdefault(_key(name, labels), Counter())
+        with self._lock:
+            return self._counters.setdefault(_key(name, labels), Counter())
 
     def gauge(self, name: str, **labels) -> Gauge:
-        return self._gauges.setdefault(_key(name, labels), Gauge())
+        with self._lock:
+            return self._gauges.setdefault(_key(name, labels), Gauge())
 
     def histogram(self, name: str, **labels) -> Histogram:
-        return self._histograms.setdefault(_key(name, labels), Histogram())
+        with self._lock:
+            return self._histograms.setdefault(_key(name, labels), Histogram())
 
     def series(self, name: str, **labels) -> Series:
-        return self._series.setdefault(_key(name, labels), Series())
+        with self._lock:
+            return self._series.setdefault(_key(name, labels), Series())
 
     # -- read side -------------------------------------------------------------
     def counters(self, name: str) -> Dict[str, int]:
         """All counters of one name, keyed by rendered labels."""
-        return {
-            _render(key): counter.value
-            for key, counter in sorted(self._counters.items())
-            if key[0] == name
-        }
+        with self._lock:
+            return {
+                _render(key): counter.value
+                for key, counter in sorted(self._counters.items())
+                if key[0] == name
+            }
 
     def counter_total(self, name: str) -> int:
         """Sum of one counter name across every label combination."""
-        return sum(c.value for key, c in self._counters.items() if key[0] == name)
+        with self._lock:
+            return sum(
+                c.value for key, c in self._counters.items() if key[0] == name
+            )
 
     def as_dict(self) -> Dict[str, Dict[str, object]]:
         """Deterministic snapshot of every instrument (sorted keys)."""
-        return {
-            "counters": {
-                _render(k): c.value for k, c in sorted(self._counters.items())
-            },
-            "gauges": {
-                _render(k): g.value for k, g in sorted(self._gauges.items())
-            },
-            "histograms": {
-                _render(k): h.as_dict() for k, h in sorted(self._histograms.items())
-            },
-            "series": {
-                _render(k): [[step, value] for step, value in s.points]
-                for k, s in sorted(self._series.items())
-            },
-        }
+        with self._lock:
+            return {
+                "counters": {
+                    _render(k): c.value for k, c in sorted(self._counters.items())
+                },
+                "gauges": {
+                    _render(k): g.value for k, g in sorted(self._gauges.items())
+                },
+                "histograms": {
+                    _render(k): h.as_dict()
+                    for k, h in sorted(self._histograms.items())
+                },
+                "series": {
+                    _render(k): [[step, value] for step, value in s.points]
+                    for k, s in sorted(self._series.items())
+                },
+            }

@@ -38,6 +38,7 @@ side-effect-free.
 from __future__ import annotations
 
 import json
+import threading
 from contextlib import contextmanager
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -75,6 +76,11 @@ class QueryTracer:
         self.clock = clock
         self._step = 0
         self._phases: List[str] = []
+        #: serializes step assignment, event appends, and the phase
+        #: stack, so source-level recorders (TracingSource) are safe to
+        #: drive from parallel fan-out workers.  Algorithms emit from
+        #: the coordinating thread in logical order regardless.
+        self._lock = threading.RLock()
 
     # -- core emission ---------------------------------------------------------
     @property
@@ -88,26 +94,29 @@ class QueryTracer:
         return self._phases[-1] if self._phases else None
 
     def _emit(self, event_type: str, **fields) -> Dict[str, object]:
-        event: Dict[str, object] = {"step": self._step, "type": event_type}
-        for name, value in fields.items():
-            if value is not None:
-                event[name] = value
-        self._step += 1
-        self.events.append(event)
-        return event
+        with self._lock:
+            event: Dict[str, object] = {"step": self._step, "type": event_type}
+            for name, value in fields.items():
+                if value is not None:
+                    event[name] = value
+            self._step += 1
+            self.events.append(event)
+            return event
 
     # -- spans -----------------------------------------------------------------
     @contextmanager
     def phase(self, name: str, **attrs):
         """A span; every event inside carries this phase name."""
         started = self.clock() if self.clock is not None else None
-        self._emit("phase_start", phase=name, attrs=attrs or None)
-        self._phases.append(name)
+        with self._lock:
+            self._emit("phase_start", phase=name, attrs=attrs or None)
+            self._phases.append(name)
         try:
             yield self
         finally:
-            self._phases.pop()
-            event = self._emit("phase_end", phase=name)
+            with self._lock:
+                self._phases.pop()
+                event = self._emit("phase_end", phase=name)
             if started is not None:
                 elapsed = self.clock() - started
                 event["seconds"] = elapsed

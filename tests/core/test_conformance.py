@@ -87,12 +87,19 @@ def oracle_top(table, rule, k):
     return grade_everything(sources, rule).top(min(k, len(table)))
 
 
+def _wrap(algorithm):
+    def run(s, rule, k, tracer, executor=None):
+        return algorithm(s, rule, k, tracer=tracer, executor=executor)
+
+    return run
+
+
 ALGORITHMS = (
-    ("naive", lambda s, rule, k, tracer: naive_top_k(s, rule, k, tracer=tracer)),
-    ("a0", lambda s, rule, k, tracer: fagin_top_k(s, rule, k, tracer=tracer)),
-    ("ta", lambda s, rule, k, tracer: threshold_top_k(s, rule, k, tracer=tracer)),
-    ("nra", lambda s, rule, k, tracer: nra_top_k(s, rule, k, tracer=tracer)),
-    ("ca", lambda s, rule, k, tracer: combined_top_k(s, rule, k, tracer=tracer)),
+    ("naive", _wrap(naive_top_k)),
+    ("a0", _wrap(fagin_top_k)),
+    ("ta", _wrap(threshold_top_k)),
+    ("nra", _wrap(nra_top_k)),
+    ("ca", _wrap(combined_top_k)),
 )
 
 
@@ -164,6 +171,44 @@ def test_traced_accesses_equal_cost_report(data, rule_index, k_selector):
             )
         traced_total = sum(s + r for s, r in counts.values())
         assert traced_total == result.cost.database_access_cost, name
+
+
+@settings(deadline=None, max_examples=25)
+@given(
+    data=graded_databases(min_m=2),
+    rule_index=st.integers(0, 4),
+    k_selector=st.integers(0, 2),
+    workers=st.sampled_from((1, 2, 8)),
+)
+def test_parallel_execution_changes_nothing_observable(
+    data, rule_index, k_selector, workers
+):
+    """Fan-out is invisible: same oracle agreement, same cost, same
+    trace, at every worker count (the full byte-level differential lives
+    in tests/parallel/test_parallel_conformance.py)."""
+    from repro.parallel import ParallelAccessExecutor
+
+    table, _ = data
+    rule = pick_rule(table, rule_index)
+    k = pick_k(table, k_selector)
+    expected = oracle_top(table, rule, k)
+    with ParallelAccessExecutor(workers) as executor:
+        for name, run in ALGORITHMS:
+            sources = sources_from_columns(table, backend="list")
+            serial_tracer = QueryTracer()
+            serial = run(sources, rule, k, serial_tracer)
+            sources = sources_from_columns(table, backend="list")
+            tracer = QueryTracer()
+            result = run(
+                sources,
+                rule,
+                k,
+                tracer,
+                executor=executor,
+            )
+            assert result.answers.same_grade_multiset(expected), name
+            assert result.cost == serial.cost, name
+            assert tracer.to_json() == serial_tracer.to_json(), name
 
 
 @settings(deadline=None, max_examples=30)

@@ -1,0 +1,144 @@
+"""Parallelism through the middleware engine and the CLI."""
+
+import random
+
+import pytest
+
+from repro.core.query import Atomic
+from repro.middleware.engine import MiddlewareEngine
+from repro.middleware.faults import FaultProfile
+from repro.middleware.idmap import IdMapping
+from repro.middleware.list_subsystem import ListSubsystem
+from repro.middleware.resilience import ResiliencePolicy
+from repro.parallel import ParallelAccessExecutor
+
+N = 80
+QUERY = Atomic("Shape", "round") & Atomic("Color", "red")
+
+
+def build_engine(**engine_kwargs):
+    rng = random.Random(5)
+    shapes = ListSubsystem("shapes")
+    shapes.add_list("Shape", "round", {f"g{i}": rng.random() for i in range(N)})
+    colors = ListSubsystem("qbic")
+    colors.add_list("Color", "red", {f"local{i}": rng.random() for i in range(N)})
+    mapping = IdMapping({f"g{i}": f"local{i}" for i in range(N)})
+    engine = MiddlewareEngine(**engine_kwargs)
+    engine.register(shapes)
+    engine.register(colors, id_mapping=mapping)
+    return engine
+
+
+def observable(result):
+    return (
+        [(item.object_id, item.grade) for item in result.answers],
+        result.cost,
+        result.algorithm,
+        result.sorted_depth,
+    )
+
+
+def test_configure_parallelism_returns_identical_results():
+    serial = build_engine().top_k(QUERY, 10)
+    engine = build_engine()
+    executor = engine.configure_parallelism(4)
+    assert isinstance(executor, ParallelAccessExecutor)
+    assert engine.executor is executor
+    parallel = engine.top_k(QUERY, 10)
+    assert observable(parallel) == observable(serial)
+    engine.configure_parallelism(None)
+    assert engine.executor is None
+
+
+def test_per_query_max_workers_override():
+    serial = build_engine().top_k(QUERY, 10)
+    engine = build_engine()
+    assert engine.executor is None
+    parallel = engine.top_k(QUERY, 10, max_workers=4)
+    assert observable(parallel) == observable(serial)
+    assert engine.executor is None  # the override was transient
+
+
+def test_reconfiguring_replaces_the_executor():
+    engine = build_engine()
+    first = engine.configure_parallelism(2)
+    second = engine.configure_parallelism(8)
+    assert second is not first
+    assert second.max_workers == 8
+    engine.configure_parallelism(None)
+
+
+def test_parallel_engine_with_chaos_stack_matches_clean_answers():
+    clean = build_engine().top_k(QUERY, 10)
+    engine = build_engine(
+        fault_profile=FaultProfile(transient_rate=0.3, seed=11),
+        resilience=ResiliencePolicy(),
+    )
+    engine.configure_parallelism(4)
+    try:
+        chaotic = engine.top_k(QUERY, 10)
+    finally:
+        engine.configure_parallelism(None)
+    assert [(i.object_id, i.grade) for i in chaotic.answers] == [
+        (i.object_id, i.grade) for i in clean.answers
+    ]
+    assert chaotic.degraded is None
+
+
+def test_open_query_handle_uses_the_session_executor():
+    serial_handle = build_engine().open_query(QUERY)
+    engine = build_engine()
+    engine.configure_parallelism(4)
+    try:
+        handle = engine.open_query(QUERY)
+        for _ in range(3):
+            expected = serial_handle.fetch(5)
+            got = handle.fetch(5)
+            assert observable(got) == observable(expected)
+    finally:
+        engine.configure_parallelism(None)
+
+
+def test_traced_parallel_query_produces_the_serial_timeline():
+    from repro.observability import QueryTracer
+
+    serial_tracer = QueryTracer()
+    serial = build_engine().top_k(QUERY, 10, tracer=serial_tracer)
+    engine = build_engine()
+    engine.configure_parallelism(8)
+    parallel_tracer = QueryTracer()
+    try:
+        parallel = engine.top_k(QUERY, 10, tracer=parallel_tracer)
+    finally:
+        engine.configure_parallelism(None)
+    assert observable(parallel) == observable(serial)
+    assert parallel_tracer.to_json() == serial_tracer.to_json()
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+def test_cli_parses_max_workers():
+    from repro.cli import build_parser
+
+    args = build_parser().parse_args(["demo", "--max-workers", "4"])
+    assert args.max_workers == 4
+    args = build_parser().parse_args(["demo"])
+    assert args.max_workers is None
+
+
+def test_cli_demo_output_is_identical_with_and_without_workers(capsys):
+    from repro.cli import main
+
+    assert main(["demo", "-k", "3"]) == 0
+    serial_output = capsys.readouterr().out
+    assert main(["demo", "-k", "3", "--max-workers", "4"]) == 0
+    parallel_output = capsys.readouterr().out
+    assert parallel_output == serial_output
+
+
+def test_cli_rejects_nonpositive_workers():
+    from repro.cli import main
+
+    with pytest.raises(ValueError):
+        main(["demo", "-k", "3", "--max-workers", "0"])

@@ -1,0 +1,171 @@
+"""Unit tests for the round scheduler itself (repro.parallel)."""
+
+import threading
+
+import pytest
+
+from repro.errors import AccessError
+from repro.parallel import (
+    Outcome,
+    ParallelAccessExecutor,
+    fan_out,
+    raise_first_error,
+)
+
+
+def test_max_workers_must_be_positive():
+    with pytest.raises(ValueError):
+        ParallelAccessExecutor(0)
+    with pytest.raises(ValueError):
+        ParallelAccessExecutor(-3)
+
+
+def test_serial_executor_is_not_parallel_and_builds_no_pool():
+    executor = ParallelAccessExecutor(1)
+    assert not executor.parallel
+    outcomes = executor.run([lambda: 1, lambda: 2, lambda: 3])
+    assert [o.value for o in outcomes] == [1, 2, 3]
+    assert executor._pool is None
+
+
+def test_outcomes_come_back_in_submission_order():
+    gate = threading.Event()
+
+    def slow():
+        gate.wait(timeout=5)
+        return "slow"
+
+    def fast():
+        gate.set()
+        return "fast"
+
+    with ParallelAccessExecutor(2) as executor:
+        outcomes = executor.run([slow, fast])
+    # The slow thunk finished last but is still reported first.
+    assert [o.value for o in outcomes] == ["slow", "fast"]
+
+
+def test_parallel_fan_out_actually_overlaps():
+    barrier = threading.Barrier(3, timeout=5)
+
+    def rendezvous():
+        barrier.wait()
+        return threading.current_thread().name
+
+    with ParallelAccessExecutor(3) as executor:
+        outcomes = executor.run([rendezvous] * 3)
+    names = {o.value for o in outcomes}
+    # The barrier can only be crossed if all three ran concurrently.
+    assert len(names) == 3
+
+
+def test_errors_are_captured_per_thunk_not_raised():
+    boom = AccessError("boom")
+
+    def fail():
+        raise boom
+
+    for workers in (1, 4):
+        with ParallelAccessExecutor(workers) as executor:
+            outcomes = executor.run([lambda: "ok", fail, lambda: "also ok"])
+        assert outcomes[0].ok and outcomes[0].value == "ok"
+        assert outcomes[1].error is boom and not outcomes[1].ok
+        assert outcomes[2].ok and outcomes[2].value == "also ok"
+        with pytest.raises(AccessError):
+            raise_first_error(outcomes)
+
+
+def test_serial_stop_on_error_skips_the_rest():
+    ran = []
+
+    def make(i):
+        def thunk():
+            ran.append(i)
+            if i == 1:
+                raise AccessError("dead")
+            return i
+
+        return thunk
+
+    outcomes = fan_out(None, [make(i) for i in range(4)], stop_on_error=True)
+    assert ran == [0, 1]
+    assert outcomes[0].ok
+    assert isinstance(outcomes[1].error, AccessError)
+    assert not outcomes[2].ran and not outcomes[3].ran
+    assert repr(outcomes[2]) == "<Outcome skipped>"
+
+
+def test_parallel_stop_on_error_runs_everything_but_merge_sees_first():
+    ran = []
+    lock = threading.Lock()
+
+    def make(i):
+        def thunk():
+            with lock:
+                ran.append(i)
+            if i == 1:
+                raise AccessError("dead")
+            return i
+
+        return thunk
+
+    with ParallelAccessExecutor(4) as executor:
+        outcomes = executor.run([make(i) for i in range(4)], stop_on_error=True)
+    assert sorted(ran) == [0, 1, 2, 3]
+    assert isinstance(outcomes[1].error, AccessError)
+    assert outcomes[2].ran and outcomes[3].ran
+
+
+def test_fan_out_without_executor_is_plain_serial():
+    outcomes = fan_out(None, [lambda: 10, lambda: 20])
+    assert [o.value for o in outcomes] == [10, 20]
+    raise_first_error(outcomes)  # no error -> no raise
+
+
+def test_single_thunk_runs_inline_even_on_a_parallel_executor():
+    executor = ParallelAccessExecutor(8)
+    outcomes = executor.run([lambda: threading.current_thread().name])
+    assert outcomes[0].value == threading.current_thread().name
+    assert executor._pool is None  # never had to spin up
+    executor.shutdown()
+
+
+def test_before_access_hook_sees_submission_indices():
+    seen = []
+    lock = threading.Lock()
+
+    def hook(index):
+        with lock:
+            seen.append(index)
+
+    with ParallelAccessExecutor(2, before_access=hook) as executor:
+        executor.run([lambda: None] * 5)
+    assert sorted(seen) == [0, 1, 2, 3, 4]
+
+
+def test_hook_exception_becomes_the_thunk_error():
+    def hook(index):
+        if index == 1:
+            raise AccessError("fuzzed")
+
+    executor = ParallelAccessExecutor(1, before_access=hook)
+    outcomes = executor.run([lambda: "a", lambda: "b"])
+    assert outcomes[0].ok
+    assert isinstance(outcomes[1].error, AccessError)
+
+
+def test_shutdown_is_idempotent_and_executor_reusable():
+    executor = ParallelAccessExecutor(2)
+    assert [o.value for o in executor.run([lambda: 1, lambda: 2])] == [1, 2]
+    executor.shutdown()
+    executor.shutdown()
+    # A fresh pool is created lazily on the next parallel run.
+    assert [o.value for o in executor.run([lambda: 3, lambda: 4])] == [3, 4]
+    executor.shutdown()
+
+
+def test_outcome_repr_and_ok():
+    assert "value=5" in repr(Outcome(5))
+    failed = Outcome(None, AccessError("x"))
+    assert not failed.ok
+    assert "error=" in repr(failed)
