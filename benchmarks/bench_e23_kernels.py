@@ -1,0 +1,216 @@
+"""E23 — vectorized kernels: columnar numpy hot paths vs scalar loops.
+
+Paper context (§4): the algorithms' correctness arguments fix *which*
+accesses are made and *when* the stop test fires; nothing fixes how the
+bookkeeping between accesses is computed.  This benchmark measures the
+wall-clock value of doing that bookkeeping columnar (``repro.kernels``):
+TA and NRA top-10 over N=100k objects, m=3 independent ArraySource
+lists, ``--kernel vector`` vs ``--kernel scalar``.
+
+Acceptance:
+
+* >= 4x wall-clock speedup (best-of interleaved repeats) for both TA
+  and NRA on the vector kernel;
+* byte-identical answers, access costs, sorted depths, and traces
+  across kernels and across ``max_workers`` in {1, 4};
+* a ``__slots__`` note quantifying the satellite change to
+  :class:`~repro.core.graded.GradedItem` (per-instance memory vs an
+  equivalent ``__dict__``-backed dataclass).
+
+Results are written to BENCH_kernels.json next to this file.  Run
+``python benchmarks/bench_e23_kernels.py --smoke`` for the CI-sized
+standalone check (tiny N, parity assertions only, no timing gates).
+"""
+
+import argparse
+import json
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.sources import sources_from_columns
+from repro.core.threshold import nra_top_k, threshold_top_k
+from repro.harness.reporting import format_table
+from repro.observability import QueryTracer
+from repro.parallel import ParallelAccessExecutor
+from repro.scoring import tnorms
+from repro.workloads.graded_lists import independent
+
+N, M, K, SEED = 100_000, 3, 10, 23
+REPEATS = 5
+SMOKE_N = 400
+SPEEDUP_FLOOR = 4.0
+SLOTS_SAMPLE = 50_000
+OUTPUT = Path(__file__).parent / "BENCH_kernels.json"
+
+ALGORITHMS = (
+    ("ta", threshold_top_k, {"batch_size": 128}),
+    ("nra", nra_top_k, {"batch_size": 4096}),
+)
+
+
+def key(result):
+    return [(item.object_id, item.grade) for item in result.answers]
+
+
+def run(sources, algo, kwargs, kernel, tracer=None, executor=None):
+    return algo(
+        sources, tnorms.MIN, K, kernel=kernel, tracer=tracer,
+        executor=executor, **kwargs,
+    )
+
+
+def timed_sweep(sources, algo, kwargs):
+    """Best-of timing, scalar and vector interleaved within each repeat
+    so background load drift hits both kernels equally."""
+    best = {"scalar": float("inf"), "vector": float("inf")}
+    results = {}
+    for _ in range(REPEATS):
+        for kernel in ("scalar", "vector"):
+            started = time.perf_counter()
+            results[kernel] = run(sources, algo, kwargs, kernel)
+            best[kernel] = min(best[kernel], time.perf_counter() - started)
+    return best, results
+
+
+def assert_parity(name, sources, algo, kwargs):
+    """Traced parity across kernel x workers {1, 4}: identical answers,
+    charges, depths, and byte-identical traces."""
+    baseline = baseline_trace = None
+    for kernel in ("scalar", "vector"):
+        for workers in (1, 4):
+            tracer = QueryTracer()
+            with ParallelAccessExecutor(workers) as executor:
+                result = run(
+                    sources, algo, kwargs, kernel,
+                    tracer=tracer, executor=executor,
+                )
+            trace = tracer.to_json()
+            label = f"{name}/{kernel}/workers={workers}"
+            if baseline is None:
+                baseline, baseline_trace = result, trace
+                continue
+            assert key(result) == key(baseline), label
+            assert result.cost == baseline.cost, label
+            assert result.sorted_depth == baseline.sorted_depth, label
+            assert trace == baseline_trace, label
+    # the untraced vector path (TA's bulk super-round) agrees too
+    untraced = run(sources, algo, kwargs, "vector")
+    assert key(untraced) == key(baseline), f"{name}/untraced"
+    assert untraced.cost == baseline.cost, f"{name}/untraced"
+    return baseline
+
+
+@dataclass(frozen=True)
+class _DictItem:
+    """What GradedItem would be without __slots__ (satellite baseline)."""
+
+    object_id: object
+    grade: float
+
+
+def slots_note():
+    """Per-instance memory for slotted GradedItem vs the __dict__ shape,
+    plus bulk construction time at SLOTS_SAMPLE items."""
+    from repro.core.graded import GradedItem
+
+    slotted = GradedItem("object-000001", 0.5)
+    dicted = _DictItem("object-000001", 0.5)
+    slotted_bytes = sys.getsizeof(slotted)
+    dicted_bytes = sys.getsizeof(dicted) + sys.getsizeof(dicted.__dict__)
+
+    started = time.perf_counter()
+    items = [GradedItem(f"o{i}", (i % 100) / 100.0) for i in range(SLOTS_SAMPLE)]
+    slotted_seconds = time.perf_counter() - started
+    del items
+    started = time.perf_counter()
+    items = [_DictItem(f"o{i}", (i % 100) / 100.0) for i in range(SLOTS_SAMPLE)]
+    dicted_seconds = time.perf_counter() - started
+    del items
+    return {
+        "slotted_bytes_per_item": slotted_bytes,
+        "dict_bytes_per_item": dicted_bytes,
+        "memory_savings": round(1.0 - slotted_bytes / dicted_bytes, 3),
+        "construct_n": SLOTS_SAMPLE,
+        "slotted_construct_seconds": round(slotted_seconds, 4),
+        "dict_construct_seconds": round(dicted_seconds, 4),
+    }
+
+
+def smoke(n=SMOKE_N):
+    """Tiny-N parity check for CI: vector and scalar must agree on
+    answers, costs, and traces for TA and NRA.  No timing gates."""
+    sources = sources_from_columns(independent(n, M, seed=SEED))
+    for name, algo, kwargs in ALGORITHMS:
+        assert_parity(name, sources, algo, kwargs)
+    print(f"kernel smoke OK: TA and NRA agree across kernels at N={n}")
+
+
+def test_e23_kernels(benchmark):
+    table = independent(N, M, seed=SEED)
+    sources = sources_from_columns(table)
+
+    rows = []
+    sweep = {}
+    for name, algo, kwargs in ALGORITHMS:
+        best, results = timed_sweep(sources, algo, kwargs)
+        assert key(results["vector"]) == key(results["scalar"]), name
+        assert results["vector"].cost == results["scalar"].cost, name
+        assert results["vector"].sorted_depth == results["scalar"].sorted_depth
+        speedup = best["scalar"] / best["vector"]
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"{name}: expected >= {SPEEDUP_FLOOR}x vector over scalar, got "
+            f"{speedup:.1f}x ({best['scalar']:.3f}s vs {best['vector']:.3f}s)"
+        )
+        parity = assert_parity(name, sources, algo, kwargs)
+        sweep[name] = {
+            "scalar_seconds": round(best["scalar"], 4),
+            "vector_seconds": round(best["vector"], 4),
+            "speedup": round(speedup, 2),
+            "uniform_cost": parity.database_access_cost,
+            "sorted_depth": parity.sorted_depth,
+        }
+        rows.append(
+            (name, sweep[name]["scalar_seconds"], sweep[name]["vector_seconds"],
+             sweep[name]["speedup"], sweep[name]["uniform_cost"])
+        )
+
+    slots = slots_note()
+    payload = {
+        "experiment": "E23",
+        "workload": {"n": N, "m": M, "k": K, "seed": SEED, "rule": "min",
+                     "backend": "array", "repeats": REPEATS},
+        "kernels": sweep,
+        "slots": slots,
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+
+    print()
+    print(format_table(
+        ("algorithm", "scalar_s", "vector_s", "speedup", "cost"), rows
+    ))
+    print(
+        f"GradedItem __slots__: {slots['slotted_bytes_per_item']}B/item vs "
+        f"{slots['dict_bytes_per_item']}B without "
+        f"({slots['memory_savings']:.0%} smaller); wrote {OUTPUT.name}"
+    )
+
+    # The timed body: one vectorized TA round-trip on the full workload.
+    benchmark(lambda: threshold_top_k(sources, tnorms.MIN, K, kernel="vector"))
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help=f"parity assertions only, at N={SMOKE_N} (CI-sized; "
+        "no timing gates, no JSON output)",
+    )
+    args = parser.parse_args()
+    if args.smoke:
+        smoke()
+    else:
+        print("full run is pytest-driven: "
+              "python -m pytest benchmarks/bench_e23_kernels.py --benchmark-enable")
+        smoke(N // 50)

@@ -55,6 +55,7 @@ from repro.core import (
     top_k,
 )
 from repro.errors import ReproError
+from repro.kernels import KERNEL_CHOICES, configure_kernel, default_kernel
 from repro.parallel import ParallelAccessExecutor
 from repro.observability import (
     MetricsRegistry,
@@ -101,6 +102,9 @@ __all__ = [
     "execute",
     "top_k",
     "ParallelAccessExecutor",
+    "KERNEL_CHOICES",
+    "configure_kernel",
+    "default_kernel",
     "QueryTracer",
     "MetricsRegistry",
     "TracingSource",

@@ -79,6 +79,13 @@ def _apply_parallelism(engine: MiddlewareEngine, args: argparse.Namespace) -> No
         engine.configure_parallelism(max_workers)
 
 
+def _apply_kernel(engine: MiddlewareEngine, args: argparse.Namespace) -> None:
+    """Wire --kernel into the engine, if given."""
+    kernel = getattr(args, "kernel", None)
+    if kernel is not None:
+        engine.configure_kernel(kernel)
+
+
 def _apply_resilience(engine: MiddlewareEngine, args: argparse.Namespace) -> None:
     """Wire --fault-profile / --retry-policy into the engine, if given."""
     fault_spec = getattr(args, "fault_profile", None)
@@ -145,6 +152,7 @@ def cmd_demo(args: argparse.Namespace) -> int:
     engine = _build_database("cds", 2000)
     _apply_resilience(engine, args)
     _apply_parallelism(engine, args)
+    _apply_kernel(engine, args)
     tracer = _apply_observability(engine, args)
     query = Atomic("Artist", "Beatles") & Atomic("AlbumColor", "red")
     print(f"query: {query}")
@@ -162,6 +170,7 @@ def cmd_sql(args: argparse.Namespace) -> int:
     engine = _build_database(args.database, args.size)
     _apply_resilience(engine, args)
     _apply_parallelism(engine, args)
+    _apply_kernel(engine, args)
     tracer = _apply_observability(engine, args)
     if args.query:
         code = _run_statement(engine, " ".join(args.query), args.k)
@@ -257,6 +266,13 @@ def build_parser() -> argparse.ArgumentParser:
             help="fan each algorithm round's subsystem accesses across "
             "N threads (1 = serial; answers, costs, and traces are "
             "identical either way)",
+        )
+        command.add_argument(
+            "--kernel", choices=("auto", "vector", "scalar"), default=None,
+            help="scoring kernel: 'vector' forces the columnar numpy "
+            "fast path, 'scalar' the classic per-object loops, 'auto' "
+            "picks vector whenever it is provably byte-identical "
+            "(default: auto)",
         )
 
     demo = sub.add_parser("demo", help="guided tour of the Beatles query")

@@ -36,7 +36,7 @@ already-emitted objects.
 from __future__ import annotations
 
 from contextlib import nullcontext
-from typing import Dict, List, Sequence, Set
+from typing import Dict, List, Optional, Sequence, Set
 
 from repro.core.cost import CostMeter
 from repro.core.graded import GradedSet, ObjectId
@@ -49,6 +49,7 @@ from repro.core.sources import (
 )
 from repro.core.threshold import DEGRADABLE_ACCESS_ERRORS, _NraState, _nra_run
 from repro.errors import MonotonicityError, ScoringError
+from repro.kernels import _np, resolve_kernel
 from repro.parallel import fan_out
 from repro.scoring.base import ScoringFunction, as_scoring_function
 
@@ -89,6 +90,7 @@ class FaginAlgorithm:
         degrade: bool = True,
         tracer=None,
         executor=None,
+        kernel: Optional[str] = None,
     ) -> None:
         #: optional QueryTracer; phases and accesses are emitted at
         #: logical access time (see the paper's phase structure), not at
@@ -121,6 +123,13 @@ class FaginAlgorithm:
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         self.batch_size = batch_size
+        #: "scalar" or "vector", resolved once at construction (see
+        #: :func:`repro.kernels.resolve_kernel`).  The vector kernel
+        #: keeps the same ``_known`` dict-of-dicts bookkeeping (next_k
+        #: restartability depends on it) but reads sorted windows
+        #: columnar and folds the compute phase through
+        #: ``combine_matrix``.
+        self.kernel = resolve_kernel(kernel, self.sources, self.scoring)
         self._cursors: List[SortedCursor] = [s.cursor() for s in self.sources]
         #: grades learned so far: object -> {source index -> grade}
         self._known: Dict[ObjectId, Dict[int, float]] = {}
@@ -163,6 +172,8 @@ class FaginAlgorithm:
         and otherwise takes one item from every list, so draining whole
         rounds in bulk charges exactly the same sorted accesses.
         """
+        if self.kernel == "vector":
+            return self._sorted_phase_vector(needed_matches)
         sightings = self._sightings
         known = self._known
         tracer = self.tracer
@@ -223,6 +234,74 @@ class FaginAlgorithm:
                     tracer.sample("a0.matched", float(self._matched))
                     tracer.sample("a0.seen", float(len(known)))
 
+    def _sorted_phase_vector(self, needed_matches: int) -> None:
+        """Columnar :meth:`_sorted_phase`: identical round robin over
+        ``peek_batch_columns`` windows — no :class:`GradedItem` boxing
+        on array backends, python floats via one ``tolist`` per window,
+        the same accesses charged in the same order."""
+        sightings = self._sightings
+        known = self._known
+        tracer = self.tracer
+        with nullcontext() if tracer is None else tracer.phase("sorted-phase"):
+            while self._match_count() < needed_matches:
+                windows = [
+                    cursor.peek_batch_columns(self.batch_size)
+                    for cursor in self._cursors
+                ]
+                lengths = [len(window_ids) for window_ids, _ in windows]
+                grades_lists = [grades.tolist() for _, grades in windows]
+                rows = max(lengths, default=0)
+                if rows == 0:
+                    break  # every list exhausted
+                consumed = 0
+                while consumed < rows and self._match_count() < needed_matches:
+                    row = consumed
+                    for i in range(self.m):
+                        if row >= lengths[i]:
+                            continue
+                        object_id = windows[i][0][row]
+                        grade = grades_lists[i][row]
+                        if tracer is not None:
+                            tracer.record_sorted(
+                                self.sources[i].name,
+                                object_id,
+                                grade,
+                                position=self._cursors[i].position + row + 1,
+                            )
+                        if object_id not in self._seen_by_source[i]:
+                            self._seen_by_source[i].add(object_id)
+                            seen = sightings.get(object_id, 0) + 1
+                            sightings[object_id] = seen
+                            if seen == self.m:
+                                self._matched += 1
+                        grades_known = known.get(object_id)
+                        if grades_known is None:
+                            grades_known = known[object_id] = {}
+                        grades_known[i] = grade
+                        self._bottoms[i] = grade
+                    consumed += 1
+                takers = [
+                    i
+                    for i in range(self.m)
+                    if min(consumed, lengths[i]) > 0
+                ]
+                outcomes = fan_out(
+                    self.executor,
+                    [
+                        (
+                            lambda c=self._cursors[i],
+                            t=min(consumed, lengths[i]): c.next_batch_columns(t)
+                        )
+                        for i in takers
+                    ],
+                )
+                for outcome in outcomes:
+                    if outcome.error is not None:
+                        raise outcome.error
+                if tracer is not None:
+                    tracer.sample("a0.matched", float(self._matched))
+                    tracer.sample("a0.seen", float(len(known)))
+
     def _random_phase(self) -> None:
         """Fill in every missing grade of every seen object.
 
@@ -267,6 +346,8 @@ class FaginAlgorithm:
 
     def _compute_phase(self) -> GradedSet:
         """Overall grades for every fully-known seen object."""
+        if self.kernel == "vector":
+            return self._compute_phase_vector()
         tracer = self.tracer
         result = GradedSet()
         with nullcontext() if tracer is None else tracer.phase("compute-phase"):
@@ -279,6 +360,31 @@ class FaginAlgorithm:
                 vector = [grades[i] for i in range(self.m)]
                 result[object_id] = self.scoring(vector)
         return result
+
+    def _compute_phase_vector(self) -> GradedSet:
+        """Columnar :meth:`_compute_phase`: every seen object's grade in
+        one ``combine_matrix`` fold instead of per-object rule calls."""
+        tracer = self.tracer
+        m = self.m
+        with nullcontext() if tracer is None else tracer.phase("compute-phase"):
+            ids = list(self._known.keys())
+            matrix = _np.empty((len(ids), m))
+            for row, object_id in enumerate(ids):
+                grades = self._known[object_id]
+                if len(grades) != m:
+                    raise ScoringError(
+                        f"object {object_id!r} has incomplete grades after "
+                        "the random-access phase"
+                    )
+                values = matrix[row]
+                for i in range(m):
+                    values[i] = grades[i]
+            scores = (
+                self.scoring.combine_matrix(matrix)
+                if len(ids)
+                else _np.empty(0)
+            )
+            return GradedSet(zip(ids, scores.tolist()))
 
     def _pruned_selection(self, k: int) -> GradedSet:
         """Phase 2+3 with upper-bound pruning of random accesses.
@@ -412,6 +518,11 @@ class FaginAlgorithm:
             tracer=self.tracer,
             phase_name="nra-fallback",
             executor=self.executor,
+            kernel=self.kernel,
+            # The scalar continuation updates the shared ``known`` dicts
+            # in place; the vector continuation works columnar and must
+            # flush what it learned back into them on exit.
+            writeback_states=True,
         )
         for object_id, state in states.items():
             if object_id not in self._known:
@@ -508,6 +619,7 @@ def fagin_top_k(
     degrade: bool = True,
     tracer=None,
     executor=None,
+    kernel: Optional[str] = None,
 ) -> TopKResult:
     """One-shot convenience wrapper: the top k answers via algorithm A0."""
     algorithm = FaginAlgorithm(
@@ -519,5 +631,6 @@ def fagin_top_k(
         degrade=degrade,
         tracer=tracer,
         executor=executor,
+        kernel=kernel,
     )
     return algorithm.next_k(k)

@@ -36,7 +36,7 @@ from repro.grades import GRADE_TOLERANCE, validate_grade
 ObjectId = Hashable
 
 
-@dataclass(frozen=True, order=False)
+@dataclass(frozen=True, order=False, slots=True)
 class GradedItem:
     """An object together with its grade under some query.
 
@@ -44,6 +44,11 @@ class GradedItem:
     :class:`GradedItem` yields the paper's "sorted list" presentation
     (best match first).  Ties order by object id (stringified) to make
     sorting deterministic.
+
+    ``slots=True`` matters at scale: algorithms materialize one item per
+    delivered row, so dropping the per-item ``__dict__`` cuts both
+    memory and attribute-access time on the hot paths (measured in
+    benchmarks/bench_e23_kernels.py's notes).
     """
 
     object_id: ObjectId

@@ -20,7 +20,13 @@ from typing import Dict, List, Sequence
 from repro.core.cost import CostMeter
 from repro.core.graded import GradedSet, ObjectId
 from repro.core.result import TopKResult
-from repro.core.sources import GradedSource, check_same_objects
+from repro.core.sources import GradedSource, _fast_item, check_same_objects
+from repro.kernels import (
+    GradeMatrix,
+    _np,
+    resolve_kernel,
+    top_k_from_arrays,
+)
 from repro.parallel import fan_out, raise_first_error
 from repro.scoring.base import as_scoring_function
 
@@ -42,8 +48,26 @@ def _drain(source: GradedSource):
         runs.append((position, batch))
 
 
+def _drain_columns(source: GradedSource):
+    """Columnar :func:`_drain`: ``(position, ids, grades)`` runs."""
+    cursor = source.cursor()
+    runs = []
+    while True:
+        position = cursor.position
+        ids, grades = cursor.next_batch_columns(_DRAIN_CHUNK)
+        if not ids:
+            return runs
+        runs.append((position, ids, grades))
+
+
 def naive_top_k(
-    sources: Sequence[GradedSource], scoring, k: int, *, tracer=None, executor=None
+    sources: Sequence[GradedSource],
+    scoring,
+    k: int,
+    *,
+    tracer=None,
+    executor=None,
+    kernel=None,
 ) -> TopKResult:
     """Top k answers by exhaustively scanning every list (cost m * N).
 
@@ -54,12 +78,24 @@ def naive_top_k(
     to the hot path.  ``executor`` is an optional
     :class:`~repro.parallel.ParallelAccessExecutor`; the m full-list
     drains are independent, so they fan out whole — the merge into the
-    grade table happens in source order either way.
+    grade table happens in source order either way.  ``kernel`` selects
+    the scalar or vectorized grading path (``None`` = configured
+    default); the naive scan charges ``m * N`` either way, so the kernel
+    only changes how the grade table is stored and folded.
     """
     if k <= 0:
         raise ValueError(f"k must be positive, got {k}")
     rule = as_scoring_function(scoring)
     database_size = check_same_objects(sources)
+    if resolve_kernel(kernel, sources, rule) == "vector":
+        return _naive_top_k_vector(
+            sources,
+            rule,
+            k,
+            database_size=database_size,
+            tracer=tracer,
+            executor=executor,
+        )
     meter = CostMeter(sources)
 
     grades: Dict[ObjectId, List[float]] = {}
@@ -83,6 +119,63 @@ def naive_top_k(
 
     return TopKResult(
         answers=overall.top(min(k, database_size)),
+        cost=meter.report(),
+        algorithm="naive",
+        sorted_depth=database_size,
+    )
+
+
+def _naive_top_k_vector(
+    sources: Sequence[GradedSource],
+    rule,
+    k: int,
+    *,
+    database_size: int,
+    tracer=None,
+    executor=None,
+) -> TopKResult:
+    """Columnar naive scan: drain every list into a
+    :class:`~repro.kernels.GradeMatrix`, grade all rows with one
+    ``combine_matrix`` fold, rank with one lexsort.
+
+    Access-identical to the scalar path (same drains, same charges,
+    same trace records); grades match exactly for batch-exact rules
+    because a missing grade defaults to 0.0 on both paths.
+    """
+    meter = CostMeter(sources)
+    m = len(sources)
+    matrix = GradeMatrix(m, capacity=max(database_size, 16))
+    with nullcontext() if tracer is None else tracer.phase("naive-scan"):
+        outcomes = fan_out(
+            executor, [(lambda s=source: _drain_columns(s)) for source in sources]
+        )
+        raise_first_error(outcomes)
+        for i, (source, outcome) in enumerate(zip(sources, outcomes)):
+            for position, ids, grades in outcome.value:
+                if tracer is not None:
+                    tracer.record_sorted_batch(
+                        source.name,
+                        [
+                            _fast_item(object_id, grade)
+                            for object_id, grade in zip(ids, grades.tolist())
+                        ],
+                        position,
+                    )
+                matrix.add_column_batch(i, ids, grades)
+
+    with nullcontext() if tracer is None else tracer.phase("naive-compute"):
+        # Same convention as the scalar grade table: a grade no list
+        # delivered (impossible once every list drained, but cheap to
+        # honor) counts as 0.
+        scores = matrix.lower_bounds(rule)
+        answers = GradedSet(
+            top_k_from_arrays(
+                matrix.ids, matrix.str_keys(), scores, min(k, database_size)
+            )
+        )
+
+    return TopKResult(
+        answers=answers,
         cost=meter.report(),
         algorithm="naive",
         sorted_depth=database_size,

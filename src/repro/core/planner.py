@@ -207,7 +207,12 @@ def plan_top_k(
 
 
 def execute(
-    plan: Plan, sources: Sequence[GradedSource], *, tracer=None, executor=None
+    plan: Plan,
+    sources: Sequence[GradedSource],
+    *,
+    tracer=None,
+    executor=None,
+    kernel: Optional[str] = None,
 ) -> TopKResult:
     """Run a plan produced by :func:`plan_top_k` over the same sources.
 
@@ -217,25 +222,48 @@ def execute(
     ``executor`` (an optional
     :class:`~repro.parallel.ParallelAccessExecutor`) overlaps each
     round's independent subsystem accesses; results are byte-identical
-    to serial execution.
+    to serial execution.  ``kernel`` (``"auto"``/``"vector"``/
+    ``"scalar"``, ``None`` = configured default) selects the scoring
+    kernel for the algorithms that have a vectorized implementation —
+    see :mod:`repro.kernels`.
     """
     if plan.strategy is Strategy.NAIVE:
         return naive_top_k(
-            sources, plan.scoring, plan.k, tracer=tracer, executor=executor
+            sources,
+            plan.scoring,
+            plan.k,
+            tracer=tracer,
+            executor=executor,
+            kernel=kernel,
         )
     if plan.strategy is Strategy.DISJUNCTION:
         return disjunction_top_k(sources, plan.k, tracer=tracer, executor=executor)
     if plan.strategy is Strategy.FAGIN:
         return fagin_top_k(
-            sources, plan.scoring, plan.k, tracer=tracer, executor=executor
+            sources,
+            plan.scoring,
+            plan.k,
+            tracer=tracer,
+            executor=executor,
+            kernel=kernel,
         )
     if plan.strategy is Strategy.THRESHOLD:
         return threshold_top_k(
-            sources, plan.scoring, plan.k, tracer=tracer, executor=executor
+            sources,
+            plan.scoring,
+            plan.k,
+            tracer=tracer,
+            executor=executor,
+            kernel=kernel,
         )
     if plan.strategy is Strategy.NRA:
         return nra_top_k(
-            sources, plan.scoring, plan.k, tracer=tracer, executor=executor
+            sources,
+            plan.scoring,
+            plan.k,
+            tracer=tracer,
+            executor=executor,
+            kernel=kernel,
         )
     if plan.strategy is Strategy.BOOLEAN_FIRST:
         if plan.boolean_index is None:
@@ -259,6 +287,7 @@ def top_k(
     prefer: Optional[Strategy] = None,
     tracer=None,
     executor=None,
+    kernel: Optional[str] = None,
 ) -> TopKResult:
     """Plan and execute in one call — the library's main entry point."""
     plan = plan_top_k(sources, scoring, k, prefer=prefer)
@@ -270,4 +299,4 @@ def top_k(
             estimated_cost=plan.estimated_cost,
             k=plan.k,
         )
-    return execute(plan, sources, tracer=tracer, executor=executor)
+    return execute(plan, sources, tracer=tracer, executor=executor, kernel=kernel)

@@ -75,6 +75,8 @@ class SortedCursor:
     actually consume.
     """
 
+    __slots__ = ("_source", "position")
+
     def __init__(self, source: "GradedSource") -> None:
         self._source = source
         self.position = 0
@@ -109,6 +111,46 @@ class SortedCursor:
             return []
         return self._source._peek_range(self.position, n)
 
+    def next_batch_columns(self, n: int) -> Tuple[List[ObjectId], "object"]:
+        """Columnar :meth:`next_batch`: parallel (ids, float64 grades).
+
+        Identical accounting and delivery semantics — one sorted access
+        charged per delivered item, position advanced — but the grades
+        stay in an array instead of being boxed into per-item
+        :class:`GradedItem` objects.  Only bare columnar backends
+        (``supports_columnar``) expose the raw hook; anything wrapped
+        (verification, fault injection, tracing, ...) falls back to
+        :meth:`next_batch` so wrapper bookkeeping observes every
+        delivered item exactly as on the scalar path.
+        """
+        if n <= 0:
+            return [], _np.empty(0)
+        hook = getattr(self._source, "_columns_range", None)
+        if hook is None:
+            items = self.next_batch(n)
+            return (
+                [item.object_id for item in items],
+                _np.asarray([item.grade for item in items], dtype=_np.float64),
+            )
+        ids, grades = hook(self.position, n)
+        if ids:
+            self.position += len(ids)
+            self._source.counter.record_sorted(len(ids))
+        return ids, grades
+
+    def peek_batch_columns(self, n: int) -> Tuple[List[ObjectId], "object"]:
+        """Columnar :meth:`peek_batch`: charge-free, position unchanged."""
+        if n <= 0:
+            return [], _np.empty(0)
+        hook = getattr(self._source, "_columns_range", None)
+        if hook is None:
+            items = self.peek_batch(n)
+            return (
+                [item.object_id for item in items],
+                _np.asarray([item.grade for item in items], dtype=_np.float64),
+            )
+        return hook(self.position, n)
+
     def peek_grade(self) -> Optional[float]:
         """Grade the next sorted access would return, without paying.
 
@@ -139,6 +181,13 @@ class GradedSource(ABC):
     #: predicate such as Artist='Beatles').  The planner uses this to
     #: pick the Boolean-conjunct-first strategy of section 4.1.
     is_boolean = False
+    #: True only for bare columnar backends whose sorted prefix can be
+    #: read as raw (ids, grades-array) columns (``_columns_range``).
+    #: Wrappers deliberately leave this False: their per-item side
+    #: effects must observe every delivery, so the vector kernels fall
+    #: back to item-based access through them, and ``auto`` kernel
+    #: selection only goes vectorized over all-columnar sources.
+    supports_columnar = False
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -355,6 +404,8 @@ class ArraySource(GradedSource):
     per probed object, whichever access form the caller uses.
     """
 
+    supports_columnar = True
+
     def __init__(
         self,
         items: Union[GradedSet, Mapping[ObjectId, float], Iterable[Tuple[ObjectId, float]]],
@@ -435,6 +486,18 @@ class ArraySource(GradedSource):
 
     def _peek_range(self, start: int, count: int) -> List[GradedItem]:
         return self._items_range(start, count)
+
+    def _columns_range(self, start: int, count: int) -> Tuple[List[ObjectId], "object"]:
+        """Raw columnar sorted prefix: (ids, float64 grade array).
+
+        The vector kernels' zero-boxing read path (``SortedCursor.
+        next_batch_columns``); charge-free by itself — the cursor does
+        the accounting, exactly as with ``_items_range``.
+        """
+        return (
+            self._sorted_ids[start : start + count],
+            self._sorted_grades[start : start + count],
+        )
 
     def _grade_of(self, object_id: ObjectId) -> float:
         try:

@@ -52,7 +52,19 @@ from typing import Dict, List, Optional, Sequence
 from repro.core.cost import CostMeter
 from repro.core.graded import GradedSet, ObjectId
 from repro.core.result import DegradedResult, TopKResult
-from repro.core.sources import DEFAULT_BATCH_SIZE, GradedSource, check_same_objects
+from repro.core.sources import (
+    DEFAULT_BATCH_SIZE,
+    GradedSource,
+    _fast_item,
+    check_same_objects,
+)
+from repro.kernels import (
+    GradeMatrix,
+    _np,
+    iter_str_keys,
+    resolve_kernel,
+    top_k_from_arrays,
+)
 from repro.parallel import fan_out, raise_first_error
 from repro.errors import (
     CircuitOpenError,
@@ -120,6 +132,10 @@ def _nra_run(
     tracer=None,
     phase_name: str = "nra",
     executor=None,
+    stop_check_growth: float = 2.0,
+    kernel: str = "scalar",
+    grade_matrix: Optional[GradeMatrix] = None,
+    writeback_states: bool = False,
 ) -> TopKResult:
     """The NRA main loop, resumable from arbitrary accumulated state.
 
@@ -128,12 +144,25 @@ def _nra_run(
     they already learned (their cursors keep their positions, so sorted
     work is never re-paid).
 
-    The stopping condition is evaluated on a doubling schedule (rounds
-    1, 2, 4, 8, ...) rather than after every access: recomputing every
-    seen object's upper bound is O(seen * m), and checking each round
-    would make the algorithm quadratic in the database size.  The
-    schedule can overshoot the minimal stopping depth by at most a
-    factor of two, which leaves the cost's asymptotic shape intact.
+    The stopping condition is evaluated on a geometric schedule
+    controlled by ``stop_check_growth``: after a check at round r, the
+    next check happens at round ``max(int(r * stop_check_growth),
+    r + 1)``.  The default of 2.0 is the classic doubling schedule
+    (rounds 1, 2, 4, 8, ...) rather than checking after every access:
+    recomputing every seen object's upper bound is O(seen * m), and
+    checking each round would make the algorithm quadratic in the
+    database size.  A growth of g can overshoot the minimal stopping
+    depth by at most a factor of g (checking every round, g = 1, stops
+    at the minimal depth); the default leaves the cost's asymptotic
+    shape intact.
+
+    ``kernel`` selects the implementation: ``"scalar"`` is this
+    per-object dict loop, ``"vector"`` the columnar numpy kernel
+    (:func:`_nra_run_vector`) with byte-identical accesses, answers and
+    traces.  ``grade_matrix`` optionally seeds the vector kernel with
+    already-columnar state (TA's vectorized fallback path);
+    ``writeback_states`` makes the vector kernel flush what it learned
+    back into ``states`` on exit (A0's degradation path reads it).
 
     Because the stop test only ever runs at those scheduled rounds, the
     rounds between two checks can be drained with one ``next_batch`` per
@@ -150,6 +179,34 @@ def _nra_run(
     top k by *lower* bound is returned with ``grades_exact=False`` and a
     ``partial-bounds`` :class:`~repro.core.result.DegradedResult`.
     """
+    if stop_check_growth < 1.0:
+        raise ValueError(
+            f"stop_check_growth must be >= 1, got {stop_check_growth}"
+        )
+    if kernel == "vector":
+        return _nra_run_vector(
+            sources,
+            rule,
+            k,
+            cursors=cursors,
+            states=states,
+            bottoms=bottoms,
+            exhausted=exhausted,
+            meter=meter,
+            depth=depth,
+            exact_grades=exact_grades,
+            tol=tol,
+            batch_size=batch_size,
+            algorithm=algorithm,
+            prior_failures=prior_failures,
+            failed_sorted=failed_sorted,
+            tracer=tracer,
+            phase_name=phase_name,
+            executor=executor,
+            stop_check_growth=stop_check_growth,
+            grade_matrix=grade_matrix,
+            writeback_states=writeback_states,
+        )
     database_size = check_same_objects(sources)
     k = min(k, database_size)
     m = len(sources)
@@ -250,7 +307,7 @@ def _nra_run(
             rounds += drained if progressed else 1
             if rounds >= next_check or not progressed:
                 answers = evaluate_stop()
-                next_check = rounds * 2
+                next_check = max(int(rounds * stop_check_growth), rounds + 1)
             if not progressed and answers is None:
                 # Nothing can progress.  Without failures every grade is
                 # known (the lists were fully drained), so the lower bounds
@@ -294,6 +351,189 @@ def _nra_run(
     )
 
 
+def _nra_run_vector(
+    sources: Sequence[GradedSource],
+    rule: ScoringFunction,
+    k: int,
+    *,
+    cursors,
+    states: Dict[ObjectId, _NraState],
+    bottoms: List[float],
+    exhausted: List[bool],
+    meter: CostMeter,
+    depth: int = 0,
+    exact_grades: bool = True,
+    tol: float = 1e-12,
+    batch_size: int = 4096,
+    algorithm: str = "nra",
+    prior_failures: Optional[Dict[str, str]] = None,
+    failed_sorted: Optional[Dict[int, str]] = None,
+    tracer=None,
+    phase_name: str = "nra",
+    executor=None,
+    stop_check_growth: float = 2.0,
+    grade_matrix: Optional[GradeMatrix] = None,
+    writeback_states: bool = False,
+) -> TopKResult:
+    """Columnar NRA: the same loop as :func:`_nra_run`, with the seen
+    set in a :class:`~repro.kernels.GradeMatrix` and every stop check a
+    handful of array operations.
+
+    Byte-identity with the scalar loop is structural, not approximate:
+    sorted draining follows the identical window/check schedule (so the
+    charged accesses and trace records match item for item), lower and
+    upper bounds are the same IEEE-754 folds via
+    ``ScoringFunction.combine_matrix``, and the top-k selection uses the
+    same ``(-grade, str(id))`` key through ``numpy.lexsort``.
+    """
+    database_size = check_same_objects(sources)
+    k = min(k, database_size)
+    m = len(sources)
+    matrix = (
+        grade_matrix
+        if grade_matrix is not None
+        else GradeMatrix.from_states(states, m)
+    )
+    sorted_failures: Dict[int, str] = dict(failed_sorted or {})
+    rounds = 0
+    next_check = 1
+    answers: Optional[GradedSet] = None
+    answer_rows = None
+    converged = True
+    partial = False
+
+    def evaluate_stop() -> Optional[GradedSet]:
+        nonlocal converged, answer_rows
+        if matrix.count < k:
+            return None
+        lower = matrix.lower_bounds(rule)
+        upper = matrix.upper_bounds(rule, bottoms)
+        order = matrix.top_order(lower)
+        kth_lower = float(lower[order[k - 1]])
+        # The best any *unseen* object could achieve.
+        rivals_upper = rule(bottoms) if matrix.count < database_size else 0.0
+        rest = order[k:]
+        if rest.size:
+            rivals_upper = max(rivals_upper, float(upper[rest].max()))
+        if tracer is not None:
+            tracer.sample("nra.kth_lower", kth_lower)
+            tracer.sample("nra.rivals_upper", rivals_upper)
+            tracer.sample("nra.buffer_objects", float(matrix.count))
+        if kth_lower + tol < rivals_upper:
+            return None
+        top_rows = order[:k]
+        gaps_converged = bool(
+            ((upper[top_rows] - lower[top_rows]) <= tol).all()
+        )
+        if exact_grades:
+            if not gaps_converged:
+                return None
+            converged = True
+        else:
+            converged = gaps_converged
+        answer_rows = top_rows
+        values = lower[top_rows].tolist()
+        return GradedSet(
+            {matrix.ids[row]: values[i] for i, row in enumerate(top_rows.tolist())}
+        )
+
+    with nullcontext() if tracer is None else tracer.phase(phase_name):
+        while answers is None:
+            window = min(max(next_check - rounds, 1), batch_size)
+            progressed = False
+            drained = 0
+            active = [i for i in range(m) if not exhausted[i]]
+            outcomes = fan_out(
+                executor,
+                [
+                    (lambda c=cursors[i], w=window: c.next_batch_columns(w))
+                    for i in active
+                ],
+            )
+            for i, outcome in zip(active, outcomes):
+                if outcome.error is not None:
+                    if not isinstance(outcome.error, DEGRADABLE_ACCESS_ERRORS):
+                        raise outcome.error
+                    exhausted[i] = True
+                    sorted_failures[i] = str(outcome.error)
+                    if tracer is not None:
+                        tracer.event(
+                            "sorted-stream-failed",
+                            source=sources[i].name,
+                            reason=str(outcome.error),
+                        )
+                    continue
+                ids, grades = outcome.value
+                cursor = cursors[i]
+                if not ids:
+                    exhausted[i] = True
+                    bottoms[i] = 0.0
+                    continue
+                progressed = True
+                if tracer is not None:
+                    tracer.record_sorted_batch(
+                        sources[i].name,
+                        [
+                            _fast_item(object_id, grade)
+                            for object_id, grade in zip(ids, grades.tolist())
+                        ],
+                        cursor.position - len(ids),
+                    )
+                bottoms[i] = float(grades[-1])
+                depth = max(depth, cursor.position)
+                drained = max(drained, len(ids))
+                matrix.add_column_batch(i, ids, grades)
+            rounds += drained if progressed else 1
+            if rounds >= next_check or not progressed:
+                answers = evaluate_stop()
+                next_check = max(int(rounds * stop_check_growth), rounds + 1)
+            if not progressed and answers is None:
+                lower = matrix.lower_bounds(rule)
+                order = matrix.top_order(lower)
+                answer_rows = order[:k]
+                values = lower[answer_rows].tolist()
+                answers = GradedSet(
+                    {
+                        matrix.ids[row]: values[i]
+                        for i, row in enumerate(answer_rows.tolist())
+                    }
+                )
+                if sorted_failures:
+                    partial = True
+                    converged = False
+                else:
+                    converged = True
+
+    failures: Dict[str, str] = dict(prior_failures or {})
+    for i, reason in sorted_failures.items():
+        failures[sources[i].name] = reason
+    degraded: Optional[DegradedResult] = None
+    if failures:
+        final_lower = matrix.lower_bounds(rule)
+        final_upper = matrix.upper_bounds(rule, bottoms)
+        degraded = DegradedResult(
+            failed_sources=failures,
+            fallback="partial-bounds" if partial else "nra-sorted-only",
+            complete=not partial,
+            bounds={
+                matrix.ids[row]: (float(final_lower[row]), float(final_upper[row]))
+                for row in answer_rows.tolist()
+            },
+        )
+
+    if writeback_states:
+        matrix.flush_to_states(states, _NraState)
+
+    return TopKResult(
+        answers=answers,
+        cost=meter.report(),
+        algorithm=algorithm,
+        sorted_depth=depth,
+        grades_exact=converged,
+        degraded=degraded,
+    )
+
+
 def threshold_top_k(
     sources: Sequence[GradedSource],
     scoring,
@@ -304,6 +544,7 @@ def threshold_top_k(
     degrade: bool = True,
     tracer=None,
     executor=None,
+    kernel: Optional[str] = None,
 ) -> TopKResult:
     """Top k answers via the threshold algorithm (TA).
 
@@ -339,6 +580,12 @@ def threshold_top_k(
     order in the coordinating thread, so answers, cost, and traces are
     identical to serial execution.  ``None`` keeps the classic serial
     path.
+
+    ``kernel`` selects the implementation (``None`` means the configured
+    default): ``"scalar"`` is this per-object loop, ``"vector"`` the
+    columnar kernel (:func:`_threshold_top_k_vector`), ``"auto"`` picks
+    vector exactly when byte-identity is guaranteed (batch-exact rule,
+    columnar sources) — see :func:`repro.kernels.resolve_kernel`.
     """
     if k <= 0:
         raise ValueError(f"k must be positive, got {k}")
@@ -347,6 +594,16 @@ def threshold_top_k(
     rule = as_scoring_function(scoring)
     if require_monotone:
         _require_monotone(rule, "TA")
+    if resolve_kernel(kernel, sources, rule) == "vector":
+        return _threshold_top_k_vector(
+            sources,
+            rule,
+            k,
+            batch_size=batch_size,
+            degrade=degrade,
+            tracer=tracer,
+            executor=executor,
+        )
     database_size = check_same_objects(sources)
     k = min(k, database_size)
     m = len(sources)
@@ -559,6 +816,415 @@ def threshold_top_k(
     )
 
 
+def _threshold_top_k_vector(
+    sources: Sequence[GradedSource],
+    rule: ScoringFunction,
+    k: int,
+    *,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+    degrade: bool = True,
+    tracer=None,
+    executor=None,
+) -> TopKResult:
+    """Columnar TA: the same super-round structure as
+    :func:`threshold_top_k` with the per-object bookkeeping vectorized.
+
+    Per super-round the peeked windows stay columnar (no
+    :class:`GradedItem` boxing on array backends), the whole window's
+    threshold trajectory ``tau[row] = t(bottoms at row)`` is one
+    ``combine_matrix`` call over the forward-filled bottoms matrix, and
+    the final answer ranking is one lexsort instead of a full
+    ``GradedSet`` sort.  The row loop itself — freshness detection,
+    bulk random probes, the stop test against ``tau[row]`` — replays
+    TA's rounds exactly, so accesses are charged in the same order and
+    quantity as the scalar path and traces match record for record.
+
+    Instead of maintaining NRA states dicts as it goes, the kernel keeps
+    an append-only log of consumed window slices and probe results;
+    when a degradable failure forces the NRA fallback, the log is
+    replayed into a :class:`~repro.kernels.GradeMatrix` (content equals
+    the scalar states; row order is unobservable through NRA's total
+    answer order) and handed to :func:`_nra_run_vector`.
+    """
+    database_size = check_same_objects(sources)
+    k = min(k, database_size)
+    m = len(sources)
+    meter = CostMeter(sources)
+
+    cursors = [s.cursor() for s in sources]
+    others = [[j for j in range(m) if j != i] for i in range(m)]
+    # Bare columnar backends cannot fail and serve random access from an
+    # in-memory map, so each super-round's probe grades can be read in
+    # bulk through the free peek-style path up front; the row loop then
+    # charges the counters and emits the trace events for exactly the
+    # probes the scalar path would perform, in the same order.  Wrapped
+    # sources keep the per-row random_access_many calls so their
+    # accounting (and fault behavior) observes every probe.
+    columnar = m > 1 and all(
+        getattr(source, "supports_columnar", False) for source in sources
+    )
+    bottoms = [1.0] * m
+    seen = set()
+    overall_ids: List[ObjectId] = []
+    overall_grades: List[float] = []
+    best_k: List[float] = []
+    depth = 0
+    stop = False
+    #: consumed sorted deliveries, (list index, ids, grades) per window
+    #: slice, in consumption order — replayed into a GradeMatrix if the
+    #: run has to degrade to NRA.
+    sorted_log: List[tuple] = []
+    #: applied random-probe results, (list index, {id: grade}).
+    probe_log: List[tuple] = []
+    combine = rule._combine
+
+    def bulk_round(windows, lengths, rows, tau, grades_lists):
+        """One whole super-round without per-object Python: discover the
+        window's fresh objects, score them in one ``combine_matrix``
+        call, and replay TA's per-row heap/stop protocol over the
+        precomputed grades.  Only objects first delivered at or before
+        the stop row are committed, and the random-probe charge equals
+        the per-row charge op for op, so cost accounting and answers
+        are byte-identical to the row-at-a-time path.
+
+        Taken only for bare columnar backends (reads are free to
+        prefetch, accesses cannot fail) with a batch-exact rule and no
+        tracer (per-access events would reintroduce the per-object
+        loop).  Returns ``(consumed_rows, stopped)``.
+        """
+        window_fresh: List[tuple] = []
+        fresh_by_row: List[List[int]] = [[] for _ in range(rows)]
+        window_seen = set()
+        for row in range(rows):
+            for i in range(m):
+                if row >= lengths[i]:
+                    continue
+                object_id = windows[i][0][row]
+                if object_id in seen or object_id in window_seen:
+                    continue
+                window_seen.add(object_id)
+                fresh_by_row[row].append(len(window_fresh))
+                window_fresh.append((object_id, i))
+        scores: List[float] = []
+        if window_fresh:
+            fresh_ids = [object_id for object_id, _ in window_fresh]
+            matrix = _np.empty((len(fresh_ids), m))
+            for j, source in enumerate(sources):
+                fetched = source._grades_of_many(fresh_ids)
+                matrix[:, j] = [fetched[object_id] for object_id in fresh_ids]
+            scores = rule.combine_matrix(matrix).tolist()
+        stop_row = None
+        for row in range(rows):
+            for index in fresh_by_row[row]:
+                grade = scores[index]
+                if len(best_k) < k:
+                    heapq.heappush(best_k, grade)
+                elif grade > best_k[0]:
+                    heapq.heapreplace(best_k, grade)
+            if len(best_k) >= k and best_k[0] >= tau[row]:
+                stop_row = row
+                break
+        consumed = rows if stop_row is None else stop_row + 1
+        probe_counts = [0] * m
+        for row in range(consumed):
+            for index in fresh_by_row[row]:
+                object_id, first = window_fresh[index]
+                seen.add(object_id)
+                overall_ids.append(object_id)
+                overall_grades.append(scores[index])
+                for j in others[first]:
+                    probe_counts[j] += 1
+        for j in range(m):
+            if probe_counts[j]:
+                sources[j].counter.record_random(probe_counts[j])
+        for i in range(m):
+            rows_used = min(consumed, lengths[i])
+            if rows_used:
+                bottoms[i] = grades_lists[i][rows_used - 1]
+        return consumed, stop_row is not None
+
+    def fall_back(
+        windows,
+        consume_rows: int,
+        state_rows: int,
+        prior_failures: Dict[str, str],
+        dead: Optional[Dict[int, str]] = None,
+    ) -> TopKResult:
+        """Consume the sorted rows already used, replay the access log
+        into columnar NRA state, and continue as vectorized NRA.
+
+        ``consume_rows`` is how many rows of the current windows still
+        need consuming (0 when the failure happened *during* the
+        consume); ``state_rows`` how many were processed into TA state
+        and so must be replayed regardless.
+        """
+        nonlocal depth
+        if tracer is not None:
+            tracer.event(
+                "degraded",
+                algorithm="threshold-ta",
+                fallback="nra",
+                failures={**prior_failures, **{sources[i].name: r for i, r in (dead or {}).items()}},
+            )
+        for i, (window_ids, window_grades) in enumerate(windows):
+            rows_used = min(state_rows, len(window_ids))
+            if rows_used:
+                sorted_log.append(
+                    (i, window_ids[:rows_used], window_grades[:rows_used])
+                )
+        failed_sorted: Dict[int, str] = dict(dead or {})
+        pre_exhausted = [i in failed_sorted for i in range(m)]
+        takers = [
+            i
+            for i in range(m)
+            if not pre_exhausted[i]
+            and min(consume_rows, len(windows[i][0])) > 0
+        ]
+        consume_outcomes = fan_out(
+            executor,
+            [
+                (
+                    lambda c=cursors[i], t=min(consume_rows, len(windows[i][0])): (
+                        c.next_batch_columns(t)
+                    )
+                )
+                for i in takers
+            ],
+        )
+        for i, outcome in zip(takers, consume_outcomes):
+            if outcome.error is not None:
+                if not isinstance(outcome.error, DEGRADABLE_ACCESS_ERRORS):
+                    raise outcome.error
+                failed_sorted[i] = str(outcome.error)
+                pre_exhausted[i] = True
+                continue
+            depth = max(depth, cursors[i].position)
+        matrix = GradeMatrix(m, capacity=max(len(seen), 16))
+        for i, ids, grades in sorted_log:
+            matrix.add_column_batch(i, ids, grades)
+        for j, fetched in probe_log:
+            for object_id, grade in fetched.items():
+                matrix.set_grade(object_id, j, grade)
+        return _nra_run_vector(
+            sources,
+            rule,
+            k,
+            cursors=cursors,
+            states={},
+            bottoms=bottoms,
+            exhausted=pre_exhausted,
+            meter=meter,
+            depth=depth,
+            batch_size=max(batch_size, 1),
+            algorithm="threshold-ta+nra",
+            prior_failures=prior_failures,
+            failed_sorted=failed_sorted,
+            tracer=tracer,
+            phase_name="nra-fallback",
+            executor=executor,
+            grade_matrix=matrix,
+        )
+
+    with nullcontext() if tracer is None else tracer.phase("ta"):
+        while not stop:
+            windows = [cursor.peek_batch_columns(batch_size) for cursor in cursors]
+            lengths = [len(window_ids) for window_ids, _ in windows]
+            rows = max(lengths, default=0)
+            if rows == 0:
+                break  # no list can progress: exhausted
+            # tau for every prospective row of this super-round in one
+            # batched fold: forward-fill each list's grades over rows it
+            # cannot serve (its bottom freezes), then combine rows.
+            bottoms_matrix = _np.empty((rows, m))
+            for i, (window_ids, window_grades) in enumerate(windows):
+                length = lengths[i]
+                if length:
+                    bottoms_matrix[:length, i] = window_grades
+                    bottoms_matrix[length:, i] = window_grades[length - 1]
+                else:
+                    bottoms_matrix[:, i] = bottoms[i]
+            tau = rule.combine_matrix(bottoms_matrix).tolist()
+            grades_lists = [grades.tolist() for _, grades in windows]
+            scan_rows = rows
+            prefetched = None
+            if columnar and tracer is None and rule.batch_exact:
+                consumed, stop = bulk_round(
+                    windows, lengths, rows, tau, grades_lists
+                )
+                scan_rows = 0  # the bulk round already did the row scan
+            else:
+                consumed = 0
+                if columnar:
+                    candidates = [
+                        object_id
+                        for window_ids, _ in windows
+                        for object_id in window_ids
+                        if object_id not in seen
+                    ]
+                    if candidates:
+                        candidates = list(dict.fromkeys(candidates))
+                        prefetched = [
+                            source._grades_of_many(candidates)
+                            for source in sources
+                        ]
+            for row in range(scan_rows):
+                fresh: List[tuple] = []
+                fresh_known: Dict[ObjectId, Dict[int, float]] = {}
+                for i in range(m):
+                    if row >= lengths[i]:
+                        continue
+                    object_id = windows[i][0][row]
+                    grade = grades_lists[i][row]
+                    if tracer is not None:
+                        tracer.record_sorted(
+                            sources[i].name,
+                            object_id,
+                            grade,
+                            position=cursors[i].position + row + 1,
+                        )
+                    bottoms[i] = grade
+                    if object_id not in seen:
+                        seen.add(object_id)
+                        fresh.append((object_id, i))
+                        fresh_known[object_id] = {i: grade}
+                    elif object_id in fresh_known:
+                        # Same object surfacing in two lists this round:
+                        # second delivery lands in its in-flight grades.
+                        fresh_known[object_id][i] = grade
+                consumed = row + 1
+                if fresh:
+                    needed: List[List[ObjectId]] = [[] for _ in range(m)]
+                    for object_id, first in fresh:
+                        for j in others[first]:
+                            needed[j].append(object_id)
+                    targets = [(j, ids) for j, ids in enumerate(needed) if ids]
+                    if prefetched is not None:
+                        # Replay the prefetched bulk reads: same per-
+                        # source charge, same trace events, same grades
+                        # and ordering as random_access_many would give
+                        # on this backend — without a Python call fan
+                        # per row.
+                        for j, ids in targets:
+                            lookup = prefetched[j]
+                            fetched = {
+                                object_id: lookup[object_id]
+                                for object_id in ids
+                            }
+                            sources[j].counter.record_random(len(ids))
+                            if tracer is not None:
+                                for object_id in ids:
+                                    tracer.record_random(
+                                        sources[j].name,
+                                        object_id,
+                                        fetched[object_id],
+                                    )
+                            probe_log.append((j, fetched))
+                            for object_id, grade in fetched.items():
+                                fresh_known[object_id][j] = grade
+                    else:
+                        probe_outcomes = fan_out(
+                            executor,
+                            [
+                                (lambda s=sources[j], i=ids: s.random_access_many(i))
+                                for j, ids in targets
+                            ],
+                            stop_on_error=True,
+                        )
+                        for (j, ids), outcome in zip(targets, probe_outcomes):
+                            if not outcome.ran:
+                                break
+                            if outcome.error is not None:
+                                if not isinstance(
+                                    outcome.error, DEGRADABLE_ACCESS_ERRORS
+                                ):
+                                    raise outcome.error
+                                if not degrade:
+                                    raise outcome.error
+                                return fall_back(
+                                    windows,
+                                    consumed,
+                                    consumed,
+                                    {sources[j].name: str(outcome.error)},
+                                )
+                            fetched = outcome.value
+                            if tracer is not None:
+                                for object_id in ids:
+                                    tracer.record_random(
+                                        sources[j].name,
+                                        object_id,
+                                        fetched[object_id],
+                                    )
+                            probe_log.append((j, fetched))
+                            for object_id, grade in fetched.items():
+                                fresh_known[object_id][j] = grade
+                    for object_id, _ in fresh:
+                        known = fresh_known[object_id]
+                        grade = combine(tuple(known[j] for j in range(m)))
+                        overall_ids.append(object_id)
+                        overall_grades.append(grade)
+                        if len(best_k) < k:
+                            heapq.heappush(best_k, grade)
+                        elif grade > best_k[0]:
+                            heapq.heapreplace(best_k, grade)
+                if tracer is not None:
+                    tracer.sample("ta.tau", tau[row])
+                    if len(best_k) >= k:
+                        tracer.sample("ta.kth_grade", best_k[0])
+                if len(best_k) >= k and best_k[0] >= tau[row]:
+                    stop = True
+                    if tracer is not None:
+                        tracer.event("stop", tau=tau[row], kth=best_k[0])
+                    break
+            died: Dict[int, str] = {}
+            takers = [i for i in range(m) if min(consumed, lengths[i]) > 0]
+            consume_outcomes = fan_out(
+                executor,
+                [
+                    (
+                        lambda c=cursors[i], t=min(consumed, lengths[i]): (
+                            c.next_batch_columns(t)
+                        )
+                    )
+                    for i in takers
+                ],
+            )
+            for i, outcome in zip(takers, consume_outcomes):
+                if outcome.error is not None:
+                    if not isinstance(outcome.error, DEGRADABLE_ACCESS_ERRORS):
+                        raise outcome.error
+                    if not degrade:
+                        raise outcome.error
+                    died[i] = str(outcome.error)
+                    continue
+                depth = max(depth, cursors[i].position)
+            if died and not stop:
+                return fall_back(windows, 0, consumed, {}, dead=died)
+            for i in range(m):
+                rows_used = min(consumed, lengths[i])
+                if rows_used:
+                    sorted_log.append(
+                        (i, windows[i][0][:rows_used], windows[i][1][:rows_used])
+                    )
+
+    if overall_ids:
+        answers = GradedSet(
+            top_k_from_arrays(
+                overall_ids,
+                iter_str_keys(overall_ids),
+                _np.asarray(overall_grades, dtype=_np.float64),
+                k,
+            )
+        )
+    else:
+        answers = GradedSet()
+    return TopKResult(
+        answers=answers,
+        cost=meter.report(),
+        algorithm="threshold-ta",
+        sorted_depth=depth,
+    )
+
+
 def nra_top_k(
     sources: Sequence[GradedSource],
     scoring,
@@ -570,12 +1236,19 @@ def nra_top_k(
     batch_size: int = 4096,
     tracer=None,
     executor=None,
+    stop_check_growth: float = 2.0,
+    kernel: Optional[str] = None,
 ) -> TopKResult:
     """Top k answers using sorted access only (NRA).
 
     A thin wrapper over :func:`_nra_run` with fresh cursors and empty
     state; see there for the batching/stop-schedule mechanics and the
     behaviour when sorted streams die mid-run.
+
+    ``stop_check_growth`` controls the geometric stop-check schedule
+    (see :func:`_nra_run`); ``kernel`` selects the scalar or vectorized
+    implementation (``None`` = configured default, resolved by
+    :func:`repro.kernels.resolve_kernel`).
     """
     if k <= 0:
         raise ValueError(f"k must be positive, got {k}")
@@ -599,6 +1272,8 @@ def nra_top_k(
         batch_size=batch_size,
         tracer=tracer,
         executor=executor,
+        stop_check_growth=stop_check_growth,
+        kernel=resolve_kernel(kernel, sources, rule),
     )
 
 
@@ -611,6 +1286,7 @@ def combined_top_k(
     require_monotone: bool = True,
     tracer=None,
     executor=None,
+    kernel: Optional[str] = None,
 ) -> TopKResult:
     """Top k answers via the combined algorithm (CA).
 
@@ -631,6 +1307,10 @@ def combined_top_k(
     rule = as_scoring_function(scoring)
     if require_monotone:
         _require_monotone(rule, "CA")
+    if resolve_kernel(kernel, sources, rule) == "vector":
+        return _combined_top_k_vector(
+            sources, rule, k, ratio=ratio, tracer=tracer, executor=executor
+        )
     database_size = check_same_objects(sources)
     k = min(k, database_size)
     m = len(sources)
@@ -749,6 +1429,155 @@ def combined_top_k(
                     if object_id not in complete:
                         record_complete(
                             object_id, rule([state.known[j] for j in range(m)])
+                        )
+                break
+
+    return TopKResult(
+        answers=GradedSet(complete).top(k),
+        cost=meter.report(),
+        algorithm="combined-ca",
+        sorted_depth=depth,
+    )
+
+
+def _combined_top_k_vector(
+    sources: Sequence[GradedSource],
+    rule: ScoringFunction,
+    k: int,
+    *,
+    ratio: float = 8.0,
+    tracer=None,
+    executor=None,
+) -> TopKResult:
+    """Columnar CA: :func:`combined_top_k` with the per-object
+    bookkeeping in a :class:`~repro.kernels.GradeMatrix`.
+
+    CA's sorted rounds are inherently one item per list (the resolution
+    budget is metered per round), so the round loop stays; what gets
+    vectorized is the O(seen * m) work — the stop test and the
+    best-incomplete selection scan every seen object's upper bound,
+    which here become single ``combine_matrix`` folds plus an argmax.
+    Scalar iteration order (dict insertion order) equals matrix row
+    order, so "first strict maximum" resolves the same object and the
+    stop decisions are byte-identical.
+    """
+    database_size = check_same_objects(sources)
+    k = min(k, database_size)
+    m = len(sources)
+    meter = CostMeter(sources)
+
+    cursors = [s.cursor() for s in sources]
+    exhausted = [False] * m
+    bottoms = [1.0] * m
+    matrix = GradeMatrix(m)
+    complete: Dict[ObjectId, float] = {}
+    best_k: List[float] = []
+    resolve_every = max(1, int(ratio))
+    depth = 0
+    rounds = 0
+    next_check = 1
+    combine = rule._combine
+
+    def record_complete(object_id: ObjectId, grade: float) -> None:
+        complete[object_id] = grade
+        if len(best_k) < k:
+            heapq.heappush(best_k, grade)
+        elif grade > best_k[0]:
+            heapq.heapreplace(best_k, grade)
+
+    def resolve_best_incomplete() -> None:
+        incomplete_rows = _np.nonzero(~matrix.complete_mask())[0]
+        if not incomplete_rows.size:
+            return
+        upper = matrix.upper_bounds(rule, bottoms)
+        # argmax = first occurrence of the maximum, in row (= insertion)
+        # order — the same object the scalar strict-max scan picks.
+        best_row = int(incomplete_rows[int(_np.argmax(upper[incomplete_rows]))])
+        best_id = matrix.ids[best_row]
+        row_values = matrix.known()[best_row]
+        missing = [j for j in range(m) if row_values[j] != row_values[j]]
+        probe_outcomes = fan_out(
+            executor,
+            [
+                (lambda s=sources[j], o=best_id: s.random_access(o))
+                for j in missing
+            ],
+            stop_on_error=True,
+        )
+        for j, outcome in zip(missing, probe_outcomes):
+            if not outcome.ran:
+                break
+            if outcome.error is not None:
+                raise outcome.error
+            row_values[j] = outcome.value
+            if tracer is not None:
+                tracer.record_random(sources[j].name, best_id, outcome.value)
+        record_complete(best_id, combine(tuple(row_values.tolist())))
+
+    def should_stop() -> bool:
+        if len(best_k) < k:
+            return False
+        kth = best_k[0]
+        if matrix.count < database_size and rule(bottoms) > kth:
+            return False
+        incomplete = ~matrix.complete_mask()
+        if incomplete.any():
+            upper = matrix.upper_bounds(rule, bottoms)
+            if float(upper[incomplete].max()) > kth:
+                return False
+        return True
+
+    with nullcontext() if tracer is None else tracer.phase("ca"):
+        while True:
+            progressed = False
+            active = [i for i in range(m) if not exhausted[i]]
+            round_outcomes = fan_out(
+                executor,
+                [(lambda c=cursors[i]: c.next()) for i in active],
+                stop_on_error=True,
+            )
+            for i, outcome in zip(active, round_outcomes):
+                if not outcome.ran:
+                    break
+                if outcome.error is not None:
+                    raise outcome.error
+                item = outcome.value
+                cursor = cursors[i]
+                if item is None:
+                    exhausted[i] = True
+                    bottoms[i] = 0.0
+                    continue
+                progressed = True
+                if tracer is not None:
+                    tracer.record_sorted(
+                        sources[i].name,
+                        item.object_id,
+                        item.grade,
+                        position=cursor.position,
+                    )
+                bottoms[i] = item.grade
+                depth = max(depth, cursor.position)
+                object_id = item.object_id
+                row = matrix.row_of(object_id)
+                values = matrix.known()[row]
+                values[i] = item.grade
+                if object_id not in complete and not _np.isnan(values).any():
+                    record_complete(object_id, combine(tuple(values.tolist())))
+            rounds += 1
+            if rounds % resolve_every == 0:
+                resolve_best_incomplete()
+            if rounds >= next_check or not progressed:
+                if should_stop():
+                    break
+                next_check = rounds * 2
+            if not progressed:
+                # Lists exhausted: every grade known via sorted access.
+                known = matrix.known()
+                for row in range(matrix.count):
+                    object_id = matrix.ids[row]
+                    if object_id not in complete:
+                        record_complete(
+                            object_id, combine(tuple(known[row].tolist()))
                         )
                 break
 

@@ -1,0 +1,252 @@
+"""Vectorized columnar kernels for the algorithm hot loops.
+
+The paper's algorithms (section 4) are bulk-synchronous: each round
+performs m accesses and then re-evaluates bounds over everything seen so
+far.  The scalar implementations keep that per-object state in
+``_NraState`` dicts and score through ``ScoringFunction.__call__`` one
+tuple at a time — O(seen * m) Python-level work per stop check.  This
+module provides the columnar alternative: seen objects live in an
+``[n_seen, m]`` float64 matrix (NaN marks a grade not yet learned), and
+each stop check is a handful of numpy array operations via
+``ScoringFunction.combine_matrix``.
+
+Kernel selection
+----------------
+Three kernel names, resolved by :func:`resolve_kernel`:
+
+``scalar``
+    The original per-object code path.  Always available.
+``vector``
+    The numpy fast path.  Forcing it requires numpy; it works over any
+    source (item-based fallbacks keep wrapper accounting intact).
+``auto`` (the default)
+    Picks ``vector`` exactly when it is both profitable and provably
+    byte-identical: numpy importable, every source columnar
+    (``supports_columnar``, i.e. a bare :class:`ArraySource`), and the
+    rule natively batch-capable *and* batch-exact
+    (:attr:`ScoringFunction.batch_exact`).  Otherwise ``scalar``.
+
+Determinism contract
+--------------------
+The vector kernel is not "approximately" the scalar kernel: for
+batch-exact rules it folds the same IEEE-754 operations in the same
+order, orders answers with the same ``(-grade, str(object_id))`` key
+(via ``numpy.lexsort``), and performs sorted/random accesses in the same
+sequence — so answers, tie-breaks, charged access counts, traces, and
+degradation behavior are byte-identical.  The conformance suite
+(tests/core/test_kernel_conformance.py) enforces this differentially.
+
+:func:`configure_kernel` sets the process-wide default used when an
+algorithm is called without an explicit ``kernel=``; the engine and CLI
+(``--kernel``) layer per-query overrides on top.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.errors import ReproError
+
+try:  # numpy is optional: without it every kernel resolves to scalar
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on numpy-free installs
+    _np = None
+
+#: The kernel names accepted by ``configure_kernel`` / ``kernel=``.
+KERNEL_CHOICES = ("auto", "vector", "scalar")
+
+_default_kernel = "auto"
+
+
+def configure_kernel(kernel: str = "auto") -> str:
+    """Set the process-wide default kernel (``auto``/``vector``/``scalar``).
+
+    Returns the installed name.  ``vector`` raises immediately when numpy
+    is unavailable, rather than at first query.
+    """
+    global _default_kernel
+    name = _validate_name(kernel)
+    if name == "vector" and _np is None:  # pragma: no cover - numpy-free
+        raise ReproError("kernel 'vector' requires numpy, which is not installed")
+    _default_kernel = name
+    return name
+
+
+def default_kernel() -> str:
+    """The process-wide default kernel name."""
+    return _default_kernel
+
+
+def _validate_name(kernel: str) -> str:
+    if kernel not in KERNEL_CHOICES:
+        raise ReproError(
+            f"unknown kernel {kernel!r}; choose from {', '.join(KERNEL_CHOICES)}"
+        )
+    return kernel
+
+
+def resolve_kernel(kernel: Optional[str], sources: Sequence, rule) -> str:
+    """Resolve a kernel request to ``"vector"`` or ``"scalar"``.
+
+    ``kernel=None`` means "use the configured default".  ``auto`` picks
+    the vector kernel only when it is guaranteed byte-identical *and*
+    actually fast: numpy present, a natively batch-exact rule, and all
+    sources columnar.  Forcing ``vector`` bypasses the profitability
+    checks (item-based fallbacks still keep it correct) but requires
+    numpy.
+    """
+    name = _validate_name(kernel if kernel is not None else _default_kernel)
+    if name == "scalar":
+        return "scalar"
+    if name == "vector":
+        if _np is None:  # pragma: no cover - numpy-free installs
+            raise ReproError(
+                "kernel 'vector' requires numpy, which is not installed"
+            )
+        return "vector"
+    # auto
+    if _np is None:  # pragma: no cover - numpy-free installs
+        return "scalar"
+    if not (getattr(rule, "supports_batch", False) and getattr(rule, "batch_exact", False)):
+        return "scalar"
+    if not all(getattr(source, "supports_columnar", False) for source in sources):
+        return "scalar"
+    return "vector"
+
+
+class GradeMatrix:
+    """Columnar bookkeeping for seen objects: an [n_seen, m] grade matrix.
+
+    Rows are assigned in first-seen order (mirroring the scalar code's
+    dict-insertion order); NaN marks a grade not yet learned.  String
+    object-id keys are cached per row because every ordering in the
+    repo tie-breaks on ``str(object_id)`` ascending after grade
+    descending (``GradedItem._sort_key``).
+    """
+
+    __slots__ = ("m", "count", "ids", "_rows", "_strs", "_matrix", "_str_cache")
+
+    def __init__(self, m: int, capacity: int = 1024) -> None:
+        self.m = m
+        self.count = 0
+        self.ids: List = []
+        self._rows: Dict = {}
+        self._strs: List[str] = []
+        self._matrix = _np.full((max(capacity, 1), m), _np.nan)
+        self._str_cache = None
+
+    @classmethod
+    def from_states(cls, states: Dict, m: int) -> "GradeMatrix":
+        """Build a matrix from scalar ``_NraState`` bookkeeping (the
+        degradation hand-off path), preserving insertion order."""
+        matrix = cls(m, capacity=max(len(states), 16))
+        for object_id, state in states.items():
+            row = matrix.row_of(object_id)
+            for column, grade in state.known.items():
+                matrix._matrix[row, column] = grade
+        return matrix
+
+    def _ensure(self, needed: int) -> None:
+        capacity = self._matrix.shape[0]
+        if needed <= capacity:
+            return
+        grown = _np.full((max(needed, capacity * 2), self.m), _np.nan)
+        grown[: self.count] = self._matrix[: self.count]
+        self._matrix = grown
+
+    def row_of(self, object_id) -> int:
+        """The row for ``object_id``, assigning the next one if unseen."""
+        row = self._rows.get(object_id)
+        if row is None:
+            row = self.count
+            self._rows[object_id] = row
+            self.ids.append(object_id)
+            self._strs.append(str(object_id))
+            self._ensure(row + 1)
+            self.count = row + 1
+            self._str_cache = None
+        return row
+
+    def __contains__(self, object_id) -> bool:
+        return object_id in self._rows
+
+    def set_grade(self, object_id, column: int, grade: float) -> None:
+        # Resolve the row BEFORE indexing: row_of may reallocate _matrix.
+        row = self.row_of(object_id)
+        self._matrix[row, column] = grade
+
+    def add_column_batch(self, column: int, ids: Sequence, grades) -> None:
+        """Record a sorted-access batch: ``grades[i]`` for ``ids[i]`` in
+        list ``column``.  Row creation follows delivery order."""
+        row_of = self.row_of
+        rows = _np.fromiter(
+            (row_of(object_id) for object_id in ids),
+            dtype=_np.intp,
+            count=len(ids),
+        )
+        self._matrix[rows, column] = grades
+
+    def known(self):
+        """The live [count, m] view of the grade matrix."""
+        return self._matrix[: self.count]
+
+    def row(self, object_id):
+        return self._matrix[self._rows[object_id]]
+
+    def str_keys(self):
+        """``str(object_id)`` per row, as a numpy array (cached)."""
+        if self._str_cache is None or len(self._str_cache) != self.count:
+            self._str_cache = _np.asarray(self._strs[: self.count])
+        return self._str_cache
+
+    def lower_bounds(self, rule):
+        """Vectorized ``_NraState.lower``: missing grades pinned to 0."""
+        known = self.known()
+        return rule.combine_matrix(_np.where(_np.isnan(known), 0.0, known))
+
+    def upper_bounds(self, rule, bottoms: Sequence[float]):
+        """Vectorized ``_NraState.upper``: missing grades pinned to the
+        per-list bottom grades (the best an unseen entry can still be)."""
+        known = self.known()
+        fill = _np.asarray(bottoms, dtype=_np.float64)
+        return rule.combine_matrix(_np.where(_np.isnan(known), fill, known))
+
+    def complete_mask(self):
+        """True per row when every grade is known."""
+        return ~_np.isnan(self.known()).any(axis=1)
+
+    def top_order(self, scores):
+        """Row indices sorted by the repo's canonical answer order:
+        grade descending, then ``str(object_id)`` ascending — exactly
+        ``GradedItem._sort_key``."""
+        return _np.lexsort((self.str_keys(), -scores))
+
+    def flush_to_states(self, states: Dict, state_factory) -> None:
+        """Write learned grades back into scalar ``_NraState`` dicts (the
+        reverse hand-off, used when the caller keeps dict state — e.g.
+        A0's ``_known`` after degrading to NRA).  New objects are
+        appended in row order, which is delivery order."""
+        for row, object_id in enumerate(self.ids):
+            state = states.get(object_id)
+            if state is None:
+                state = states[object_id] = state_factory()
+            known = state.known
+            values = self._matrix[row]
+            for column in range(self.m):
+                value = values[column]
+                if value == value:  # not NaN
+                    known[column] = float(value)
+
+
+def top_k_from_arrays(ids: Sequence, str_ids, grades, k: int) -> List:
+    """The k best ``(object_id, grade)`` pairs under the canonical
+    ``(-grade, str(object_id))`` order, via one lexsort — the vectorized
+    equivalent of ``GradedSet(...).top(k)``."""
+    order = _np.lexsort((str_ids, -grades))[:k]
+    values = grades[order].tolist()
+    return [(ids[row], values[i]) for i, row in enumerate(order.tolist())]
+
+
+def iter_str_keys(ids: Iterable) -> "object":
+    """``str()`` per object id, as a numpy array."""
+    return _np.asarray([str(object_id) for object_id in ids])

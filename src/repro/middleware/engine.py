@@ -104,6 +104,9 @@ class MiddlewareEngine:
         #: session-level ParallelAccessExecutor set by
         #: configure_parallelism; None means the classic serial path.
         self._executor: Optional[ParallelAccessExecutor] = None
+        #: session-level kernel choice set by configure_kernel; None
+        #: defers to the process-wide default in :mod:`repro.kernels`.
+        self._kernel: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Observability
@@ -159,6 +162,33 @@ class MiddlewareEngine:
     def executor(self) -> Optional[ParallelAccessExecutor]:
         """The session-level access executor, or None for serial."""
         return self._executor
+
+    # ------------------------------------------------------------------
+    # Kernel selection
+    # ------------------------------------------------------------------
+    def configure_kernel(self, kernel: Optional[str] = "auto") -> Optional[str]:
+        """Install the session-level scoring kernel.
+
+        ``"auto"`` (the default) picks the vectorized numpy kernel per
+        query whenever it is provably byte-identical to the scalar path;
+        ``"vector"`` forces it (requires numpy); ``"scalar"`` forces the
+        classic per-object loops; ``None`` clears the session setting so
+        queries fall back to the process-wide default
+        (:func:`repro.kernels.configure_kernel`).  Returns the installed
+        name.  See :mod:`repro.kernels` for the selection rules and the
+        determinism contract.
+        """
+        if kernel is not None:
+            from repro.kernels import _validate_name
+
+            _validate_name(kernel)
+        self._kernel = kernel
+        return kernel
+
+    @property
+    def kernel(self) -> Optional[str]:
+        """The session-level kernel name, or None for the global default."""
+        return self._kernel
 
     def _executor_for(self, max_workers: Optional[int]):
         """Resolve one query's executor: per-query override or session.
@@ -302,6 +332,7 @@ class MiddlewareEngine:
         prefer: Optional[Strategy] = None,
         tracer=None,
         max_workers: Optional[int] = None,
+        kernel: Optional[str] = None,
     ) -> TopKResult:
         """The top k answers to a query, with their grades and cost.
 
@@ -309,16 +340,18 @@ class MiddlewareEngine:
         :meth:`configure_observability` for this one query; with neither,
         the query runs with zero instrumentation overhead.
         ``max_workers`` likewise overrides the session parallelism
-        (:meth:`configure_parallelism`) for this one query.
+        (:meth:`configure_parallelism`) for this one query, and
+        ``kernel`` the session kernel (:meth:`configure_kernel`).
         """
         tracer = tracer if tracer is not None else self._tracer
+        kernel = kernel if kernel is not None else self._kernel
         executor, transient = self._executor_for(max_workers)
         sources = self.bind_all(query)
         compiled = self._compile(query)
         try:
             if tracer is None:
                 plan = plan_top_k(sources, compiled, k, prefer=prefer)
-                result = execute(plan, sources, executor=executor)
+                result = execute(plan, sources, executor=executor, kernel=kernel)
             else:
                 from repro.observability.tracer import attach_resilience_observers
 
@@ -332,7 +365,13 @@ class MiddlewareEngine:
                         estimated_cost=plan.estimated_cost,
                         k=plan.k,
                     )
-                    result = execute(plan, sources, tracer=tracer, executor=executor)
+                    result = execute(
+                        plan,
+                        sources,
+                        tracer=tracer,
+                        executor=executor,
+                        kernel=kernel,
+                    )
         finally:
             if transient and executor is not None:
                 executor.shutdown()
@@ -365,19 +404,26 @@ class MiddlewareEngine:
         if not run:
             return explain_report(str(query), plan, sources)
         tracer = QueryTracer()
-        result = execute(plan, sources, tracer=tracer)
+        result = execute(plan, sources, tracer=tracer, kernel=self._kernel)
         return explain_report(
             str(query), plan, sources, result=result, tracer=tracer
         )
 
-    def open_query(self, query: Query, *, tracer=None) -> "QueryHandle":
+    def open_query(
+        self, query: Query, *, tracer=None, kernel: Optional[str] = None
+    ) -> "QueryHandle":
         """A resumable handle: fetch the top k, then the next k, etc."""
         tracer = tracer if tracer is not None else self._tracer
+        kernel = kernel if kernel is not None else self._kernel
         sources = self.bind_all(query)
         compiled = self._compile(query)
         return QueryHandle(
             FaginAlgorithm(
-                sources, compiled, tracer=tracer, executor=self._executor
+                sources,
+                compiled,
+                tracer=tracer,
+                executor=self._executor,
+                kernel=kernel,
             ),
             sources,
         )

@@ -18,7 +18,7 @@ algorithm of section 4.1 exists (see :mod:`repro.core.disjunction`).
 
 from __future__ import annotations
 
-from repro.scoring.base import BinaryScoringFunction
+from repro.scoring.base import BinaryScoringFunction, _np
 from repro.scoring.tnorms import (
     DrasticTNorm,
     EinsteinTNorm,
@@ -35,9 +35,13 @@ class MaximumConorm(BinaryScoringFunction):
 
     name = "max"
     is_strict = False
+    _batch_exact = True
 
     def pair(self, a: float, b: float) -> float:
         return a if a >= b else b
+
+    def pair_matrix(self, a, b):
+        return _np.maximum(a, b)
 
 
 class ProbabilisticSumConorm(BinaryScoringFunction):
@@ -45,8 +49,12 @@ class ProbabilisticSumConorm(BinaryScoringFunction):
 
     name = "probabilistic-sum"
     is_strict = False
+    _batch_exact = True
 
     def pair(self, a: float, b: float) -> float:
+        return a + b - a * b
+
+    def pair_matrix(self, a, b):
         return a + b - a * b
 
 
@@ -55,9 +63,13 @@ class BoundedSumConorm(BinaryScoringFunction):
 
     name = "bounded-sum"
     is_strict = False
+    _batch_exact = True
 
     def pair(self, a: float, b: float) -> float:
         return min(1.0, a + b)
+
+    def pair_matrix(self, a, b):
+        return _np.minimum(1.0, a + b)
 
 
 class DrasticConorm(BinaryScoringFunction):
@@ -65,6 +77,7 @@ class DrasticConorm(BinaryScoringFunction):
 
     name = "drastic-conorm"
     is_strict = False
+    _batch_exact = True
 
     def pair(self, a: float, b: float) -> float:
         if a == 0.0:
@@ -72,6 +85,9 @@ class DrasticConorm(BinaryScoringFunction):
         if b == 0.0:
             return a
         return 1.0
+
+    def pair_matrix(self, a, b):
+        return _np.where(a == 0.0, b, _np.where(b == 0.0, a, 1.0))
 
 
 class DualConorm(BinaryScoringFunction):
@@ -86,6 +102,11 @@ class DualConorm(BinaryScoringFunction):
     def __init__(self, tnorm: BinaryScoringFunction) -> None:
         self._tnorm = tnorm
         self.name = f"dual({tnorm.name})"
+        inner = getattr(tnorm, "pair_matrix", None)
+        if inner is not None:
+            # Instance-level vectorized form; exact iff the norm's is.
+            self.pair_matrix = lambda a, b: 1.0 - inner(1.0 - a, 1.0 - b)
+            self._batch_exact = tnorm.batch_exact
 
     def pair(self, a: float, b: float) -> float:
         return 1.0 - self._tnorm.pair(1.0 - a, 1.0 - b)

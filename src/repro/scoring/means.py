@@ -20,7 +20,7 @@ import math
 from typing import Optional, Sequence
 
 from repro.errors import WeightingError
-from repro.scoring.base import ScoringFunction
+from repro.scoring.base import ScoringFunction, _np
 
 
 def _normalized_weights(weights: Sequence[float], arity: int) -> tuple:
@@ -42,9 +42,18 @@ class ArithmeticMean(ScoringFunction):
 
     name = "mean"
     is_strict = True
+    _batch_exact = True
 
     def _combine(self, grades: tuple) -> float:
         return sum(grades) / len(grades)
+
+    def _combine_matrix(self, matrix):
+        # Column-by-column fold: same additions in the same order as
+        # the scalar sum(), so the result is bit-identical.
+        total = matrix[:, 0].copy()
+        for column in range(1, matrix.shape[1]):
+            total += matrix[:, column]
+        return total / matrix.shape[1]
 
 
 class GeometricMean(ScoringFunction):
@@ -58,17 +67,40 @@ class GeometricMean(ScoringFunction):
             return 0.0
         return math.exp(sum(math.log(g) for g in grades) / len(grades))
 
+    # log/exp go through numpy's SIMD routines, which are not
+    # ulp-identical to libm — native but not batch-exact.
+    def _combine_matrix(self, matrix):
+        zero = (matrix == 0.0).any(axis=1)
+        safe = _np.where(matrix == 0.0, 1.0, matrix)
+        total = _np.log(safe[:, 0])
+        for column in range(1, matrix.shape[1]):
+            total += _np.log(safe[:, column])
+        out = _np.exp(total / matrix.shape[1])
+        out[zero] = 0.0
+        return out
+
 
 class HarmonicMean(ScoringFunction):
     """Unweighted harmonic mean (0 when any grade is 0)."""
 
     name = "harmonic-mean"
     is_strict = True
+    _batch_exact = True
 
     def _combine(self, grades: tuple) -> float:
         if any(g == 0.0 for g in grades):
             return 0.0
         return len(grades) / sum(1.0 / g for g in grades)
+
+    def _combine_matrix(self, matrix):
+        zero = (matrix == 0.0).any(axis=1)
+        safe = _np.where(matrix == 0.0, 1.0, matrix)
+        total = 1.0 / safe[:, 0]
+        for column in range(1, matrix.shape[1]):
+            total += 1.0 / safe[:, column]
+        out = matrix.shape[1] / total
+        out[zero] = 0.0
+        return out
 
 
 class PowerMean(ScoringFunction):
@@ -95,6 +127,21 @@ class PowerMean(ScoringFunction):
         total = sum(g**self.p for g in grades) / len(grades)
         return min(1.0, total ** (1.0 / self.p))
 
+    def _combine_matrix(self, matrix):
+        if self.p < 0:
+            zero = (matrix < 1e-9).any(axis=1)
+            safe = _np.where(matrix < 1e-9, 1.0, matrix)
+        else:
+            zero = None
+            safe = matrix
+        total = safe[:, 0] ** self.p
+        for column in range(1, matrix.shape[1]):
+            total = total + safe[:, column] ** self.p
+        out = _np.minimum(1.0, (total / matrix.shape[1]) ** (1.0 / self.p))
+        if zero is not None:
+            out[zero] = 0.0
+        return out
+
 
 class WeightedArithmeticMean(ScoringFunction):
     """Fixed-weight arithmetic mean ``sum(theta_i * x_i)``.
@@ -113,6 +160,8 @@ class WeightedArithmeticMean(ScoringFunction):
         self.is_strict = all(w > 0 for w in self.weights)
         self.name = f"weighted-mean({', '.join(f'{w:.3g}' for w in self.weights)})"
 
+    _batch_exact = True
+
     def _combine(self, grades: tuple) -> float:
         if len(grades) != len(self.weights):
             raise WeightingError(
@@ -120,6 +169,17 @@ class WeightedArithmeticMean(ScoringFunction):
                 f"got {len(grades)}"
             )
         return sum(w * g for w, g in zip(self.weights, grades))
+
+    def _combine_matrix(self, matrix):
+        if matrix.shape[1] != len(self.weights):
+            raise WeightingError(
+                f"{self.name}: expected {len(self.weights)} grades, "
+                f"got {matrix.shape[1]}"
+            )
+        total = self.weights[0] * matrix[:, 0]
+        for column in range(1, matrix.shape[1]):
+            total += self.weights[column] * matrix[:, column]
+        return total
 
 
 class MedianScoring(ScoringFunction):
@@ -132,6 +192,7 @@ class MedianScoring(ScoringFunction):
 
     name = "median"
     is_strict = False
+    _batch_exact = True
 
     def _combine(self, grades: tuple) -> float:
         ordered = sorted(grades)
@@ -140,6 +201,14 @@ class MedianScoring(ScoringFunction):
         if n % 2 == 1:
             return ordered[mid]
         return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+    def _combine_matrix(self, matrix):
+        ordered = _np.sort(matrix, axis=1)
+        n = matrix.shape[1]
+        mid = n // 2
+        if n % 2 == 1:
+            return ordered[:, mid].copy()
+        return (ordered[:, mid - 1] + ordered[:, mid]) / 2.0
 
 
 MEAN = ArithmeticMean()

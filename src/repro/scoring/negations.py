@@ -10,7 +10,13 @@ parametric examples.
 
 from __future__ import annotations
 
+from repro.errors import GradeError
 from repro.grades import validate_grade
+
+try:  # numpy is optional; scalar negation never needs it
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on numpy-free installs
+    _np = None
 
 
 class Negation:
@@ -23,6 +29,39 @@ class Negation:
 
     def _negate(self, grade: float) -> float:
         raise NotImplementedError
+
+    def negate_matrix(self, grades):
+        """Batch form of ``__call__`` over a float64 array of any shape.
+
+        Families with closed-form array rules override ``_negate_matrix``;
+        the base implementation loops the scalar rule, so every negation
+        supports the API.
+        """
+        if _np is None:  # pragma: no cover - exercised on numpy-free installs
+            raise GradeError(f"{self.name}: negate_matrix requires numpy")
+        values = _np.asarray(grades, dtype=_np.float64)
+        if values.size and (
+            not _np.isfinite(values).all()
+            or values.min() < 0.0
+            or values.max() > 1.0
+        ):
+            raise GradeError(f"{self.name}: batch grades must lie in [0, 1]")
+        result = _np.asarray(self._negate_matrix(values), dtype=_np.float64)
+        if result.size and (
+            not _np.isfinite(result).all()
+            or result.min() < 0.0
+            or result.max() > 1.0
+        ):
+            raise GradeError(f"{self.name}: negation left [0, 1]")
+        return result
+
+    def _negate_matrix(self, values):
+        negate = self._negate
+        flat = values.reshape(-1).tolist()
+        out = _np.fromiter(
+            (negate(v) for v in flat), dtype=_np.float64, count=len(flat)
+        )
+        return out.reshape(values.shape)
 
     def is_involution(self, samples: int = 101, tol: float = 1e-9) -> bool:
         """Empirically check ``n(n(x)) == x`` on an even grid."""
@@ -44,6 +83,9 @@ class StandardNegation(Negation):
     def _negate(self, grade: float) -> float:
         return 1.0 - grade
 
+    def _negate_matrix(self, values):
+        return 1.0 - values
+
 
 class SugenoNegation(Negation):
     """Sugeno family: ``n(x) = (1 - x) / (1 + lam * x)`` with ``lam > -1``.
@@ -61,6 +103,9 @@ class SugenoNegation(Negation):
     def _negate(self, grade: float) -> float:
         return (1.0 - grade) / (1.0 + self.lam * grade)
 
+    def _negate_matrix(self, values):
+        return (1.0 - values) / (1.0 + self.lam * values)
+
 
 class YagerNegation(Negation):
     """Yager family: ``n(x) = (1 - x^w)^(1/w)`` with ``w > 0``.
@@ -76,6 +121,9 @@ class YagerNegation(Negation):
 
     def _negate(self, grade: float) -> float:
         return (1.0 - grade**self.w) ** (1.0 / self.w)
+
+    def _negate_matrix(self, values):
+        return _np.maximum(0.0, 1.0 - values**self.w) ** (1.0 / self.w)
 
 
 STANDARD = StandardNegation()

@@ -29,7 +29,7 @@ from __future__ import annotations
 from typing import Sequence, Tuple
 
 from repro.errors import WeightingError
-from repro.scoring.base import ScoringFunction
+from repro.scoring.base import ScoringFunction, _np
 from repro.scoring.weighted import validate_weighting
 
 
@@ -55,6 +55,20 @@ class OwaScoring(ScoringFunction):
             )
         ordered = sorted(grades, reverse=True)
         return sum(w * g for w, g in zip(self.weights, ordered))
+
+    _batch_exact = True
+
+    def _combine_matrix(self, matrix):
+        if matrix.shape[1] != len(self.weights):
+            raise WeightingError(
+                f"{self.name}: expected {len(self.weights)} grades, "
+                f"got {matrix.shape[1]}"
+            )
+        ordered = _np.sort(matrix, axis=1)[:, ::-1]
+        total = self.weights[0] * ordered[:, 0]
+        for column in range(1, matrix.shape[1]):
+            total += self.weights[column] * ordered[:, column]
+        return total
 
 
 def owa_min(m: int) -> OwaScoring:

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import math
 
-from repro.scoring.base import BinaryScoringFunction
+from repro.scoring.base import BinaryScoringFunction, _np
 
 
 class MinimumTNorm(BinaryScoringFunction):
@@ -32,9 +32,13 @@ class MinimumTNorm(BinaryScoringFunction):
 
     name = "min"
     is_strict = True
+    _batch_exact = True
 
     def pair(self, a: float, b: float) -> float:
         return a if a <= b else b
+
+    def pair_matrix(self, a, b):
+        return _np.minimum(a, b)
 
 
 class ProductTNorm(BinaryScoringFunction):
@@ -42,8 +46,12 @@ class ProductTNorm(BinaryScoringFunction):
 
     name = "product"
     is_strict = True
+    _batch_exact = True
 
     def pair(self, a: float, b: float) -> float:
+        return a * b
+
+    def pair_matrix(self, a, b):
         return a * b
 
 
@@ -57,9 +65,13 @@ class LukasiewiczTNorm(BinaryScoringFunction):
 
     name = "lukasiewicz"
     is_strict = True
+    _batch_exact = True
 
     def pair(self, a: float, b: float) -> float:
         return max(0.0, a + b - 1.0)
+
+    def pair_matrix(self, a, b):
+        return _np.maximum(0.0, a + b - 1.0)
 
 
 class DrasticTNorm(BinaryScoringFunction):
@@ -70,6 +82,7 @@ class DrasticTNorm(BinaryScoringFunction):
 
     name = "drastic"
     is_strict = True
+    _batch_exact = True
 
     def pair(self, a: float, b: float) -> float:
         if b == 1.0:
@@ -77,6 +90,9 @@ class DrasticTNorm(BinaryScoringFunction):
         if a == 1.0:
             return b
         return 0.0
+
+    def pair_matrix(self, a, b):
+        return _np.where(b == 1.0, a, _np.where(a == 1.0, b, 0.0))
 
 
 class HamacherTNorm(BinaryScoringFunction):
@@ -93,6 +109,8 @@ class HamacherTNorm(BinaryScoringFunction):
         self.name = f"hamacher(p={p:g})"
         self.is_strict = True
 
+    _batch_exact = True
+
     def pair(self, a: float, b: float) -> float:
         denom = self.p + (1.0 - self.p) * (a + b - a * b)
         if denom == 0.0:
@@ -100,14 +118,24 @@ class HamacherTNorm(BinaryScoringFunction):
             return 0.0
         return (a * b) / denom
 
+    def pair_matrix(self, a, b):
+        denom = self.p + (1.0 - self.p) * (a + b - a * b)
+        with _np.errstate(divide="ignore", invalid="ignore"):
+            out = (a * b) / denom
+        return _np.where(denom == 0.0, 0.0, out)
+
 
 class EinsteinTNorm(BinaryScoringFunction):
     """Einstein product: ``t(a,b) = ab / (1 + (1-a)(1-b))``."""
 
     name = "einstein"
     is_strict = True
+    _batch_exact = True
 
     def pair(self, a: float, b: float) -> float:
+        return (a * b) / (1.0 + (1.0 - a) * (1.0 - b))
+
+    def pair_matrix(self, a, b):
         return (a * b) / (1.0 + (1.0 - a) * (1.0 - b))
 
 
@@ -127,6 +155,12 @@ class YagerTNorm(BinaryScoringFunction):
     def pair(self, a: float, b: float) -> float:
         s = (1.0 - a) ** self.w + (1.0 - b) ** self.w
         return max(0.0, 1.0 - s ** (1.0 / self.w))
+
+    # numpy's vectorized pow is not ulp-identical to math.pow, so this
+    # native form stays _batch_exact = False (1e-12 agreement only).
+    def pair_matrix(self, a, b):
+        s = (1.0 - a) ** self.w + (1.0 - b) ** self.w
+        return _np.maximum(0.0, 1.0 - s ** (1.0 / self.w))
 
 
 class FrankTNorm(BinaryScoringFunction):
@@ -149,6 +183,13 @@ class FrankTNorm(BinaryScoringFunction):
         # Guard tiny negative drift from floating point before the log.
         value = max(value, 1e-300)
         return min(1.0, max(0.0, math.log(value, s)))
+
+    def pair_matrix(self, a, b):
+        s = self.s
+        value = 1.0 + (s**a - 1.0) * (s**b - 1.0) / (s - 1.0)
+        value = _np.maximum(value, 1e-300)
+        logs = _np.log(value) / math.log(s)
+        return _np.minimum(1.0, _np.maximum(0.0, logs))
 
 
 class SchweizerSklarTNorm(BinaryScoringFunction):
@@ -176,6 +217,11 @@ class SchweizerSklarTNorm(BinaryScoringFunction):
         if base <= 0.0:
             return 0.0
         return base ** (1.0 / self.p)
+
+    def pair_matrix(self, a, b):
+        base = a**self.p + b**self.p - 1.0
+        powed = _np.maximum(base, 0.0) ** (1.0 / self.p)
+        return _np.where(b == 1.0, a, _np.where(a == 1.0, b, powed))
 
 
 #: Singleton instances for the parameter-free norms.

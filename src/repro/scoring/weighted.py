@@ -37,7 +37,7 @@ from __future__ import annotations
 from typing import Sequence, Tuple
 
 from repro.errors import WeightingError
-from repro.scoring.base import ScoringFunction, as_scoring_function
+from repro.scoring.base import ScoringFunction, _np, as_scoring_function
 
 
 def validate_weighting(weights: Sequence[float], *, tol: float = 1e-9) -> Tuple[float, ...]:
@@ -125,9 +125,34 @@ class WeightedScoring(ScoringFunction):
         self.is_strict = self.base.is_strict and all(w > 0 for w in self.weights)
         pretty = ", ".join(f"{w:.3g}" for w in self.weights)
         self.name = f"weighted[{self.base.name}]({pretty})"
+        # Batch evaluation is exact iff every prefix call to the base
+        # rule is; the formula's own arithmetic mirrors the scalar fold.
+        self._batch_exact = self.base.batch_exact
 
     def _combine(self, grades: tuple) -> float:
         return weighted_score(self.base, self.weights, grades)
+
+    def _combine_matrix(self, matrix):
+        if matrix.shape[1] != len(self.weights):
+            raise WeightingError(
+                f"weighting has {len(self.weights)} entries but "
+                f"{matrix.shape[1]} grades given"
+            )
+        # Re-run the exact normalization/ordering weighted_score performs
+        # so coefficients match the scalar path bit for bit.
+        theta = validate_weighting(self.weights)
+        order = sorted(range(len(theta)), key=lambda i: -theta[i])
+        theta_sorted = tuple(theta[i] for i in order)
+        columns = matrix[:, order]
+        total = None
+        m = len(theta_sorted)
+        for i in range(1, m + 1):
+            theta_next = theta_sorted[i] if i < m else 0.0
+            coefficient = i * (theta_sorted[i - 1] - theta_next)
+            if coefficient != 0.0:
+                term = coefficient * self.base.combine_matrix(columns[:, :i])
+                total = term if total is None else total + term
+        return _np.minimum(1.0, _np.maximum(0.0, total))
 
 
 def uniform_weighting(m: int) -> Tuple[float, ...]:

@@ -1,0 +1,459 @@
+"""Differential conformance for the vectorized kernels (repro.kernels).
+
+The contract: for batch-exact rules the vector kernel is byte-identical
+to the scalar kernel — same answers, same tie-breaks, same charged
+access counts, same traces, same degradation behavior — at every
+algorithm, over both columnar (ArraySource) and item-based (ListSource)
+backends, serial and parallel.  Hypothesis drives the differential
+runs; deterministic tests pin down kernel resolution, the engine/CLI
+plumbing, degradation parity, and the ``stop_check_growth`` schedule.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fagin import FaginAlgorithm, fagin_top_k
+from repro.core.naive import naive_top_k
+from repro.core.sources import ListSource, sources_from_columns
+from repro.core.threshold import combined_top_k, nra_top_k, threshold_top_k
+from repro.errors import ReproError
+from repro.kernels import configure_kernel, default_kernel, resolve_kernel
+from repro.middleware.faults import FaultInjectingSource, FaultProfile
+from repro.middleware.resilience import VirtualClock
+from repro.observability import QueryTracer
+from repro.parallel import ParallelAccessExecutor
+from repro.scoring import means, tnorms
+from repro.scoring.owa import owa_mean
+from repro.scoring.weighted import WeightedScoring
+from repro.workloads.graded_lists import independent
+
+GRADE_LEVELS = (0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0)
+
+
+@st.composite
+def graded_databases(draw, min_m=1, max_m=3, max_n=16):
+    """A small database as ``(grades_by_object, m)`` with clustered grade
+    levels so ties (the tricky case for ordering parity) are common."""
+    m = draw(st.integers(min_value=min_m, max_value=max_m))
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    rows = draw(
+        st.lists(
+            st.tuples(*(st.sampled_from(GRADE_LEVELS),) * m),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    return {f"o{i:02d}": list(row) for i, row in enumerate(rows)}, m
+
+
+def pick_rule(m, index):
+    """Batch-exact rules only: the byte-identity contract applies to
+    these (pow/log rules agree to 1e-12 and are excluded from auto)."""
+    weights = ((1.0,), (0.7, 0.3), (0.5, 0.3, 0.2))[m - 1]
+    rules = (
+        tnorms.MIN,
+        tnorms.PRODUCT,
+        means.MEAN,
+        owa_mean(m),
+        WeightedScoring(tnorms.MIN, weights),
+    )
+    return rules[index % len(rules)]
+
+
+def pick_k(table, selector):
+    n = len(table)
+    return (1, n, n + 3)[selector % 3]
+
+
+def run_naive(sources, rule, k, tracer, executor, kernel):
+    return naive_top_k(
+        sources, rule, k, tracer=tracer, executor=executor, kernel=kernel
+    )
+
+
+def run_a0(sources, rule, k, tracer, executor, kernel):
+    return fagin_top_k(
+        sources, rule, k, tracer=tracer, executor=executor, kernel=kernel
+    )
+
+
+def run_ta(sources, rule, k, tracer, executor, kernel):
+    return threshold_top_k(
+        sources, rule, k, batch_size=3, tracer=tracer, executor=executor,
+        kernel=kernel,
+    )
+
+
+def run_nra(sources, rule, k, tracer, executor, kernel):
+    return nra_top_k(
+        sources, rule, k, batch_size=3, tracer=tracer, executor=executor,
+        kernel=kernel,
+    )
+
+
+def run_ca(sources, rule, k, tracer, executor, kernel):
+    return combined_top_k(
+        sources, rule, k, ratio=3.0, tracer=tracer, executor=executor,
+        kernel=kernel,
+    )
+
+
+ALGORITHMS = (
+    ("naive", run_naive),
+    ("a0", run_a0),
+    ("ta", run_ta),
+    ("nra", run_nra),
+    ("ca", run_ca),
+)
+
+
+def run_once(algorithm, table, rule, k, backend, kernel, workers=1, traced=True):
+    sources = sources_from_columns(table, backend=backend)
+    tracer = QueryTracer() if traced else None
+    if workers == 1:
+        result = algorithm(sources, rule, k, tracer, None, kernel)
+    else:
+        with ParallelAccessExecutor(workers) as executor:
+            result = algorithm(sources, rule, k, tracer, executor, kernel)
+    return result, tracer.to_json() if traced else None
+
+
+def assert_identical(name, scalar, vector, scalar_trace, vector_trace):
+    __tracebackhide__ = True
+    assert [
+        (item.object_id, item.grade) for item in vector.answers
+    ] == [(item.object_id, item.grade) for item in scalar.answers], name
+    assert vector.cost == scalar.cost, name
+    assert vector.sorted_depth == scalar.sorted_depth, name
+    assert vector.grades_exact == scalar.grades_exact, name
+    assert vector.algorithm == scalar.algorithm, name
+    assert vector_trace == scalar_trace, name
+
+
+@settings(deadline=None, max_examples=40)
+@given(
+    graded_databases(),
+    st.integers(min_value=0, max_value=4),
+    st.integers(min_value=0, max_value=2),
+    st.sampled_from(("array", "list")),
+)
+def test_vector_kernel_is_byte_identical(database, rule_index, selector, backend):
+    table, m = database
+    rule = pick_rule(m, rule_index)
+    k = pick_k(table, selector)
+    for name, algorithm in ALGORITHMS:
+        scalar, scalar_trace = run_once(algorithm, table, rule, k, backend, "scalar")
+        vector, vector_trace = run_once(algorithm, table, rule, k, backend, "vector")
+        assert_identical(name, scalar, vector, scalar_trace, vector_trace)
+        # the untraced vector path (TA's bulk super-round, no per-access
+        # events) must produce the same answers and charges
+        untraced, _ = run_once(
+            algorithm, table, rule, k, backend, "vector", traced=False
+        )
+        assert_identical(f"{name}/untraced", scalar, untraced, None, None)
+
+
+@settings(deadline=None, max_examples=8)
+@given(graded_databases(min_m=2), st.integers(min_value=0, max_value=4))
+def test_kernels_and_workers_commute(database, rule_index):
+    """kernel x workers {1,4}: all four runs produce the same bytes."""
+    table, m = database
+    rule = pick_rule(m, rule_index)
+    k = min(len(table), 5)
+    for name, algorithm in ALGORITHMS:
+        baseline, baseline_trace = run_once(
+            algorithm, table, rule, k, "array", "scalar", workers=1
+        )
+        for kernel in ("scalar", "vector"):
+            for workers in (1, 4):
+                result, trace = run_once(
+                    algorithm, table, rule, k, "array", kernel, workers=workers
+                )
+                label = f"{name}/{kernel}/workers={workers}"
+                assert_identical(label, baseline, result, baseline_trace, trace)
+
+
+@settings(deadline=None, max_examples=20)
+@given(graded_databases(), st.integers(min_value=0, max_value=4))
+def test_auto_kernel_matches_forced_kernels(database, rule_index):
+    """auto resolves to one of the two and therefore agrees with both."""
+    table, m = database
+    rule = pick_rule(m, rule_index)
+    k = min(len(table), 4)
+    for backend in ("array", "list"):
+        scalar, scalar_trace = run_once(run_nra, table, rule, k, backend, "scalar")
+        auto, auto_trace = run_once(run_nra, table, rule, k, backend, "auto")
+        assert_identical("nra/auto", scalar, auto, scalar_trace, auto_trace)
+
+
+# ---------------------------------------------------------------------------
+# resolve_kernel / configure_kernel
+
+
+def _array_sources():
+    return sources_from_columns({"a": [0.5, 0.2], "b": [0.1, 0.9]}, backend="array")
+
+
+def _list_sources():
+    return sources_from_columns({"a": [0.5, 0.2], "b": [0.1, 0.9]}, backend="list")
+
+
+def test_auto_picks_vector_for_columnar_batch_exact():
+    assert resolve_kernel("auto", _array_sources(), tnorms.MIN) == "vector"
+
+
+def test_auto_falls_back_for_item_backed_sources():
+    assert resolve_kernel("auto", _list_sources(), tnorms.MIN) == "scalar"
+
+
+def test_auto_falls_back_for_non_batch_exact_rules():
+    assert not means.GEOMETRIC_MEAN.batch_exact
+    assert resolve_kernel("auto", _array_sources(), means.GEOMETRIC_MEAN) == "scalar"
+
+
+def test_auto_falls_back_for_wrapped_sources():
+    clock = VirtualClock()
+    wrapped = [
+        FaultInjectingSource(source, FaultProfile(), clock=clock)
+        for source in _array_sources()
+    ]
+    assert resolve_kernel("auto", wrapped, tnorms.MIN) == "scalar"
+
+
+def test_forced_kernels_resolve_anywhere():
+    assert resolve_kernel("vector", _list_sources(), means.GEOMETRIC_MEAN) == "vector"
+    assert resolve_kernel("scalar", _array_sources(), tnorms.MIN) == "scalar"
+
+
+def test_unknown_kernel_name_rejected():
+    with pytest.raises(ReproError):
+        resolve_kernel("simd", _array_sources(), tnorms.MIN)
+    with pytest.raises(ReproError):
+        configure_kernel("simd")
+
+
+def test_configure_kernel_sets_the_default():
+    assert default_kernel() == "auto"
+    try:
+        assert configure_kernel("scalar") == "scalar"
+        assert default_kernel() == "scalar"
+        assert resolve_kernel(None, _array_sources(), tnorms.MIN) == "scalar"
+        configure_kernel("vector")
+        assert resolve_kernel(None, _list_sources(), means.GEOMETRIC_MEAN) == "vector"
+    finally:
+        configure_kernel("auto")
+    assert resolve_kernel(None, _array_sources(), tnorms.MIN) == "vector"
+
+
+def test_forced_vector_result_matches_scalar_on_non_exact_rule():
+    """Forcing vector on a non-batch-exact rule is allowed; answers agree
+    to 1e-12 even though auto would decline the pairing."""
+    table = {f"o{i:02d}": [((i * 7) % 10) / 10.0, ((i * 3) % 10) / 10.0]
+             for i in range(12)}
+    scalar, _ = run_once(run_nra, table, means.GEOMETRIC_MEAN, 4, "array", "scalar")
+    vector, _ = run_once(run_nra, table, means.GEOMETRIC_MEAN, 4, "array", "vector")
+    assert [item.object_id for item in vector.answers] == [
+        item.object_id for item in scalar.answers
+    ]
+    for ours, theirs in zip(vector.answers, scalar.answers):
+        assert ours.grade == pytest.approx(theirs.grade, abs=1e-12)
+
+
+# ---------------------------------------------------------------------------
+# Degradation parity: kernels make the same fallback decisions.
+
+K = 8
+
+
+def faulty_sources(profile, only, n=200, m=3, seed=11):
+    clock = VirtualClock()
+    sources = sources_from_columns(independent(n, m, seed=seed))
+    return [
+        FaultInjectingSource(source, profile, clock=clock) if j in only else source
+        for j, source in enumerate(sources)
+    ]
+
+
+def run_degraded(algorithm, profile, only, kernel, **kwargs):
+    tracer = QueryTracer()
+    result = algorithm(
+        faulty_sources(profile, only), tnorms.MIN, K, tracer=tracer,
+        kernel=kernel, **kwargs,
+    )
+    return result, tracer.to_json()
+
+
+def assert_degraded_identical(scalar, vector, scalar_trace, vector_trace):
+    __tracebackhide__ = True
+    assert vector.algorithm == scalar.algorithm
+    assert [
+        (item.object_id, item.grade) for item in vector.answers
+    ] == [(item.object_id, item.grade) for item in scalar.answers]
+    assert vector.cost == scalar.cost
+    assert (vector.degraded is None) == (scalar.degraded is None)
+    if scalar.degraded is not None:
+        assert vector.degraded.complete == scalar.degraded.complete
+        assert vector.degraded.fallback == scalar.degraded.fallback
+        assert vector.degraded.failed_sources == scalar.degraded.failed_sources
+        assert vector.degraded.bounds == scalar.degraded.bounds
+    assert vector_trace == scalar_trace
+
+
+@pytest.mark.parametrize("algorithm", (threshold_top_k, fagin_top_k))
+def test_random_access_death_degrades_identically(algorithm):
+    profile = FaultProfile(break_random_after=5)
+    scalar, scalar_trace = run_degraded(algorithm, profile, {2}, "scalar")
+    vector, vector_trace = run_degraded(algorithm, profile, {2}, "vector")
+    assert scalar.degraded is not None and scalar.degraded.complete
+    assert_degraded_identical(scalar, vector, scalar_trace, vector_trace)
+
+
+@pytest.mark.parametrize(
+    "algorithm, kwargs",
+    ((threshold_top_k, {}), (nra_top_k, {"batch_size": 16})),
+)
+def test_total_source_death_degrades_identically(algorithm, kwargs):
+    profile = FaultProfile(kill_after=40)
+    scalar, scalar_trace = run_degraded(algorithm, profile, {2}, "scalar", **kwargs)
+    vector, vector_trace = run_degraded(algorithm, profile, {2}, "vector", **kwargs)
+    assert scalar.degraded is not None
+    assert_degraded_identical(scalar, vector, scalar_trace, vector_trace)
+
+
+def test_a0_propagates_total_death_identically():
+    """A0 treats a dead sorted stream as fatal on both kernels (only
+    random-access loss degrades); the error must not depend on kernel."""
+    from repro.errors import TransientAccessError
+
+    profile = FaultProfile(kill_after=40)
+    messages = []
+    for kernel in ("scalar", "vector"):
+        with pytest.raises(TransientAccessError) as excinfo:
+            run_degraded(fagin_top_k, profile, {2}, kernel)
+        messages.append(str(excinfo.value))
+    assert messages[0] == messages[1]
+
+
+def test_a0_paging_after_degradation_matches_across_kernels():
+    profile = FaultProfile(break_random_after=5)
+    handles = [
+        FaginAlgorithm(faulty_sources(profile, {2}), tnorms.MIN, kernel=kernel)
+        for kernel in ("scalar", "vector")
+    ]
+    for _ in range(3):
+        scalar_page, vector_page = (handle.next_k(4) for handle in handles)
+        assert [
+            (item.object_id, item.grade) for item in vector_page.answers
+        ] == [(item.object_id, item.grade) for item in scalar_page.answers]
+        assert vector_page.cost == scalar_page.cost
+
+
+# ---------------------------------------------------------------------------
+# stop_check_growth (satellite): the documented doubling schedule.
+
+
+def nra_depth(growth, kernel="scalar", n=120, m=3, seed=3):
+    sources = sources_from_columns(independent(n, m, seed=seed))
+    result = nra_top_k(
+        sources, tnorms.MIN, 5, batch_size=1, stop_check_growth=growth,
+        kernel=kernel,
+    )
+    return result
+
+
+@pytest.mark.parametrize("growth", (0.0, 0.5, 0.999, -1.0))
+def test_stop_check_growth_below_one_rejected(growth):
+    with pytest.raises(ValueError):
+        nra_depth(growth)
+
+
+@pytest.mark.parametrize("seed", (0, 1, 2, 3, 4))
+def test_stop_check_growth_overshoot_bound(seed):
+    """growth=1 checks the stop test every round and therefore stops at
+    the minimal depth d*; a schedule with factor g can overshoot the
+    last pre-d* check by at most a factor of g: depth <= g*d* + 1."""
+    minimal = nra_depth(1.0, seed=seed).sorted_depth
+    for growth in (1.5, 2.0, 4.0):
+        depth = nra_depth(growth, seed=seed).sorted_depth
+        assert minimal <= depth <= int(growth * minimal) + 1, (growth, minimal, depth)
+
+
+def test_stop_check_growth_default_is_doubling():
+    sources = sources_from_columns(independent(120, 3, seed=3))
+    default = nra_top_k(sources, tnorms.MIN, 5, batch_size=1)
+    assert default.sorted_depth == nra_depth(2.0).sorted_depth
+    assert [(i.object_id, i.grade) for i in default.answers] == [
+        (i.object_id, i.grade) for i in nra_depth(2.0).answers
+    ]
+
+
+@pytest.mark.parametrize("growth", (1.0, 1.5, 2.0, 4.0))
+def test_stop_check_growth_answers_and_kernels_agree(growth):
+    scalar = nra_depth(growth, kernel="scalar")
+    vector = nra_depth(growth, kernel="vector")
+    truth = nra_depth(1.0)
+    assert [(i.object_id, i.grade) for i in scalar.answers] == [
+        (i.object_id, i.grade) for i in truth.answers
+    ]
+    assert vector.sorted_depth == scalar.sorted_depth
+    assert vector.cost == scalar.cost
+    assert [(i.object_id, i.grade) for i in vector.answers] == [
+        (i.object_id, i.grade) for i in scalar.answers
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Engine plumbing: configure_kernel and per-query override.
+
+
+def build_engine(n=40):
+    from repro.middleware.list_subsystem import ListSubsystem
+    from repro.middleware.engine import MiddlewareEngine
+    import random
+
+    rng = random.Random(9)
+    engine = MiddlewareEngine()
+    qbic = ListSubsystem("qbic")
+    qbic.add_list("Color", "red", {f"g{i}": rng.random() for i in range(n)})
+    qbic.add_list("Shape", "round", {f"g{i}": rng.random() for i in range(n)})
+    engine.register(qbic)
+    return engine
+
+
+def test_engine_configure_kernel_validates_and_sticks():
+    engine = build_engine()
+    assert engine.kernel is None
+    assert engine.configure_kernel("vector") == "vector"
+    assert engine.kernel == "vector"
+    with pytest.raises(ReproError):
+        engine.configure_kernel("simd")
+
+
+def test_engine_kernel_results_identical():
+    from repro.core.query import Atomic
+
+    query = Atomic("Color", "red") & Atomic("Shape", "round")
+    baseline = build_engine().top_k(query, 5)
+    pairs = [(item.object_id, item.grade) for item in baseline.answers]
+    for kernel in ("auto", "vector", "scalar"):
+        session = build_engine()
+        session.configure_kernel(kernel)
+        result = session.top_k(query, 5)
+        assert [(i.object_id, i.grade) for i in result.answers] == pairs
+        assert result.cost == baseline.cost
+        # per-query override beats the session default
+        override = session.top_k(query, 5, kernel="scalar")
+        assert [(i.object_id, i.grade) for i in override.answers] == pairs
+
+
+def test_cli_kernel_flag_round_trips(capsys):
+    from repro.cli import main
+
+    outputs = []
+    for kernel in ("scalar", "vector"):
+        assert main(["sql", "--size", "50", "-k", "3", "--kernel", kernel,
+                     "SELECT * FROM albums WHERE AlbumColor = 'red' "
+                     "STOP AFTER 3"]) == 0
+        outputs.append(capsys.readouterr().out)
+    assert outputs[0] == outputs[1]
