@@ -86,6 +86,18 @@ def _apply_kernel(engine: MiddlewareEngine, args: argparse.Namespace) -> None:
         engine.configure_kernel(kernel)
 
 
+def _apply_storage(engine: MiddlewareEngine, args: argparse.Namespace) -> None:
+    """Wire --backend / --shards / --storage-dir into the engine."""
+    backend = getattr(args, "backend", None)
+    shards = getattr(args, "shards", None)
+    directory = getattr(args, "storage_dir", None)
+    if backend is None and (shards is None or shards <= 1):
+        return
+    engine.configure_storage(
+        backend, shards=shards if shards else 1, directory=directory
+    )
+
+
 def _apply_resilience(engine: MiddlewareEngine, args: argparse.Namespace) -> None:
     """Wire --fault-profile / --retry-policy into the engine, if given."""
     fault_spec = getattr(args, "fault_profile", None)
@@ -151,6 +163,7 @@ def cmd_demo(args: argparse.Namespace) -> int:
     """The guided tour: the Beatles query with plan and costs."""
     engine = _build_database("cds", 2000)
     _apply_resilience(engine, args)
+    _apply_storage(engine, args)
     _apply_parallelism(engine, args)
     _apply_kernel(engine, args)
     tracer = _apply_observability(engine, args)
@@ -169,6 +182,7 @@ def cmd_sql(args: argparse.Namespace) -> int:
     """One-shot statement or interactive shell over a demo database."""
     engine = _build_database(args.database, args.size)
     _apply_resilience(engine, args)
+    _apply_storage(engine, args)
     _apply_parallelism(engine, args)
     _apply_kernel(engine, args)
     tracer = _apply_observability(engine, args)
@@ -273,6 +287,23 @@ def build_parser() -> argparse.ArgumentParser:
             "fast path, 'scalar' the classic per-object loops, 'auto' "
             "picks vector whenever it is provably byte-identical "
             "(default: auto)",
+        )
+        command.add_argument(
+            "--backend", choices=("list", "array", "memmap"), default=None,
+            help="physical storage for every ranked list: in-RAM "
+            "'list'/'array' or out-of-core 'memmap' columns; answers, "
+            "costs, and traces are identical across backends",
+        )
+        command.add_argument(
+            "--shards", metavar="K", type=int, default=None,
+            help="hash-partition every ranked list into K shards of the "
+            "chosen backend behind an exact merged cursor (default: "
+            "unsharded; results are identical for any K)",
+        )
+        command.add_argument(
+            "--storage-dir", metavar="DIR", default=None,
+            help="directory for on-disk backends (default: a temporary "
+            "directory owned by the session)",
         )
 
     demo = sub.add_parser("demo", help="guided tour of the Beatles query")

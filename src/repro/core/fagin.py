@@ -179,6 +179,13 @@ class FaginAlgorithm:
         tracer = self.tracer
         with nullcontext() if tracer is None else tracer.phase("sorted-phase"):
             while self._match_count() < needed_matches:
+                for i, source in enumerate(self.sources):
+                    # free shard-aware hint: warm the upcoming peek
+                    # window, overlapping per-shard reads on the executor
+                    source.prefetch_sorted(
+                        self._cursors[i].position + self.batch_size,
+                        executor=self.executor,
+                    )
                 windows = [
                     cursor.peek_batch(self.batch_size) for cursor in self._cursors
                 ]
@@ -244,6 +251,12 @@ class FaginAlgorithm:
         tracer = self.tracer
         with nullcontext() if tracer is None else tracer.phase("sorted-phase"):
             while self._match_count() < needed_matches:
+                for i, source in enumerate(self.sources):
+                    # free shard-aware window warm-up (see scalar phase)
+                    source.prefetch_sorted(
+                        self._cursors[i].position + self.batch_size,
+                        executor=self.executor,
+                    )
                 windows = [
                     cursor.peek_batch_columns(self.batch_size)
                     for cursor in self._cursors

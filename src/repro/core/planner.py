@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.boolean_first import boolean_first_top_k
 from repro.core.disjunction import disjunction_top_k
@@ -52,7 +52,13 @@ class Strategy(Enum):
 
 @dataclass
 class Plan:
-    """A chosen strategy plus the planner's cost rationale."""
+    """A chosen strategy plus the planner's cost rationale.
+
+    ``storage`` summarizes each source's physical backend (innermost of
+    its wrapper chain: list/array/memmap, shard layout) — the paper's
+    cost model is storage-agnostic, so the summary is informational and
+    never steers the strategy choice; EXPLAIN renders it.
+    """
 
     strategy: Strategy
     scoring: ScoringFunction
@@ -60,6 +66,7 @@ class Plan:
     reason: str
     estimated_cost: float
     boolean_index: Optional[int] = None
+    storage: Optional[List[Dict[str, object]]] = None
 
     def __repr__(self) -> str:
         return (
@@ -182,13 +189,19 @@ def plan_top_k(
                         boolean_index=i,
                     )
 
+    def summarized(plan: Plan) -> Plan:
+        from repro.storage import describe_source_storage
+
+        plan.storage = [describe_source_storage(s) for s in sources]
+        return plan
+
     if prefer is not None:
         if prefer not in candidates:
             raise PlanError(
                 f"strategy {prefer.value!r} is not applicable here "
                 f"(applicable: {[s.value for s in candidates]})"
             )
-        return candidates[prefer]
+        return summarized(candidates[prefer])
     # Tie break by simplicity: a specialized strategy (disjunction,
     # Boolean-first) beats a general one, and random-access strategies
     # beat NRA's bound bookkeeping, at equal estimated cost.
@@ -200,9 +213,11 @@ def plan_top_k(
         Strategy.NRA: 4,
         Strategy.NAIVE: 5,
     }
-    return min(
-        candidates.values(),
-        key=lambda plan: (plan.estimated_cost, preference[plan.strategy]),
+    return summarized(
+        min(
+            candidates.values(),
+            key=lambda plan: (plan.estimated_cost, preference[plan.strategy]),
+        )
     )
 
 

@@ -20,7 +20,11 @@ next k answers (section 4.1).
 :class:`ListSource` is the standard in-memory implementation used by the
 synthetic workloads; subsystems in :mod:`repro.middleware` and
 :mod:`repro.multimedia` expose their atomic queries through the same
-interface.
+interface.  :mod:`repro.storage` provides the out-of-core
+(:class:`~repro.storage.memmap.MemmapSource`) and scatter-gather
+(:class:`~repro.storage.sharded.ShardedSource`) backends behind the same
+seam; :func:`sources_from_columns` selects among them via ``backend``
+and ``shards``.
 """
 
 from __future__ import annotations
@@ -42,6 +46,49 @@ except ImportError:  # pragma: no cover - exercised only on numpy-less installs
 #: chains; 128 keeps the overshoot-free peek windows small while
 #: amortizing the per-call overhead by two orders of magnitude.
 DEFAULT_BATCH_SIZE = 128
+
+
+def validate_grade_array(values, name: str, *, require_sorted: bool = False):
+    """Validate a float64 grade array in one vectorized pass.
+
+    Checks every grade is finite and lies in [0, 1]; with
+    ``require_sorted`` also that the sequence is nonincreasing (the
+    sorted-access contract).  Raises :class:`~repro.errors.GradeError`
+    (a ``ValueError``) naming the first offending position, so a bad
+    bulk load fails loudly instead of silently producing wrong bounds
+    downstream.  Returns the validated array.
+    """
+    if _np is None:  # pragma: no cover - exercised only without numpy
+        raise AccessError("array-backed sources require numpy")
+    try:
+        values = _np.asarray(values, dtype=_np.float64)
+    except (TypeError, ValueError) as exc:
+        raise GradeError(
+            f"source {name!r}: grades must be real numbers: {exc}"
+        ) from exc
+    if values.ndim != 1:
+        raise GradeError(
+            f"source {name!r}: grades must be one-dimensional, got shape "
+            f"{values.shape}"
+        )
+    if values.size:
+        bad = ~((values >= 0.0) & (values <= 1.0))  # catches NaN/inf too
+        if bad.any():
+            index = int(bad.argmax())
+            raise GradeError(
+                f"source {name!r}: grade {values[index]!r} at position "
+                f"{index} is not a finite number in [0, 1]"
+            )
+        if require_sorted and values.size > 1:
+            rising = values[1:] > values[:-1]
+            if rising.any():
+                index = int(rising.argmax())
+                raise GradeError(
+                    f"source {name!r}: grades are not sorted nonincreasing: "
+                    f"{float(values[index + 1])} at position {index + 1} "
+                    f"exceeds {float(values[index])} at position {index}"
+                )
+    return values
 
 
 def _fast_item(object_id: ObjectId, grade: float) -> GradedItem:
@@ -85,8 +132,10 @@ class SortedCursor:
         item = self._source._item_at(self.position)
         if item is None:
             return None
+        start = self.position
         self.position += 1
         self._source.counter.record_sorted()
+        self._source._attribute_sorted(start, 1)
         return item
 
     def next_batch(self, n: int) -> List[GradedItem]:
@@ -95,10 +144,12 @@ class SortedCursor:
         when the list runs out; an exhausted cursor returns ``[]``."""
         if n <= 0:
             return []
-        items = self._source._items_range(self.position, n)
+        start = self.position
+        items = self._source._items_range(start, n)
         if items:
             self.position += len(items)
             self._source.counter.record_sorted(len(items))
+            self._source._attribute_sorted(start, len(items))
         return items
 
     def peek_batch(self, n: int) -> List[GradedItem]:
@@ -132,10 +183,12 @@ class SortedCursor:
                 [item.object_id for item in items],
                 _np.asarray([item.grade for item in items], dtype=_np.float64),
             )
-        ids, grades = hook(self.position, n)
+        start = self.position
+        ids, grades = hook(start, n)
         if ids:
             self.position += len(ids)
             self._source.counter.record_sorted(len(ids))
+            self._source._attribute_sorted(start, len(ids))
         return ids, grades
 
     def peek_batch_columns(self, n: int) -> Tuple[List[ObjectId], "object"]:
@@ -250,6 +303,57 @@ class GradedSource(ABC):
         ``_grade_of``); raise UnknownObjectError if any is absent."""
         return {object_id: self._grade_of(object_id) for object_id in object_ids}
 
+    # -- storage attribution hooks ---------------------------------------------
+    # Composite backends (ShardedSource) break charged totals down to
+    # their physical constituents.  Both hooks forward along the wrapper
+    # chain by default, so a sharded source keeps exact per-shard
+    # accounting no matter how deep it sits in a wrapper stack; wrappers
+    # that *translate* object ids (MappedSource) override the random
+    # hook to translate before forwarding.  Neither hook charges the
+    # source's own counter — that already happened at the call site.
+    def _attribute_sorted(self, start: int, count: int) -> None:
+        """Attribute ``count`` consumed sorted accesses from position
+        ``start`` to the owning physical constituents, if any."""
+        inner = getattr(self, "_inner", None)
+        if inner is not None:
+            inner._attribute_sorted(start, count)
+
+    def _attribute_random(self, object_ids: Sequence[ObjectId]) -> None:
+        """Attribute charged random probes of ``object_ids`` to the
+        owning physical constituents, if any."""
+        inner = getattr(self, "_inner", None)
+        if inner is not None:
+            inner._attribute_random(object_ids)
+
+    def _record_random_probes(self, object_ids: Sequence[ObjectId]) -> None:
+        """Charge random accesses whose grades were already read through
+        the free bulk path.
+
+        The vector kernels prefetch probe grades via
+        :meth:`_grades_of_many` (free) and then charge exactly the
+        probes the scalar path would have performed; this is the single
+        charge point for that replay, so composite backends keep their
+        per-constituent accounting in sync with the paper's measure.
+        """
+        if object_ids:
+            self.counter.record_random(len(object_ids))
+            self._attribute_random(object_ids)
+
+    def prefetch_sorted(self, depth: int, *, executor=None) -> None:
+        """Free hint: the caller will soon read the sorted prefix up to
+        ``depth`` items.
+
+        Never charges and never changes delivery semantics — backends
+        may use it to warm caches (memmap pages, shard-merge buffers),
+        optionally overlapping per-constituent reads on ``executor`` (a
+        :class:`~repro.parallel.ParallelAccessExecutor`; must only be
+        driven from the coordinating thread).  The default forwards
+        along the wrapper chain; plain backends ignore it.
+        """
+        inner = getattr(self, "_inner", None)
+        if inner is not None:
+            inner.prefetch_sorted(depth, executor=executor)
+
     # -- public access modes ---------------------------------------------------
     def cursor(self) -> SortedCursor:
         """Open a fresh sorted-access cursor at the top of the list."""
@@ -270,6 +374,7 @@ class GradedSource(ABC):
         """Grade of ``object_id`` under this source's query (one access)."""
         grade = self._grade_of(object_id)
         self.counter.record_random()
+        self._attribute_random((object_id,))
         return grade
 
     def random_access_many(
@@ -292,21 +397,37 @@ class GradedSource(ABC):
             return {}
         grades = self._grades_of_many(ids)
         self.counter.record_random(len(ids))
+        self._attribute_random(ids)
         return grades
 
     # -- conveniences ----------------------------------------------------------
     def object_ids(self) -> Iterable[ObjectId]:
         """All object ids, in sorted-list order.  Free (used by tests
         and the naive baseline's result checking, not by algorithms);
-        routed through the peek path so no wrapper charges for it."""
+        routed through the peek path so no wrapper charges for it.
+
+        Columnar backends (``_columns_range``) stream raw id chunks
+        instead of boxing one :class:`GradedItem` per object — on an
+        N=10^7 source that is the difference between a flat generator
+        and tens of millions of throwaway objects.
+        """
+        chunk_size = self._MATERIALIZE_CHUNK
+        hook = getattr(self, "_columns_range", None)
         index = 0
+        if hook is not None:
+            while True:
+                ids, _ = hook(index, chunk_size)
+                yield from ids
+                if len(ids) < chunk_size:
+                    return
+                index += chunk_size
         while True:
-            chunk = self._peek_range(index, self._MATERIALIZE_CHUNK)
+            chunk = self._peek_range(index, chunk_size)
             for item in chunk:
                 yield item.object_id
-            if len(chunk) < self._MATERIALIZE_CHUNK:
+            if len(chunk) < chunk_size:
                 return
-            index += self._MATERIALIZE_CHUNK
+            index += chunk_size
 
     def as_graded_set(self) -> GradedSet:
         """Materialize the full list as a graded set (accounting-free).
@@ -314,17 +435,30 @@ class GradedSource(ABC):
         Uses the side-effect-free peek path, so it stays free even
         through wrappers with their own charging rules (e.g. a
         :class:`~repro.core.batching.BatchedSource` charging whole
-        batches per read).
+        batches per read).  Columnar backends skip the per-item
+        :class:`GradedItem` boxing entirely: chunks of raw (id, grade)
+        columns land straight in the result's mapping — the grades were
+        already validated in bulk when the backend was built.
         """
         result = GradedSet()
+        chunk_size = self._MATERIALIZE_CHUNK
+        hook = getattr(self, "_columns_range", None)
         index = 0
+        if hook is not None:
+            grades_map = result._grades
+            while True:
+                ids, grades = hook(index, chunk_size)
+                grades_map.update(zip(ids, grades.tolist()))
+                if len(ids) < chunk_size:
+                    return result
+                index += chunk_size
         while True:
-            chunk = self._peek_range(index, self._MATERIALIZE_CHUNK)
+            chunk = self._peek_range(index, chunk_size)
             for item in chunk:
                 result[item.object_id] = item.grade
-            if len(chunk) < self._MATERIALIZE_CHUNK:
+            if len(chunk) < chunk_size:
                 return result
-            index += self._MATERIALIZE_CHUNK
+            index += chunk_size
 
     def __repr__(self) -> str:
         return f"<{type(self).__name__} {self.name!r} n={len(self)}>"
@@ -425,51 +559,62 @@ class ArraySource(GradedSource):
         object_ids: Sequence[ObjectId],
         grades,
         name: str = "array",
+        *,
+        presorted: bool = False,
     ) -> "ArraySource":
         """Fast path: build directly from parallel id/grade sequences.
 
-        ``grades`` may be any array-like; ids must be distinct (unlike
-        the mapping constructor there is no dict to absorb duplicates,
-        so they are rejected loudly).
+        ``grades`` may be any array-like; every grade is validated in
+        one vectorized pass to be a finite number in [0, 1], raising
+        :class:`~repro.errors.GradeError` (a ``ValueError``) naming the
+        first offending position.  Ids must be distinct (unlike the
+        mapping constructor there is no dict to absorb duplicates, so
+        they are rejected loudly).
+
+        ``presorted=True`` trusts the *order* of the input — skipping
+        the construction lexsort — but still validates that the grades
+        are sorted nonincreasing (again a clear ``GradeError`` instead
+        of silently wrong bounds downstream).  The caller must also
+        have broken grade ties by ascending ``str(id)`` for the source
+        to match the canonical order; the grade order itself is always
+        checked.
         """
         source = cls.__new__(cls)
-        source._init_from_arrays(list(object_ids), grades, name)
+        source._init_from_arrays(
+            list(object_ids), grades, name, presorted=presorted
+        )
         if len(source._grades) != len(source._sorted_ids):
             raise AccessError(
                 f"source {name!r}: duplicate object ids in from_arrays input"
             )
         return source
 
-    def _init_from_arrays(self, ids: List[ObjectId], grades, name: str) -> None:
+    def _init_from_arrays(
+        self, ids: List[ObjectId], grades, name: str, *, presorted: bool = False
+    ) -> None:
         if _np is None:  # pragma: no cover - exercised only without numpy
             raise AccessError(
                 "ArraySource requires numpy; install it or use ListSource"
             )
         super().__init__(name)
-        try:
-            values = _np.asarray(grades, dtype=_np.float64)
-        except (TypeError, ValueError) as exc:
-            raise GradeError(f"grades must be real numbers: {exc}") from exc
-        if values.ndim != 1 or len(ids) != values.shape[0]:
+        values = validate_grade_array(grades, name, require_sorted=presorted)
+        if len(ids) != values.shape[0]:
             raise AccessError(
                 f"source {name!r}: expected one grade per object, got "
                 f"{len(ids)} ids and shape {values.shape} grades"
             )
-        if values.size and (
-            not _np.isfinite(values).all()
-            or float(values.min()) < 0.0
-            or float(values.max()) > 1.0
-        ):
-            raise GradeError(
-                f"source {name!r}: grades must be finite and lie in [0, 1]"
-            )
-        # One argsort replaces N log N Python comparisons.  lexsort's last
-        # key is primary: descending grade, then ascending str(id) — the
-        # exact GradedItem sort key, so ties break as ListSource's do.
-        tie_break = _np.asarray([str(obj) for obj in ids])
-        order = _np.lexsort((tie_break, -values))
-        self._sorted_grades = values[order]
-        self._sorted_ids: List[ObjectId] = [ids[j] for j in order]
+        if presorted:
+            self._sorted_grades = values
+            self._sorted_ids: List[ObjectId] = list(ids)
+        else:
+            # One argsort replaces N log N Python comparisons.  lexsort's
+            # last key is primary: descending grade, then ascending
+            # str(id) — the exact GradedItem sort key, so ties break as
+            # ListSource's do.
+            tie_break = _np.asarray([str(obj) for obj in ids])
+            order = _np.lexsort((tie_break, -values))
+            self._sorted_grades = values[order]
+            self._sorted_ids = [ids[j] for j in order]
         self._grades: Dict[ObjectId, float] = dict(zip(ids, values.tolist()))
 
     def _item_at(self, index: int) -> Optional[GradedItem]:
@@ -517,7 +662,7 @@ class ArraySource(GradedSource):
             ) from None
 
     def object_ids(self) -> Iterable[ObjectId]:
-        return list(self._sorted_ids)
+        return iter(self._sorted_ids)
 
     def as_graded_set(self) -> GradedSet:
         return GradedSet(self._grades)
@@ -664,11 +809,18 @@ class VerifyingSource(GradedSource):
         return len(self._inner)
 
 
+#: backend names accepted by :func:`sources_from_columns` and the
+#: ``--backend`` plumbing (CLI, workloads, engine).
+BACKEND_CHOICES = ("array", "list", "memmap")
+
+
 def sources_from_columns(
     grades_by_object: Mapping[ObjectId, Sequence[float]],
     names: Optional[Sequence[str]] = None,
     *,
     backend: str = "array",
+    shards: int = 1,
+    directory: Optional[str] = None,
 ) -> List[GradedSource]:
     """Build one ranked-list source per grade column.
 
@@ -678,10 +830,18 @@ def sources_from_columns(
 
     ``backend`` selects the storage: ``"array"`` (default) builds
     numpy-backed :class:`ArraySource` columns in one vectorized pass,
-    ``"list"`` the classic per-item :class:`ListSource`.  Both produce
-    the same sorted order and the same accounting; without numpy the
-    array backend silently degrades to lists so callers never have to
-    care.
+    ``"list"`` the classic per-item :class:`ListSource`, and
+    ``"memmap"`` out-of-core
+    :class:`~repro.storage.memmap.MemmapSource` columns under
+    ``directory`` (a temporary directory owned by the sources when
+    omitted).  All backends produce the same sorted order and the same
+    accounting; without numpy the array backend silently degrades to
+    lists so callers never have to care.
+
+    ``shards > 1`` hash-partitions every column into that many shards
+    of the chosen backend behind a
+    :class:`~repro.storage.sharded.ShardedSource` — answers, costs, and
+    traces stay byte-identical to the monolithic build.
     """
     arities = {len(v) for v in grades_by_object.values()}
     if len(arities) > 1:
@@ -689,11 +849,28 @@ def sources_from_columns(
     m = arities.pop() if arities else 0
     if names is not None and len(names) != m:
         raise AccessError(f"expected {m} names, got {len(names)}")
-    if backend not in ("array", "list"):
-        raise AccessError(f"unknown source backend {backend!r}; use array or list")
+    if backend not in BACKEND_CHOICES:
+        raise AccessError(
+            f"unknown source backend {backend!r}; use "
+            + ", ".join(BACKEND_CHOICES)
+        )
+    if shards < 1:
+        raise AccessError(f"shards must be >= 1, got {shards}")
     labels = [
         names[i] if names is not None else f"A{i + 1}" for i in range(m)
     ]
+    if shards > 1 or backend == "memmap":
+        # The out-of-core and scatter-gather backends live behind the
+        # storage seam; imported lazily to keep the core dependency-free.
+        from repro.storage import build_column_sources
+
+        return build_column_sources(
+            grades_by_object,
+            labels,
+            backend=backend,
+            shards=shards,
+            directory=directory,
+        )
     sources: List[GradedSource] = []
     if backend == "array" and _np is not None and m > 0:
         objects = list(grades_by_object.keys())

@@ -266,6 +266,14 @@ def _nra_run(
             # independent pulls: fan them out, then merge in list-index
             # order so the accumulated state is identical to serial.
             active = [i for i in range(m) if not exhausted[i]]
+            for i in active:
+                # free shard-aware hint before the draining fan-out:
+                # shard merges/page faults overlap here, on the
+                # coordinating thread, so the consuming thunks below
+                # never nest a fan-out inside the pool
+                sources[i].prefetch_sorted(
+                    cursors[i].position + window, executor=executor
+                )
             outcomes = fan_out(
                 executor,
                 [
@@ -443,6 +451,11 @@ def _nra_run_vector(
             progressed = False
             drained = 0
             active = [i for i in range(m) if not exhausted[i]]
+            for i in active:
+                # free shard-aware hint (see the scalar NRA loop)
+                sources[i].prefetch_sorted(
+                    cursors[i].position + window, executor=executor
+                )
             outcomes = fan_out(
                 executor,
                 [
@@ -690,6 +703,13 @@ def threshold_top_k(
 
     with nullcontext() if tracer is None else tracer.phase("ta"):
         while not stop:
+            for i in range(m):
+                # free shard-aware hint: warm the upcoming peek window
+                # (memmap pages, shard-merge buffers), overlapping
+                # per-shard reads on the executor when one is configured
+                sources[i].prefetch_sorted(
+                    cursors[i].position + batch_size, executor=executor
+                )
             windows = [cursor.peek_batch(batch_size) for cursor in cursors]
             rows = max((len(window) for window in windows), default=0)
             if rows == 0:
@@ -925,7 +945,7 @@ def _threshold_top_k_vector(
                 stop_row = row
                 break
         consumed = rows if stop_row is None else stop_row + 1
-        probe_counts = [0] * m
+        probe_ids: List[List[ObjectId]] = [[] for _ in range(m)]
         for row in range(consumed):
             for index in fresh_by_row[row]:
                 object_id, first = window_fresh[index]
@@ -933,10 +953,12 @@ def _threshold_top_k_vector(
                 overall_ids.append(object_id)
                 overall_grades.append(scores[index])
                 for j in others[first]:
-                    probe_counts[j] += 1
+                    probe_ids[j].append(object_id)
         for j in range(m):
-            if probe_counts[j]:
-                sources[j].counter.record_random(probe_counts[j])
+            # single charge point for the prefetched reads: charges the
+            # probes the scalar path would perform and attributes them
+            # to composite backends' physical shards
+            sources[j]._record_random_probes(probe_ids[j])
         for i in range(m):
             rows_used = min(consumed, lengths[i])
             if rows_used:
@@ -1027,6 +1049,11 @@ def _threshold_top_k_vector(
 
     with nullcontext() if tracer is None else tracer.phase("ta"):
         while not stop:
+            for i in range(m):
+                # free shard-aware window warm-up (see scalar loop)
+                sources[i].prefetch_sorted(
+                    cursors[i].position + batch_size, executor=executor
+                )
             windows = [cursor.peek_batch_columns(batch_size) for cursor in cursors]
             lengths = [len(window_ids) for window_ids, _ in windows]
             rows = max(lengths, default=0)
@@ -1110,7 +1137,7 @@ def _threshold_top_k_vector(
                                 object_id: lookup[object_id]
                                 for object_id in ids
                             }
-                            sources[j].counter.record_random(len(ids))
+                            sources[j]._record_random_probes(ids)
                             if tracer is not None:
                                 for object_id in ids:
                                     tracer.record_random(

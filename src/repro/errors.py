@@ -99,3 +99,7 @@ class IndexError_(ReproError):
 
 class TraceError(ReproError):
     """A recorded access timeline violates the trace schema."""
+
+
+class StorageError(ReproError):
+    """An on-disk storage backend is missing, malformed, or corrupt."""

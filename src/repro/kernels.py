@@ -250,3 +250,40 @@ def top_k_from_arrays(ids: Sequence, str_ids, grades, k: int) -> List:
 def iter_str_keys(ids: Iterable) -> "object":
     """``str()`` per object id, as a numpy array."""
     return _np.asarray([str(object_id) for object_id in ids])
+
+
+def merge_sorted_shard_blocks(
+    ids_per_shard: Sequence[Sequence],
+    strs_per_shard: Sequence,
+    grades_per_shard: Sequence,
+):
+    """K-way merge of per-shard sorted columnar blocks, columnar-side.
+
+    Each shard contributes a block of its sorted prefix as parallel
+    (ids, ``str(id)`` keys, float64 grades) columns, already in
+    canonical order within the shard.  One ``lexsort`` over the
+    concatenation — the same ``(-grade, str(id))`` key every ordering
+    in the repo uses — yields the exact global sorted order, so a
+    :class:`~repro.storage.sharded.ShardedSource` built over K shards
+    delivers byte-identical answers and tie-breaks to the monolithic
+    backend.  Returns ``(merged_ids, merged_grades, shard_of)`` where
+    ``shard_of[i]`` is the index of the shard that owns position ``i``
+    — the per-shard state the sharded cursor rolls access accounting up
+    from.
+    """
+    shard_of = _np.concatenate(
+        [
+            _np.full(len(ids), index, dtype=_np.intp)
+            for index, ids in enumerate(ids_per_shard)
+        ]
+    )
+    grades = _np.concatenate(
+        [_np.asarray(block, dtype=_np.float64) for block in grades_per_shard]
+    )
+    strs = _np.concatenate([_np.asarray(block) for block in strs_per_shard])
+    flat_ids: List = []
+    for block in ids_per_shard:
+        flat_ids.extend(block)
+    order = _np.lexsort((strs, -grades))
+    merged_ids = [flat_ids[j] for j in order.tolist()]
+    return merged_ids, grades[order], shard_of[order]

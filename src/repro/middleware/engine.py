@@ -70,6 +70,27 @@ PerSubsystem = Union[None, ResiliencePolicy, Dict[str, ResiliencePolicy]]
 PerSubsystemFaults = Union[None, FaultProfile, Dict[str, FaultProfile]]
 
 
+def _emit_shard_breakdown(sources, tracer) -> None:
+    """Emit one ``shard_breakdown`` trace event per sharded binding.
+
+    Only sources whose wrapper chain bottoms out in a composite backend
+    (duck-typed by ``shard_stats``) emit anything, so traces of
+    non-sharded runs — including every golden trace — are unchanged.
+    The per-shard tallies are the attributed counters, which are
+    deterministic across kernels and worker counts.
+    """
+    from repro.core.sources import iter_wrapper_chain
+
+    for source in sources:
+        for node in iter_wrapper_chain(source):
+            stats = getattr(node, "shard_stats", None)
+            if stats is not None:
+                tracer.event(
+                    "shard_breakdown", source=source.name, shards=stats()
+                )
+                break
+
+
 def _for_subsystem(setting, name: str):
     """Resolve a global-or-per-subsystem setting for one subsystem."""
     if setting is None or not isinstance(setting, dict):
@@ -107,6 +128,13 @@ class MiddlewareEngine:
         #: session-level kernel choice set by configure_kernel; None
         #: defers to the process-wide default in :mod:`repro.kernels`.
         self._kernel: Optional[str] = None
+        #: session-level storage relocation set by configure_storage;
+        #: backend None with shards 1 keeps subsystems' native sources.
+        self._storage_backend: Optional[str] = None
+        self._storage_shards: int = 1
+        self._storage_directory: Optional[str] = None
+        self._storage_tmp = None
+        self._storage_seq = 0
 
     # ------------------------------------------------------------------
     # Observability
@@ -203,6 +231,100 @@ class MiddlewareEngine:
     # ------------------------------------------------------------------
     # Registration
     # ------------------------------------------------------------------
+    def configure_storage(
+        self,
+        backend: Optional[str] = None,
+        *,
+        shards: int = 1,
+        directory: Optional[str] = None,
+    ) -> None:
+        """Relocate every binding onto a physical storage backend.
+
+        ``backend`` is one of :data:`~repro.core.sources.BACKEND_CHOICES`
+        (``array``/``list``/``memmap``); ``shards > 1`` hash-partitions
+        each binding into that many shards of the chosen backend behind
+        a :class:`~repro.storage.sharded.ShardedSource`.  The CLI's
+        ``--backend``/``--shards`` flags land here.  Relocation happens
+        at bind time: the subsystem's native source is materialized once
+        (accounting-free) into the chosen backend, preserving its name
+        and protocol flags, so answers, costs, and traces are
+        byte-identical — only the physical layer changes.  ``directory``
+        roots on-disk backends; a memmap relocation without one uses a
+        temporary directory owned by the engine.
+
+        Calling with no arguments clears the relocation.  The wrapped-
+        binding cache is cleared either way, so the next bind of each
+        atom rebuilds; breaker and fault state is discarded
+        (:meth:`configure_resilience` semantics).
+        """
+        from repro.core.sources import BACKEND_CHOICES
+
+        if backend is not None and backend not in BACKEND_CHOICES:
+            raise PlanError(
+                f"unknown storage backend {backend!r}; use "
+                + ", ".join(BACKEND_CHOICES)
+            )
+        if shards < 1:
+            raise PlanError(f"shards must be >= 1, got {shards}")
+        self._storage_backend = backend
+        self._storage_shards = shards
+        self._storage_directory = directory
+        self._wrapped.clear()
+
+    def _relocate_storage(self, source: GradedSource) -> GradedSource:
+        """Rebuild one native binding on the configured backend."""
+        backend = self._storage_backend
+        shards = self._storage_shards
+        if backend is None and shards <= 1:
+            return source
+        import os
+
+        from repro.core.sources import ArraySource, ListSource
+        from repro.storage import ShardedSource, build_from_items
+
+        effective = backend if backend is not None else "array"
+        mapping = source.as_graded_set()
+        directory = self._storage_directory
+        if effective == "memmap":
+            if directory is None:
+                if self._storage_tmp is None:
+                    import tempfile
+
+                    self._storage_tmp = tempfile.TemporaryDirectory(
+                        prefix="repro-engine-storage-"
+                    )
+                directory = self._storage_tmp.name
+            self._storage_seq += 1
+            cleaned = "".join(
+                ch if ch.isalnum() or ch in "._-" else "_"
+                for ch in source.name
+            )
+            directory = os.path.join(
+                directory, f"{self._storage_seq:03d}-{cleaned or 'atom'}"
+            )
+        if shards > 1:
+            relocated: GradedSource = ShardedSource.partition(
+                mapping,
+                shards,
+                name=source.name,
+                backend=effective,
+                directory=directory,
+            )
+        elif effective == "list":
+            relocated = ListSource(mapping, name=source.name)
+        elif effective == "memmap":
+            relocated = build_from_items(directory, mapping, name=source.name)
+        else:
+            relocated = ArraySource(mapping, name=source.name)
+        # The physical move must not change the protocol surface the
+        # planner and algorithms read off the binding.
+        relocated.is_boolean = source.is_boolean
+        relocated.supports_random_access = source.supports_random_access
+        positive = getattr(source, "positive_count", None)
+        if positive is not None:
+            relocated.positive_count = positive
+        return relocated
+
     def register(
         self, subsystem: Subsystem, id_mapping: Optional[IdMapping] = None
     ) -> None:
@@ -245,7 +367,7 @@ class MiddlewareEngine:
         if cached is not None:
             return cached
         subsystem = self.subsystem_for(atom)
-        source = subsystem.bind(atom)
+        source = self._relocate_storage(subsystem.bind(atom))
         profile = _for_subsystem(self._fault_profile, subsystem.name)
         if profile is not None:
             source = FaultInjectingSource(source, profile, clock=self._clock)
@@ -372,6 +494,7 @@ class MiddlewareEngine:
                         executor=executor,
                         kernel=kernel,
                     )
+                    _emit_shard_breakdown(sources, tracer)
         finally:
             if transient and executor is not None:
                 executor.shutdown()

@@ -131,5 +131,15 @@ class MappedSource(GradedSource):
             for global_id, local_id in zip(object_ids, local_ids)
         }
 
+    def _attribute_random(self, object_ids) -> None:
+        # Storage attribution must see the ids the physical layer owns:
+        # a sharded source under this wrapper routes by *local* id, so
+        # translate before forwarding down the chain.  (Sorted
+        # attribution is positional and needs no translation.)
+        to_local = self._mapping.to_local
+        self._inner._attribute_random(
+            [to_local(object_id) for object_id in object_ids]
+        )
+
     def __len__(self) -> int:
         return len(self._inner)

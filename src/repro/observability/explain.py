@@ -36,6 +36,9 @@ class AtomStats:
     random_access_available: bool
     positive_count: Optional[int] = None
     wrappers: Tuple[str, ...] = ()
+    #: physical-storage summary (see repro.storage.describe_source_storage);
+    #: only notable layouts (sharded, on-disk) are rendered
+    storage: Optional[Dict[str, object]] = None
 
     def describe(self) -> str:
         flags = []
@@ -52,7 +55,18 @@ class AtomStats:
             flags.append("random access unavailable (breaker open)")
         chain = " -> ".join(self.wrappers) if self.wrappers else "bare"
         detail = f" [{', '.join(flags)}]" if flags else ""
-        return f"{self.name}: N={self.size}{detail}  ({chain})"
+        line = f"{self.name}: N={self.size}{detail}  ({chain})"
+        storage = self.storage or {}
+        if storage.get("shards"):
+            backends = "/".join(storage.get("shard_backends", ()))
+            routing = "hash-routed" if storage.get("routed") else "probe-routed"
+            line += (
+                f"\n    storage: {storage['shards']} shards of "
+                f"{backends or '?'}, {routing}"
+            )
+        elif storage.get("backend") == "MemmapSource":
+            line += f"\n    storage: memmap at {storage.get('directory')}"
+        return line
 
 
 @dataclass
@@ -98,6 +112,8 @@ class ExplainReport:
 
 def describe_sources(sources: Sequence[GradedSource]) -> List[AtomStats]:
     """Per-atom statistics straight from the bound sources."""
+    from repro.storage import describe_source_storage
+
     atoms = []
     for source in sources:
         chain = tuple(type(node).__name__ for node in iter_wrapper_chain(source))
@@ -111,6 +127,7 @@ def describe_sources(sources: Sequence[GradedSource]) -> List[AtomStats]:
                 random_access_available=source.random_access_available(),
                 positive_count=int(positive) if positive is not None else None,
                 wrappers=chain,
+                storage=describe_source_storage(source),
             )
         )
     return atoms
@@ -197,6 +214,19 @@ def render_trace_explain(tracer) -> str:
             lines.append(
                 f"  {phase}: sorted {tally['sorted']}, random {tally['random']}"
             )
+    shard_lines: List[str] = []
+    for event in tracer.events:
+        if event.get("type") == "event" and event.get("name") == "shard_breakdown":
+            attrs = event.get("attrs", {})
+            shard_lines.append(f"  {attrs.get('source')}:")
+            for entry in attrs.get("shards", ()):
+                shard_lines.append(
+                    f"    {entry.get('shard')}: n={entry.get('n')}, "
+                    f"sorted {entry.get('sorted')}, random {entry.get('random')}"
+                )
+    if shard_lines:
+        lines.append("accesses by shard:")
+        lines.extend(shard_lines)
     resilience: Dict[str, int] = {}
     for event in tracer.events:
         if event.get("type") == "event" and event.get("name") == "resilience":

@@ -54,7 +54,11 @@ class OwaScoring(ScoringFunction):
                 f"got {len(grades)}"
             )
         ordered = sorted(grades, reverse=True)
-        return sum(w * g for w, g in zip(self.weights, ordered))
+        total = sum(w * g for w, g in zip(self.weights, ordered))
+        # A convex combination of [0, 1] grades is bounded in [0, 1];
+        # normalized weights can still sum to 1 + ulp, so clamp the
+        # float-epsilon overshoot.
+        return min(1.0, max(0.0, total))
 
     _batch_exact = True
 
@@ -68,7 +72,9 @@ class OwaScoring(ScoringFunction):
         total = self.weights[0] * ordered[:, 0]
         for column in range(1, matrix.shape[1]):
             total += self.weights[column] * ordered[:, column]
-        return total
+        # Same float-epsilon clamp as the scalar path (weights may sum
+        # to 1 + ulp after normalization).
+        return _np.clip(total, 0.0, 1.0)
 
 
 def owa_min(m: int) -> OwaScoring:

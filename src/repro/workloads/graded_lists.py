@@ -135,29 +135,45 @@ def make_sources(
     names: Optional[Sequence[str]] = None,
     *,
     backend: str = "array",
+    shards: int = 1,
+    directory: Optional[str] = None,
 ) -> List[GradedSource]:
     """Ranked-list columns for a generated grade table.
 
     ``backend="array"`` (default) builds numpy-backed
     :class:`~repro.core.sources.ArraySource` columns; ``backend="list"``
-    builds the classic :class:`ListSource`.
+    builds the classic :class:`ListSource`; ``backend="memmap"`` the
+    out-of-core :class:`~repro.storage.memmap.MemmapSource` (under
+    ``directory`` when given).  ``shards > 1`` hash-partitions every
+    column behind a :class:`~repro.storage.sharded.ShardedSource`.
+    All combinations produce byte-identical answers, costs, and traces.
     """
-    return sources_from_columns(table, names, backend=backend)
+    return sources_from_columns(
+        table, names, backend=backend, shards=shards, directory=directory
+    )
 
 
 def workload(
-    kind: str, n: int, m: int, seed: int = 0, *, backend: str = "array"
+    kind: str,
+    n: int,
+    m: int,
+    seed: int = 0,
+    *,
+    backend: str = "array",
+    shards: int = 1,
+    directory: Optional[str] = None,
 ) -> List[GradedSource]:
     """Generate sources by workload name ('independent', 'correlated',
     'anti-correlated', 'reversed')."""
+    build = dict(backend=backend, shards=shards, directory=directory)
     if kind == "independent":
-        return make_sources(independent(n, m, seed), backend=backend)
+        return make_sources(independent(n, m, seed), **build)
     if kind == "correlated":
-        return make_sources(correlated(n, m, seed), backend=backend)
+        return make_sources(correlated(n, m, seed), **build)
     if kind == "anti-correlated":
-        return make_sources(anti_correlated(n, m, seed), backend=backend)
+        return make_sources(anti_correlated(n, m, seed), **build)
     if kind == "zipf":
-        return make_sources(zipf_skewed(n, m, seed), backend=backend)
+        return make_sources(zipf_skewed(n, m, seed), **build)
     if kind == "reversed":
         if m != 2:
             raise ValueError("the reversed workload is defined for m = 2")

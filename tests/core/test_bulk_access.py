@@ -225,6 +225,31 @@ def test_array_source_from_arrays():
         source.random_access("missing")
 
 
+def test_from_arrays_validates_grade_range():
+    # GradeError is a ValueError, and the message names the source and
+    # the first offending position so a bad column is findable
+    with pytest.raises(ValueError, match="col"):
+        ArraySource.from_arrays(["x", "y"], [0.2, 1.8], name="col")
+    with pytest.raises(GradeError, match="position 1"):
+        ArraySource.from_arrays(["x", "y"], [0.2, -0.1], name="col")
+    with pytest.raises(GradeError):
+        ArraySource.from_arrays(["x"], [float("inf")], name="col")
+    with pytest.raises(GradeError):
+        ArraySource.from_arrays(["x"], [float("nan")], name="col")
+
+
+def test_from_arrays_presorted_validates_order():
+    # presorted trusts the permutation but still checks monotonicity
+    source = ArraySource.from_arrays(
+        ["y", "x"], [0.8, 0.2], name="col", presorted=True
+    )
+    assert [i.object_id for i in source.cursor().next_batch(2)] == ["y", "x"]
+    with pytest.raises(GradeError, match="nonincreasing"):
+        ArraySource.from_arrays(
+            ["x", "y"], [0.2, 0.8], name="col", presorted=True
+        )
+
+
 def test_empty_bulk_random_access_is_free_even_when_unsupported():
     source = SortedOnlySource(ListSource({"a": 0.5}))
     assert source.random_access_many([]) == {}
