@@ -1,0 +1,337 @@
+"""E25 — the query service under load: admission, shedding, deadlines.
+
+Paper context: Fagin's model prices one query's accesses; a Garlic-style
+middleware serves *many* concurrent queries over the same subsystems.
+This harness drives :class:`repro.service.QueryService` with an
+open-loop workload (arrivals at a target rate, regardless of
+completions — the arrival pattern that actually exposes overload) and
+measures how the serving layer behaves as offered load crosses the
+knee:
+
+* a **saturation sweep**: offered QPS levels from well under capacity
+  to well past it; per level, admitted/rejected/shed/degraded counts,
+  completed-latency p50/p95/p99, and *goodput* (non-degraded completes
+  per second of wall-clock);
+* the **graceful-degradation check**: beyond the knee (peak-goodput
+  level), goodput must hold at >= 80% of the peak while rejections and
+  sheds absorb the excess — overload costs the excess arrivals, never
+  the admitted work;
+* the **deadline check**: every admitted request either completes
+  within its end-to-end deadline or comes back explicitly degraded,
+  with the overshoot bounded (one access round, measured generously in
+  wall-clock);
+* a **chaos variant**: the same load over an engine with injected
+  subsystem faults (transient errors + latency spikes under a retry
+  policy), asserting every ticket still reaches a terminal state —
+  nothing hangs, failures surface as degraded results or explicit
+  errors.
+
+Results land in BENCH_service.json next to this file.  ``--smoke``
+runs a CI-sized load, asserts the zero-shed-while-running invariant
+and the report schema, and exits nonzero on any violation (without
+touching the committed full-sweep JSON).
+"""
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+from repro.core.query import Atomic
+from repro.errors import AdmissionError
+from repro.middleware.engine import MiddlewareEngine
+from repro.middleware.faults import FaultProfile
+from repro.middleware.list_subsystem import ListSubsystem
+from repro.middleware.resilience import (
+    MonotonicClock,
+    ResiliencePolicy,
+    RetryPolicy,
+)
+from repro.service import QueryService, ServiceConfig, TenantPolicy
+
+K = 10
+N = 4000
+WORKERS = 4
+QUEUE_DEPTH = 64
+DEADLINE = 1.0
+REQUESTS_PER_LEVEL = 300
+SWEEP_QPS = (50, 100, 200, 400, 800, 1600)
+SMOKE_QPS = (100, 400)
+SMOKE_REQUESTS = 60
+GOODPUT_FLOOR = 0.80
+# One access round is sub-millisecond on this dataset; under chaos a
+# round stretches to retries + latency spikes.  The acceptance bound is
+# deliberately generous in wall-clock terms but still catches a hang or
+# an unguarded full scan.
+ROUND_BOUND_SECONDS = 0.5
+OUTPUT = Path(__file__).parent / "BENCH_service.json"
+
+TENANTS = ("gold", "silver", "bronze")
+
+
+def build_engine(chaos=False):
+    """Two ranked lists over N objects (seeded), on a real clock."""
+    import random
+
+    rng = random.Random(25)
+    engine = MiddlewareEngine(clock=MonotonicClock())
+    subsystem = ListSubsystem("qbic")
+    subsystem.add_list(
+        "Color", "red", {f"img{i}": rng.random() for i in range(N)}
+    )
+    subsystem.add_list(
+        "Shape", "round", {f"img{i}": rng.random() for i in range(N)}
+    )
+    engine.register(subsystem)
+    if chaos:
+        engine.configure_resilience(
+            ResiliencePolicy(retry=RetryPolicy(max_attempts=4, base_delay=0.001)),
+            fault_profile=FaultProfile(
+                transient_rate=0.05, latency_rate=0.05, latency=0.01, seed=25
+            ),
+            clock=MonotonicClock(),
+        )
+    return engine
+
+
+def run_level(engine, offered_qps, requests, *, deadline=DEADLINE):
+    """One open-loop level: submit at the target rate, then drain."""
+    query = Atomic("Color", "red") & Atomic("Shape", "round")
+    config = ServiceConfig(
+        workers=WORKERS,
+        queue_depth=QUEUE_DEPTH,
+        default_deadline=deadline,
+        tenants={"bronze": TenantPolicy(rate=offered_qps / 2, burst=16.0)},
+    )
+    interval = 1.0 / offered_qps
+    tickets, rejected = [], {"queue-full": 0, "quota": 0, "inflight": 0}
+    started = time.monotonic()
+    with QueryService(engine, config) as service:
+        for index in range(requests):
+            target = started + index * interval
+            delay = target - time.monotonic()
+            if delay > 0:
+                time.sleep(delay)
+            tenant = TENANTS[index % len(TENANTS)]
+            priority = 2 if tenant == "gold" else (1 if tenant == "silver" else 0)
+            try:
+                tickets.append(
+                    service.submit(query, K, tenant=tenant, priority=priority)
+                )
+            except AdmissionError as error:
+                rejected[error.reason] = rejected.get(error.reason, 0) + 1
+        for ticket in tickets:
+            ticket.wait(timeout=60)
+        elapsed = time.monotonic() - started
+        stats = service.stats()
+    return summarize_level(
+        offered_qps, requests, tickets, rejected, stats, elapsed
+    )
+
+
+def summarize_level(offered_qps, requests, tickets, rejected, stats, elapsed):
+    latencies, good, overshoots, hung, shed_running = [], 0, [], 0, 0
+    for ticket in tickets:
+        if not ticket.done():
+            hung += 1
+            continue
+        if ticket.status == "shed":
+            if ticket.started_at is not None:
+                shed_running += 1
+            continue
+        if ticket.status != "done":
+            continue
+        latencies.append(ticket.finished_at - ticket.submitted_at)
+        result = ticket.result(timeout=0)
+        if result.degraded is None:
+            good += 1
+        if ticket.deadline_at is not None and (
+            ticket.finished_at > ticket.deadline_at
+        ):
+            # A non-degraded finish past the deadline is legal only
+            # within the one-round allowance: the last access landed
+            # before the budget ran out and bookkeeping crossed the
+            # line.  The max-overshoot assert below bounds both cases.
+            overshoots.append(ticket.finished_at - ticket.deadline_at)
+    assert hung == 0, f"{hung} admitted tickets never reached a terminal state"
+    assert shed_running == 0, f"{shed_running} tickets shed while RUNNING"
+    max_overshoot = max(overshoots, default=0.0)
+    assert max_overshoot <= ROUND_BOUND_SECONDS, (
+        f"deadline overshoot {max_overshoot:.3f}s exceeds the "
+        f"one-round bound {ROUND_BOUND_SECONDS}s"
+    )
+
+    def percentile(values, fraction):
+        if not values:
+            return 0.0
+        ordered = sorted(values)
+        return ordered[min(len(ordered) - 1, int(fraction * len(ordered)))]
+
+    return {
+        "offered_qps": offered_qps,
+        "requests": requests,
+        "admitted": len(tickets),
+        "rejected": rejected,
+        "shed": stats["shed"],
+        "completed": stats["completed"],
+        "degraded": stats["degraded"],
+        "expired": stats["expired"],
+        "failed": stats["failed"],
+        "goodput_qps": round(good / elapsed, 2) if elapsed else 0.0,
+        "p50_ms": round(percentile(latencies, 0.50) * 1e3, 2),
+        "p95_ms": round(percentile(latencies, 0.95) * 1e3, 2),
+        "p99_ms": round(percentile(latencies, 0.99) * 1e3, 2),
+        "mean_ms": round(statistics.mean(latencies) * 1e3, 2)
+        if latencies
+        else 0.0,
+        "max_deadline_overshoot_ms": round(max_overshoot * 1e3, 2),
+        "elapsed_seconds": round(elapsed, 3),
+    }
+
+
+def graceful_check(levels):
+    """Goodput beyond the knee must hold >= GOODPUT_FLOOR of the peak."""
+    peak = max(level["goodput_qps"] for level in levels)
+    knee = next(
+        level["offered_qps"]
+        for level in levels
+        if level["goodput_qps"] == peak
+    )
+    floor = GOODPUT_FLOOR * peak
+    violations = [
+        level["offered_qps"]
+        for level in levels
+        if level["offered_qps"] > knee and level["goodput_qps"] < floor
+    ]
+    return {
+        "peak_goodput_qps": peak,
+        "knee_qps": knee,
+        "floor_qps": round(floor, 2),
+        "violations": violations,
+        "graceful": not violations,
+    }
+
+
+def run_chaos(qps, requests):
+    engine = build_engine(chaos=True)
+    try:
+        level = run_level(engine, qps, requests)
+        level["chaos"] = True
+        return level
+    finally:
+        engine.close()
+
+
+REPORT_SCHEMA = {
+    "benchmark": str,
+    "config": dict,
+    "levels": list,
+    "graceful": dict,
+    "chaos": dict,
+}
+LEVEL_SCHEMA = {
+    "offered_qps": (int, float),
+    "requests": int,
+    "admitted": int,
+    "rejected": dict,
+    "shed": int,
+    "completed": int,
+    "degraded": int,
+    "expired": int,
+    "failed": int,
+    "goodput_qps": (int, float),
+    "p50_ms": (int, float),
+    "p95_ms": (int, float),
+    "p99_ms": (int, float),
+    "mean_ms": (int, float),
+    "max_deadline_overshoot_ms": (int, float),
+    "elapsed_seconds": (int, float),
+}
+
+
+def validate_report(report):
+    """Schema check for BENCH_service.json (CI gates on this)."""
+    for field, kind in REPORT_SCHEMA.items():
+        assert field in report, f"report missing {field!r}"
+        assert isinstance(report[field], kind), (
+            f"report[{field!r}] is {type(report[field]).__name__}, "
+            f"wanted {kind}"
+        )
+    assert report["levels"], "report has no levels"
+    for level in report["levels"] + [report["chaos"]]:
+        for field, kinds in LEVEL_SCHEMA.items():
+            assert field in level, f"level missing {field!r}"
+            assert isinstance(level[field], kinds), (
+                f"level[{field!r}] is {type(level[field]).__name__}"
+            )
+    assert report["graceful"]["graceful"], (
+        f"goodput collapsed past the knee: {report['graceful']}"
+    )
+
+
+def run(sweep, requests, *, smoke=False):
+    engine = build_engine()
+    try:
+        levels = []
+        for qps in sweep:
+            level = run_level(engine, qps, requests)
+            levels.append(level)
+            print(
+                f"qps {qps:>5}: goodput {level['goodput_qps']:>7.1f}/s  "
+                f"p95 {level['p95_ms']:>7.1f}ms  "
+                f"admitted {level['admitted']:>4}  "
+                f"rejected {sum(level['rejected'].values()):>4}  "
+                f"shed {level['shed']:>3}  degraded {level['degraded']:>3}"
+            )
+    finally:
+        engine.close()
+    chaos = run_chaos(sweep[len(sweep) // 2], requests)
+    print(
+        f"chaos @ {chaos['offered_qps']} qps: "
+        f"completed {chaos['completed']}  degraded {chaos['degraded']}  "
+        f"failed {chaos['failed']}  p95 {chaos['p95_ms']:.1f}ms"
+    )
+    report = {
+        "benchmark": "e25-service",
+        "config": {
+            "n": N,
+            "k": K,
+            "workers": WORKERS,
+            "queue_depth": QUEUE_DEPTH,
+            "deadline_seconds": DEADLINE,
+            "requests_per_level": requests,
+            "smoke": smoke,
+        },
+        "levels": levels,
+        "graceful": graceful_check(levels),
+        "chaos": chaos,
+    }
+    validate_report(report)
+    print(f"graceful degradation: {report['graceful']}")
+    if smoke:
+        # CI-sized run: invariants and schema asserted above; keep the
+        # committed full-sweep BENCH_service.json untouched.
+        print("service smoke OK")
+    else:
+        OUTPUT.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        print(f"written: {OUTPUT}")
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI-sized run: two levels, invariants + schema asserted",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        return run(SMOKE_QPS, SMOKE_REQUESTS, smoke=True)
+    return run(SWEEP_QPS, REQUESTS_PER_LEVEL)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

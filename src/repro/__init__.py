@@ -54,7 +54,7 @@ from repro.core import (
     threshold_top_k,
     top_k,
 )
-from repro.errors import ReproError
+from repro.errors import AdmissionError, ReproError, ShedError
 from repro.kernels import KERNEL_CHOICES, configure_kernel, default_kernel
 from repro.parallel import ParallelAccessExecutor
 from repro.observability import (
@@ -62,6 +62,13 @@ from repro.observability import (
     QueryTracer,
     TracingSource,
     validate_trace,
+)
+from repro.service import (
+    FairShareExecutor,
+    QueryService,
+    QueryTicket,
+    ServiceConfig,
+    TenantPolicy,
 )
 
 __version__ = "1.0.0"
@@ -102,6 +109,13 @@ __all__ = [
     "execute",
     "top_k",
     "ParallelAccessExecutor",
+    "QueryService",
+    "QueryTicket",
+    "ServiceConfig",
+    "TenantPolicy",
+    "FairShareExecutor",
+    "AdmissionError",
+    "ShedError",
     "KERNEL_CHOICES",
     "configure_kernel",
     "default_kernel",

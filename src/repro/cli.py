@@ -14,6 +14,10 @@ Commands
     query is given) against a generated demo database.
 ``experiments [--quick]``
     Regenerate the E1–E18 tables (EXPERIMENTS.md's numbers).
+``serve-demo``
+    Run a multi-tenant :class:`~repro.service.QueryService` workload
+    over the CD store and print the admission/latency summary — the
+    serving-layer tour (deadlines, quotas, shedding).
 
 ``demo`` and ``sql`` accept ``--fault-profile`` (inject subsystem
 failures: a preset like ``flaky`` or ``key=value`` pairs, see
@@ -162,50 +166,116 @@ def _print_result(result) -> None:
 def cmd_demo(args: argparse.Namespace) -> int:
     """The guided tour: the Beatles query with plan and costs."""
     engine = _build_database("cds", 2000)
-    _apply_resilience(engine, args)
-    _apply_storage(engine, args)
-    _apply_parallelism(engine, args)
-    _apply_kernel(engine, args)
-    tracer = _apply_observability(engine, args)
-    query = Atomic("Artist", "Beatles") & Atomic("AlbumColor", "red")
-    print(f"query: {query}")
-    plan = engine.explain(query, args.k)
-    print(f"plan:  {plan.strategy.value} — {plan.reason} "
-          f"(estimated cost {plan.estimated_cost:.0f})")
-    _print_result(engine.top_k(query, args.k))
-    _finish_observability(tracer, args)
-    print("\ntry the SQL shell:  python -m repro sql")
-    return 0
+    try:
+        _apply_resilience(engine, args)
+        _apply_storage(engine, args)
+        _apply_parallelism(engine, args)
+        _apply_kernel(engine, args)
+        tracer = _apply_observability(engine, args)
+        query = Atomic("Artist", "Beatles") & Atomic("AlbumColor", "red")
+        print(f"query: {query}")
+        plan = engine.explain(query, args.k)
+        print(f"plan:  {plan.strategy.value} — {plan.reason} "
+              f"(estimated cost {plan.estimated_cost:.0f})")
+        _print_result(engine.top_k(query, args.k))
+        _finish_observability(tracer, args)
+        print("\ntry the SQL shell:  python -m repro sql")
+        return 0
+    finally:
+        engine.close()
 
 
 def cmd_sql(args: argparse.Namespace) -> int:
     """One-shot statement or interactive shell over a demo database."""
     engine = _build_database(args.database, args.size)
-    _apply_resilience(engine, args)
-    _apply_storage(engine, args)
-    _apply_parallelism(engine, args)
-    _apply_kernel(engine, args)
-    tracer = _apply_observability(engine, args)
-    if args.query:
-        code = _run_statement(engine, " ".join(args.query), args.k)
-        _finish_observability(tracer, args)
-        return code
-    print(f"repro SQL shell over the {args.database!r} demo database "
-          f"({args.size} objects).")
-    print("example: SELECT * FROM albums WHERE Artist = 'Beatles' "
-          "AND AlbumColor = 'red' STOP AFTER 5")
-    print("empty line or Ctrl-D exits.")
-    while True:
-        try:
-            line = input("fuzzy> ").strip()
-        except EOFError:
-            print()
+    try:
+        _apply_resilience(engine, args)
+        _apply_storage(engine, args)
+        _apply_parallelism(engine, args)
+        _apply_kernel(engine, args)
+        tracer = _apply_observability(engine, args)
+        if args.query:
+            code = _run_statement(engine, " ".join(args.query), args.k)
             _finish_observability(tracer, args)
-            return 0
-        if not line:
-            _finish_observability(tracer, args)
-            return 0
-        _run_statement(engine, line, args.k)
+            return code
+        print(f"repro SQL shell over the {args.database!r} demo database "
+              f"({args.size} objects).")
+        print("example: SELECT * FROM albums WHERE Artist = 'Beatles' "
+              "AND AlbumColor = 'red' STOP AFTER 5")
+        print("empty line or Ctrl-D exits.")
+        while True:
+            try:
+                line = input("fuzzy> ").strip()
+            except EOFError:
+                print()
+                _finish_observability(tracer, args)
+                return 0
+            if not line:
+                _finish_observability(tracer, args)
+                return 0
+            _run_statement(engine, line, args.k)
+    finally:
+        engine.close()
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Drive a QueryService workload and print the serving summary."""
+    from repro.middleware.resilience import MonotonicClock
+    from repro.service import (
+        AdmissionError,
+        QueryService,
+        ServiceConfig,
+        TenantPolicy,
+    )
+
+    engine = _build_database("cds", args.size)
+    try:
+        _apply_resilience(engine, args)
+        _apply_storage(engine, args)
+        _apply_kernel(engine, args)
+        query = Atomic("Artist", "Beatles") & Atomic("AlbumColor", "red")
+        config = ServiceConfig(
+            workers=args.workers,
+            queue_depth=args.queue_depth,
+            default_deadline=args.deadline,
+            access_workers=args.max_workers or 1,
+            tenants={
+                "bronze": TenantPolicy(rate=50.0, burst=8.0, max_inflight=8),
+            },
+        )
+        print(f"serving {args.requests} requests across 2 tenants "
+              f"({config.workers} workers, queue depth "
+              f"{config.queue_depth}, deadline {args.deadline}s)")
+        with QueryService(engine, config, clock=MonotonicClock()) as service:
+            tickets = []
+            for index in range(args.requests):
+                tenant = "gold" if index % 3 == 0 else "bronze"
+                priority = 1 if tenant == "gold" else 0
+                try:
+                    tickets.append(
+                        service.submit(query, args.k, tenant=tenant,
+                                       priority=priority)
+                    )
+                except AdmissionError as error:
+                    print(f"  rejected ({error.reason}): request {index} "
+                          f"from {tenant}")
+            for ticket in tickets:
+                try:
+                    ticket.result(timeout=30)
+                except AdmissionError:
+                    pass
+            stats = service.stats()
+        print("summary: " + "  ".join(
+            f"{name}={value}" for name, value in stats.items()))
+        latency = service.metrics.histogram(
+            "service.latency_seconds", tenant="gold").as_dict()
+        if latency["count"]:
+            print(f"gold latency: mean "
+                  f"{latency['sum'] / latency['count'] * 1e3:.2f}ms over "
+                  f"{latency['count']} queries")
+        return 0
+    finally:
+        engine.close()
 
 
 def _run_statement(engine: MiddlewareEngine, text: str, default_k: int) -> int:
@@ -327,6 +397,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     experiments.add_argument("--quick", action="store_true")
     experiments.set_defaults(func=lambda args: _experiments_inline(args.quick))
+
+    serve = sub.add_parser(
+        "serve-demo",
+        help="run a multi-tenant QueryService workload over the CD store",
+    )
+    serve.add_argument("-k", type=int, default=5, help="answers per query")
+    serve.add_argument("--size", type=int, default=1000, help="database size")
+    serve.add_argument(
+        "--requests", type=int, default=60, help="requests to submit"
+    )
+    serve.add_argument(
+        "--workers", type=int, default=4, help="query worker threads"
+    )
+    serve.add_argument(
+        "--queue-depth", type=int, default=32, help="admission queue bound"
+    )
+    serve.add_argument(
+        "--deadline", type=float, default=5.0,
+        help="end-to-end deadline per request in seconds",
+    )
+    add_resilience_options(serve)
+    serve.set_defaults(func=cmd_serve)
 
     return parser
 

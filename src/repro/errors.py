@@ -81,6 +81,35 @@ class DeadlineExceededError(AccessError):
     """
 
 
+class AdmissionError(ReproError):
+    """The query service refused to take on a request.
+
+    Raised at submission time by
+    :class:`~repro.service.QueryService` when admitting the request
+    would violate an operating limit: the admission queue is full (and
+    the request's priority does not beat any queued work), the tenant's
+    token-bucket quota is exhausted, or the tenant is already at its
+    max-inflight cap.  ``reason`` carries the machine-readable cause
+    (``"queue-full"``, ``"quota"``, ``"inflight"``, ``"closed"``).
+    """
+
+    def __init__(self, message: str, *, reason: str = "rejected") -> None:
+        super().__init__(message)
+        self.reason = reason
+
+
+class ShedError(AdmissionError):
+    """A queued request was shed to make room for higher-priority work.
+
+    Only *queued* work is ever shed — a request that has started
+    executing always runs to completion (possibly degraded).  The shed
+    request's ticket raises this from ``result()``.
+    """
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message, reason="shed")
+
+
 class IdMappingError(ReproError):
     """Object-ID correspondence between subsystems is missing or not 1-to-1."""
 

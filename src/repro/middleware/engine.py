@@ -41,6 +41,7 @@ carries a per-source report in ``result.extras["resilience"]``.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, List, Optional, Tuple, Union
 
 from repro.core.evaluation import compile_query
@@ -58,6 +59,7 @@ from repro.middleware.resilience import (
     ResiliencePolicy,
     ResilientSource,
     VirtualClock,
+    guard_deadline,
     resilience_report,
 )
 from repro.parallel import ParallelAccessExecutor
@@ -117,8 +119,12 @@ class MiddlewareEngine:
         self._clock = clock if clock is not None else VirtualClock()
         #: per-atom cache of fully wrapped bindings (fault injector,
         #: mapping, resilience), so breaker/fault state persists across
-        #: queries on the same atom.
+        #: queries on the same atom.  Guarded by ``_bind_lock`` so
+        #: concurrent queries binding the same atom share one wrapper
+        #: stack (one breaker, one fault schedule) instead of racing to
+        #: build duplicates.
         self._wrapped: Dict[Atomic, GradedSource] = {}
+        self._bind_lock = threading.Lock()
         #: session-level QueryTracer set by configure_observability; when
         #: None (the default) nothing observability-related runs.
         self._tracer = None
@@ -218,12 +224,61 @@ class MiddlewareEngine:
         """The session-level kernel name, or None for the global default."""
         return self._kernel
 
-    def _executor_for(self, max_workers: Optional[int]):
-        """Resolve one query's executor: per-query override or session.
+    @property
+    def clock(self):
+        """The engine clock (resilience, faults, deadline guards)."""
+        return self._clock
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release every resource the engine session holds.
+
+        Shuts down the configured
+        :class:`~repro.parallel.ParallelAccessExecutor` (worker
+        threads), closes storage handles on relocated bindings (memmap
+        columns, shard handles — anything in a wrapper chain exposing
+        ``close()``), drops the wrapped-binding cache, and removes the
+        engine-owned temporary storage directory.  Idempotent; the
+        engine remains usable afterwards (the next query rebuilds its
+        bindings), but callers should treat a closed engine as done.
+        ``with MiddlewareEngine(...) as engine:`` calls this on exit,
+        and the CLI calls it on teardown.
+        """
+        from repro.core.sources import iter_wrapper_chain
+
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+        with self._bind_lock:
+            wrapped = list(self._wrapped.values())
+            self._wrapped.clear()
+        for source in wrapped:
+            for node in iter_wrapper_chain(source):
+                closer = getattr(node, "close", None)
+                if callable(closer):
+                    closer()
+        if self._storage_tmp is not None:
+            self._storage_tmp.cleanup()
+            self._storage_tmp = None
+
+    def __enter__(self) -> "MiddlewareEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _executor_for(self, max_workers: Optional[int], executor=None):
+        """Resolve one query's executor: explicit, per-query, or session.
 
         Returns ``(executor, transient)``; a transient executor was built
         for this query alone and must be shut down when the query ends.
+        An explicitly passed ``executor`` (e.g. the query service's
+        fair-share view over a shared pool) is never shut down here.
         """
+        if executor is not None:
+            return executor, False
         if max_workers is None:
             return self._executor, False
         return ParallelAccessExecutor(max_workers), True
@@ -269,7 +324,8 @@ class MiddlewareEngine:
         self._storage_backend = backend
         self._storage_shards = shards
         self._storage_directory = directory
-        self._wrapped.clear()
+        with self._bind_lock:
+            self._wrapped.clear()
 
     def _relocate_storage(self, source: GradedSource) -> GradedSource:
         """Rebuild one native binding on the configured backend."""
@@ -362,23 +418,32 @@ class MiddlewareEngine:
         the unreliable repository itself), then the global-ID mapping,
         then the resilience wrapper (outermost, so retries cover the
         whole chain and the planner sees live breaker state).
+
+        Thread-safe: concurrent queries binding the same atom are
+        serialized by the bind lock, so they always share one wrapper
+        stack (and therefore one circuit breaker and one fault
+        schedule).
         """
         cached = self._wrapped.get(atom)
         if cached is not None:
             return cached
-        subsystem = self.subsystem_for(atom)
-        source = self._relocate_storage(subsystem.bind(atom))
-        profile = _for_subsystem(self._fault_profile, subsystem.name)
-        if profile is not None:
-            source = FaultInjectingSource(source, profile, clock=self._clock)
-        mapping = self._mappings.get(subsystem.name)
-        if mapping is not None:
-            source = MappedSource(source, mapping)
-        policy = _for_subsystem(self._resilience, subsystem.name)
-        if policy is not None:
-            source = ResilientSource(source, policy, clock=self._clock)
-        self._wrapped[atom] = source
-        return source
+        with self._bind_lock:
+            cached = self._wrapped.get(atom)
+            if cached is not None:
+                return cached
+            subsystem = self.subsystem_for(atom)
+            source = self._relocate_storage(subsystem.bind(atom))
+            profile = _for_subsystem(self._fault_profile, subsystem.name)
+            if profile is not None:
+                source = FaultInjectingSource(source, profile, clock=self._clock)
+            mapping = self._mappings.get(subsystem.name)
+            if mapping is not None:
+                source = MappedSource(source, mapping)
+            policy = _for_subsystem(self._resilience, subsystem.name)
+            if policy is not None:
+                source = ResilientSource(source, policy, clock=self._clock)
+            self._wrapped[atom] = source
+            return source
 
     def configure_resilience(
         self,
@@ -398,7 +463,8 @@ class MiddlewareEngine:
         self._fault_profile = fault_profile
         if clock is not None:
             self._clock = clock
-        self._wrapped.clear()
+        with self._bind_lock:
+            self._wrapped.clear()
 
     def invalidate(self, atom: Optional[Atomic] = None) -> None:
         """Drop cached bindings (one atom, or everything).
@@ -408,15 +474,20 @@ class MiddlewareEngine:
         the reset after underlying data changed or a subsystem recovered
         from the failures that tripped its breakers.
         """
+        # Subsystem caches are cleared under the bind lock too: a binder
+        # holding the lock may be inside ``subsystem.bind`` right now,
+        # and yanking its cache entry mid-build would hand it a KeyError.
         if atom is not None:
-            self._wrapped.pop(atom, None)
-            for subsystem in self._subsystems:
-                if subsystem.supports(atom):
-                    subsystem.unbind(atom)
+            with self._bind_lock:
+                self._wrapped.pop(atom, None)
+                for subsystem in self._subsystems:
+                    if subsystem.supports(atom):
+                        subsystem.unbind(atom)
             return
-        self._wrapped.clear()
-        for subsystem in self._subsystems:
-            subsystem.invalidate()
+        with self._bind_lock:
+            self._wrapped.clear()
+            for subsystem in self._subsystems:
+                subsystem.invalidate()
 
     def bind_all(self, query: Query) -> List[GradedSource]:
         """Ranked lists for each distinct atom of a query, in atom order."""
@@ -455,6 +526,8 @@ class MiddlewareEngine:
         tracer=None,
         max_workers: Optional[int] = None,
         kernel: Optional[str] = None,
+        executor=None,
+        deadline: Optional[float] = None,
     ) -> TopKResult:
         """The top k answers to a query, with their grades and cost.
 
@@ -464,16 +537,36 @@ class MiddlewareEngine:
         ``max_workers`` likewise overrides the session parallelism
         (:meth:`configure_parallelism`) for this one query, and
         ``kernel`` the session kernel (:meth:`configure_kernel`).
+        ``executor`` passes an explicit
+        :class:`~repro.parallel.ParallelAccessExecutor` (or fair-share
+        view) to run under — the query service's shared-pool hook; it is
+        not shut down by the engine.
+
+        ``deadline`` is an end-to-end budget in seconds, measured on the
+        engine clock from this call's start: every binding is wrapped in
+        a per-query :class:`~repro.middleware.resilience.DeadlineGuard`,
+        so once the budget is spent the next charged access degrades the
+        run into a partial-bound
+        :class:`~repro.core.result.DegradedResult` (never more than one
+        access round past the deadline) instead of hanging.  With
+        ``deadline=None`` (the default) nothing is wrapped and the path
+        is byte-identical to before.
         """
         tracer = tracer if tracer is not None else self._tracer
         kernel = kernel if kernel is not None else self._kernel
-        executor, transient = self._executor_for(max_workers)
+        executor, transient = self._executor_for(max_workers, executor)
         sources = self.bind_all(query)
+        if deadline is not None:
+            sources = guard_deadline(
+                sources, self._clock.now() + deadline, clock=self._clock
+            )
         compiled = self._compile(query)
         try:
             if tracer is None:
                 plan = plan_top_k(sources, compiled, k, prefer=prefer)
-                result = execute(plan, sources, executor=executor, kernel=kernel)
+                result = self._execute_guarded(
+                    plan, sources, deadline, executor=executor, kernel=kernel
+                )
             else:
                 from repro.observability.tracer import attach_resilience_observers
 
@@ -487,9 +580,10 @@ class MiddlewareEngine:
                         estimated_cost=plan.estimated_cost,
                         k=plan.k,
                     )
-                    result = execute(
+                    result = self._execute_guarded(
                         plan,
                         sources,
+                        deadline,
                         tracer=tracer,
                         executor=executor,
                         kernel=kernel,
@@ -502,6 +596,55 @@ class MiddlewareEngine:
         if report:
             result.extras["resilience"] = report
         return result
+
+    def _execute_guarded(
+        self, plan, sources, deadline, *, tracer=None, executor=None, kernel=None
+    ) -> TopKResult:
+        """Execute a plan; under a deadline, degrade instead of raising.
+
+        TA/NRA/A0 already turn ``DEGRADABLE_ACCESS_ERRORS`` into
+        partial-bound results mid-run; the strategies without their own
+        degradation path (naive, disjunction, Boolean-first) would let a
+        blown deadline escape as an exception.  Under a deadline this
+        wrapper catches those and synthesizes an empty partial-bounds
+        :class:`~repro.core.result.DegradedResult`, so *every* strategy
+        honors the "late queries degrade, never hang or crash" contract.
+        Without a deadline the behaviour is exactly as before.
+        """
+        if deadline is None:
+            return execute(
+                plan, sources, tracer=tracer, executor=executor, kernel=kernel
+            )
+        from repro.core.cost import CostMeter
+        from repro.core.graded import GradedSet
+        from repro.core.result import DegradedResult
+        from repro.core.threshold import DEGRADABLE_ACCESS_ERRORS
+
+        meter = CostMeter(sources)
+        try:
+            return execute(
+                plan, sources, tracer=tracer, executor=executor, kernel=kernel
+            )
+        except DEGRADABLE_ACCESS_ERRORS as error:
+            degraded = DegradedResult(
+                failed_sources={
+                    source.name: str(error) for source in sources
+                },
+                fallback="partial-bounds",
+                complete=False,
+                bounds={},
+            )
+            if tracer is not None:
+                tracer.event(
+                    "degraded", fallback=degraded.fallback, reason=str(error)
+                )
+            return TopKResult(
+                answers=GradedSet({}),
+                cost=meter.report(),
+                algorithm=plan.strategy.value,
+                grades_exact=False,
+                degraded=degraded,
+            )
 
     def explain(self, query: Query, k: int):
         """The plan the engine would execute, without running it."""

@@ -23,11 +23,25 @@ errors (:class:`~repro.errors.UnknownObjectError`,
 :class:`~repro.errors.UnsupportedAccessError`) pass through untouched —
 retrying a wrong question does not make it right.
 
+* :class:`DeadlineGuard` — a per-query wrapper enforcing an *absolute*
+  end-to-end deadline over a shared binding: once the clock passes it,
+  every further charged access raises
+  :class:`~repro.errors.DeadlineExceededError`, which the algorithms'
+  degradation machinery turns into a partial-bound
+  :class:`~repro.core.result.DegradedResult` instead of a hang.  The
+  query service propagates request deadlines through this wrapper.
+
 Time is injectable: every component takes a ``clock`` with ``now()`` and
 ``sleep(seconds)``.  The default :class:`VirtualClock` advances virtually
 (no real sleeping), which keeps deterministic tests and benchmarks fast;
 pass :class:`MonotonicClock` to wait in real time against live
 subsystems.
+
+Deadline arithmetic in this module is **never** wall-clock: real time
+always means ``time.monotonic()`` (via :class:`MonotonicClock`), so an
+NTP step or daylight-saving jump can neither spuriously expire a budget
+nor extend one indefinitely.  ``time.time()`` must not appear here —
+a regression test pins that invariant.
 """
 
 from __future__ import annotations
@@ -437,6 +451,104 @@ class ResilientSource(GradedSource):
 
     def __len__(self) -> int:
         return len(self._inner)
+
+
+class DeadlineGuard(GradedSource):
+    """Per-query end-to-end deadline enforcement over one binding.
+
+    Wraps a (possibly shared, cached) source for the duration of a
+    single query: every *charged* access first checks the query's
+    absolute deadline against the injected clock and raises
+    :class:`~repro.errors.DeadlineExceededError` once it has passed.
+    The error is one of the algorithms' ``DEGRADABLE_ACCESS_ERRORS``,
+    so an in-flight TA/NRA/A0 run freezes the late stream's bounds and
+    returns a partial-bound
+    :class:`~repro.core.result.DegradedResult` instead of hanging —
+    and because the check sits *before* the access, an admitted query
+    can overshoot its deadline by at most one access round (one bulk
+    batch), never unboundedly.
+
+    Peeks stay free and unguarded (they are the planner's and the
+    algorithms' side-effect-free lookahead), the wrapped source's
+    counter and name are shared so accounting, planning, and resilience
+    reports are unchanged, and the guard holds **no** state of its own
+    beyond the deadline — it is cheap to build per query and safe to
+    discard, while breaker/fault state lives in the shared inner chain.
+    """
+
+    def __init__(
+        self, inner: GradedSource, deadline_at: float, *, clock=None
+    ) -> None:
+        super().__init__(inner.name)
+        self._inner = inner
+        self.counter = inner.counter
+        self.supports_random_access = inner.supports_random_access
+        self.is_boolean = inner.is_boolean
+        positive = getattr(inner, "positive_count", None)
+        if positive is not None:
+            self.positive_count = positive
+        self.deadline_at = float(deadline_at)
+        self.clock = clock if clock is not None else MonotonicClock()
+
+    def expired(self) -> bool:
+        """Whether the query deadline has already passed."""
+        return self.clock.now() >= self.deadline_at
+
+    def remaining(self) -> float:
+        """Seconds of budget left (negative once expired)."""
+        return self.deadline_at - self.clock.now()
+
+    def _check(self, describe: str) -> None:
+        if self.expired():
+            raise DeadlineExceededError(
+                f"{describe} on {self._inner.name!r} refused: query "
+                f"deadline passed {-self.remaining():.3f}s ago"
+            )
+
+    def random_access_available(self) -> bool:
+        return self._inner.random_access_available()
+
+    # -- charged access hooks (guarded) ---------------------------------------
+    def _item_at(self, index: int) -> Optional[GradedItem]:
+        self._check("sorted access")
+        return self._inner._item_at(index)
+
+    def _items_range(self, start: int, count: int) -> List[GradedItem]:
+        self._check("sorted access")
+        return self._inner._items_range(start, count)
+
+    def _grade_of(self, object_id: ObjectId) -> float:
+        self._check("random access")
+        return self._inner._grade_of(object_id)
+
+    def _grades_of_many(self, object_ids: Sequence[ObjectId]) -> Dict[ObjectId, float]:
+        self._check("random access")
+        return self._inner._grades_of_many(object_ids)
+
+    # -- free paths (unguarded) -----------------------------------------------
+    def _peek_at(self, index: int) -> Optional[GradedItem]:
+        return self._inner._peek_at(index)
+
+    def _peek_range(self, start: int, count: int) -> List[GradedItem]:
+        return self._inner._peek_range(start, count)
+
+    def __len__(self) -> int:
+        return len(self._inner)
+
+
+def guard_deadline(
+    sources: Sequence[GradedSource], deadline_at: Optional[float], *, clock=None
+) -> List[GradedSource]:
+    """Wrap every source in a :class:`DeadlineGuard` sharing one deadline.
+
+    ``deadline_at=None`` returns the sources untouched — the zero-cost
+    no-deadline path.
+    """
+    if deadline_at is None:
+        return list(sources)
+    return [
+        DeadlineGuard(source, deadline_at, clock=clock) for source in sources
+    ]
 
 
 def resilience_report(sources: Iterable[GradedSource]) -> Dict[str, Dict[str, object]]:

@@ -68,6 +68,11 @@ class Counter:
         with self._lock:
             self.value = int(value)
 
+    def snapshot(self) -> int:
+        """The current value, read under the instrument lock."""
+        with self._lock:
+            return self.value
+
 
 class Gauge:
     """A value that goes up and down (buffer depth, circuit state)."""
@@ -81,6 +86,16 @@ class Gauge:
     def set(self, value: float) -> None:
         with self._lock:
             self.value = float(value)
+
+    def add(self, delta: float) -> None:
+        """Adjust the gauge by a signed delta (queue depths, inflight)."""
+        with self._lock:
+            self.value += float(delta)
+
+    def snapshot(self) -> float:
+        """The current value, read under the instrument lock."""
+        with self._lock:
+            return self.value
 
 
 class Histogram:
@@ -138,16 +153,22 @@ class Series:
         with self._lock:
             self.points.append((int(step), float(value)))
 
+    def snapshot(self) -> List[Tuple[int, float]]:
+        """A consistent copy of the points, taken under the lock."""
+        with self._lock:
+            return list(self.points)
+
     @property
     def steps(self) -> List[int]:
-        return [step for step, _ in self.points]
+        return [step for step, _ in self.snapshot()]
 
     @property
     def values(self) -> List[float]:
-        return [value for _, value in self.points]
+        return [value for _, value in self.snapshot()]
 
     def last(self) -> Optional[float]:
-        return self.points[-1][1] if self.points else None
+        with self._lock:
+            return self.points[-1][1] if self.points else None
 
 
 class MetricsRegistry:
@@ -182,38 +203,47 @@ class MetricsRegistry:
             return self._series.setdefault(_key(name, labels), Series())
 
     # -- read side -------------------------------------------------------------
+    # Every read goes through the instruments' snapshot methods, which
+    # take the per-instrument lock: a scrape racing live writers (the
+    # query service reads metrics mid-load) sees each instrument in a
+    # consistent state and never trips over a list mutating under it.
     def counters(self, name: str) -> Dict[str, int]:
         """All counters of one name, keyed by rendered labels."""
         with self._lock:
-            return {
-                _render(key): counter.value
-                for key, counter in sorted(self._counters.items())
+            selected = sorted(
+                (key, counter)
+                for key, counter in self._counters.items()
                 if key[0] == name
-            }
+            )
+        return {_render(key): counter.snapshot() for key, counter in selected}
 
     def counter_total(self, name: str) -> int:
         """Sum of one counter name across every label combination."""
         with self._lock:
-            return sum(
-                c.value for key, c in self._counters.items() if key[0] == name
-            )
+            selected = [
+                c for key, c in self._counters.items() if key[0] == name
+            ]
+        return sum(c.snapshot() for c in selected)
 
     def as_dict(self) -> Dict[str, Dict[str, object]]:
-        """Deterministic snapshot of every instrument (sorted keys)."""
+        """Deterministic snapshot of every instrument (sorted keys).
+
+        Safe to call while writer threads are active: the registry lock
+        pins the instrument *sets*, then each instrument is snapshotted
+        under its own lock, so concurrent increments/appends land either
+        wholly before or wholly after the snapshot of that instrument.
+        """
         with self._lock:
-            return {
-                "counters": {
-                    _render(k): c.value for k, c in sorted(self._counters.items())
-                },
-                "gauges": {
-                    _render(k): g.value for k, g in sorted(self._gauges.items())
-                },
-                "histograms": {
-                    _render(k): h.as_dict()
-                    for k, h in sorted(self._histograms.items())
-                },
-                "series": {
-                    _render(k): [[step, value] for step, value in s.points]
-                    for k, s in sorted(self._series.items())
-                },
-            }
+            counters = sorted(self._counters.items())
+            gauges = sorted(self._gauges.items())
+            histograms = sorted(self._histograms.items())
+            series = sorted(self._series.items())
+        return {
+            "counters": {_render(k): c.snapshot() for k, c in counters},
+            "gauges": {_render(k): g.snapshot() for k, g in gauges},
+            "histograms": {_render(k): h.as_dict() for k, h in histograms},
+            "series": {
+                _render(k): [[step, value] for step, value in s.snapshot()]
+                for k, s in series
+            },
+        }

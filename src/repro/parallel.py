@@ -110,9 +110,12 @@ class ParallelAccessExecutor:
     The thread pool is created lazily on the first parallel fan-out and
     shut down by :meth:`shutdown` (or the context manager).  Executors
     are reusable across queries — the engine keeps one per configured
-    session — and a single executor must only be driven from one
-    coordinating thread at a time per fan-out; distinct executors are
-    fully independent.
+    session — and safe to drive from *multiple* coordinating threads
+    concurrently: each :meth:`run` call owns its futures and merges only
+    its own outcomes, so the query service shares one pool across many
+    in-flight queries (see :class:`repro.service.FairShareExecutor` for
+    the per-query concurrency cap over such a shared pool).  Distinct
+    executors are fully independent.
     """
 
     def __init__(

@@ -1,0 +1,37 @@
+"""Multi-tenant query serving over one middleware engine.
+
+The production-facing layer above :mod:`repro.middleware`: a thread-pool
+:class:`QueryService` with bounded admission, per-tenant quotas,
+priority-aware load shedding, end-to-end deadline propagation into the
+engine's resilience budgets, and a shared fair-share access-executor
+pool.  See ``docs/API.md`` ("Query service") for the serving contract.
+"""
+
+from repro.errors import AdmissionError, ShedError
+from repro.service.admission import (
+    AdmissionQueue,
+    TenantPolicy,
+    TenantState,
+    TenantTable,
+    TokenBucket,
+)
+from repro.service.fairshare import FairShareExecutor
+from repro.service.service import (
+    QueryService,
+    QueryTicket,
+    ServiceConfig,
+)
+
+__all__ = [
+    "AdmissionError",
+    "AdmissionQueue",
+    "FairShareExecutor",
+    "QueryService",
+    "QueryTicket",
+    "ServiceConfig",
+    "ShedError",
+    "TenantPolicy",
+    "TenantState",
+    "TenantTable",
+    "TokenBucket",
+]

@@ -1,0 +1,237 @@
+"""Admission control: token buckets, tenant quotas, bounded queue.
+
+The service's first line of defence against overload is refusing work
+*early and explicitly* instead of queueing without bound:
+
+* :class:`TokenBucket` — classic rate limiter: a tenant accrues
+  ``rate`` tokens per second up to ``burst``, one query costs one
+  token, an empty bucket means :class:`~repro.errors.AdmissionError`
+  at submit time (the cheapest possible place to say no);
+* :class:`TenantPolicy` / :class:`TenantState` — per-tenant quota
+  settings and live accounting (bucket + inflight count);
+* :class:`AdmissionQueue` — the bounded priority queue between
+  submission and the worker pool.  When full, an arriving request
+  either *sheds* the lowest-priority queued entry (strictly lower
+  priority than the arrival — running work is never touched) or is
+  itself rejected.
+
+All timing uses the injected clock (monotonic in production, virtual in
+tests); none of it reads the wall clock.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+
+class TokenBucket:
+    """A thread-safe token bucket on an injectable clock.
+
+    ``rate=None`` disables rate limiting (the bucket always grants).
+    Refill is computed lazily on each acquire from the elapsed clock
+    time, so there is no refill thread to manage.
+    """
+
+    def __init__(self, rate: Optional[float], burst: float, clock) -> None:
+        if rate is not None and rate <= 0:
+            raise ValueError(f"rate must be positive (or None), got {rate}")
+        if burst <= 0:
+            raise ValueError(f"burst must be positive, got {burst}")
+        self.rate = rate
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._last = clock.now()
+        self._lock = threading.Lock()
+
+    def _refill_locked(self) -> None:
+        now = self._clock.now()
+        elapsed = now - self._last
+        self._last = now
+        if self.rate is not None and elapsed > 0:
+            self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+
+    def try_acquire(self, tokens: float = 1.0) -> bool:
+        """Take ``tokens`` if available; False (and no change) if not."""
+        if self.rate is None:
+            return True
+        with self._lock:
+            self._refill_locked()
+            if self._tokens >= tokens:
+                self._tokens -= tokens
+                return True
+            return False
+
+    def refund(self, tokens: float = 1.0) -> None:
+        """Return tokens taken for work that was never admitted."""
+        if self.rate is None:
+            return
+        with self._lock:
+            self._tokens = min(self.burst, self._tokens + tokens)
+
+    @property
+    def available(self) -> float:
+        """Current token balance (after a lazy refill)."""
+        if self.rate is None:
+            return float("inf")
+        with self._lock:
+            self._refill_locked()
+            return self._tokens
+
+
+@dataclass(frozen=True)
+class TenantPolicy:
+    """Operating limits for one tenant.
+
+    ``rate``/``burst`` parameterize the tenant's token bucket
+    (``rate=None`` = unlimited rate); ``max_inflight`` caps the
+    tenant's queued-plus-running queries (``None`` = uncapped).
+    """
+
+    rate: Optional[float] = None
+    burst: float = 16.0
+    max_inflight: Optional[int] = None
+
+
+class TenantState:
+    """Live accounting for one tenant: bucket plus inflight count."""
+
+    def __init__(self, policy: TenantPolicy, clock) -> None:
+        self.policy = policy
+        self.bucket = TokenBucket(policy.rate, policy.burst, clock)
+        self.inflight = 0
+        self._lock = threading.Lock()
+
+    def try_reserve(self) -> Tuple[bool, str]:
+        """Reserve one inflight slot and one token; (ok, reject reason)."""
+        with self._lock:
+            cap = self.policy.max_inflight
+            if cap is not None and self.inflight >= cap:
+                return False, "inflight"
+            if not self.bucket.try_acquire():
+                return False, "quota"
+            self.inflight += 1
+            return True, ""
+
+    def release(self, *, refund_token: bool = False) -> None:
+        """Release one inflight slot (work finished, shed, or rejected)."""
+        with self._lock:
+            self.inflight -= 1
+            if refund_token:
+                self.bucket.refund()
+
+
+class TenantTable:
+    """Get-or-create registry of :class:`TenantState` by tenant name."""
+
+    def __init__(
+        self,
+        default_policy: TenantPolicy,
+        policies: Mapping[str, TenantPolicy],
+        clock,
+    ) -> None:
+        self._default = default_policy
+        self._policies = dict(policies)
+        self._clock = clock
+        self._states: Dict[str, TenantState] = {}
+        self._lock = threading.Lock()
+
+    def state(self, tenant: str) -> TenantState:
+        with self._lock:
+            existing = self._states.get(tenant)
+            if existing is None:
+                policy = self._policies.get(tenant, self._default)
+                existing = self._states[tenant] = TenantState(policy, self._clock)
+            return existing
+
+    def inflight(self, tenant: str) -> int:
+        return self.state(tenant).inflight
+
+
+class AdmissionQueue:
+    """Bounded priority queue with explicit lowest-priority shedding.
+
+    Entries are any objects exposing ``priority`` (int, higher runs
+    first) and ``seq`` (submission order, FIFO within a priority).
+    :meth:`offer` never blocks: a full queue either sheds its worst
+    queued entry (only if *strictly* lower priority than the arrival)
+    or refuses the arrival — the caller turns either outcome into the
+    right error.  :meth:`take` blocks workers until work or timeout.
+
+    Shedding and taking hold the same lock, so an entry is taken XOR
+    shed, never both — which is what makes "running work is never shed"
+    a structural guarantee rather than a convention.
+    """
+
+    def __init__(self, depth: int) -> None:
+        if depth < 1:
+            raise ValueError(f"queue depth must be >= 1, got {depth}")
+        self.depth = depth
+        self._entries: List[object] = []
+        self._lock = threading.Lock()
+        self._ready = threading.Condition(self._lock)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @staticmethod
+    def _take_key(entry) -> Tuple[int, int]:
+        # Highest priority first; FIFO within a priority level.
+        return (-entry.priority, entry.seq)
+
+    @staticmethod
+    def _shed_key(entry) -> Tuple[int, int]:
+        # Lowest priority first; shed the *newest* of the worst level,
+        # preserving the oldest queued work at that level.
+        return (entry.priority, -entry.seq)
+
+    def offer(self, entry) -> Tuple[bool, Optional[object]]:
+        """Try to enqueue; returns ``(admitted, shed_entry)``.
+
+        ``(True, None)`` — room available, enqueued.
+        ``(True, victim)`` — queue was full; ``victim`` (strictly lower
+        priority) was removed to make room and must be failed by the
+        caller.  ``(False, None)`` — full of equal-or-higher-priority
+        work; the arrival itself must be rejected.
+        """
+        with self._lock:
+            if len(self._entries) < self.depth:
+                self._entries.append(entry)
+                self._ready.notify()
+                return True, None
+            victim = min(self._entries, key=self._shed_key)
+            if victim.priority >= entry.priority:
+                return False, None
+            self._entries.remove(victim)
+            self._entries.append(entry)
+            self._ready.notify()
+            return True, victim
+
+    def take(self, timeout: Optional[float] = None):
+        """Pop the highest-priority entry, blocking up to ``timeout``.
+
+        Returns None on timeout (workers use short timeouts so close()
+        can wind them down promptly).
+        """
+        with self._ready:
+            if not self._entries:
+                self._ready.wait(timeout)
+                if not self._entries:
+                    return None
+            entry = min(self._entries, key=self._take_key)
+            self._entries.remove(entry)
+            return entry
+
+    def drain(self) -> List[object]:
+        """Remove and return everything queued (close-time cleanup)."""
+        with self._lock:
+            entries, self._entries = self._entries, []
+            return entries
+
+    def wake_all(self) -> None:
+        """Wake every blocked taker (used during shutdown)."""
+        with self._ready:
+            self._ready.notify_all()

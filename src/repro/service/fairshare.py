@@ -1,0 +1,74 @@
+"""Per-query fair-share views over one shared access-executor pool.
+
+The query service keeps a single
+:class:`~repro.parallel.ParallelAccessExecutor` for the whole process —
+worker threads are a scarce resource, and per-query pools would let one
+fat query monopolize the machine.  :class:`FairShareExecutor` is the
+view each running query drives: it shares the pool's threads but caps
+how many of one query's access thunks may be in flight at once, so m
+concurrent queries each get roughly ``pool_size / m``-ish service
+rather than head-of-line blocking behind whoever submitted first.
+
+The cap is enforced by *wave* submission: a fan-out of t thunks under
+cap c is submitted as ⌈t/c⌉ consecutive waves of at most c thunks.
+Outcomes still come back in submission order, so the determinism
+contract of :mod:`repro.parallel` (answers, costs, traces byte-identical
+to serial) is untouched — waves only bound overlap, never reorder the
+merge.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.parallel import AccessThunk, Outcome, ParallelAccessExecutor, fan_out
+
+
+class FairShareExecutor:
+    """A capped, non-owning view over a shared access executor.
+
+    Duck-typed like :class:`~repro.parallel.ParallelAccessExecutor`
+    (``run`` / ``parallel`` / ``shutdown``) so the algorithms cannot
+    tell the difference.  ``shutdown`` is a no-op: the pool belongs to
+    the query service, and one query finishing must not strand the
+    others.
+    """
+
+    def __init__(self, shared: ParallelAccessExecutor, cap: int) -> None:
+        if cap < 1:
+            raise ValueError(f"fair-share cap must be >= 1, got {cap}")
+        self._shared = shared
+        self.cap = cap
+        self.max_workers = min(shared.max_workers, cap)
+
+    @property
+    def parallel(self) -> bool:
+        """Whether this view may actually overlap accesses."""
+        return self.max_workers > 1
+
+    def run(
+        self, thunks: Sequence[AccessThunk], *, stop_on_error: bool = False
+    ) -> List[Outcome]:
+        """Run one fan-out under the cap; outcomes in submission order.
+
+        Serial mode (cap 1, or a single thunk) runs inline with full
+        ``stop_on_error`` semantics, exactly like the serial executor.
+        Parallel mode runs every thunk (the shared-pool contract), in
+        waves of at most ``cap``.
+        """
+        if not self.parallel or len(thunks) <= 1:
+            return fan_out(None, thunks, stop_on_error=stop_on_error)
+        thunks = list(thunks)
+        outcomes: List[Outcome] = []
+        for start in range(0, len(thunks), self.cap):
+            outcomes.extend(self._shared.run(thunks[start : start + self.cap]))
+        return outcomes
+
+    def shutdown(self) -> None:
+        """No-op: the underlying pool is owned by the query service."""
+
+    def __repr__(self) -> str:
+        return (
+            f"<FairShareExecutor cap={self.cap} "
+            f"shared={self._shared.max_workers}>"
+        )

@@ -296,6 +296,40 @@ class MemmapSource(GradedSource):
     def __len__(self) -> int:
         return self._count
 
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has released the mapped columns."""
+        return self._sorted_ids is None
+
+    def close(self) -> None:
+        """Release the mapped columns and their file handles.
+
+        Idempotent.  After close the source must not be accessed; the
+        engine calls this from :meth:`MiddlewareEngine.close` so a
+        session's memmap handles do not linger until garbage collection
+        (which can pin gigabytes of page cache and, on some platforms,
+        block directory removal).
+        """
+        for attribute in (
+            "_sorted_ids",
+            "_sorted_grades",
+            "_lookup_ids",
+            "_lookup_grades",
+        ):
+            column = getattr(self, attribute, None)
+            setattr(self, attribute, None)
+            if column is None:
+                continue
+            buffer = getattr(column, "_mmap", None)
+            del column
+            if buffer is not None:
+                try:
+                    buffer.close()
+                except (BufferError, ValueError):
+                    # another live view still references the map; the
+                    # buffer closes when that view is collected
+                    pass
+
     def verify(self) -> Dict[str, object]:
         """Run the full :func:`verify_memmap` suite on this directory."""
         return verify_memmap(self.directory)

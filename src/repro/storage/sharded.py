@@ -161,6 +161,18 @@ class ShardedSource(GradedSource):
             for shard in self._shards
         ]
 
+    def close(self) -> None:
+        """Close every physical shard that exposes ``close()``.
+
+        Memmap shards release their mapped columns; in-RAM shards have
+        nothing to release.  Idempotent, like the shard closes it
+        forwards to.
+        """
+        for shard in self._shards:
+            closer = getattr(shard, "close", None)
+            if callable(closer):
+                closer()
+
     # -- construction ----------------------------------------------------------
     @classmethod
     def partition(

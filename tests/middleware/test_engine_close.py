@@ -1,0 +1,124 @@
+"""``Engine.close()``: executor shutdown, storage release, reusability."""
+
+import random
+
+import pytest
+
+from repro.core.query import Atomic
+from repro.middleware.engine import MiddlewareEngine
+from repro.middleware.list_subsystem import ListSubsystem
+
+QUERY = Atomic("Color", "red") & Atomic("Shape", "round")
+
+
+def build_engine(n=80, seed=41):
+    rng = random.Random(seed)
+    engine = MiddlewareEngine()
+    subsystem = ListSubsystem("qbic")
+    subsystem.add_list("Color", "red", {f"o{i}": rng.random() for i in range(n)})
+    subsystem.add_list("Shape", "round", {f"o{i}": rng.random() for i in range(n)})
+    engine.register(subsystem)
+    return engine
+
+
+def test_close_is_idempotent():
+    engine = build_engine()
+    engine.top_k(QUERY, 3)
+    engine.close()
+    engine.close()
+
+
+def test_context_manager_closes():
+    with build_engine() as engine:
+        result = engine.top_k(QUERY, 3)
+        assert len(result.answers) == 3
+    # After the with-block, closing again is harmless.
+    engine.close()
+
+
+def test_close_shuts_down_session_executor():
+    engine = build_engine()
+    engine.configure_parallelism(3)
+    engine.top_k(QUERY, 3)  # spins the pool up
+    executor = engine._executor
+    assert executor is not None
+    engine.close()
+    assert executor._pool is None  # released, not just forgotten
+
+
+def test_close_releases_memmap_storage():
+    engine = build_engine()
+    engine.configure_storage("memmap")
+    engine.top_k(QUERY, 3)  # materializes memmap columns on disk
+    bindings = list(engine._wrapped.values())
+    assert bindings, "expected cached memmap-backed bindings"
+    engine.close()
+    from repro.core.sources import iter_wrapper_chain
+    from repro.storage.memmap import MemmapSource
+
+    closed = 0
+    for binding in bindings:
+        for layer in iter_wrapper_chain(binding):
+            if isinstance(layer, MemmapSource):
+                assert layer.closed
+                closed += 1
+    assert closed, "no MemmapSource found in the wrapper chains"
+
+
+def test_close_clears_binding_cache():
+    engine = build_engine()
+    engine.top_k(QUERY, 3)
+    assert engine._wrapped
+    engine.close()
+    assert not engine._wrapped
+
+
+def test_closed_engine_can_still_rebind():
+    """close() releases resources; the engine object itself stays usable
+    for in-RAM work (a fresh bind rebuilds from the subsystems)."""
+    engine = build_engine()
+    first = engine.top_k(QUERY, 3)
+    engine.close()
+    second = engine.top_k(QUERY, 3)
+    assert [(i.object_id, i.grade) for i in second.answers] == [
+        (i.object_id, i.grade) for i in first.answers
+    ]
+    engine.close()
+
+
+def test_sharded_memmap_close():
+    engine = build_engine()
+    engine.configure_storage("memmap", shards=3)
+    engine.top_k(QUERY, 3)
+    bindings = list(engine._wrapped.values())
+    engine.close()
+    from repro.core.sources import iter_wrapper_chain
+    from repro.storage.memmap import MemmapSource
+    from repro.storage.sharded import ShardedSource
+
+    seen = 0
+    for binding in bindings:
+        for layer in iter_wrapper_chain(binding):
+            # ShardedSource fans into parallel shards rather than one
+            # _inner; descend explicitly to check each memmap shard.
+            if isinstance(layer, ShardedSource):
+                for shard in layer.shards:
+                    if isinstance(shard, MemmapSource):
+                        assert shard.closed
+                        seen += 1
+    assert seen >= 2, "sharded memmap shards were not closed"
+
+
+def test_memmap_source_close_direct(tmp_path):
+    from repro.storage import build_synthetic_memmap, open_memmap
+
+    directory = str(tmp_path / "col")
+    build_synthetic_memmap(directory, 1000)
+    source = open_memmap(directory)
+    assert source.random_access(0) > 0
+    assert not source.closed
+    source.close()
+    assert source.closed
+    source.close()  # idempotent
+    with pytest.raises(Exception):
+        source.random_access(0)

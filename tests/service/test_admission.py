@@ -1,0 +1,250 @@
+"""Admission control: token buckets, tenant quotas, bounded shedding queue."""
+
+import threading
+
+import pytest
+
+from repro.middleware.resilience import VirtualClock
+from repro.service.admission import (
+    AdmissionQueue,
+    TenantPolicy,
+    TenantState,
+    TenantTable,
+    TokenBucket,
+)
+
+
+class Entry:
+    """Minimal queue entry: priority + submission sequence."""
+
+    def __init__(self, priority, seq):
+        self.priority = priority
+        self.seq = seq
+
+    def __repr__(self):
+        return f"Entry(p{self.priority}, #{self.seq})"
+
+
+# ---------------------------------------------------------------- bucket
+
+
+def test_bucket_starts_full_and_drains():
+    clock = VirtualClock()
+    bucket = TokenBucket(rate=1.0, burst=3.0, clock=clock)
+    assert bucket.try_acquire()
+    assert bucket.try_acquire()
+    assert bucket.try_acquire()
+    assert not bucket.try_acquire()
+
+
+def test_bucket_refills_at_rate_up_to_burst():
+    clock = VirtualClock()
+    bucket = TokenBucket(rate=2.0, burst=4.0, clock=clock)
+    for _ in range(4):
+        assert bucket.try_acquire()
+    clock.sleep(1.0)  # +2 tokens
+    assert bucket.try_acquire()
+    assert bucket.try_acquire()
+    assert not bucket.try_acquire()
+    clock.sleep(100.0)  # refill clamps at burst
+    assert bucket.available == 4.0
+
+
+def test_bucket_refund_restores_tokens():
+    clock = VirtualClock()
+    bucket = TokenBucket(rate=1.0, burst=1.0, clock=clock)
+    assert bucket.try_acquire()
+    assert not bucket.try_acquire()
+    bucket.refund()
+    assert bucket.try_acquire()
+
+
+def test_unlimited_bucket_always_grants():
+    bucket = TokenBucket(rate=None, burst=1.0, clock=VirtualClock())
+    for _ in range(1000):
+        assert bucket.try_acquire()
+    assert bucket.available == float("inf")
+
+
+def test_bucket_rejects_bad_parameters():
+    clock = VirtualClock()
+    with pytest.raises(ValueError):
+        TokenBucket(rate=0.0, burst=1.0, clock=clock)
+    with pytest.raises(ValueError):
+        TokenBucket(rate=1.0, burst=0.0, clock=clock)
+
+
+# ---------------------------------------------------------------- tenants
+
+
+def test_tenant_inflight_cap_then_quota():
+    clock = VirtualClock()
+    state = TenantState(TenantPolicy(rate=1.0, burst=10.0, max_inflight=2), clock)
+    assert state.try_reserve() == (True, "")
+    assert state.try_reserve() == (True, "")
+    assert state.try_reserve() == (False, "inflight")
+    state.release()
+    ok, _ = state.try_reserve()
+    assert ok
+
+
+def test_tenant_quota_exhaustion_reports_quota():
+    clock = VirtualClock()
+    state = TenantState(TenantPolicy(rate=1.0, burst=1.0), clock)
+    assert state.try_reserve() == (True, "")
+    state.release()  # inflight freed, token NOT refunded (work ran)
+    assert state.try_reserve() == (False, "quota")
+    clock.sleep(1.0)
+    assert state.try_reserve() == (True, "")
+
+
+def test_tenant_release_with_refund_returns_token():
+    clock = VirtualClock()
+    state = TenantState(TenantPolicy(rate=1.0, burst=1.0), clock)
+    assert state.try_reserve() == (True, "")
+    state.release(refund_token=True)  # admission failed downstream
+    assert state.try_reserve() == (True, "")
+
+
+def test_tenant_table_per_tenant_policies_and_default():
+    clock = VirtualClock()
+    table = TenantTable(
+        TenantPolicy(),
+        {"bronze": TenantPolicy(max_inflight=1)},
+        clock,
+    )
+    assert table.state("bronze").policy.max_inflight == 1
+    assert table.state("anyone").policy.max_inflight is None
+    assert table.state("bronze") is table.state("bronze")
+    assert table.inflight("bronze") == 0
+
+
+# ---------------------------------------------------------------- queue
+
+
+def test_queue_fifo_within_priority():
+    queue = AdmissionQueue(4)
+    entries = [Entry(0, seq) for seq in range(3)]
+    for entry in entries:
+        assert queue.offer(entry) == (True, None)
+    assert [queue.take(0) for _ in range(3)] == entries
+
+
+def test_queue_takes_highest_priority_first():
+    queue = AdmissionQueue(4)
+    low, high, mid = Entry(0, 1), Entry(2, 2), Entry(1, 3)
+    for entry in (low, high, mid):
+        queue.offer(entry)
+    assert queue.take(0) is high
+    assert queue.take(0) is mid
+    assert queue.take(0) is low
+
+
+def test_full_queue_sheds_strictly_lower_priority_newest_first():
+    queue = AdmissionQueue(2)
+    old_low, new_low = Entry(0, 1), Entry(0, 2)
+    queue.offer(old_low)
+    queue.offer(new_low)
+    admitted, victim = queue.offer(Entry(1, 3))
+    assert admitted
+    # The newest entry of the worst priority level is shed; the oldest
+    # queued work at that level survives.
+    assert victim is new_low
+    assert len(queue) == 2
+
+
+def test_full_queue_rejects_equal_priority_arrival():
+    queue = AdmissionQueue(2)
+    queue.offer(Entry(1, 1))
+    queue.offer(Entry(1, 2))
+    assert queue.offer(Entry(1, 3)) == (False, None)
+    assert queue.offer(Entry(0, 4)) == (False, None)  # lower: also refused
+    assert len(queue) == 2
+
+
+def test_taken_entry_can_never_be_shed():
+    """offer/take share a lock: an entry is taken XOR shed, never both."""
+    queue = AdmissionQueue(1)
+    first = Entry(0, 1)
+    queue.offer(first)
+    taken = queue.take(0)
+    assert taken is first
+    # Queue is empty again: the next offer admits without a victim.
+    assert queue.offer(Entry(5, 2)) == (True, None)
+
+
+def test_take_blocks_until_offer_arrives():
+    queue = AdmissionQueue(2)
+    received = []
+
+    def taker():
+        received.append(queue.take(timeout=5.0))
+
+    thread = threading.Thread(target=taker)
+    thread.start()
+    entry = Entry(0, 1)
+    queue.offer(entry)
+    thread.join(timeout=5.0)
+    assert received == [entry]
+
+
+def test_take_times_out_empty():
+    queue = AdmissionQueue(1)
+    assert queue.take(timeout=0.01) is None
+
+
+def test_drain_empties_the_queue():
+    queue = AdmissionQueue(4)
+    entries = [Entry(0, seq) for seq in range(3)]
+    for entry in entries:
+        queue.offer(entry)
+    assert queue.drain() == entries
+    assert len(queue) == 0
+
+
+def test_queue_rejects_bad_depth():
+    with pytest.raises(ValueError):
+        AdmissionQueue(0)
+
+
+def test_concurrent_offer_take_conserves_entries():
+    """Hammer the queue from both sides; nothing lost, nothing duplicated."""
+    queue = AdmissionQueue(8)
+    total = 200
+    produced = [Entry(seq % 3, seq) for seq in range(total)]
+    consumed, lock = [], threading.Lock()
+    shed = []
+
+    def producer(chunk):
+        for entry in chunk:
+            while True:
+                admitted, victim = queue.offer(entry)
+                if victim is not None:
+                    with lock:
+                        shed.append(victim)
+                if admitted:
+                    break
+
+    def consumer():
+        while True:
+            entry = queue.take(timeout=0.2)
+            if entry is None:
+                return
+            with lock:
+                consumed.append(entry)
+
+    consumers = [threading.Thread(target=consumer) for _ in range(3)]
+    producers = [
+        threading.Thread(target=producer, args=(produced[i::2],))
+        for i in range(2)
+    ]
+    for thread in consumers + producers:
+        thread.start()
+    for thread in producers:
+        thread.join(timeout=10.0)
+    for thread in consumers:
+        thread.join(timeout=10.0)
+    seen = consumed + shed + queue.drain()
+    assert sorted(e.seq for e in seen) == list(range(total))
+    # XOR: no entry may appear on both sides.
+    assert not ({e.seq for e in consumed} & {e.seq for e in shed})

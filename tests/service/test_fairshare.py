@@ -1,0 +1,103 @@
+"""Fair-share executor views over one shared access pool."""
+
+import threading
+
+import pytest
+
+from repro.parallel import ParallelAccessExecutor
+from repro.service import FairShareExecutor
+
+
+def test_cap_bounds_workers_and_parallel_flag():
+    shared = ParallelAccessExecutor(4)
+    view = FairShareExecutor(shared, cap=2)
+    assert view.max_workers == 2
+    assert view.parallel
+    serial = FairShareExecutor(shared, cap=1)
+    assert not serial.parallel
+    shared.shutdown()
+
+
+def test_cap_clamped_to_shared_pool_size():
+    shared = ParallelAccessExecutor(2)
+    view = FairShareExecutor(shared, cap=16)
+    assert view.max_workers == 2
+    shared.shutdown()
+
+
+def test_rejects_bad_cap():
+    with pytest.raises(ValueError):
+        FairShareExecutor(ParallelAccessExecutor(2), cap=0)
+
+
+def test_outcomes_in_submission_order():
+    shared = ParallelAccessExecutor(4)
+    view = FairShareExecutor(shared, cap=2)
+    thunks = [lambda i=i: i * 10 for i in range(9)]
+    outcomes = view.run(thunks)
+    assert [o.value for o in outcomes] == [i * 10 for i in range(9)]
+    shared.shutdown()
+
+
+def test_errors_captured_per_thunk():
+    shared = ParallelAccessExecutor(4)
+    view = FairShareExecutor(shared, cap=3)
+
+    def boom():
+        raise RuntimeError("thunk failed")
+
+    outcomes = view.run([lambda: 1, boom, lambda: 3])
+    assert outcomes[0].value == 1
+    assert isinstance(outcomes[1].error, RuntimeError)
+    assert outcomes[2].value == 3
+    shared.shutdown()
+
+
+def test_wave_submission_never_exceeds_cap():
+    """Instantaneous in-flight thunks of one view stay <= its cap."""
+    shared = ParallelAccessExecutor(4)
+    view = FairShareExecutor(shared, cap=2)
+    lock = threading.Lock()
+    live = {"now": 0, "peak": 0}
+    barrier = threading.Barrier(2, timeout=5.0)
+
+    def tracked():
+        with lock:
+            live["now"] += 1
+            live["peak"] = max(live["peak"], live["now"])
+        try:
+            # Rendezvous in pairs: proves two run together (the cap is
+            # reached) while the peak assertion proves never three.
+            barrier.wait()
+        finally:
+            with lock:
+                live["now"] -= 1
+        return True
+
+    outcomes = view.run([tracked for _ in range(6)])
+    assert all(o.ok for o in outcomes)
+    assert live["peak"] == 2
+    shared.shutdown()
+
+
+def test_shutdown_is_noop_for_shared_pool():
+    shared = ParallelAccessExecutor(2)
+    view = FairShareExecutor(shared, cap=2)
+    view.shutdown()
+    # The shared pool still works after a view "shutdown".
+    assert [o.value for o in shared.run([lambda: 7, lambda: 8])] == [7, 8]
+    shared.shutdown()
+
+
+def test_serial_view_stop_on_error_matches_serial_semantics():
+    shared = ParallelAccessExecutor(4)
+    view = FairShareExecutor(shared, cap=1)
+
+    def boom():
+        raise RuntimeError("no")
+
+    outcomes = view.run([lambda: 1, boom, lambda: 3], stop_on_error=True)
+    assert outcomes[0].value == 1
+    assert outcomes[1].error is not None
+    assert not outcomes[2].ran  # skipped, exactly like the serial loop
+    shared.shutdown()

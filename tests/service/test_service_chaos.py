@@ -1,0 +1,177 @@
+"""Chaos: the service under injected subsystem faults and overload.
+
+Every ticket must reach a terminal state — faults surface as degraded
+results or explicit errors, never hangs — and the no-shed-while-running
+invariant holds under fault-lengthened executions.
+"""
+
+import pytest
+
+from repro.errors import AdmissionError, ReproError
+from repro.middleware.faults import FaultProfile
+from repro.middleware.resilience import ResiliencePolicy, RetryPolicy
+from repro.service import QueryService, ServiceConfig
+
+from tests.service.helpers import QUERY, build_engine
+
+
+def chaotic_engine(profile):
+    engine = build_engine()
+    engine.configure_resilience(
+        ResiliencePolicy(retry=RetryPolicy(max_attempts=4, base_delay=0.001)),
+        fault_profile=profile,
+    )
+    return engine
+
+
+def drain(tickets):
+    """Wait out every ticket; returns (results, errors) without hanging."""
+    results, errors = [], []
+    for ticket in tickets:
+        assert ticket.wait(timeout=30), f"ticket {ticket.seq} hung"
+        try:
+            results.append(ticket.result(timeout=0))
+        except (ReproError, AdmissionError) as error:
+            errors.append((ticket, error))
+    return results, errors
+
+
+def test_transient_faults_retried_to_clean_answers():
+    engine = chaotic_engine(FaultProfile(transient_rate=0.2, seed=3))
+    expected = build_engine().top_k(QUERY, 5)
+    try:
+        with QueryService(engine, ServiceConfig(workers=4)) as service:
+            tickets = [service.submit(QUERY, 5) for _ in range(20)]
+            results, errors = drain(tickets)
+    finally:
+        engine.close()
+    assert not errors
+    # Serially, retries (max_attempts=4) always outlast the fault
+    # schedule's max_consecutive=2 streak cap.  But the cap's counter
+    # lives on the *shared* source: concurrent queries interleave their
+    # draws, so a retry loop can rarely have its forced-success draws
+    # absorbed by a neighbour and exhaust its attempts.  That must
+    # surface as an explicit degradation — never a silently wrong
+    # answer — and stays rare.
+    clean = [r for r in results if r.degraded is None]
+    assert len(clean) >= len(results) - 2
+    for result in clean:
+        assert [(i.object_id, i.grade) for i in result.answers] == [
+            (i.object_id, i.grade) for i in expected.answers
+        ]
+    for result in results:
+        if result.degraded is not None:
+            assert result.degraded.fallback
+
+
+def test_dying_source_degrades_but_terminates():
+    engine = chaotic_engine(FaultProfile(kill_after=200, seed=5))
+    try:
+        with QueryService(engine, ServiceConfig(workers=3)) as service:
+            tickets = [service.submit(QUERY, 5) for _ in range(15)]
+            results, errors = drain(tickets)
+    finally:
+        engine.close()
+    # Early queries may finish clean; once the source dies, queries
+    # come back degraded (partial bounds) or as explicit errors — but
+    # every single one terminates.
+    assert len(results) + len(errors) == 15
+    late = results[-1] if results else None
+    stats = service.stats()
+    assert stats["completed"] + stats["failed"] == 15
+    if late is not None and late.degraded is not None:
+        assert late.degraded.complete is False or late.degraded.fallback
+
+
+def test_chaos_with_overload_never_sheds_running():
+    engine = chaotic_engine(
+        FaultProfile(transient_rate=0.15, latency_rate=0.3, latency=0.05, seed=9)
+    )
+    config = ServiceConfig(workers=2, queue_depth=3)
+    admitted, refused = [], 0
+    try:
+        with QueryService(engine, config) as service:
+            for index in range(30):
+                try:
+                    admitted.append(
+                        service.submit(QUERY, 5, priority=index % 3)
+                    )
+                except AdmissionError:
+                    refused += 1
+            results, errors = drain(admitted)
+    finally:
+        engine.close()
+    shed = [t for t, e in errors if t.status == "shed"]
+    for ticket in shed:
+        assert ticket.started_at is None, (
+            f"ticket {ticket.seq} was shed after it started running"
+        )
+    assert len(results) + len(errors) == len(admitted)
+    assert len(admitted) + refused == 30
+
+
+def test_deadline_under_chaos_degrades_within_budget():
+    """Latency faults burn the virtual budget; queries degrade, not hang."""
+    from repro.middleware.resilience import VirtualClock
+
+    clock = VirtualClock()
+    engine = build_engine(clock=clock)
+    engine.configure_resilience(
+        None,
+        fault_profile=FaultProfile(latency_rate=1.0, latency=0.5, seed=1),
+    )
+    try:
+        with QueryService(engine, clock=clock) as service:
+            # Every access stalls the virtual clock 0.5s; a 2s budget is
+            # exhausted after a handful of accesses and the guard trips.
+            result = service.query(QUERY, 5, deadline=2.0, timeout=30)
+    finally:
+        engine.close()
+    assert result.degraded is not None
+    assert result.degraded.fallback in ("partial-bounds", "nra-sorted-only")
+    assert result.cost.database_access_cost > 0  # it did start
+    assert service.metrics.counter_total("service.degraded") == 1
+
+
+def test_faulty_and_clean_tenants_coexist():
+    """One tenant's chaos (on its own atom) cannot corrupt another's answers."""
+    engine = chaotic_engine(FaultProfile(transient_rate=0.25, seed=13))
+    expected = build_engine().top_k(QUERY, 4)
+    try:
+        with QueryService(engine, ServiceConfig(workers=4)) as service:
+            tickets = [
+                service.submit(QUERY, 4, tenant=("a" if i % 2 else "b"))
+                for i in range(16)
+            ]
+            results, errors = drain(tickets)
+    finally:
+        engine.close()
+    assert not errors
+    # As above: concurrent draws on the shared schedule can rarely
+    # exhaust one query's retries into an explicit degradation; every
+    # non-degraded answer must be exact for both tenants.
+    clean = [r for r in results if r.degraded is None]
+    assert len(clean) >= len(results) - 2
+    for result in clean:
+        assert [(i.object_id, i.grade) for i in result.answers] == [
+            (i.object_id, i.grade) for i in expected.answers
+        ]
+
+
+@pytest.mark.parametrize("workers", [1, 4])
+def test_worker_survives_failing_queries(workers):
+    """A query that raises does not kill its worker thread."""
+    from repro.core.query import Atomic
+
+    engine = build_engine()
+    try:
+        with QueryService(engine, ServiceConfig(workers=workers)) as service:
+            bad = [service.submit(Atomic("Nope", "x"), 3) for _ in range(4)]
+            good = [service.submit(QUERY, 3) for _ in range(4)]
+            for ticket in bad:
+                with pytest.raises(ReproError):
+                    ticket.result(timeout=10)
+            for ticket in good:
+                assert ticket.result(timeout=10).answers
+    finally:
+        engine.close()

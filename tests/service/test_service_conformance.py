@@ -1,0 +1,138 @@
+"""Concurrency conformance: service answers are byte-identical to serial.
+
+The acceptance bar for the serving layer: run 100 queries through a
+concurrent QueryService and prove every non-degraded answer equal —
+object ids, grades, tie-break order, algorithm choice — to the same
+query evaluated serially on a quiet engine.  Exercised across worker
+counts, a shared parallel access pool with fair-share caps, and a mix
+of distinct queries so concurrent executions genuinely interleave.
+"""
+
+import random
+
+import pytest
+
+from repro.core.query import Atomic
+from repro.middleware.engine import MiddlewareEngine
+from repro.middleware.list_subsystem import ListSubsystem
+from repro.service import QueryService, ServiceConfig
+
+QUERIES = 100
+N = 300
+K = 7
+
+
+def build_engine():
+    rng = random.Random(99)
+    engine = MiddlewareEngine()
+    subsystem = ListSubsystem("qbic")
+    for attribute, target in (
+        ("Color", "red"),
+        ("Color", "blue"),
+        ("Shape", "round"),
+        ("Texture", "smooth"),
+    ):
+        subsystem.add_list(
+            attribute, target, {f"img{i}": rng.random() for i in range(N)}
+        )
+    engine.register(subsystem)
+    return engine
+
+
+def query_mix():
+    """A deterministic mix of conjunctions over the four lists."""
+    atoms = {
+        "cr": Atomic("Color", "red"),
+        "cb": Atomic("Color", "blue"),
+        "sr": Atomic("Shape", "round"),
+        "ts": Atomic("Texture", "smooth"),
+    }
+    shapes = [
+        atoms["cr"] & atoms["sr"],
+        atoms["cb"] & atoms["ts"],
+        atoms["cr"] & atoms["sr"] & atoms["ts"],
+        atoms["cb"] | atoms["sr"],
+        atoms["cr"],
+    ]
+    return [shapes[i % len(shapes)] for i in range(QUERIES)]
+
+
+def fingerprint(result):
+    return (
+        result.algorithm,
+        result.grades_exact,
+        tuple((str(i.object_id), i.grade) for i in result.answers),
+    )
+
+
+@pytest.mark.parametrize(
+    "workers,access_workers,fair_share",
+    [
+        (4, 1, None),  # concurrent queries, serial accesses
+        (8, 1, None),  # more workers than queries in flight
+        (4, 4, 2),  # shared parallel pool, per-query cap
+    ],
+)
+def test_hundred_concurrent_queries_byte_identical(
+    workers, access_workers, fair_share
+):
+    queries = query_mix()
+    serial_engine = build_engine()
+    expected = [fingerprint(serial_engine.top_k(q, K)) for q in queries]
+    serial_engine.close()
+
+    engine = build_engine()
+    config = ServiceConfig(
+        workers=workers,
+        queue_depth=QUERIES,
+        access_workers=access_workers,
+        fair_share=fair_share,
+    )
+    try:
+        with QueryService(engine, config) as service:
+            tickets = [service.submit(q, K) for q in queries]
+            results = [t.result(timeout=60) for t in tickets]
+    finally:
+        engine.close()
+
+    for index, (result, want) in enumerate(zip(results, expected)):
+        assert result.degraded is None, f"query {index} unexpectedly degraded"
+        assert fingerprint(result) == want, f"query {index} diverged"
+
+
+def test_interleaved_submissions_from_many_client_threads():
+    """Clients submitting from their own threads see the same answers."""
+    import threading
+
+    queries = query_mix()[:40]
+    serial_engine = build_engine()
+    expected = [fingerprint(serial_engine.top_k(q, K)) for q in queries]
+    serial_engine.close()
+
+    engine = build_engine()
+    results = [None] * len(queries)
+    try:
+        with QueryService(
+            engine, ServiceConfig(workers=4, queue_depth=len(queries))
+        ) as service:
+
+            def client(start):
+                for index in range(start, len(queries), 4):
+                    results[index] = service.query(
+                        queries[index], K, timeout=60
+                    )
+
+            threads = [
+                threading.Thread(target=client, args=(lane,))
+                for lane in range(4)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60)
+    finally:
+        engine.close()
+
+    for index, (result, want) in enumerate(zip(results, expected)):
+        assert result is not None, f"client lane lost query {index}"
+        assert fingerprint(result) == want, f"query {index} diverged"
