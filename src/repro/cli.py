@@ -102,6 +102,12 @@ def _apply_storage(engine: MiddlewareEngine, args: argparse.Namespace) -> None:
     )
 
 
+def _apply_cache(engine: MiddlewareEngine, args: argparse.Namespace) -> None:
+    """Wire --cache into the engine, if given."""
+    if getattr(args, "cache", False):
+        engine.configure_cache()
+
+
 def _apply_resilience(engine: MiddlewareEngine, args: argparse.Namespace) -> None:
     """Wire --fault-profile / --retry-policy into the engine, if given."""
     fault_spec = getattr(args, "fault_profile", None)
@@ -135,6 +141,16 @@ def _print_result(result) -> None:
         status = "answers still exact" if degraded.complete else "partial answers"
         print(f"degraded: fell back to {degraded.fallback} ({status})")
         print(f"  failures: {failed}")
+    cache_info = result.extras.get("cache")
+    if cache_info:
+        line = (f"cache: {cache_info['tier']} "
+                f"(k'={cache_info['k_cached']}")
+        if cache_info["tier"] == "warm":
+            line += (f", marginal sorted {cache_info['marginal_sorted']} "
+                     f"random {cache_info['marginal_random']}")
+        else:
+            line += f", tau={cache_info['tau']:.4f}"
+        print(line + ")")
     resilience = result.extras.get("resilience")
     if resilience:
         for name, entry in sorted(resilience.items()):
@@ -171,6 +187,7 @@ def cmd_demo(args: argparse.Namespace) -> int:
         _apply_storage(engine, args)
         _apply_parallelism(engine, args)
         _apply_kernel(engine, args)
+        _apply_cache(engine, args)
         tracer = _apply_observability(engine, args)
         query = Atomic("Artist", "Beatles") & Atomic("AlbumColor", "red")
         print(f"query: {query}")
@@ -193,6 +210,7 @@ def cmd_sql(args: argparse.Namespace) -> int:
         _apply_storage(engine, args)
         _apply_parallelism(engine, args)
         _apply_kernel(engine, args)
+        _apply_cache(engine, args)
         tracer = _apply_observability(engine, args)
         if args.query:
             code = _run_statement(engine, " ".join(args.query), args.k)
@@ -233,6 +251,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         _apply_resilience(engine, args)
         _apply_storage(engine, args)
         _apply_kernel(engine, args)
+        _apply_cache(engine, args)
         query = Atomic("Artist", "Beatles") & Atomic("AlbumColor", "red")
         config = ServiceConfig(
             workers=args.workers,
@@ -374,6 +393,13 @@ def build_parser() -> argparse.ArgumentParser:
             "--storage-dir", metavar="DIR", default=None,
             help="directory for on-disk backends (default: a temporary "
             "directory owned by the session)",
+        )
+        command.add_argument(
+            "--cache", action="store_true",
+            help="enable the semantic result cache: repeated or "
+            "contained (smaller-k) queries are served from certified "
+            "cached answers with zero repository accesses, and "
+            "deeper-k NRA queries warm-start from the cached run",
         )
 
     demo = sub.add_parser("demo", help="guided tour of the Beatles query")

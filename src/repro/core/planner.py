@@ -228,6 +228,7 @@ def execute(
     tracer=None,
     executor=None,
     kernel: Optional[str] = None,
+    nra_snapshot: Optional[Dict] = None,
 ) -> TopKResult:
     """Run a plan produced by :func:`plan_top_k` over the same sources.
 
@@ -240,7 +241,9 @@ def execute(
     to serial execution.  ``kernel`` (``"auto"``/``"vector"``/
     ``"scalar"``, ``None`` = configured default) selects the scoring
     kernel for the algorithms that have a vectorized implementation —
-    see :mod:`repro.kernels`.
+    see :mod:`repro.kernels`.  ``nra_snapshot`` (a dict) collects a
+    clean NRA run's resumable state for the result cache's warm-start
+    tier; it is ignored by every other strategy.
     """
     if plan.strategy is Strategy.NAIVE:
         return naive_top_k(
@@ -279,6 +282,7 @@ def execute(
             tracer=tracer,
             executor=executor,
             kernel=kernel,
+            snapshot_out=nra_snapshot,
         )
     if plan.strategy is Strategy.BOOLEAN_FIRST:
         if plan.boolean_index is None:

@@ -112,6 +112,47 @@ class _NraState:
         return len(self.known) == m
 
 
+def _fill_nra_snapshot(
+    snapshot: Dict,
+    *,
+    states: Dict,
+    bottoms: List[float],
+    positions: List[int],
+    exhausted: List[bool],
+    depth: int,
+    rounds: int,
+    next_check: int,
+    batch_size: int,
+    stop_check_growth: float,
+    exact_grades: bool,
+    tol: float,
+) -> None:
+    """Record a finished NRA run's resumable state into ``snapshot``.
+
+    Everything is copied into plain built-in containers: the snapshot
+    must stay valid (and immutable in practice) after the run's own
+    bookkeeping is garbage-collected or mutated by a later continuation.
+    ``states`` maps object id -> {list index -> known grade} in
+    first-seen order, which is exactly the insertion order a resumed
+    run's bookkeeping must reproduce.
+    """
+    snapshot.clear()
+    snapshot.update(
+        kind="nra",
+        states=states,
+        bottoms=list(bottoms),
+        positions=list(positions),
+        exhausted=list(exhausted),
+        depth=depth,
+        rounds=rounds,
+        next_check=next_check,
+        batch_size=batch_size,
+        stop_check_growth=stop_check_growth,
+        exact_grades=exact_grades,
+        tol=tol,
+    )
+
+
 def _nra_run(
     sources: Sequence[GradedSource],
     rule: ScoringFunction,
@@ -136,6 +177,10 @@ def _nra_run(
     kernel: str = "scalar",
     grade_matrix: Optional[GradeMatrix] = None,
     writeback_states: bool = False,
+    rounds: int = 0,
+    next_check: int = 1,
+    initial_check: bool = False,
+    snapshot_out: Optional[Dict] = None,
 ) -> TopKResult:
     """The NRA main loop, resumable from arbitrary accumulated state.
 
@@ -178,6 +223,18 @@ def _nra_run(
     no list can progress and the stop test still fails, the best-effort
     top k by *lower* bound is returned with ``grades_exact=False`` and a
     ``partial-bounds`` :class:`~repro.core.result.DegradedResult`.
+
+    **Warm-start continuations** (the result cache's tier 3) hand back a
+    finished run's position on the stop-check schedule via ``rounds`` and
+    ``next_check``, and set ``initial_check=True`` so the continuation
+    replays the stop check its snapshot was taken at — for a shallower k
+    the fill run stopped there, and a cold run at the deeper k evaluates
+    that same check at the same depth before draining further, so the
+    resumed access stream stays byte-identical to cold.  ``snapshot_out``
+    (a dict, filled in place) captures the finished run's resumable state
+    — per-object known grades, list bottoms/positions, schedule position
+    — when the run completed cleanly; nothing is written after a
+    degraded run, whose frozen streams cannot be resumed faithfully.
     """
     if stop_check_growth < 1.0:
         raise ValueError(
@@ -206,6 +263,10 @@ def _nra_run(
             stop_check_growth=stop_check_growth,
             grade_matrix=grade_matrix,
             writeback_states=writeback_states,
+            rounds=rounds,
+            next_check=next_check,
+            initial_check=initial_check,
+            snapshot_out=snapshot_out,
         )
     database_size = check_same_objects(sources)
     k = min(k, database_size)
@@ -214,8 +275,6 @@ def _nra_run(
     #: caller when a stream already died before the continuation started
     #: (those indexes must also be pre-marked in ``exhausted``).
     sorted_failures: Dict[int, str] = dict(failed_sorted or {})
-    rounds = 0
-    next_check = 1
     answers: Optional[GradedSet] = None
     converged = True
     partial = False
@@ -255,6 +314,12 @@ def _nra_run(
         return top
 
     with nullcontext() if tracer is None else tracer.phase(phase_name):
+        if initial_check:
+            # Replay the check the snapshot was taken at, WITHOUT moving
+            # the schedule: the fill run already advanced next_check past
+            # this round, and a cold run at the deeper k fails this very
+            # check before draining on.
+            answers = evaluate_stop()
         while answers is None:
             # Drain everything up to the next scheduled stop check in one
             # batch per list; nothing is decided between checks, so this is
@@ -349,6 +414,22 @@ def _nra_run(
             },
         )
 
+    if snapshot_out is not None and not failures:
+        _fill_nra_snapshot(
+            snapshot_out,
+            states={obj: dict(state.known) for obj, state in states.items()},
+            bottoms=bottoms,
+            positions=[cursor.position for cursor in cursors],
+            exhausted=exhausted,
+            depth=depth,
+            rounds=rounds,
+            next_check=next_check,
+            batch_size=batch_size,
+            stop_check_growth=stop_check_growth,
+            exact_grades=exact_grades,
+            tol=tol,
+        )
+
     return TopKResult(
         answers=answers,
         cost=meter.report(),
@@ -382,6 +463,10 @@ def _nra_run_vector(
     stop_check_growth: float = 2.0,
     grade_matrix: Optional[GradeMatrix] = None,
     writeback_states: bool = False,
+    rounds: int = 0,
+    next_check: int = 1,
+    initial_check: bool = False,
+    snapshot_out: Optional[Dict] = None,
 ) -> TopKResult:
     """Columnar NRA: the same loop as :func:`_nra_run`, with the seen
     set in a :class:`~repro.kernels.GradeMatrix` and every stop check a
@@ -403,8 +488,6 @@ def _nra_run_vector(
         else GradeMatrix.from_states(states, m)
     )
     sorted_failures: Dict[int, str] = dict(failed_sorted or {})
-    rounds = 0
-    next_check = 1
     answers: Optional[GradedSet] = None
     answer_rows = None
     converged = True
@@ -446,6 +529,10 @@ def _nra_run_vector(
         )
 
     with nullcontext() if tracer is None else tracer.phase(phase_name):
+        if initial_check:
+            # See the scalar loop: replay the snapshot's final stop check
+            # without advancing the schedule.
+            answers = evaluate_stop()
         while answers is None:
             window = min(max(next_check - rounds, 1), batch_size)
             progressed = False
@@ -536,6 +623,28 @@ def _nra_run_vector(
 
     if writeback_states:
         matrix.flush_to_states(states, _NraState)
+
+    if snapshot_out is not None and not failures:
+        # ``flush_to_states`` into a scratch dict converts the columnar
+        # seen-set to the same {id: {column: grade}} shape the scalar
+        # loop snapshots, appending rows in first-seen order — so a
+        # snapshot restores identically whichever kernel wrote it.
+        scratch: Dict[ObjectId, _NraState] = {}
+        matrix.flush_to_states(scratch, _NraState)
+        _fill_nra_snapshot(
+            snapshot_out,
+            states={obj: dict(state.known) for obj, state in scratch.items()},
+            bottoms=bottoms,
+            positions=[cursor.position for cursor in cursors],
+            exhausted=exhausted,
+            depth=depth,
+            rounds=rounds,
+            next_check=next_check,
+            batch_size=batch_size,
+            stop_check_growth=stop_check_growth,
+            exact_grades=exact_grades,
+            tol=tol,
+        )
 
     return TopKResult(
         answers=answers,
@@ -1265,6 +1374,7 @@ def nra_top_k(
     executor=None,
     stop_check_growth: float = 2.0,
     kernel: Optional[str] = None,
+    snapshot_out: Optional[Dict] = None,
 ) -> TopKResult:
     """Top k answers using sorted access only (NRA).
 
@@ -1275,7 +1385,9 @@ def nra_top_k(
     ``stop_check_growth`` controls the geometric stop-check schedule
     (see :func:`_nra_run`); ``kernel`` selects the scalar or vectorized
     implementation (``None`` = configured default, resolved by
-    :func:`repro.kernels.resolve_kernel`).
+    :func:`repro.kernels.resolve_kernel`).  ``snapshot_out`` captures a
+    clean run's resumable state for the result cache's warm-start tier
+    (see :func:`_nra_run`).
     """
     if k <= 0:
         raise ValueError(f"k must be positive, got {k}")
@@ -1301,6 +1413,7 @@ def nra_top_k(
         executor=executor,
         stop_check_growth=stop_check_growth,
         kernel=resolve_kernel(kernel, sources, rule),
+        snapshot_out=snapshot_out,
     )
 
 

@@ -134,6 +134,9 @@ class MiddlewareEngine:
         #: session-level kernel choice set by configure_kernel; None
         #: defers to the process-wide default in :mod:`repro.kernels`.
         self._kernel: Optional[str] = None
+        #: session-level semantic result cache set by configure_cache;
+        #: None (the default) keeps every query cold.
+        self._cache = None
         #: session-level storage relocation set by configure_storage;
         #: backend None with shards 1 keeps subsystems' native sources.
         self._storage_backend: Optional[str] = None
@@ -224,6 +227,50 @@ class MiddlewareEngine:
         """The session-level kernel name, or None for the global default."""
         return self._kernel
 
+    # ------------------------------------------------------------------
+    # Result caching
+    # ------------------------------------------------------------------
+    def configure_cache(self, enabled: bool = True, *, max_entries: int = 256, cache=None):
+        """Install (or clear) the session-level semantic result cache.
+
+        With a cache installed, every :meth:`top_k` first probes for a
+        reusable certified answer — an exact hit, a prefix of a deeper
+        cached run, or (for NRA plans) a warm-start continuation — and
+        records clean exact-grade results for future reuse; see
+        :mod:`repro.cache` for the tier and invalidation contracts.
+        ``cache`` accepts a pre-built :class:`~repro.cache.QueryCache`
+        (e.g. shared across engines) — positionally or by keyword;
+        ``enabled=False`` clears it.  Returns the installed cache (or
+        None when cleared).
+        """
+        from repro.cache import QueryCache
+
+        if cache is None and isinstance(enabled, QueryCache):
+            # configure_cache(QueryCache(...)) — an empty cache has
+            # len() 0 and would otherwise read as enabled=False.
+            enabled, cache = True, enabled
+        if cache is not None:
+            self._cache = cache
+        elif enabled:
+            self._cache = QueryCache(max_entries=max_entries)
+        else:
+            self._cache = None
+        return self._cache
+
+    @property
+    def cache(self):
+        """The session-level result cache, or None when caching is off."""
+        return self._cache
+
+    def _resolve_cache(self, cache):
+        """Resolve one query's cache override: False bypasses, None uses
+        the session cache, and an explicit QueryCache wins outright."""
+        if cache is None or cache is True:
+            return self._cache
+        if cache is False:
+            return None
+        return cache
+
     @property
     def clock(self):
         """The engine clock (resilience, faults, deadline guards)."""
@@ -251,6 +298,8 @@ class MiddlewareEngine:
         if self._executor is not None:
             self._executor.shutdown()
             self._executor = None
+        if self._cache is not None:
+            self._cache.clear()
         with self._bind_lock:
             wrapped = list(self._wrapped.values())
             self._wrapped.clear()
@@ -326,6 +375,10 @@ class MiddlewareEngine:
         self._storage_directory = directory
         with self._bind_lock:
             self._wrapped.clear()
+        # Rebinding changes every fingerprint anchor, so cached results
+        # would all read as stale anyway — drop them eagerly.
+        if self._cache is not None:
+            self._cache.clear()
 
     def _relocate_storage(self, source: GradedSource) -> GradedSource:
         """Rebuild one native binding on the configured backend."""
@@ -465,6 +518,8 @@ class MiddlewareEngine:
             self._clock = clock
         with self._bind_lock:
             self._wrapped.clear()
+        if self._cache is not None:
+            self._cache.clear()
 
     def invalidate(self, atom: Optional[Atomic] = None) -> None:
         """Drop cached bindings (one atom, or everything).
@@ -483,11 +538,15 @@ class MiddlewareEngine:
                 for subsystem in self._subsystems:
                     if subsystem.supports(atom):
                         subsystem.unbind(atom)
+            if self._cache is not None:
+                self._cache.invalidate(atom)
             return
         with self._bind_lock:
             self._wrapped.clear()
             for subsystem in self._subsystems:
                 subsystem.invalidate()
+        if self._cache is not None:
+            self._cache.invalidate()
 
     def bind_all(self, query: Query) -> List[GradedSource]:
         """Ranked lists for each distinct atom of a query, in atom order."""
@@ -528,6 +587,7 @@ class MiddlewareEngine:
         kernel: Optional[str] = None,
         executor=None,
         deadline: Optional[float] = None,
+        cache=None,
     ) -> TopKResult:
         """The top k answers to a query, with their grades and cost.
 
@@ -551,21 +611,45 @@ class MiddlewareEngine:
         access round past the deadline) instead of hanging.  With
         ``deadline=None`` (the default) nothing is wrapped and the path
         is byte-identical to before.
+
+        ``cache`` overrides the session cache
+        (:meth:`configure_cache`) for this one query: ``False`` bypasses
+        it, an explicit :class:`~repro.cache.QueryCache` substitutes it,
+        and ``None`` (the default) uses the session setting.  A
+        cache-served result carries ``result.extras["cache"]`` naming
+        the reuse tier; a cache-enabled *miss* runs — and traces —
+        exactly like a cold query, then records its result.
         """
         tracer = tracer if tracer is not None else self._tracer
         kernel = kernel if kernel is not None else self._kernel
-        executor, transient = self._executor_for(max_workers, executor)
+        cache = self._resolve_cache(cache)
         sources = self.bind_all(query)
+        compiled = self._compile(query)
+        cache_ctx = None
+        if cache is not None:
+            from repro.cache import plan_key
+
+            atoms = query.atoms()
+            key = plan_key(query, self.semantics, prefer)
+            served, _status = cache.probe(key, k, atoms, sources, tracer=tracer)
+            if served is not None:
+                return served
+            cache_ctx = (cache, key, atoms)
+        executor, transient = self._executor_for(max_workers, executor)
         if deadline is not None:
             sources = guard_deadline(
                 sources, self._clock.now() + deadline, clock=self._clock
             )
-        compiled = self._compile(query)
         try:
             if tracer is None:
                 plan = plan_top_k(sources, compiled, k, prefer=prefer)
                 result = self._execute_guarded(
-                    plan, sources, deadline, executor=executor, kernel=kernel
+                    plan,
+                    sources,
+                    deadline,
+                    executor=executor,
+                    kernel=kernel,
+                    cache_ctx=cache_ctx,
                 )
             else:
                 from repro.observability.tracer import attach_resilience_observers
@@ -587,6 +671,7 @@ class MiddlewareEngine:
                         tracer=tracer,
                         executor=executor,
                         kernel=kernel,
+                        cache_ctx=cache_ctx,
                     )
                     _emit_shard_breakdown(sources, tracer)
         finally:
@@ -597,8 +682,151 @@ class MiddlewareEngine:
             result.extras["resilience"] = report
         return result
 
+    def cache_probe(
+        self, query: Query, k: int, *, prefer=None, tracer=None
+    ) -> Tuple[Optional[TopKResult], str]:
+        """Probe the result cache without executing anything.
+
+        Returns ``(result, status)`` — a tier-1/2 (exact/prefix) served
+        result with its status, or ``(None, status)`` for
+        ``"miss"``/``"stale"``/``"off"``.  The query service calls this
+        at admission so hits skip the queue entirely; warm-start
+        (tier 3) still requires a real execution slot and is left to
+        :meth:`top_k`.
+        """
+        cache = self._cache
+        if cache is None:
+            return None, "off"
+        from repro.cache import plan_key
+
+        sources = self.bind_all(query)
+        return cache.probe(
+            plan_key(query, self.semantics, prefer),
+            k,
+            query.atoms(),
+            sources,
+            tracer=tracer if tracer is not None else self._tracer,
+        )
+
     def _execute_guarded(
-        self, plan, sources, deadline, *, tracer=None, executor=None, kernel=None
+        self,
+        plan,
+        sources,
+        deadline,
+        *,
+        tracer=None,
+        executor=None,
+        kernel=None,
+        cache_ctx=None,
+    ) -> TopKResult:
+        """Execute a plan, with caching and deadline degradation.
+
+        ``cache_ctx`` (``(cache, key, atoms)``, set only on a cache
+        miss) routes the run through the result cache: an NRA plan
+        first tries a warm-start continuation from a shallower cached
+        fill, and every clean exact-grade result is recorded — with its
+        resumable snapshot when the plan was NRA — for future reuse.
+        The fill path adds no trace events and changes no accesses, so
+        a cache-enabled miss stays byte-identical to a cold run.
+        """
+        if cache_ctx is not None:
+            cache, key, atoms = cache_ctx
+            snapshot = None
+            if plan.strategy is Strategy.NRA:
+                entry = cache.warm_entry(key, plan.k, atoms, sources)
+                if entry is not None:
+                    return self._resume_cached(
+                        cache,
+                        key,
+                        atoms,
+                        entry,
+                        plan,
+                        sources,
+                        tracer=tracer,
+                        executor=executor,
+                        kernel=kernel,
+                    )
+                snapshot = {}
+            result = self._run_plan(
+                plan,
+                sources,
+                deadline,
+                tracer=tracer,
+                executor=executor,
+                kernel=kernel,
+                nra_snapshot=snapshot,
+            )
+            cache.store(key, atoms, sources, result, snapshot=snapshot)
+            return result
+        return self._run_plan(
+            plan, sources, deadline, tracer=tracer, executor=executor, kernel=kernel
+        )
+
+    def _resume_cached(
+        self,
+        cache,
+        key,
+        atoms,
+        entry,
+        plan,
+        sources,
+        *,
+        tracer=None,
+        executor=None,
+        kernel=None,
+    ) -> TopKResult:
+        """Warm-start a deeper-k NRA run from a cached fill (tier 3).
+
+        The continuation pays only the marginal accesses past the fill's
+        depth; the returned cost report merges the fill's tallies back
+        in, so it equals — byte for byte — what a cold run at this k
+        would have reported, while ``extras["cache"]`` records what was
+        actually charged now.
+        """
+        from repro.cache import resume_from_snapshot
+
+        if tracer is not None:
+            tracer.event(
+                "cache",
+                tier="warm",
+                key=entry.digest,
+                k=plan.k,
+                k_cached=entry.k,
+                tau=entry.tau,
+            )
+        snapshot_out: dict = {}
+        result = resume_from_snapshot(
+            sources,
+            plan.scoring,
+            plan.k,
+            entry.snapshot,
+            tracer=tracer,
+            executor=executor,
+            kernel=kernel,
+            snapshot_out=snapshot_out,
+        )
+        marginal = result.cost
+        result.cost = entry.cost_report().merged(marginal)
+        result.extras["cache"] = {
+            "tier": "warm",
+            "key": entry.digest,
+            "k_cached": entry.k,
+            "marginal_sorted": marginal.sorted_access_cost,
+            "marginal_random": marginal.random_access_cost,
+        }
+        cache.store(key, atoms, sources, result, snapshot=snapshot_out)
+        return result
+
+    def _run_plan(
+        self,
+        plan,
+        sources,
+        deadline,
+        *,
+        tracer=None,
+        executor=None,
+        kernel=None,
+        nra_snapshot=None,
     ) -> TopKResult:
         """Execute a plan; under a deadline, degrade instead of raising.
 
@@ -613,7 +841,12 @@ class MiddlewareEngine:
         """
         if deadline is None:
             return execute(
-                plan, sources, tracer=tracer, executor=executor, kernel=kernel
+                plan,
+                sources,
+                tracer=tracer,
+                executor=executor,
+                kernel=kernel,
+                nra_snapshot=nra_snapshot,
             )
         from repro.core.cost import CostMeter
         from repro.core.graded import GradedSet
@@ -623,7 +856,12 @@ class MiddlewareEngine:
         meter = CostMeter(sources)
         try:
             return execute(
-                plan, sources, tracer=tracer, executor=executor, kernel=kernel
+                plan,
+                sources,
+                tracer=tracer,
+                executor=executor,
+                kernel=kernel,
+                nra_snapshot=nra_snapshot,
             )
         except DEGRADABLE_ACCESS_ERRORS as error:
             degraded = DegradedResult(

@@ -271,6 +271,14 @@ class QueryService:
         higher-priority work.  ``deadline`` (seconds, measured from this
         call on the service clock) overrides the config default; the
         budget includes queue wait.
+
+        With a result cache on the engine
+        (:meth:`~repro.middleware.engine.MiddlewareEngine.configure_cache`),
+        the cache is consulted right here at admission: an exact or
+        prefix hit completes the ticket immediately — no queue slot, no
+        tenant quota, no worker — and counts ``service.cache.hit``.
+        Misses (and warm-startable deeper-k queries) go through normal
+        admission and execution.
         """
         self._count("service.submitted", tenant=tenant)
         if self._closing:
@@ -278,6 +286,11 @@ class QueryService:
             raise AdmissionError(
                 "query service is closed to new work", reason="closed"
             )
+        served = self._probe_cache(
+            query, k, tenant=tenant, priority=priority, prefer=prefer, trace=trace
+        )
+        if served is not None:
+            return served
         state = self._tenants.state(tenant)
         ok, reason = state.try_reserve()
         if not ok:
@@ -414,6 +427,57 @@ class QueryService:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def _probe_cache(
+        self, query, k, *, tenant, priority, prefer, trace
+    ) -> Optional[QueryTicket]:
+        """Serve an admission-time cache hit, or None to admit normally.
+
+        Only tiers 1/2 (exact/prefix — zero execution) short-circuit
+        here; warm starts need an execution slot and stay on the normal
+        path.  Binding or planning errors are swallowed: the normal
+        submission path will surface them with proper accounting.
+        """
+        if getattr(self.engine, "cache", None) is None:
+            return None
+        trace_obj = self._make_trace(trace)
+        try:
+            result, status = self.engine.cache_probe(
+                query, k, prefer=prefer, tracer=trace_obj
+            )
+        except ReproError:
+            return None
+        if status in ("exact", "prefix"):
+            self._count("service.cache.hit", tenant=tenant, tier=status)
+        else:
+            self._count("service.cache.miss", tenant=tenant)
+            if status == "stale":
+                self._count("service.cache.stale", tenant=tenant)
+        if result is None:
+            return None
+        now = self.clock.now()
+        with self._seq_lock:
+            self._seq += 1
+            seq = self._seq
+        ticket = QueryTicket(
+            query,
+            k,
+            tenant=tenant,
+            priority=priority,
+            seq=seq,
+            prefer=prefer,
+            submitted_at=now,
+            trace=trace_obj,
+        )
+        ticket.started_at = now
+        ticket.finished_at = now
+        self._count("service.admitted", tenant=tenant)
+        self._count("service.completed", tenant=tenant)
+        self.metrics.histogram(
+            "service.latency_seconds", tenant=tenant
+        ).observe(0.0)
+        ticket._complete(result)
+        return ticket
+
     def _make_trace(self, trace: Optional[bool]):
         wanted = self.config.trace_requests if trace is None else trace
         if not wanted:
@@ -503,6 +567,15 @@ class QueryService:
             return
         if result.degraded is not None:
             self._count("service.degraded", tenant=ticket.tenant)
+        cache_info = result.extras.get("cache")
+        if cache_info is not None:
+            # Served (or warm-started) from the result cache at
+            # execution time — e.g. filled between admission and here.
+            self._count(
+                "service.cache.served",
+                tenant=ticket.tenant,
+                tier=cache_info["tier"],
+            )
         self._conclude(ticket, result)
 
     def _conclude(self, ticket: QueryTicket, result: TopKResult) -> None:

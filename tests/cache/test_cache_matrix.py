@@ -1,0 +1,90 @@
+"""Cache tiers across kernels x storage backends x worker counts.
+
+The cache key deliberately excludes the physical configuration — the
+storage/kernel conformance suites prove answers byte-identical across
+all of it — so one deterministic workload exercises every tier under
+each layout and checks the served answers against a single cold
+reference (list backend, scalar kernel, serial).
+"""
+
+import random
+
+import pytest
+
+from repro.core.planner import Strategy
+from tests.cache.helpers import (
+    answer_pairs,
+    conjunction,
+    engine_from_table,
+)
+
+N = 60
+M = 2
+
+
+def make_table(seed=11):
+    rng = random.Random(seed)
+    levels = (0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0)
+    return {
+        f"o{i:03d}": [rng.choice(levels) for _ in range(M)] for i in range(N)
+    }
+
+
+LAYOUTS = (
+    ("list", None, 1),
+    ("array", "array", 1),
+    ("sharded", "array", 3),
+    ("memmap", "memmap", 1),
+)
+
+
+@pytest.mark.parametrize("kernel", ["scalar", "vector"])
+@pytest.mark.parametrize("workers", [None, 4])
+@pytest.mark.parametrize("label,backend,shards", LAYOUTS)
+def test_all_tiers_match_cold_reference(
+    label, backend, shards, workers, kernel, tmp_path
+):
+    table = make_table()
+    query = conjunction(M)
+    directory = str(tmp_path / label) if backend == "memmap" else None
+
+    reference = engine_from_table(table, M)
+    cold_10 = reference.top_k(query, k=10, prefer=Strategy.NRA)
+    cold_4 = reference.top_k(query, k=4, prefer=Strategy.NRA)
+    cold_25 = reference.top_k(query, k=25, prefer=Strategy.NRA)
+
+    engine = engine_from_table(
+        table,
+        M,
+        backend=backend,
+        shards=shards,
+        directory=directory,
+        max_workers=workers,
+        kernel=kernel,
+    )
+    cache = engine.configure_cache()
+
+    fill = engine.top_k(query, k=10, prefer=Strategy.NRA)
+    assert answer_pairs(fill) == answer_pairs(cold_10)
+    assert fill.cost == cold_10.cost
+
+    exact = engine.top_k(query, k=10, prefer=Strategy.NRA)
+    assert exact.extras["cache"]["tier"] == "exact"
+    assert answer_pairs(exact) == answer_pairs(cold_10)
+    assert exact.cost == cold_10.cost
+
+    prefix = engine.top_k(query, k=4, prefer=Strategy.NRA)
+    assert prefix.extras["cache"]["tier"] == "prefix"
+    assert prefix.answers.same_grade_multiset(cold_4.answers)
+    assert prefix.cost.database_access_cost == 0
+
+    warm = engine.top_k(query, k=25, prefer=Strategy.NRA)
+    assert warm.extras["cache"]["tier"] == "warm"
+    assert answer_pairs(warm) == answer_pairs(cold_25)
+    assert warm.cost == cold_25.cost
+
+    stats = cache.stats()
+    assert stats["hits"] == 2
+    assert stats["warm_hits"] == 1
+    assert stats["misses"] == 2  # fill and the warm probe's miss
+    assert stats["fills"] == 2

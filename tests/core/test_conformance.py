@@ -26,11 +26,7 @@ from repro.core.threshold import combined_top_k, nra_top_k, threshold_top_k
 from repro.observability import QueryTracer
 from repro.scoring import conorms, means, tnorms
 from repro.scoring.owa import owa_mean
-
-#: Discrete grade levels: few enough that random databases are dense
-#: with exact ties and duplicate grades, the regime where naive sorting
-#: differences between algorithms would surface.
-GRADE_LEVELS = (0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0)
+from tests.strategies import boolean_databases, graded_databases, pick_k
 
 RULES = (
     tnorms.MIN,
@@ -40,46 +36,11 @@ RULES = (
 )
 
 
-@st.composite
-def graded_databases(draw, min_m=1, max_m=3, max_n=20):
-    """A random database: object -> one grade per list, plus m."""
-    m = draw(st.integers(min_value=min_m, max_value=max_m))
-    n = draw(st.integers(min_value=1, max_value=max_n))
-    grades = draw(
-        st.lists(
-            st.tuples(*([st.sampled_from(GRADE_LEVELS)] * m)),
-            min_size=n,
-            max_size=n,
-        )
-    )
-    return {f"o{i:02d}": row for i, row in enumerate(grades)}, m
-
-
-@st.composite
-def boolean_databases(draw, max_n=20):
-    """A database whose first column is Boolean (grades 0/1)."""
-    m = draw(st.integers(min_value=2, max_value=3))
-    n = draw(st.integers(min_value=1, max_value=max_n))
-    rows = []
-    for _ in range(n):
-        crisp = draw(st.sampled_from((0.0, 1.0)))
-        fuzzy = tuple(
-            draw(st.sampled_from(GRADE_LEVELS)) for _ in range(m - 1)
-        )
-        rows.append((crisp,) + fuzzy)
-    return {f"o{i:02d}": row for i, row in enumerate(rows)}, m
-
-
 def pick_rule(table, index):
     """A monotone rule matched to the table's arity (OWA needs m)."""
     m = len(next(iter(table.values())))
     fixed = RULES + (owa_mean(m),)
     return fixed[index % len(fixed)]
-
-
-def pick_k(table, selector):
-    n = len(table)
-    return (1, n, n + 3)[selector % 3]
 
 
 def oracle_top(table, rule, k):

@@ -15,7 +15,7 @@ from hypothesis import strategies as st
 
 from repro.core.fagin import FaginAlgorithm, fagin_top_k
 from repro.core.naive import naive_top_k
-from repro.core.sources import ListSource, sources_from_columns
+from repro.core.sources import sources_from_columns
 from repro.core.threshold import combined_top_k, nra_top_k, threshold_top_k
 from repro.errors import ReproError
 from repro.kernels import configure_kernel, default_kernel, resolve_kernel
@@ -27,24 +27,14 @@ from repro.scoring import means, tnorms
 from repro.scoring.owa import owa_mean
 from repro.scoring.weighted import WeightedScoring
 from repro.workloads.graded_lists import independent
+from tests.strategies import graded_databases as shared_graded_databases
+from tests.strategies import pick_k
 
-GRADE_LEVELS = (0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0)
 
-
-@st.composite
-def graded_databases(draw, min_m=1, max_m=3, max_n=16):
-    """A small database as ``(grades_by_object, m)`` with clustered grade
-    levels so ties (the tricky case for ordering parity) are common."""
-    m = draw(st.integers(min_value=min_m, max_value=max_m))
-    n = draw(st.integers(min_value=1, max_value=max_n))
-    rows = draw(
-        st.lists(
-            st.tuples(*(st.sampled_from(GRADE_LEVELS),) * m),
-            min_size=n,
-            max_size=n,
-        )
+def graded_databases(min_m=1, max_m=3, max_n=16):
+    return shared_graded_databases(
+        min_m=min_m, max_m=max_m, max_n=max_n, rows="list"
     )
-    return {f"o{i:02d}": list(row) for i, row in enumerate(rows)}, m
 
 
 def pick_rule(m, index):
@@ -59,11 +49,6 @@ def pick_rule(m, index):
         WeightedScoring(tnorms.MIN, weights),
     )
     return rules[index % len(rules)]
-
-
-def pick_k(table, selector):
-    n = len(table)
-    return (1, n, n + 3)[selector % 3]
 
 
 def run_naive(sources, rule, k, tracer, executor, kernel):

@@ -19,8 +19,7 @@ from repro.core.threshold import combined_top_k, nra_top_k, threshold_top_k
 from repro.observability import QueryTracer
 from repro.parallel import ParallelAccessExecutor
 from repro.scoring import means, tnorms
-
-GRADE_LEVELS = (0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0)
+from tests.strategies import graded_databases as shared_graded_databases
 
 # (label, backend, shards): every physical layout under test
 LAYOUTS = (
@@ -33,18 +32,10 @@ LAYOUTS = (
 )
 
 
-@st.composite
-def graded_databases(draw, min_m=2, max_m=3, max_n=14):
-    m = draw(st.integers(min_value=min_m, max_value=max_m))
-    n = draw(st.integers(min_value=1, max_value=max_n))
-    rows = draw(
-        st.lists(
-            st.tuples(*(st.sampled_from(GRADE_LEVELS),) * m),
-            min_size=n,
-            max_size=n,
-        )
+def graded_databases(min_m=2, max_m=3, max_n=14):
+    return shared_graded_databases(
+        min_m=min_m, max_m=max_m, max_n=max_n, rows="list"
     )
-    return {f"o{i:02d}": list(row) for i, row in enumerate(rows)}, m
 
 
 def run_naive(sources, rule, k, tracer, executor, kernel):
