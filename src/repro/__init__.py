@@ -22,6 +22,7 @@ Quickstart::
 from repro import scoring
 from repro.core import (
     And,
+    ApproximationCertificate,
     ArraySource,
     Atomic,
     FaginAlgorithm,
@@ -93,6 +94,7 @@ __all__ = [
     "evaluate",
     "compile_query",
     "TopKResult",
+    "ApproximationCertificate",
     "FaginAlgorithm",
     "fagin_top_k",
     "naive_top_k",

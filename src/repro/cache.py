@@ -31,6 +31,18 @@ tiers:
    access stream — and therefore the merged fill+marginal cost the
    result reports — is byte-identical to a cold run at the deeper k.
 
+A fourth tier serves **θ-approximate** repeats: a θ > 1 fill's result is
+stored under its own extended key together with its
+:class:`~repro.core.result.ApproximationCertificate`, and a later
+request at the *same k* whose requested θ' is at least the recorded
+*achieved* ratio replays it (the certificate proves the cached answers
+already meet the θ' guarantee).  Same-k only: a prefix of a θ-certified
+set is *not* θ-certified (a strong answer inside the prefix proves
+nothing about the weakly-bounded answers sliced off), and θ entries
+carry no warm-start snapshots.  Exact (θ = 1) entries, by contrast,
+serve *any* requested θ' through the tiers above — exact answers
+trivially satisfy every θ ≥ 1.
+
 **Keying.**  Entries are keyed on a normalized plan: the query AST with
 children of symmetric connectives (And/Or under a symmetric rule,
 Scored over a symmetric scoring function) put into canonical order, the
@@ -252,6 +264,8 @@ class CacheEntry:
         "sorted_depth",
         "cost",
         "snapshot",
+        "certificate",
+        "grades_exact",
     )
 
     def __init__(
@@ -267,6 +281,8 @@ class CacheEntry:
         sorted_depth: int,
         cost: Dict[str, Tuple[int, int]],
         snapshot: Optional[Dict],
+        certificate=None,
+        grades_exact: bool = True,
     ) -> None:
         self.key = key
         self.digest = key_digest(key)
@@ -284,6 +300,10 @@ class CacheEntry:
         self.sorted_depth = sorted_depth
         self.cost = cost
         self.snapshot = snapshot
+        #: the fill run's ApproximationCertificate for θ-tier entries;
+        #: None for exact entries.
+        self.certificate = certificate
+        self.grades_exact = grades_exact
 
     def cost_report(self) -> CostReport:
         """A fresh CostReport equal to the fill run's (never aliased)."""
@@ -322,6 +342,7 @@ class QueryCache:
         self._lock = threading.Lock()
         self.hits = 0
         self.warm_hits = 0
+        self.theta_hits = 0
         self.misses = 0
         self.stale = 0
         self.fills = 0
@@ -339,6 +360,7 @@ class QueryCache:
                 "entries": len(self._entries),
                 "hits": self.hits,
                 "warm_hits": self.warm_hits,
+                "theta_hits": self.theta_hits,
                 "misses": self.misses,
                 "stale": self.stale,
                 "fills": self.fills,
@@ -367,44 +389,129 @@ class QueryCache:
         return entry
 
     def probe(
-        self, key: Tuple, k: int, atoms, sources, *, tracer=None
+        self, key: Tuple, k: int, atoms, sources, *, tracer=None, theta: float = 1.0
     ) -> Tuple[Optional[TopKResult], str]:
-        """Tier-1/2 lookup: ``(result, status)``.
+        """Tier-1/2 (and, for θ > 1, θ-tier) lookup: ``(result, status)``.
 
         ``status`` is ``"exact"`` or ``"prefix"`` with a served result,
         ``"miss"`` (no entry, or the entry is too shallow — the caller
         may still warm-start), or ``"stale"`` (entry evicted after a
         fingerprint mismatch).  A served result is freshly built on
         every call; callers may mutate it freely.
+
+        ``theta`` is the request's approximation knob.  Exact entries
+        serve any θ (an exact answer satisfies every θ ≥ 1), so the
+        tier-1/2 lookup runs first regardless; only when it misses and
+        ``theta > 1.0`` is the same-k θ-certified entry considered, and
+        it serves (status ``"theta"``) exactly when its recorded
+        *achieved* ratio is ≤ the requested θ.  A θ = 1.0 probe never
+        touches θ entries, so exact traffic is byte-identical to a
+        cache that never stored one.
         """
         with self._lock:
             present = key in self._entries
         entry = self._validated(key, atoms, sources)
-        if entry is None:
-            with self._lock:
-                self.misses += 1
-            return None, "stale" if present else "miss"
-        k_eff = min(k, entry.n)
-        if k_eff > entry.k:
-            with self._lock:
-                self.misses += 1
-            return None, "miss"
-        tier = "exact" if k_eff == entry.k else "prefix"
+        if entry is not None:
+            k_eff = min(k, entry.n)
+            if k_eff <= entry.k:
+                tier = "exact" if k_eff == entry.k else "prefix"
+                with self._lock:
+                    if self._entries.get(key) is entry:
+                        self._entries.move_to_end(key)
+                    self.hits += 1
+                result = self._served(entry, k_eff, tier)
+                if tracer is not None:
+                    tracer.event(
+                        "cache",
+                        tier=tier,
+                        key=entry.digest,
+                        k=k_eff,
+                        k_cached=entry.k,
+                        tau=entry.tau,
+                    )
+                return result, tier
+        if theta > 1.0:
+            served = self._probe_theta(
+                key, k, atoms, sources, theta, tracer=tracer
+            )
+            if served is not None:
+                return served, "theta"
         with self._lock:
-            if self._entries.get(key) is entry:
-                self._entries.move_to_end(key)
+            self.misses += 1
+        return None, "stale" if (present and entry is None) else "miss"
+
+    @staticmethod
+    def _theta_key(key: Tuple, k_eff: int) -> Tuple:
+        """The extended key a θ-certified fill at effective k lives under.
+
+        θ entries are same-k only (slicing a θ-certified set is unsound),
+        so the effective k is part of the key; the base plan key stays
+        untouched — exact entries and θ entries never collide.
+        """
+        return key + ("theta", k_eff)
+
+    def _probe_theta(
+        self, key: Tuple, k: int, atoms, sources, theta: float, *, tracer=None
+    ) -> Optional[TopKResult]:
+        n = len(sources[0]) if sources else 0
+        theta_key = self._theta_key(key, min(k, n) if n else k)
+        entry = self._validated(theta_key, atoms, sources)
+        if entry is None or entry.certificate is None:
+            return None
+        # Serve only when the recorded proof covers the request: every
+        # cached answer is certified within ``achieved`` of anything
+        # excluded, so any θ' >= achieved is satisfied.  An infinite
+        # achieved ratio never qualifies.
+        if not entry.certificate.achieved <= theta:
+            return None
+        with self._lock:
+            if self._entries.get(theta_key) is entry:
+                self._entries.move_to_end(theta_key)
             self.hits += 1
-        result = self._served(entry, k_eff, tier)
+            self.theta_hits += 1
+        result = self._served_theta(entry, theta)
         if tracer is not None:
             tracer.event(
                 "cache",
-                tier=tier,
+                tier="theta",
                 key=entry.digest,
-                k=k_eff,
+                k=entry.k,
                 k_cached=entry.k,
                 tau=entry.tau,
+                theta=theta,
+                achieved=entry.certificate.achieved,
             )
-        return result, tier
+        return result
+
+    def _served_theta(self, entry: CacheEntry, theta: float) -> TopKResult:
+        from dataclasses import replace
+
+        certificate = replace(
+            entry.certificate,
+            theta=theta,
+            intervals=(
+                dict(entry.certificate.intervals)
+                if entry.certificate.intervals is not None
+                else None
+            ),
+        )
+        result = TopKResult(
+            answers=GradedSet(dict(entry.answers)),
+            cost=entry.cost_report(),
+            algorithm=entry.algorithm,
+            sorted_depth=entry.sorted_depth,
+            grades_exact=entry.grades_exact,
+            approximation=certificate,
+        )
+        result.extras["cache"] = {
+            "tier": "theta",
+            "key": entry.digest,
+            "k_cached": entry.k,
+            "tau": entry.tau,
+            "theta": theta,
+            "achieved": entry.certificate.achieved,
+        }
+        return result
 
     def _served(self, entry: CacheEntry, k_eff: int, tier: str) -> TopKResult:
         if tier == "exact":
@@ -461,12 +568,25 @@ class QueryCache:
         *,
         snapshot: Optional[Dict] = None,
     ) -> bool:
-        """Record a finished run.  Only clean, exact-grade results are
-        cacheable; degraded or approximate runs are ignored.  Returns
-        True when the entry was stored, False when a concurrent fill
-        already stored one at least as deep (counted ``fill_races``).
+        """Record a finished run.  Returns True when an entry was stored.
+
+        Clean exact-grade results (no certificate) fill the tier-1/2/3
+        entry for their plan key.  Clean θ-certified results fill a
+        *θ entry* under the extended same-k key — answers, certificate,
+        and cost, but never a warm-start snapshot (the continuation
+        contract is exact-only).  Degraded runs, anytime stops, and
+        uncertified inexact results are never cached.  False means a
+        concurrent fill already stored something at least as good
+        (counted ``fill_races``) or the result is not cacheable.
         """
-        if result.degraded is not None or not result.grades_exact:
+        if result.degraded is not None:
+            return False
+        certificate = result.approximation
+        if certificate is not None:
+            if certificate.anytime:
+                return False
+            return self._store_theta(key, atoms, sources, result, certificate)
+        if not result.grades_exact:
             return False
         entry = CacheEntry(
             key=key,
@@ -495,6 +615,57 @@ class QueryCache:
                 return False
             self._entries[key] = entry
             self._entries.move_to_end(key)
+            self.fills += 1
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+        return True
+
+    def _store_theta(
+        self, key: Tuple, atoms, sources, result: TopKResult, certificate
+    ) -> bool:
+        """Record a clean θ-certified fill under its same-k extended key.
+
+        A concurrent fill with a *tighter* achieved ratio wins (it can
+        serve strictly more future θ' requests); an unprovable
+        (infinite-ratio) certificate is never stored.
+        """
+        if not certificate.achieved < float("inf"):
+            return False
+        theta_key = self._theta_key(key, len(result.answers))
+        entry = CacheEntry(
+            key=theta_key,
+            atoms=atoms,
+            fingerprints=[
+                (atom, fingerprint(source))
+                for atom, source in zip(atoms, sources)
+            ],
+            k=len(result.answers),
+            n=len(sources[0]) if sources else 0,
+            answers=tuple(
+                (item.object_id, item.grade) for item in result.answers
+            ),
+            algorithm=result.algorithm,
+            sorted_depth=result.sorted_depth,
+            cost={
+                name: (counter.sorted_accesses, counter.random_accesses)
+                for name, counter in result.cost.per_source.items()
+            },
+            snapshot=None,
+            certificate=certificate,
+            grades_exact=result.grades_exact,
+        )
+        with self._lock:
+            existing = self._entries.get(theta_key)
+            if (
+                existing is not None
+                and existing.certificate is not None
+                and existing.certificate.achieved <= certificate.achieved
+            ):
+                self.fill_races += 1
+                return False
+            self._entries[theta_key] = entry
+            self._entries.move_to_end(theta_key)
             self.fills += 1
             while len(self._entries) > self.max_entries:
                 self._entries.popitem(last=False)
@@ -534,6 +705,7 @@ def resume_from_snapshot(
     k: int,
     snapshot: Dict,
     *,
+    theta: float = 1.0,
     tracer=None,
     executor=None,
     kernel: Optional[str] = None,
@@ -548,6 +720,14 @@ def resume_from_snapshot(
     run's).  ``initial_check=True`` replays the fill's final stop check
     first — the point where a cold deeper-k run would also test and
     fail — keeping the access stream byte-identical to cold.
+
+    ``theta`` is the *new* request's approximation knob, not the
+    fill's: snapshots are θ-agnostic resumable state (positions, known
+    grades, schedule), and the replayed stop check — plus any
+    certificate the continuation attaches — is evaluated fresh under
+    this θ from the live bounds.  A θ > 1 resume therefore re-tightens
+    (or re-relaxes) honestly rather than inheriting anything from the
+    fill run.
     """
     from repro.core.threshold import _NraState, _nra_run
     from repro.kernels import resolve_kernel
@@ -574,6 +754,7 @@ def resume_from_snapshot(
         depth=snapshot["depth"],
         exact_grades=snapshot["exact_grades"],
         tol=snapshot["tol"],
+        theta=theta,
         batch_size=snapshot["batch_size"],
         tracer=tracer,
         executor=executor,

@@ -108,6 +108,13 @@ def _apply_cache(engine: MiddlewareEngine, args: argparse.Namespace) -> None:
         engine.configure_cache()
 
 
+def _apply_theta(engine: MiddlewareEngine, args: argparse.Namespace) -> None:
+    """Wire --theta into the engine, if given."""
+    theta = getattr(args, "theta", None)
+    if theta is not None:
+        engine.configure_approximation(theta)
+
+
 def _apply_resilience(engine: MiddlewareEngine, args: argparse.Namespace) -> None:
     """Wire --fault-profile / --retry-policy into the engine, if given."""
     fault_spec = getattr(args, "fault_profile", None)
@@ -141,6 +148,15 @@ def _print_result(result) -> None:
         status = "answers still exact" if degraded.complete else "partial answers"
         print(f"degraded: fell back to {degraded.fallback} ({status})")
         print(f"  failures: {failed}")
+    certificate = getattr(result, "approximation", None)
+    if certificate is not None:
+        kind = "anytime" if certificate.anytime else "theta-stop"
+        achieved = (
+            "unbounded" if certificate.achieved == float("inf")
+            else f"{certificate.achieved:.4f}"
+        )
+        print(f"approximation: {kind} certificate — requested "
+              f"theta={certificate.theta:g}, certified ratio {achieved}")
     cache_info = result.extras.get("cache")
     if cache_info:
         line = (f"cache: {cache_info['tier']} "
@@ -188,6 +204,7 @@ def cmd_demo(args: argparse.Namespace) -> int:
         _apply_parallelism(engine, args)
         _apply_kernel(engine, args)
         _apply_cache(engine, args)
+        _apply_theta(engine, args)
         tracer = _apply_observability(engine, args)
         query = Atomic("Artist", "Beatles") & Atomic("AlbumColor", "red")
         print(f"query: {query}")
@@ -211,6 +228,7 @@ def cmd_sql(args: argparse.Namespace) -> int:
         _apply_parallelism(engine, args)
         _apply_kernel(engine, args)
         _apply_cache(engine, args)
+        _apply_theta(engine, args)
         tracer = _apply_observability(engine, args)
         if args.query:
             code = _run_statement(engine, " ".join(args.query), args.k)
@@ -258,6 +276,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             queue_depth=args.queue_depth,
             default_deadline=args.deadline,
             access_workers=args.max_workers or 1,
+            default_theta=getattr(args, "theta", None) or 1.0,
             tenants={
                 "bronze": TenantPolicy(rate=50.0, burst=8.0, max_inflight=8),
             },
@@ -400,6 +419,15 @@ def build_parser() -> argparse.ArgumentParser:
             "contained (smaller-k) queries are served from certified "
             "cached answers with zero repository accesses, and "
             "deeper-k NRA queries warm-start from the cached run",
+        )
+        command.add_argument(
+            "--theta", metavar="T", type=float, default=None,
+            help="Fagin-Lotem-Naor approximation factor (>= 1.0): TA "
+            "and NRA may stop early once every answer is provably "
+            "within a factor T of optimal, and the result carries a "
+            "certified achieved ratio (default: 1.0, exact; with "
+            "--theta 1.0 answers, costs, and traces are byte-identical "
+            "to omitting the flag)",
         )
 
     demo = sub.add_parser("demo", help="guided tour of the Beatles query")

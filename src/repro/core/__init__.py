@@ -42,7 +42,12 @@ from repro.core.query import (
     conjunction_of,
     disjunction_of,
 )
-from repro.core.result import TopKResult
+from repro.core.result import (
+    ApproximationCertificate,
+    DegradedResult,
+    TopKResult,
+    certified_ratio,
+)
 from repro.core.sources import (
     DEFAULT_BATCH_SIZE,
     ArraySource,
@@ -92,6 +97,9 @@ __all__ = [
     "check_same_objects",
     "iter_wrapper_chain",
     "TopKResult",
+    "ApproximationCertificate",
+    "DegradedResult",
+    "certified_ratio",
     "BatchedSource",
     "LatencyModel",
     "batched",

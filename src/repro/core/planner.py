@@ -58,6 +58,11 @@ class Plan:
     its wrapper chain: list/array/memmap, shard layout) — the paper's
     cost model is storage-agnostic, so the summary is informational and
     never steers the strategy choice; EXPLAIN renders it.
+
+    ``theta`` is the Fagin–Lotem–Naor θ-approximation knob (1.0 =
+    exact).  Only TA and NRA have θ-relaxed stopping rules; the other
+    strategies always return exact answers, which trivially satisfy any
+    θ ≥ 1, so the knob never changes the strategy choice.
     """
 
     strategy: Strategy
@@ -67,6 +72,7 @@ class Plan:
     estimated_cost: float
     boolean_index: Optional[int] = None
     storage: Optional[List[Dict[str, object]]] = None
+    theta: float = 1.0
 
     def __repr__(self) -> str:
         return (
@@ -119,6 +125,7 @@ def plan_top_k(
     k: int,
     *,
     prefer: Optional[Strategy] = None,
+    theta: float = 1.0,
 ) -> Plan:
     """Choose an evaluation strategy and estimate its access cost.
 
@@ -127,10 +134,13 @@ def plan_top_k(
     source).  Cost estimates use the paper's formulas: ``m * N`` naive,
     ``m * k`` disjunction, ``|S| * m`` Boolean-first, and the Theorem 4.1
     law ``m * N^{(m-1)/m} * k^{1/m}`` (sorted) plus one random probe per
-    seen object for A0/TA.
+    seen object for A0/TA.  ``theta`` rides along on the plan and is
+    honored by the strategies with θ-relaxed stopping rules (TA, NRA).
     """
     if k <= 0:
         raise ValueError(f"k must be positive, got {k}")
+    if theta < 1.0:
+        raise ValueError(f"theta must be >= 1.0, got {theta}")
     rule = as_scoring_function(scoring)
     n = check_same_objects(sources)
     m = len(sources)
@@ -193,6 +203,7 @@ def plan_top_k(
         from repro.storage import describe_source_storage
 
         plan.storage = [describe_source_storage(s) for s in sources]
+        plan.theta = theta
         return plan
 
     if prefer is not None:
@@ -270,6 +281,7 @@ def execute(
             sources,
             plan.scoring,
             plan.k,
+            theta=plan.theta,
             tracer=tracer,
             executor=executor,
             kernel=kernel,
@@ -279,6 +291,7 @@ def execute(
             sources,
             plan.scoring,
             plan.k,
+            theta=plan.theta,
             tracer=tracer,
             executor=executor,
             kernel=kernel,
@@ -304,18 +317,23 @@ def top_k(
     k: int = 10,
     *,
     prefer: Optional[Strategy] = None,
+    theta: float = 1.0,
     tracer=None,
     executor=None,
     kernel: Optional[str] = None,
 ) -> TopKResult:
     """Plan and execute in one call — the library's main entry point."""
-    plan = plan_top_k(sources, scoring, k, prefer=prefer)
+    plan = plan_top_k(sources, scoring, k, prefer=prefer, theta=theta)
     if tracer is not None:
+        # θ is traced only when it can change the execution, so θ = 1.0
+        # traces stay byte-identical to the exact path's goldens.
+        extra = {"theta": theta} if theta > 1.0 else {}
         tracer.event(
             "plan",
             strategy=plan.strategy.value,
             reason=plan.reason,
             estimated_cost=plan.estimated_cost,
             k=plan.k,
+            **extra,
         )
     return execute(plan, sources, tracer=tracer, executor=executor, kernel=kernel)

@@ -46,6 +46,85 @@ class DegradedResult:
         )
 
 
+def certified_ratio(kth_grade: float, bound: float) -> float:
+    """The tightest provable approximation ratio for a stopped run.
+
+    ``bound`` is the best overall grade any *unreported* object could
+    still achieve when the run stopped; ``kth_grade`` the k-th best
+    *proven* grade among the reported answers.  Every reported answer y
+    and excluded object z then satisfy ``ratio * grade(y) >= grade(z)``
+    for the true grades — the Fagin–Lotem–Naor θ-approximation
+    guarantee.  A zero ``kth_grade`` with a positive ``bound`` proves
+    nothing, so the ratio is honestly infinite.
+    """
+    if bound <= kth_grade:
+        return 1.0
+    if kth_grade <= 0.0:
+        return float("inf")
+    return bound / kth_grade
+
+
+@dataclass
+class ApproximationCertificate:
+    """Proof object for a θ-approximate (or anytime) top-k answer.
+
+    ``theta``
+        The requested approximation factor (1.0 = exact).
+    ``achieved``
+        The certified ratio actually attained: for every reported
+        answer y and every excluded object z, ``achieved * grade(y) >=
+        grade(z)`` holds for the *true* overall grades.  On a clean
+        θ-stop this is ≤ θ (up to the stop tolerance); on an anytime
+        stop it is whatever the accumulated bounds prove — possibly
+        worse than θ, possibly infinite.  It never overstates quality.
+    ``kth_grade``
+        The k-th best proven (lower-bound) grade among the answers at
+        the moment the run stopped.
+    ``bound``
+        The stopping bound at that moment: TA's threshold τ, or NRA's
+        best rival upper bound.
+    ``intervals``
+        Per-answer (lower, upper) brackets of the true overall grade —
+        populated by NRA-θ, whose reported grades may be lower bounds;
+        None for TA-θ, whose reported grades are exact.
+    ``anytime``
+        True when the run stopped because it *had* to (deadline blown,
+        streams dead) rather than because the θ-stop test passed.
+    """
+
+    theta: float
+    achieved: float
+    kth_grade: float
+    bound: float
+    intervals: Optional[Dict[ObjectId, Tuple[float, float]]] = None
+    anytime: bool = False
+
+    @classmethod
+    def build(
+        cls,
+        *,
+        theta: float,
+        kth_grade: float,
+        bound: float,
+        intervals: Optional[Dict[ObjectId, Tuple[float, float]]] = None,
+        anytime: bool = False,
+    ) -> "ApproximationCertificate":
+        return cls(
+            theta=theta,
+            achieved=certified_ratio(kth_grade, bound),
+            kth_grade=kth_grade,
+            bound=bound,
+            intervals=intervals,
+            anytime=anytime,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ApproximationCertificate(theta={self.theta}, "
+            f"achieved={self.achieved:.6g}, anytime={self.anytime})"
+        )
+
+
 @dataclass
 class TopKResult:
     """Outcome of one top-k evaluation.
@@ -70,6 +149,10 @@ class TopKResult:
     ``degraded``
         A :class:`DegradedResult` when subsystem failures forced a
         fallback or a partial answer; None for a clean run.
+    ``approximation``
+        An :class:`ApproximationCertificate` when the run stopped under
+        a θ > 1 approximation knob or as an anytime best-effort answer;
+        None for an exact run.
     """
 
     answers: GradedSet
@@ -80,6 +163,7 @@ class TopKResult:
     restarts: int = 0
     extras: dict = field(default_factory=dict)
     degraded: Optional[DegradedResult] = None
+    approximation: Optional[ApproximationCertificate] = None
 
     @property
     def database_access_cost(self) -> int:

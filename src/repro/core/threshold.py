@@ -51,7 +51,11 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.core.cost import CostMeter
 from repro.core.graded import GradedSet, ObjectId
-from repro.core.result import DegradedResult, TopKResult
+from repro.core.result import (
+    ApproximationCertificate,
+    DegradedResult,
+    TopKResult,
+)
 from repro.core.sources import (
     DEFAULT_BATCH_SIZE,
     GradedSource,
@@ -166,6 +170,7 @@ def _nra_run(
     depth: int = 0,
     exact_grades: bool = True,
     tol: float = 1e-12,
+    theta: float = 1.0,
     batch_size: int = 4096,
     algorithm: str = "nra",
     prior_failures: Optional[Dict[str, str]] = None,
@@ -235,6 +240,20 @@ def _nra_run(
     — per-object known grades, list bottoms/positions, schedule position
     — when the run completed cleanly; nothing is written after a
     degraded run, whose frozen streams cannot be resumed faithfully.
+
+    **θ-approximation (NRA-θ).**  ``theta >= 1.0`` relaxes the stop
+    test to the Fagin–Lotem–Naor rule: accept as soon as ``theta *
+    kth_lower >= rivals_upper`` (and, for θ > 1, without waiting for
+    the winners' own bounds to converge even under ``exact_grades``).
+    Every true grade outside the answer set is then provably ≤ θ times
+    every true grade inside it.  A θ > 1 stop attaches an
+    :class:`~repro.core.result.ApproximationCertificate` with the
+    *achieved* ratio and per-answer grade intervals; θ = 1.0 is
+    decision-for-decision identical to the exact algorithm (``1.0 * x
+    == x`` in IEEE-754) and attaches nothing.  Independently of θ, a
+    forced partial stop (all streams dead — deadline blown, circuits
+    open) certifies whatever the accumulated bounds prove as an
+    *anytime* certificate instead of returning bare partial answers.
     """
     if stop_check_growth < 1.0:
         raise ValueError(
@@ -253,6 +272,7 @@ def _nra_run(
             depth=depth,
             exact_grades=exact_grades,
             tol=tol,
+            theta=theta,
             batch_size=batch_size,
             algorithm=algorithm,
             prior_failures=prior_failures,
@@ -278,9 +298,20 @@ def _nra_run(
     answers: Optional[GradedSet] = None
     converged = True
     partial = False
+    stop_kth = 0.0
+    stop_bound = 0.0
+
+    def rivals_bound(top) -> float:
+        """The best overall grade any object outside ``top`` could have."""
+        bound = rule(bottoms) if len(states) < database_size else 0.0
+        for obj, state in states.items():
+            if obj in top:
+                continue
+            bound = max(bound, state.upper(rule, m, bottoms))
+        return bound
 
     def evaluate_stop() -> Optional[GradedSet]:
-        nonlocal converged
+        nonlocal converged, stop_kth, stop_bound
         if len(states) < k:
             return None
         scored = GradedSet(
@@ -289,18 +320,14 @@ def _nra_run(
         top = scored.top(k)
         kth_lower = top.kth_grade(k)
         # The best any *unseen* object could achieve.
-        rivals_upper = rule(bottoms) if len(states) < database_size else 0.0
-        for obj, state in states.items():
-            if obj in top:
-                continue
-            rivals_upper = max(rivals_upper, state.upper(rule, m, bottoms))
+        rivals_upper = rivals_bound(top)
         if tracer is not None:
             tracer.sample("nra.kth_lower", kth_lower)
             tracer.sample("nra.rivals_upper", rivals_upper)
             tracer.sample("nra.buffer_objects", float(len(states)))
-        if kth_lower + tol < rivals_upper:
+        if theta * kth_lower + tol < rivals_upper:
             return None
-        if exact_grades:
+        if exact_grades and theta == 1.0:
             for item in top:
                 state = states[item.object_id]
                 if state.upper(rule, m, bottoms) - item.grade > tol:
@@ -311,6 +338,8 @@ def _nra_run(
                 states[item.object_id].upper(rule, m, bottoms) - item.grade <= tol
                 for item in top
             )
+        stop_kth = kth_lower
+        stop_bound = rivals_upper
         return top
 
     with nullcontext() if tracer is None else tracer.phase(phase_name):
@@ -390,11 +419,14 @@ def _nra_run(
                     {obj: state.lower(rule, m) for obj, state in states.items()}
                 )
                 answers = scored.top(k)
+                stop_kth = answers.kth_grade(k) if len(answers) >= k else 0.0
                 if sorted_failures:
                     partial = True
                     converged = False
+                    stop_bound = rivals_bound(answers)
                 else:
                     converged = True
+                    stop_bound = stop_kth
 
     failures: Dict[str, str] = dict(prior_failures or {})
     for i, reason in sorted_failures.items():
@@ -430,6 +462,31 @@ def _nra_run(
             tol=tol,
         )
 
+    certificate: Optional[ApproximationCertificate] = None
+    if partial or theta > 1.0:
+        certificate = ApproximationCertificate.build(
+            theta=theta,
+            kth_grade=stop_kth,
+            bound=stop_bound,
+            intervals={
+                item.object_id: (
+                    states[item.object_id].lower(rule, m),
+                    states[item.object_id].upper(rule, m, bottoms),
+                )
+                for item in answers
+            },
+            anytime=partial,
+        )
+        if tracer is not None and theta > 1.0:
+            tracer.event(
+                "theta-certified",
+                theta=theta,
+                achieved=certificate.achieved,
+                kth=certificate.kth_grade,
+                bound=certificate.bound,
+                anytime=certificate.anytime,
+            )
+
     return TopKResult(
         answers=answers,
         cost=meter.report(),
@@ -437,6 +494,7 @@ def _nra_run(
         sorted_depth=depth,
         grades_exact=converged,
         degraded=degraded,
+        approximation=certificate,
     )
 
 
@@ -453,6 +511,7 @@ def _nra_run_vector(
     depth: int = 0,
     exact_grades: bool = True,
     tol: float = 1e-12,
+    theta: float = 1.0,
     batch_size: int = 4096,
     algorithm: str = "nra",
     prior_failures: Optional[Dict[str, str]] = None,
@@ -492,9 +551,11 @@ def _nra_run_vector(
     answer_rows = None
     converged = True
     partial = False
+    stop_kth = 0.0
+    stop_bound = 0.0
 
     def evaluate_stop() -> Optional[GradedSet]:
-        nonlocal converged, answer_rows
+        nonlocal converged, answer_rows, stop_kth, stop_bound
         if matrix.count < k:
             return None
         lower = matrix.lower_bounds(rule)
@@ -510,18 +571,20 @@ def _nra_run_vector(
             tracer.sample("nra.kth_lower", kth_lower)
             tracer.sample("nra.rivals_upper", rivals_upper)
             tracer.sample("nra.buffer_objects", float(matrix.count))
-        if kth_lower + tol < rivals_upper:
+        if theta * kth_lower + tol < rivals_upper:
             return None
         top_rows = order[:k]
         gaps_converged = bool(
             ((upper[top_rows] - lower[top_rows]) <= tol).all()
         )
-        if exact_grades:
+        if exact_grades and theta == 1.0:
             if not gaps_converged:
                 return None
             converged = True
         else:
             converged = gaps_converged
+        stop_kth = kth_lower
+        stop_bound = rivals_upper
         answer_rows = top_rows
         values = lower[top_rows].tolist()
         return GradedSet(
@@ -598,11 +661,22 @@ def _nra_run_vector(
                         for i, row in enumerate(answer_rows.tolist())
                     }
                 )
+                stop_kth = (
+                    float(lower[order[k - 1]]) if matrix.count >= k else 0.0
+                )
                 if sorted_failures:
                     partial = True
                     converged = False
+                    upper = matrix.upper_bounds(rule, bottoms)
+                    stop_bound = (
+                        rule(bottoms) if matrix.count < database_size else 0.0
+                    )
+                    rest = order[k:]
+                    if rest.size:
+                        stop_bound = max(stop_bound, float(upper[rest].max()))
                 else:
                     converged = True
+                    stop_bound = stop_kth
 
     failures: Dict[str, str] = dict(prior_failures or {})
     for i, reason in sorted_failures.items():
@@ -646,6 +720,33 @@ def _nra_run_vector(
             tol=tol,
         )
 
+    certificate: Optional[ApproximationCertificate] = None
+    if partial or theta > 1.0:
+        cert_lower = matrix.lower_bounds(rule)
+        cert_upper = matrix.upper_bounds(rule, bottoms)
+        certificate = ApproximationCertificate.build(
+            theta=theta,
+            kth_grade=stop_kth,
+            bound=stop_bound,
+            intervals={
+                matrix.ids[row]: (
+                    float(cert_lower[row]),
+                    float(cert_upper[row]),
+                )
+                for row in answer_rows.tolist()
+            },
+            anytime=partial,
+        )
+        if tracer is not None and theta > 1.0:
+            tracer.event(
+                "theta-certified",
+                theta=theta,
+                achieved=certificate.achieved,
+                kth=certificate.kth_grade,
+                bound=certificate.bound,
+                anytime=certificate.anytime,
+            )
+
     return TopKResult(
         answers=answers,
         cost=meter.report(),
@@ -653,6 +754,7 @@ def _nra_run_vector(
         sorted_depth=depth,
         grades_exact=converged,
         degraded=degraded,
+        approximation=certificate,
     )
 
 
@@ -664,6 +766,7 @@ def threshold_top_k(
     require_monotone: bool = True,
     batch_size: int = DEFAULT_BATCH_SIZE,
     degrade: bool = True,
+    theta: float = 1.0,
     tracer=None,
     executor=None,
     kernel: Optional[str] = None,
@@ -708,11 +811,23 @@ def threshold_top_k(
     columnar kernel (:func:`_threshold_top_k_vector`), ``"auto"`` picks
     vector exactly when byte-identity is guaranteed (batch-exact rule,
     columnar sources) — see :func:`repro.kernels.resolve_kernel`.
+
+    **θ-approximation (TA-θ).**  ``theta >= 1.0`` relaxes the stopping
+    rule to ``theta * kth_grade >= τ`` (Fagin–Lotem–Naor): every
+    unreported object's true grade is then provably ≤ θ times every
+    reported grade.  Reported grades stay exact (TA fully resolves each
+    seen object), so a θ > 1 stop attaches an
+    :class:`~repro.core.result.ApproximationCertificate` with the
+    achieved ratio τ/kth and no intervals; θ = 1.0 is
+    decision-for-decision identical to exact TA.  The mid-query
+    degradation path hands θ to the NRA continuation unchanged.
     """
     if k <= 0:
         raise ValueError(f"k must be positive, got {k}")
     if batch_size < 1:
         raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    if theta < 1.0:
+        raise ValueError(f"theta must be >= 1.0, got {theta}")
     rule = as_scoring_function(scoring)
     if require_monotone:
         _require_monotone(rule, "TA")
@@ -723,6 +838,7 @@ def threshold_top_k(
             k,
             batch_size=batch_size,
             degrade=degrade,
+            theta=theta,
             tracer=tracer,
             executor=executor,
         )
@@ -743,6 +859,7 @@ def threshold_top_k(
     best_k: List[float] = []
     depth = 0
     stop = False
+    stop_tau = 0.0
 
     def fall_back(
         consumed_rows: int,
@@ -801,6 +918,7 @@ def threshold_top_k(
             exhausted=pre_exhausted,
             meter=meter,
             depth=depth,
+            theta=theta,
             batch_size=max(batch_size, 1),
             algorithm="threshold-ta+nra",
             prior_failures=prior_failures,
@@ -902,10 +1020,16 @@ def threshold_top_k(
                     tracer.sample("ta.tau", rule(bottoms))
                     if len(best_k) >= k:
                         tracer.sample("ta.kth_grade", best_k[0])
-                if len(best_k) >= k and best_k[0] >= rule(bottoms):
+                if len(best_k) >= k and theta * best_k[0] >= rule(bottoms):
                     stop = True
+                    stop_tau = rule(bottoms)
                     if tracer is not None:
-                        tracer.event("stop", tau=rule(bottoms), kth=best_k[0])
+                        if theta > 1.0:
+                            tracer.event(
+                                "stop", tau=stop_tau, kth=best_k[0], theta=theta
+                            )
+                        else:
+                            tracer.event("stop", tau=stop_tau, kth=best_k[0])
                     break
             died: Dict[int, str] = {}
             takers = [
@@ -937,11 +1061,32 @@ def threshold_top_k(
                 # accumulated state to NRA with the dead list frozen out.
                 return fall_back(0, windows, {}, dead=died)
 
+    answers = GradedSet(overall).top(k)
+    certificate: Optional[ApproximationCertificate] = None
+    if theta > 1.0:
+        # TA's reported grades are exact, so the k-th answer grade IS
+        # the proven k-th best; exhaustion (no θ-stop) means exact.
+        kth = best_k[0] if len(best_k) >= k else 0.0
+        certificate = ApproximationCertificate.build(
+            theta=theta,
+            kth_grade=kth,
+            bound=stop_tau if stop else kth,
+        )
+        if tracer is not None:
+            tracer.event(
+                "theta-certified",
+                theta=theta,
+                achieved=certificate.achieved,
+                kth=certificate.kth_grade,
+                bound=certificate.bound,
+                anytime=False,
+            )
     return TopKResult(
-        answers=GradedSet(overall).top(k),
+        answers=answers,
         cost=meter.report(),
         algorithm="threshold-ta",
         sorted_depth=depth,
+        approximation=certificate,
     )
 
 
@@ -952,6 +1097,7 @@ def _threshold_top_k_vector(
     *,
     batch_size: int = DEFAULT_BATCH_SIZE,
     degrade: bool = True,
+    theta: float = 1.0,
     tracer=None,
     executor=None,
 ) -> TopKResult:
@@ -999,6 +1145,7 @@ def _threshold_top_k_vector(
     best_k: List[float] = []
     depth = 0
     stop = False
+    stop_tau = 0.0
     #: consumed sorted deliveries, (list index, ids, grades) per window
     #: slice, in consumption order — replayed into a GradeMatrix if the
     #: run has to degrade to NRA.
@@ -1021,6 +1168,7 @@ def _threshold_top_k_vector(
         tracer (per-access events would reintroduce the per-object
         loop).  Returns ``(consumed_rows, stopped)``.
         """
+        nonlocal stop_tau
         window_fresh: List[tuple] = []
         fresh_by_row: List[List[int]] = [[] for _ in range(rows)]
         window_seen = set()
@@ -1050,8 +1198,9 @@ def _threshold_top_k_vector(
                     heapq.heappush(best_k, grade)
                 elif grade > best_k[0]:
                     heapq.heapreplace(best_k, grade)
-            if len(best_k) >= k and best_k[0] >= tau[row]:
+            if len(best_k) >= k and theta * best_k[0] >= tau[row]:
                 stop_row = row
+                stop_tau = tau[row]
                 break
         consumed = rows if stop_row is None else stop_row + 1
         probe_ids: List[List[ObjectId]] = [[] for _ in range(m)]
@@ -1146,6 +1295,7 @@ def _threshold_top_k_vector(
             exhausted=pre_exhausted,
             meter=meter,
             depth=depth,
+            theta=theta,
             batch_size=max(batch_size, 1),
             algorithm="threshold-ta+nra",
             prior_failures=prior_failures,
@@ -1306,10 +1456,16 @@ def _threshold_top_k_vector(
                     tracer.sample("ta.tau", tau[row])
                     if len(best_k) >= k:
                         tracer.sample("ta.kth_grade", best_k[0])
-                if len(best_k) >= k and best_k[0] >= tau[row]:
+                if len(best_k) >= k and theta * best_k[0] >= tau[row]:
                     stop = True
+                    stop_tau = tau[row]
                     if tracer is not None:
-                        tracer.event("stop", tau=tau[row], kth=best_k[0])
+                        if theta > 1.0:
+                            tracer.event(
+                                "stop", tau=tau[row], kth=best_k[0], theta=theta
+                            )
+                        else:
+                            tracer.event("stop", tau=tau[row], kth=best_k[0])
                     break
             died: Dict[int, str] = {}
             takers = [i for i in range(m) if min(consumed, lengths[i]) > 0]
@@ -1353,11 +1509,31 @@ def _threshold_top_k_vector(
         )
     else:
         answers = GradedSet()
+    certificate: Optional[ApproximationCertificate] = None
+    if theta > 1.0:
+        # See the scalar path: TA grades are exact, and exhaustion
+        # without a θ-stop certifies the answer as exact (ratio 1.0).
+        kth = best_k[0] if len(best_k) >= k else 0.0
+        certificate = ApproximationCertificate.build(
+            theta=theta,
+            kth_grade=kth,
+            bound=stop_tau if stop else kth,
+        )
+        if tracer is not None:
+            tracer.event(
+                "theta-certified",
+                theta=theta,
+                achieved=certificate.achieved,
+                kth=certificate.kth_grade,
+                bound=certificate.bound,
+                anytime=False,
+            )
     return TopKResult(
         answers=answers,
         cost=meter.report(),
         algorithm="threshold-ta",
         sorted_depth=depth,
+        approximation=certificate,
     )
 
 
@@ -1369,6 +1545,7 @@ def nra_top_k(
     require_monotone: bool = True,
     exact_grades: bool = True,
     tol: float = 1e-12,
+    theta: float = 1.0,
     batch_size: int = 4096,
     tracer=None,
     executor=None,
@@ -1383,8 +1560,10 @@ def nra_top_k(
     behaviour when sorted streams die mid-run.
 
     ``stop_check_growth`` controls the geometric stop-check schedule
-    (see :func:`_nra_run`); ``kernel`` selects the scalar or vectorized
-    implementation (``None`` = configured default, resolved by
+    (see :func:`_nra_run`); ``theta`` the Fagin–Lotem–Naor
+    θ-approximation knob (1.0 = exact; see :func:`_nra_run`); ``kernel``
+    selects the scalar or vectorized implementation (``None`` =
+    configured default, resolved by
     :func:`repro.kernels.resolve_kernel`).  ``snapshot_out`` captures a
     clean run's resumable state for the result cache's warm-start tier
     (see :func:`_nra_run`).
@@ -1393,6 +1572,8 @@ def nra_top_k(
         raise ValueError(f"k must be positive, got {k}")
     if batch_size < 1:
         raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    if theta < 1.0:
+        raise ValueError(f"theta must be >= 1.0, got {theta}")
     rule = as_scoring_function(scoring)
     if require_monotone:
         _require_monotone(rule, "NRA")
@@ -1408,6 +1589,7 @@ def nra_top_k(
         meter=CostMeter(sources),
         exact_grades=exact_grades,
         tol=tol,
+        theta=theta,
         batch_size=batch_size,
         tracer=tracer,
         executor=executor,

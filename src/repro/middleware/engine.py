@@ -134,6 +134,9 @@ class MiddlewareEngine:
         #: session-level kernel choice set by configure_kernel; None
         #: defers to the process-wide default in :mod:`repro.kernels`.
         self._kernel: Optional[str] = None
+        #: session-level θ-approximation knob set by
+        #: configure_approximation; 1.0 (the default) runs exact.
+        self._theta: float = 1.0
         #: session-level semantic result cache set by configure_cache;
         #: None (the default) keeps every query cold.
         self._cache = None
@@ -226,6 +229,32 @@ class MiddlewareEngine:
     def kernel(self) -> Optional[str]:
         """The session-level kernel name, or None for the global default."""
         return self._kernel
+
+    # ------------------------------------------------------------------
+    # Approximation
+    # ------------------------------------------------------------------
+    def configure_approximation(self, theta: float = 1.0) -> float:
+        """Install the session-level θ-approximation knob.
+
+        ``theta >= 1.0`` is the Fagin–Lotem–Naor approximation factor:
+        TA and NRA stop as soon as every reported grade is provably
+        within a factor θ of anything excluded, and attach an
+        :class:`~repro.core.result.ApproximationCertificate` with the
+        achieved ratio (see :mod:`repro.core.threshold`).  ``1.0`` (the
+        default) restores exact answers — decision-for-decision
+        identical to an engine that never heard of θ.  Per-query
+        ``top_k(theta=...)`` overrides this session setting.  Returns
+        the installed value.
+        """
+        if theta < 1.0:
+            raise ValueError(f"theta must be >= 1.0, got {theta}")
+        self._theta = float(theta)
+        return self._theta
+
+    @property
+    def theta(self) -> float:
+        """The session-level θ-approximation factor (1.0 = exact)."""
+        return self._theta
 
     # ------------------------------------------------------------------
     # Result caching
@@ -588,6 +617,7 @@ class MiddlewareEngine:
         executor=None,
         deadline: Optional[float] = None,
         cache=None,
+        theta: Optional[float] = None,
     ) -> TopKResult:
         """The top k answers to a query, with their grades and cost.
 
@@ -619,9 +649,20 @@ class MiddlewareEngine:
         cache-served result carries ``result.extras["cache"]`` naming
         the reuse tier; a cache-enabled *miss* runs — and traces —
         exactly like a cold query, then records its result.
+
+        ``theta`` overrides the session θ-approximation knob
+        (:meth:`configure_approximation`) for this one query; ``None``
+        (the default) uses the session setting.  θ > 1 runs may stop
+        early and carry an
+        :class:`~repro.core.result.ApproximationCertificate`; a cache
+        probe under θ > 1 may also be served by a θ-certified entry
+        whose recorded achieved ratio qualifies.
         """
         tracer = tracer if tracer is not None else self._tracer
         kernel = kernel if kernel is not None else self._kernel
+        theta = float(theta) if theta is not None else self._theta
+        if theta < 1.0:
+            raise ValueError(f"theta must be >= 1.0, got {theta}")
         cache = self._resolve_cache(cache)
         sources = self.bind_all(query)
         compiled = self._compile(query)
@@ -631,7 +672,9 @@ class MiddlewareEngine:
 
             atoms = query.atoms()
             key = plan_key(query, self.semantics, prefer)
-            served, _status = cache.probe(key, k, atoms, sources, tracer=tracer)
+            served, _status = cache.probe(
+                key, k, atoms, sources, tracer=tracer, theta=theta
+            )
             if served is not None:
                 return served
             cache_ctx = (cache, key, atoms)
@@ -642,7 +685,7 @@ class MiddlewareEngine:
             )
         try:
             if tracer is None:
-                plan = plan_top_k(sources, compiled, k, prefer=prefer)
+                plan = plan_top_k(sources, compiled, k, prefer=prefer, theta=theta)
                 result = self._execute_guarded(
                     plan,
                     sources,
@@ -656,13 +699,19 @@ class MiddlewareEngine:
 
                 attach_resilience_observers(sources, tracer)
                 with tracer.phase("query", query=str(query), k=k):
-                    plan = plan_top_k(sources, compiled, k, prefer=prefer)
+                    plan = plan_top_k(
+                        sources, compiled, k, prefer=prefer, theta=theta
+                    )
+                    # θ is traced only when it can change the execution,
+                    # keeping θ = 1.0 traces byte-identical to goldens.
+                    extra = {"theta": theta} if theta > 1.0 else {}
                     tracer.event(
                         "plan",
                         strategy=plan.strategy.value,
                         reason=plan.reason,
                         estimated_cost=plan.estimated_cost,
                         k=plan.k,
+                        **extra,
                     )
                     result = self._execute_guarded(
                         plan,
@@ -683,7 +732,7 @@ class MiddlewareEngine:
         return result
 
     def cache_probe(
-        self, query: Query, k: int, *, prefer=None, tracer=None
+        self, query: Query, k: int, *, prefer=None, tracer=None, theta=None
     ) -> Tuple[Optional[TopKResult], str]:
         """Probe the result cache without executing anything.
 
@@ -692,13 +741,15 @@ class MiddlewareEngine:
         ``"miss"``/``"stale"``/``"off"``.  The query service calls this
         at admission so hits skip the queue entirely; warm-start
         (tier 3) still requires a real execution slot and is left to
-        :meth:`top_k`.
+        :meth:`top_k`.  ``theta`` mirrors :meth:`top_k`'s knob: a θ > 1
+        probe may also be served by a qualifying θ-certified entry.
         """
         cache = self._cache
         if cache is None:
             return None, "off"
         from repro.cache import plan_key
 
+        theta = float(theta) if theta is not None else self._theta
         sources = self.bind_all(query)
         return cache.probe(
             plan_key(query, self.semantics, prefer),
@@ -706,6 +757,7 @@ class MiddlewareEngine:
             query.atoms(),
             sources,
             tracer=tracer if tracer is not None else self._tracer,
+            theta=theta,
         )
 
     def _execute_guarded(
@@ -782,6 +834,12 @@ class MiddlewareEngine:
         in, so it equals — byte for byte — what a cold run at this k
         would have reported, while ``extras["cache"]`` records what was
         actually charged now.
+
+        Snapshots are θ-agnostic resumable state: the continuation runs
+        under the *new* request's θ (``plan.theta``), re-evaluating the
+        stop test — and computing any certificate — from the live
+        bounds, so a θ > 1 resume can never inherit a stale certificate
+        from the (always exact) fill run.
         """
         from repro.cache import resume_from_snapshot
 
@@ -800,6 +858,7 @@ class MiddlewareEngine:
             plan.scoring,
             plan.k,
             entry.snapshot,
+            theta=plan.theta,
             tracer=tracer,
             executor=executor,
             kernel=kernel,
@@ -888,7 +947,7 @@ class MiddlewareEngine:
         """The plan the engine would execute, without running it."""
         sources = self.bind_all(query)
         compiled = self._compile(query)
-        return plan_top_k(sources, compiled, k)
+        return plan_top_k(sources, compiled, k, theta=self._theta)
 
     def explain_report(self, query: Query, k: int, *, run: bool = False):
         """The full EXPLAIN view of a query: plan, atoms, optionally actuals.
@@ -904,7 +963,7 @@ class MiddlewareEngine:
 
         sources = self.bind_all(query)
         compiled = self._compile(query)
-        plan = plan_top_k(sources, compiled, k)
+        plan = plan_top_k(sources, compiled, k, theta=self._theta)
         if not run:
             return explain_report(str(query), plan, sources)
         tracer = QueryTracer()

@@ -87,6 +87,11 @@ class ExplainReport:
             f"estimated cost {self.plan.estimated_cost:.0f})"
         )
         lines.append(f"       reason: {self.plan.reason}")
+        if self.plan.theta > 1.0:
+            lines.append(
+                f"       theta: {self.plan.theta:g} "
+                "(approximate early stop permitted)"
+            )
         lines.append("atoms:")
         for atom in self.atoms:
             lines.append(f"  {atom.describe()}")
@@ -99,6 +104,17 @@ class ExplainReport:
                 lines.append(
                     f"          actual/estimated = "
                     f"{self.executed['estimate_ratio']:.2f}"
+                )
+            if self.executed.get("theta") is not None:
+                achieved = self.executed.get("achieved")
+                shaped = (
+                    "unbounded" if achieved == float("inf")
+                    else f"{achieved:.4f}"
+                )
+                kind = "anytime" if self.executed.get("anytime") else "theta-stop"
+                lines.append(
+                    f"          approximation: {kind}, requested theta "
+                    f"{self.executed['theta']:g}, certified ratio {shaped}"
                 )
         if self.phases:
             lines.append("phases:")
@@ -176,6 +192,11 @@ def explain_report(
             "depth": result.sorted_depth,
             "estimate_ratio": ratio,
         }
+        certificate = getattr(result, "approximation", None)
+        if certificate is not None:
+            report.executed["theta"] = certificate.theta
+            report.executed["achieved"] = certificate.achieved
+            report.executed["anytime"] = certificate.anytime
     if tracer is not None:
         report.phases = phase_breakdown(tracer.events)
     return report
@@ -193,8 +214,10 @@ def render_trace_explain(tracer) -> str:
     for event in tracer.events:
         if event.get("type") == "event" and event.get("name") == "plan":
             attrs = event.get("attrs", {})
+            theta = attrs.get("theta")
+            shaped = f", theta={theta:g}" if theta is not None else ""
             lines.append(
-                f"plan: {attrs.get('strategy')} (k={attrs.get('k')}, "
+                f"plan: {attrs.get('strategy')} (k={attrs.get('k')}{shaped}, "
                 f"estimated cost {attrs.get('estimated_cost', 0):.0f}) — "
                 f"{attrs.get('reason')}"
             )
@@ -237,6 +260,18 @@ def render_trace_explain(tracer) -> str:
             "resilience events: "
             + ", ".join(f"{kind}={n}" for kind, n in sorted(resilience.items()))
         )
+    for event in tracer.events:
+        if event.get("type") == "event" and event.get("name") == "theta-certified":
+            attrs = event.get("attrs", {})
+            achieved = attrs.get("achieved", float("inf"))
+            shaped = (
+                "unbounded" if achieved == float("inf") else f"{achieved:.4f}"
+            )
+            kind = "anytime" if attrs.get("anytime") else "theta-stop"
+            lines.append(
+                f"approximation: {kind}, requested theta "
+                f"{attrs.get('theta'):g}, certified ratio {shaped}"
+            )
     taus = tracer.samples("ta.tau")
     if taus:
         lines.append(

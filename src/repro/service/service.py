@@ -80,6 +80,13 @@ class ServiceConfig:
     ``trace_requests``
         Attach a fresh :class:`~repro.observability.tracer.QueryTracer`
         to every request (read it off ``ticket.trace``).
+    ``default_theta``
+        Fagin–Lotem–Naor θ-approximation factor applied to requests
+        that do not bring their own (1.0 = exact answers).  A request's
+        explicit ``submit(..., theta=...)`` always wins; the service
+        knob (explicit or default) takes precedence over the engine's
+        session-level :meth:`~repro.middleware.engine.MiddlewareEngine.
+        configure_approximation` setting.
     """
 
     workers: int = 4
@@ -90,10 +97,15 @@ class ServiceConfig:
     access_workers: int = 1
     fair_share: Optional[int] = None
     trace_requests: bool = False
+    default_theta: float = 1.0
 
     def __post_init__(self) -> None:
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.default_theta < 1.0:
+            raise ValueError(
+                f"default_theta must be >= 1.0, got {self.default_theta}"
+            )
         if self.access_workers < 1:
             raise ValueError(
                 f"access_workers must be >= 1, got {self.access_workers}"
@@ -123,6 +135,7 @@ class QueryTicket:
         priority: int,
         seq: int,
         prefer=None,
+        theta: float = 1.0,
         deadline_at: Optional[float] = None,
         submitted_at: float = 0.0,
         trace=None,
@@ -133,6 +146,7 @@ class QueryTicket:
         self.priority = priority
         self.seq = seq
         self.prefer = prefer
+        self.theta = theta
         self.deadline_at = deadline_at
         self.submitted_at = submitted_at
         self.started_at: Optional[float] = None
@@ -259,6 +273,7 @@ class QueryService:
         priority: int = 0,
         deadline: Optional[float] = None,
         prefer=None,
+        theta: Optional[float] = None,
         trace: Optional[bool] = None,
     ) -> QueryTicket:
         """Admit one query for execution; returns its ticket.
@@ -270,7 +285,12 @@ class QueryService:
         ``"queue-full"`` when the queue is saturated with equal-or-
         higher-priority work.  ``deadline`` (seconds, measured from this
         call on the service clock) overrides the config default; the
-        budget includes queue wait.
+        budget includes queue wait.  ``theta`` (≥ 1.0) requests a
+        θ-approximate answer with a certificate (see
+        :class:`~repro.core.result.ApproximationCertificate`); it
+        defaults to ``config.default_theta``.  θ also composes with
+        deadlines: a deadline that fires mid-query yields the current
+        best-k with a certified bound rather than a bare partial.
 
         With a result cache on the engine
         (:meth:`~repro.middleware.engine.MiddlewareEngine.configure_cache`),
@@ -281,13 +301,22 @@ class QueryService:
         admission and execution.
         """
         self._count("service.submitted", tenant=tenant)
+        theta = float(theta) if theta is not None else self.config.default_theta
+        if theta < 1.0:
+            raise ValueError(f"theta must be >= 1.0, got {theta}")
         if self._closing:
             self._count("service.rejected", tenant=tenant, reason="closed")
             raise AdmissionError(
                 "query service is closed to new work", reason="closed"
             )
         served = self._probe_cache(
-            query, k, tenant=tenant, priority=priority, prefer=prefer, trace=trace
+            query,
+            k,
+            tenant=tenant,
+            priority=priority,
+            prefer=prefer,
+            theta=theta,
+            trace=trace,
         )
         if served is not None:
             return served
@@ -310,6 +339,7 @@ class QueryService:
             priority=priority,
             seq=seq,
             prefer=prefer,
+            theta=theta,
             deadline_at=(now + budget) if budget is not None else None,
             submitted_at=now,
             trace=self._make_trace(trace),
@@ -339,6 +369,7 @@ class QueryService:
         priority: int = 0,
         deadline: Optional[float] = None,
         prefer=None,
+        theta: Optional[float] = None,
         trace: Optional[bool] = None,
         timeout: Optional[float] = None,
     ) -> TopKResult:
@@ -350,6 +381,7 @@ class QueryService:
             priority=priority,
             deadline=deadline,
             prefer=prefer,
+            theta=theta,
             trace=trace,
         )
         return ticket.result(timeout)
@@ -428,25 +460,26 @@ class QueryService:
     # Internals
     # ------------------------------------------------------------------
     def _probe_cache(
-        self, query, k, *, tenant, priority, prefer, trace
+        self, query, k, *, tenant, priority, prefer, theta, trace
     ) -> Optional[QueryTicket]:
         """Serve an admission-time cache hit, or None to admit normally.
 
-        Only tiers 1/2 (exact/prefix — zero execution) short-circuit
-        here; warm starts need an execution slot and stay on the normal
-        path.  Binding or planning errors are swallowed: the normal
-        submission path will surface them with proper accounting.
+        Only the zero-execution tiers (exact/prefix, plus θ-certified
+        replays when the request tolerates them) short-circuit here;
+        warm starts need an execution slot and stay on the normal path.
+        Binding or planning errors are swallowed: the normal submission
+        path will surface them with proper accounting.
         """
         if getattr(self.engine, "cache", None) is None:
             return None
         trace_obj = self._make_trace(trace)
         try:
             result, status = self.engine.cache_probe(
-                query, k, prefer=prefer, tracer=trace_obj
+                query, k, prefer=prefer, theta=theta, tracer=trace_obj
             )
         except ReproError:
             return None
-        if status in ("exact", "prefix"):
+        if status in ("exact", "prefix", "theta"):
             self._count("service.cache.hit", tenant=tenant, tier=status)
         else:
             self._count("service.cache.miss", tenant=tenant)
@@ -465,6 +498,7 @@ class QueryService:
             priority=priority,
             seq=seq,
             prefer=prefer,
+            theta=theta,
             submitted_at=now,
             trace=trace_obj,
         )
@@ -555,6 +589,7 @@ class QueryService:
                 ticket.query,
                 ticket.k,
                 prefer=ticket.prefer,
+                theta=ticket.theta,
                 tracer=ticket.trace,
                 executor=executor,
                 deadline=remaining,

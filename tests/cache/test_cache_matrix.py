@@ -64,6 +64,18 @@ def test_all_tiers_match_cold_reference(
     )
     cache = engine.configure_cache()
 
+    # θ tier first, while no exact entry exists to shadow it: a θ fill
+    # stores under its extended key, a looser repeat replays it, and the
+    # later θ = 1.0 fill below stays byte-identical to cold — θ entries
+    # are invisible to exact traffic.
+    theta_fill = engine.top_k(query, k=10, prefer=Strategy.NRA, theta=1.5)
+    assert theta_fill.extras.get("cache") is None
+    assert theta_fill.approximation is not None
+    theta_hit = engine.top_k(query, k=10, prefer=Strategy.NRA, theta=2.0)
+    assert theta_hit.extras["cache"]["tier"] == "theta"
+    assert answer_pairs(theta_hit) == answer_pairs(theta_fill)
+    assert theta_hit.cost == theta_fill.cost
+
     fill = engine.top_k(query, k=10, prefer=Strategy.NRA)
     assert answer_pairs(fill) == answer_pairs(cold_10)
     assert fill.cost == cold_10.cost
@@ -83,8 +95,14 @@ def test_all_tiers_match_cold_reference(
     assert answer_pairs(warm) == answer_pairs(cold_25)
     assert warm.cost == cold_25.cost
 
+    # After the exact fill, θ' requests at covered k ride tiers 1/2.
+    theta_prefix = engine.top_k(query, k=4, prefer=Strategy.NRA, theta=3.0)
+    assert theta_prefix.extras["cache"]["tier"] == "prefix"
+    assert theta_prefix.approximation is None
+
     stats = cache.stats()
-    assert stats["hits"] == 2
+    assert stats["hits"] == 4  # theta + exact + prefix + theta-as-prefix
+    assert stats["theta_hits"] == 1
     assert stats["warm_hits"] == 1
-    assert stats["misses"] == 2  # fill and the warm probe's miss
-    assert stats["fills"] == 2
+    assert stats["misses"] == 3  # theta fill, fill, the warm probe's miss
+    assert stats["fills"] == 3

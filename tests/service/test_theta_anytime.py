@@ -1,0 +1,160 @@
+"""Anytime θ-approximation under service deadlines and chaos.
+
+The composition the tentpole promises: when a deadline fires *mid-query*
+the service returns the current best-k answers carrying a certified
+:class:`~repro.core.result.ApproximationCertificate` (``anytime=True``)
+instead of a bare partial ``DegradedResult`` — and the zero-cost
+expired-in-queue path stays exactly as it was (no engine touch, no
+certificate to hand out).  A chaos variant checks that fault injection
+plus θ > 1 still certifies soundly against the clean oracle.
+"""
+
+from repro.middleware.faults import FaultProfile
+from repro.middleware.resilience import VirtualClock
+from repro.service import QueryService, ServiceConfig
+
+from tests.service.helpers import N, QUERY, build_engine, make_grades
+
+
+def true_grades(n=N, seed=7):
+    """The clean oracle: min of the two list grades per object."""
+    color, shape = make_grades(n, seed)
+    return {obj: min(color[obj], shape[obj]) for obj in color}
+
+
+def assert_certificate_sound(result, truth):
+    """The certified ratio must hold on true grades; intervals bracket."""
+    certificate = result.approximation
+    assert certificate is not None
+    returned = {item.object_id for item in result.answers}
+    excluded_best = max(
+        (grade for obj, grade in truth.items() if obj not in returned),
+        default=0.0,
+    )
+    if certificate.achieved != float("inf"):
+        for item in result.answers:
+            assert (
+                certificate.achieved * truth[item.object_id]
+                >= excluded_best - 1e-9
+            ), (
+                f"certificate ratio {certificate.achieved} disproved by "
+                f"{item.object_id} (true {truth[item.object_id]}) vs "
+                f"excluded best {excluded_best}"
+            )
+    if certificate.intervals is not None:
+        for obj, (lower, upper) in certificate.intervals.items():
+            assert lower - 1e-9 <= truth[obj] <= upper + 1e-9
+
+
+def test_mid_query_deadline_returns_certified_best_k():
+    """A budget burned mid-execution yields best-k plus an anytime bound."""
+    clock = VirtualClock()
+    engine = build_engine(clock=clock)
+    engine.configure_resilience(
+        None,
+        fault_profile=FaultProfile(latency_rate=1.0, latency=0.5, seed=1),
+    )
+    try:
+        with QueryService(engine, clock=clock) as service:
+            result = service.query(QUERY, 5, deadline=2.0, timeout=30)
+    finally:
+        engine.close()
+    assert result.degraded is not None
+    assert result.cost.database_access_cost > 0  # it did start
+    if result.degraded.fallback == "partial-bounds":
+        certificate = result.approximation
+        assert certificate is not None
+        assert certificate.anytime
+        assert_certificate_sound(result, true_grades())
+
+
+def test_mid_query_deadline_with_theta_keeps_anytime_flag():
+    """θ > 1 composes with deadlines: the anytime flag wins over θ-stop."""
+    clock = VirtualClock()
+    engine = build_engine(clock=clock)
+    engine.configure_resilience(
+        None,
+        fault_profile=FaultProfile(latency_rate=1.0, latency=0.5, seed=1),
+    )
+    try:
+        with QueryService(engine, clock=clock) as service:
+            result = service.query(QUERY, 5, deadline=2.0, theta=1.5, timeout=30)
+    finally:
+        engine.close()
+    assert result.degraded is not None
+    if result.degraded.fallback == "partial-bounds":
+        certificate = result.approximation
+        assert certificate is not None
+        assert certificate.anytime
+        assert certificate.theta == 1.5
+        assert_certificate_sound(result, true_grades())
+
+
+def test_expired_in_queue_stays_zero_cost_and_uncertified():
+    """The expired-in-queue fast path is byte-for-byte what it was."""
+    engine = build_engine()
+    try:
+        with QueryService(engine) as service:
+            result = service.query(QUERY, 5, deadline=0.0, theta=1.5, timeout=10)
+    finally:
+        engine.close()
+    assert result.degraded is not None
+    assert result.degraded.fallback == "deadline-expired"
+    assert result.cost.database_access_cost == 0
+    assert result.algorithm == "none"
+    assert len(result.answers) == 0
+    # Never touched the engine, so there is no run to certify.
+    assert result.approximation is None
+    assert service.metrics.counter_total("service.expired") == 1
+
+
+def test_chaos_with_theta_still_certifies_soundly():
+    """Transient faults + θ: every certificate survives the clean oracle."""
+    truth = true_grades()
+    engine = build_engine()
+    engine.configure_resilience(
+        None, fault_profile=FaultProfile(transient_rate=0.25, seed=13)
+    )
+    try:
+        with QueryService(engine, ServiceConfig(workers=4)) as service:
+            tickets = [
+                service.submit(QUERY, 4, theta=1.5) for _ in range(12)
+            ]
+            results = [ticket.result(timeout=30) for ticket in tickets]
+    finally:
+        engine.close()
+    certified = 0
+    for result in results:
+        if result.approximation is None:
+            continue
+        certified += 1
+        certificate = result.approximation
+        assert certificate.theta == 1.5
+        # Clean θ-stops certify within θ; anytime stops certify
+        # whatever the accumulated bounds prove.
+        if not certificate.anytime and certificate.kth_grade > 0:
+            assert certificate.achieved <= 1.5 + 1e-6
+        assert_certificate_sound(result, truth)
+    assert certified == len(results)  # θ > 1 always attaches a certificate
+
+
+def test_anytime_answers_never_beyond_certified_bound():
+    """Each anytime answer's reported grade is a true lower bound."""
+    clock = VirtualClock()
+    engine = build_engine(clock=clock)
+    engine.configure_resilience(
+        None,
+        fault_profile=FaultProfile(latency_rate=1.0, latency=0.5, seed=5),
+    )
+    truth = true_grades()
+    try:
+        with QueryService(engine, clock=clock) as service:
+            result = service.query(QUERY, 5, deadline=3.0, timeout=30)
+    finally:
+        engine.close()
+    if result.degraded is None or result.degraded.fallback != "partial-bounds":
+        return  # chaos spared this run; nothing anytime to check
+    for item in result.answers:
+        assert item.grade <= truth[item.object_id] + 1e-9
+    grades = [item.grade for item in result.answers]
+    assert grades == sorted(grades, reverse=True)
