@@ -1,0 +1,421 @@
+"""E28 — index-backed kNN streams: VA-file / R-tree vs full scan at 10^6.
+
+Paper context: section 2.1 observes that atomic multimedia queries
+("find the 10 images closest to this color") should be served by a
+multidimensional index, and section 2.2's Eq. 2 bounds the full
+distance from below by a cheap filter distance so most candidates are
+never fully evaluated.  This experiment measures both ideas as *graded
+sources* feeding the paper's own top-k machinery:
+
+* the **kNN sweep**: at N = 10^6 objects and d in {8, 16}, answer
+  k = 10 nearest-neighbour queries through four physical methods — the
+  vectorized linear scan (the oracle), a bulk-loaded VA-file stream, a
+  bulk-loaded STR R-tree stream, and an Eq.-2-style orthonormal
+  projection filter (project to 3 dims, refine in lower-bound order) —
+  recording node accesses, distance evaluations, and wall clock;
+* the **conformance gate**: every method must return *exactly* the
+  scan's answer — same ids, bit-identical distances (all methods share
+  one Euclidean kernel, so this is equality, not tolerance);
+* the **pruning gate**: both indexes must evaluate strictly fewer full
+  distances than the scan; the VA-file must prune >= 10x at every
+  dimension, the R-tree >= 10x at d = 8.  At d = 16 the R-tree ratio is
+  recorded but not asserted — the dimensionality curse (section 2.1's
+  own caveat) is the expected negative result;
+* the **theta section**: TA over two KnnSource ranked lists under the
+  min rule, swept over theta in {1.0, 1.2, 2.0} for scan and VA-file
+  backends — theta = 1.0 must be byte-identical to omitting theta, the
+  FLN certificate audit against exact true grades must count zero
+  violations, cost must be non-increasing in theta, and both index
+  kinds must return byte-identical answers at every theta;
+* the **engine gate**: ``build_image_database(knn_index=...)`` answers
+  for a mixed Near-plus-relational query are byte-identical across
+  index kinds x kernels (scalar, vector) x worker counts (1, 4).
+
+Results land in BENCH_knn.json next to this file.  ``--smoke`` runs a
+CI-sized corpus with the same gates minus the 10x ratio floors (which
+need real scale) and exits nonzero on any violation.
+"""
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.query import Atomic
+from repro.core.threshold import threshold_top_k
+from repro.index import (
+    KnnSource,
+    build_knn_index,
+    canonical_tie_array,
+    euclidean_distances,
+)
+from repro.scoring import tnorms
+from repro.workloads.image_corpus import build_image_database, feature_corpus
+
+N, K, SEED = 1_000_000, 10, 28
+DIMS = (8, 16)
+QUERIES_PER_DIM = 5
+VA_BITS, RTREE_FAN = 6, 64
+PROJ_DIM, FILTER_BLOCK, EPS = 3, 256, 1e-12
+THETAS = (1.0, 1.2, 2.0)
+THETA_N, THETA_K = 50_000, 10
+ENGINE_N, ENGINE_K = 500, 5
+SMOKE_N, SMOKE_DIMS, SMOKE_QUERIES = 2_000, (6,), 2
+SMOKE_THETA_N, SMOKE_ENGINE_N = 400, 120
+OUTPUT = Path(__file__).parent / "BENCH_knn.json"
+
+INDEXES = (
+    ("vafile", {"bits": VA_BITS}),
+    ("rtree", {"max_entries": RTREE_FAN}),
+)
+
+
+def answer_key(result):
+    return [(item.object_id, item.grade) for item in result.answers]
+
+
+def cost_key(result):
+    return (
+        result.cost.sorted_access_cost,
+        result.cost.random_access_cost,
+        result.sorted_depth,
+    )
+
+
+def projection_filter_knn(matrix, ties, projected, projector, query, k):
+    """Eq.-2-style filter-and-refine kNN over the raw matrix.
+
+    ``projected = matrix @ projector`` with orthonormal projector
+    columns, so the projected distance lower-bounds the true distance
+    (Eq. 2's shape: cheap filter distance <= full distance).  Candidates
+    are refined in lower-bound order until the next bound exceeds the
+    running k-th distance; refinement uses the shared Euclidean kernel,
+    so survivors carry bit-identical distances to the scan's.
+
+    Returns ``(neighbors, node_accesses, distance_evals)``.
+    """
+    lower = np.sqrt(((projected - query @ projector) ** 2).sum(axis=1))
+    order = np.lexsort((ties, lower))
+    lowers = lower[order]
+    rows, distances = [], []
+    cutoff, position, evals = np.inf, 0, 0
+    while position < len(order):
+        if len(rows) >= k and lowers[position] > cutoff + EPS:
+            break
+        block = order[position:position + FILTER_BLOCK]
+        refined = euclidean_distances(matrix[block], query)
+        refined = np.atleast_1d(np.asarray(refined, dtype=np.float64))
+        evals += len(block)
+        rows.extend(block.tolist())
+        distances.extend(refined.tolist())
+        position += len(block)
+        if len(rows) >= k:
+            cutoff = np.partition(np.asarray(distances), k - 1)[k - 1]
+    rows = np.asarray(rows, dtype=np.intp)
+    dists = np.asarray(distances, dtype=np.float64)
+    best = np.lexsort((ties[rows], dists))[:k]
+    return (
+        [(None, float(dists[i]), int(rows[i])) for i in best],
+        len(ties),
+        evals,
+    )
+
+
+def knn_section(n, dims, queries_per_dim, scratch, *, assert_ratios):
+    """The main sweep: build each index once per dim, race the methods."""
+    rows, summaries = [], []
+    for dim in dims:
+        ids, matrix = feature_corpus(
+            n, dimension=dim, seed=SEED + dim,
+            directory=str(Path(scratch) / f"d{dim}"),
+        )
+        dense = np.asarray(matrix, dtype=np.float64)
+        ties = canonical_tie_array(ids)
+        rng = np.random.default_rng(SEED + 100 + dim)
+        projector, _ = np.linalg.qr(rng.standard_normal((dim, PROJ_DIM)))
+        projected = dense @ projector
+        indexes, build_seconds = {}, {}
+        started = time.perf_counter()
+        indexes["scan"] = build_knn_index("scan", ids, matrix)
+        build_seconds["scan"] = time.perf_counter() - started
+        for kind, kwargs in INDEXES:
+            started = time.perf_counter()
+            indexes[kind] = build_knn_index(kind, ids, matrix, **kwargs)
+            build_seconds[kind] = time.perf_counter() - started
+        totals = {name: 0 for name in (*indexes, "filter")}
+        queries = rng.random((queries_per_dim, dim))
+        for query_index, query in enumerate(queries):
+            oracle = None
+            for name in ("scan", "vafile", "rtree", "filter"):
+                if name == "filter":
+                    started = time.perf_counter()
+                    raw, nodes, evals = projection_filter_knn(
+                        dense, ties, projected, projector, query, K
+                    )
+                    elapsed = time.perf_counter() - started
+                    answer = [(ids[row], dist) for _, dist, row in raw]
+                else:
+                    index = indexes[name]
+                    nodes0, evals0 = index.stats.snapshot()
+                    started = time.perf_counter()
+                    answer = index.knn_stream(query).next_batch(K)
+                    elapsed = time.perf_counter() - started
+                    nodes1, evals1 = index.stats.snapshot()
+                    nodes, evals = nodes1 - nodes0, evals1 - evals0
+                if name == "scan":
+                    oracle = answer
+                assert answer == oracle, (
+                    f"d={dim} q{query_index} {name}: answer differs from "
+                    f"the scan oracle"
+                )
+                totals[name] += evals
+                rows.append(
+                    {
+                        "section": "knn",
+                        "dim": dim,
+                        "query": query_index,
+                        "method": name,
+                        "k": K,
+                        "node_accesses": nodes,
+                        "distance_evals": evals,
+                        "seconds": round(elapsed, 4),
+                    }
+                )
+        ratios = {
+            name: (totals["scan"] / totals[name]) if totals[name] else None
+            for name in ("vafile", "rtree", "filter")
+        }
+        for kind, _ in INDEXES:
+            assert totals[kind] < totals["scan"], (
+                f"d={dim} {kind}: {totals[kind]} distance evals is not "
+                f"strictly fewer than the scan's {totals['scan']}"
+            )
+        if assert_ratios:
+            assert ratios["vafile"] >= 10, (
+                f"d={dim} vafile pruned only {ratios['vafile']:.1f}x "
+                "(floor 10x)"
+            )
+            if dim <= 8:
+                assert ratios["rtree"] >= 10, (
+                    f"d={dim} rtree pruned only {ratios['rtree']:.1f}x "
+                    "(floor 10x)"
+                )
+        summaries.append(
+            {
+                "section": "knn-summary",
+                "dim": dim,
+                "n": n,
+                "total_evals": totals,
+                "prune_ratio": {
+                    name: round(value, 2) if value else None
+                    for name, value in ratios.items()
+                },
+                "build_seconds": {
+                    name: round(value, 4)
+                    for name, value in build_seconds.items()
+                },
+            }
+        )
+        for summary in summaries[-1:]:
+            shaped = "  ".join(
+                f"{name} {summary['total_evals'][name]}"
+                for name in ("scan", "vafile", "rtree", "filter")
+            )
+            print(f"d={dim} evals over {queries_per_dim} queries: {shaped}")
+    return rows, summaries
+
+
+def theta_section(n, dim, *, smoke):
+    """TA-theta over two index-backed ranked lists, audited exactly."""
+    ids, matrix = feature_corpus(n, dimension=dim, seed=SEED + 55)
+    rng = np.random.default_rng(SEED + 200)
+    targets = rng.random((2, dim))
+    # Vectorized distance_to_grade(d, scale=1): exp is elementwise, so
+    # each entry is bit-identical to the scalar path KnnSource uses.
+    grades = np.minimum(
+        np.exp(-np.maximum(euclidean_distances(matrix, targets[0]), 0.0)),
+        np.exp(-np.maximum(euclidean_distances(matrix, targets[1]), 0.0)),
+    )
+    order = np.lexsort((canonical_tie_array(ids), -grades))
+    truth = {ids[row]: float(grades[row]) for row in order[:THETA_K + 1]}
+    kth_exact = float(grades[order[THETA_K - 1]])
+    rival_pool = [ids[row] for row in order[:THETA_K + 1]]
+    rows, keys_by_theta = [], {}
+    for kind, kwargs in (("scan", {}), *INDEXES):
+        index = build_knn_index(kind, ids, matrix, **kwargs)
+        sources = [
+            KnnSource(index, target, name=f"Near=t{i}", kind=kind)
+            for i, target in enumerate(targets)
+        ]
+        baseline = threshold_top_k(sources, tnorms.MIN, THETA_K)
+        costs = []
+        for theta in THETAS:
+            started = time.perf_counter()
+            result = threshold_top_k(
+                sources, tnorms.MIN, THETA_K, theta=theta
+            )
+            elapsed = time.perf_counter() - started
+            if theta == 1.0:
+                assert answer_key(result) == answer_key(baseline), (
+                    f"theta=1.0 over {kind} differs from the exact run"
+                )
+                assert result.cost == baseline.cost
+                assert result.approximation is None
+            violations = 0
+            returned = {item.object_id for item in result.answers}
+            rival = max(
+                (truth[obj] for obj in rival_pool if obj not in returned),
+                default=0.0,
+            )
+            certificate = result.approximation
+            for item in result.answers:
+                true_grade = truth.get(item.object_id)
+                if true_grade is None or abs(true_grade - item.grade) > 1e-9:
+                    # Returned grades must *be* the true grades (TA
+                    # random-accesses every answer) — and anything
+                    # outside the exact top-(K+1) cannot satisfy theta
+                    # here unless certified, so audit via the reported
+                    # grade when the oracle table misses it.
+                    true_grade = item.grade if true_grade is None else true_grade
+                if theta * true_grade < kth_exact - 1e-9:
+                    violations += 1
+                if certificate is not None and certificate.achieved != float(
+                    "inf"
+                ):
+                    if certificate.achieved * true_grade < rival - 1e-9:
+                        violations += 1
+            costs.append(result.database_access_cost)
+            keys_by_theta.setdefault(theta, []).append(answer_key(result))
+            rows.append(
+                {
+                    "section": "theta",
+                    "index": kind,
+                    "n": n,
+                    "theta": theta,
+                    "cost": result.database_access_cost,
+                    "sorted": result.cost.sorted_access_cost,
+                    "random": result.cost.random_access_cost,
+                    "achieved": (
+                        round(certificate.achieved, 6)
+                        if certificate is not None
+                        else None
+                    ),
+                    "violations": violations,
+                    "seconds": round(elapsed, 4),
+                }
+            )
+        for tighter, looser in zip(costs, costs[1:]):
+            assert tighter >= looser, (
+                f"{kind}: cost not monotone in theta: {costs}"
+            )
+    for theta, keys in keys_by_theta.items():
+        assert all(key == keys[0] for key in keys), (
+            f"theta={theta}: answers differ across index kinds"
+        )
+    total = sum(row["violations"] for row in rows)
+    assert total == 0, f"{total} theta certificate violations"
+    print(
+        f"theta over {len(keys_by_theta)} thetas x "
+        f"{1 + len(INDEXES)} index kinds: identical answers, 0 violations"
+    )
+    return rows
+
+
+def engine_section(n):
+    """Byte-identity of engine answers across index x kernel x workers."""
+    query = Atomic("Near", "sunset") & Atomic("Category", "product")
+    baseline = None
+    rows = []
+    for kind in ("scan", "vafile", "rtree"):
+        engine = build_image_database(n, seed=0, knn_index=kind)
+        try:
+            for kernel in ("scalar", "vector"):
+                for workers in (1, 4):
+                    engine.configure_kernel(kernel)
+                    engine.configure_parallelism(workers)
+                    result = engine.top_k(query, ENGINE_K)
+                    key = (answer_key(result), cost_key(result))
+                    if baseline is None:
+                        baseline = key
+                    assert key == baseline, (
+                        f"{kind}/{kernel}/w{workers}: engine answers or "
+                        "costs differ from the scan baseline"
+                    )
+                    rows.append(
+                        {
+                            "section": "engine",
+                            "index": kind,
+                            "kernel": kernel,
+                            "workers": workers,
+                            "cost": result.database_access_cost,
+                        }
+                    )
+        finally:
+            engine.close()
+    print(
+        f"engine: {len(rows)} index x kernel x worker configs "
+        "byte-identical"
+    )
+    return rows
+
+
+def run(*, smoke=False):
+    if smoke:
+        n, dims, queries = SMOKE_N, SMOKE_DIMS, SMOKE_QUERIES
+        theta_n, engine_n = SMOKE_THETA_N, SMOKE_ENGINE_N
+    else:
+        n, dims, queries = N, DIMS, QUERIES_PER_DIM
+        theta_n, engine_n = THETA_N, ENGINE_N
+    rows = []
+    with tempfile.TemporaryDirectory(prefix="bench-e28-") as scratch:
+        knn_rows, summaries = knn_section(
+            n, dims, queries, scratch, assert_ratios=not smoke
+        )
+    rows.extend(knn_rows)
+    rows.extend(summaries)
+    rows.extend(theta_section(theta_n, dims[0], smoke=smoke))
+    rows.extend(engine_section(engine_n))
+    report = {
+        "benchmark": "e28-index-knn",
+        "config": {
+            "n": n,
+            "dims": list(dims),
+            "k": K,
+            "queries_per_dim": queries,
+            "seed": SEED,
+            "va_bits": VA_BITS,
+            "rtree_fan": RTREE_FAN,
+            "projection_dim": PROJ_DIM,
+            "thetas": list(THETAS),
+            "theta_n": theta_n,
+            "engine_n": engine_n,
+            "smoke": smoke,
+        },
+        "rows": rows,
+    }
+    if smoke:
+        print("index knn smoke OK")
+    else:
+        OUTPUT.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        print(f"written: {OUTPUT}")
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI-sized sweep: all gates minus the 10x ratio floors, "
+        "no JSON written",
+    )
+    args = parser.parse_args(argv)
+    return run(smoke=args.smoke)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -35,19 +35,27 @@ from typing import Optional, Sequence
 
 from repro.core.query import Atomic
 from repro.errors import ReproError
+from repro.index.source import INDEX_KINDS
 from repro.middleware.engine import MiddlewareEngine
 from repro.sql.compiler import execute as execute_sql
 
 
-def _build_database(kind: str, size: int) -> MiddlewareEngine:
+def _build_database(
+    kind: str, size: int, knn_index: Optional[str] = None
+) -> MiddlewareEngine:
     if kind == "cds":
+        if knn_index is not None:
+            raise ReproError(
+                "--index needs the feature-vector corpus; use it with "
+                "'--database images'"
+            )
         from repro.workloads.cd_store import build_store, generate_catalog
 
         return build_store(generate_catalog(size, seed=0))
     if kind == "images":
         from repro.workloads.image_corpus import build_image_database
 
-        return build_image_database(size, seed=0)
+        return build_image_database(size, seed=0, knn_index=knn_index)
     raise ReproError(f"unknown demo database {kind!r}; use 'cds' or 'images'")
 
 
@@ -221,7 +229,9 @@ def cmd_demo(args: argparse.Namespace) -> int:
 
 def cmd_sql(args: argparse.Namespace) -> int:
     """One-shot statement or interactive shell over a demo database."""
-    engine = _build_database(args.database, args.size)
+    engine = _build_database(
+        args.database, args.size, knn_index=getattr(args, "index", None)
+    )
     try:
         _apply_resilience(engine, args)
         _apply_storage(engine, args)
@@ -442,6 +452,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="demo database to query",
     )
     sql.add_argument("--size", type=int, default=1000, help="database size")
+    sql.add_argument(
+        "--index", choices=INDEX_KINDS, default=None,
+        help="register a kNN subsystem over the images feature corpus "
+        "('Near' atoms stream neighbors from the chosen index: linear "
+        "scan, VA-file, or R-tree; answers are byte-identical across "
+        "kinds, only the physical work differs)",
+    )
     sql.add_argument("-k", type=int, default=10, help="default STOP AFTER")
     add_resilience_options(sql)
     sql.set_defaults(func=cmd_sql)

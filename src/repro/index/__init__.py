@@ -1,9 +1,18 @@
 """Multidimensional indexes and the dimensionality curse (section 2.1):
 an R-tree (robust to moderate dimensions), a grid file and a linear
-quadtree (directory sizes exponential in dimension), and the linear-scan
-baseline."""
+quadtree (directory sizes exponential in dimension), a VA-file, and the
+linear-scan baseline — all exposing lazy nearest-first ``knn_stream``\\ s
+that :class:`~repro.index.source.KnnSource` adapts into graded ranked
+lists for the middleware."""
 
-from repro.index.base import IndexStats, LinearScanIndex, VectorIndex
+from repro.index.base import (
+    IndexStats,
+    KnnStream,
+    LinearScanIndex,
+    VectorIndex,
+    canonical_tie_array,
+    euclidean_distances,
+)
 from repro.index.gridfile import GridFile
 from repro.index.knn import (
     KnnRun,
@@ -13,19 +22,32 @@ from repro.index.knn import (
 )
 from repro.index.quadtree import LinearQuadtree, interleave_bits
 from repro.index.rtree import RTree
+from repro.index.source import (
+    INDEX_KINDS,
+    KnnSource,
+    KnnSubsystem,
+    build_knn_index,
+)
 from repro.index.vafile import VAFile
 
 __all__ = [
     "VectorIndex",
     "IndexStats",
+    "KnnStream",
     "LinearScanIndex",
     "RTree",
     "VAFile",
     "GridFile",
     "LinearQuadtree",
     "interleave_bits",
+    "canonical_tie_array",
+    "euclidean_distances",
     "KnnRun",
     "build_default_indexes",
     "run_knn_batch",
     "verify_against_scan",
+    "INDEX_KINDS",
+    "KnnSource",
+    "KnnSubsystem",
+    "build_knn_index",
 ]

@@ -20,8 +20,8 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
-from repro.errors import IndexError_
-from repro.index.base import Neighbor, VectorIndex
+from repro.errors import IndexError_, UnknownObjectError
+from repro.index.base import Neighbor, VectorIndex, euclidean_distances
 
 Cell = Tuple[int, ...]
 
@@ -45,6 +45,7 @@ class GridFile(VectorIndex):
                 f"dimension {dimension}: the dimensionality curse in action"
             )
         self._cells: Dict[Cell, List[Tuple[object, np.ndarray]]] = {}
+        self._by_id: Dict[object, np.ndarray] = {}
         self._count = 0
 
     def _cell_of(self, vector: np.ndarray) -> Cell:
@@ -58,7 +59,14 @@ class GridFile(VectorIndex):
         if np.any(point < 0) or np.any(point > 1):
             raise IndexError_("grid file stores points in the unit cube only")
         self._cells.setdefault(self._cell_of(point), []).append((object_id, point))
+        self._by_id[object_id] = point
         self._count += 1
+
+    def vector_of(self, object_id: object) -> np.ndarray:
+        vector = self._by_id.get(object_id)
+        if vector is None:
+            raise UnknownObjectError(f"unknown object: {object_id!r}")
+        return vector
 
     def range_query(self, lower, upper) -> List[object]:
         lo = self._check_vector(lower)
@@ -68,9 +76,9 @@ class GridFile(VectorIndex):
         results: List[object] = []
         ranges = [range(a, b + 1) for a, b in zip(lo_cell, hi_cell)]
         for cell in itertools.product(*ranges):
-            self.stats.node_accesses += 1
+            self.stats.record_nodes()
             for object_id, point in self._cells.get(cell, ()):
-                self.stats.distance_evaluations += 1
+                self.stats.record_distances()
                 if np.all(point >= lo) and np.all(point <= hi):
                     results.append(object_id)
         return results
@@ -105,10 +113,10 @@ class GridFile(VectorIndex):
             if len(found) >= k and found[k - 1][0] <= shell_min_distance:
                 break
             for cell in self._shell(center, radius):
-                self.stats.node_accesses += 1
+                self.stats.record_nodes()
                 for object_id, vector in self._cells.get(cell, ()):
-                    self.stats.distance_evaluations += 1
-                    d = float(np.linalg.norm(vector - point))
+                    self.stats.record_distances()
+                    d = euclidean_distances(vector, point)
                     found.append((d, str(object_id), object_id))
             found.sort()
         return [(object_id, d) for d, _, object_id in found[:k]]

@@ -7,15 +7,18 @@ vectors, run the same queries, and report per-index work counters.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
-
+from repro.errors import IndexError_
 from repro.index.base import LinearScanIndex, Neighbor, VectorIndex
 from repro.index.gridfile import GridFile
 from repro.index.quadtree import LinearQuadtree
 from repro.index.rtree import RTree
 from repro.index.vafile import VAFile
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -52,15 +55,17 @@ def build_default_indexes(
         for object_id, vector in items:
             grid.insert(object_id, vector)
         indexes["gridfile"] = grid
-    except Exception:
-        pass  # directory too large: the curse itself
+    except IndexError_ as error:
+        # Directory too large: the curse itself.  Anything else is a bug
+        # and must propagate.
+        logger.info("skipping gridfile at dimension %d: %s", dimension, error)
     try:
         quadtree = LinearQuadtree(dimension, depth=quadtree_depth)
         for object_id, vector in items:
             quadtree.insert(object_id, vector)
         indexes["quadtree"] = quadtree
-    except Exception:
-        pass
+    except IndexError_ as error:
+        logger.info("skipping quadtree at dimension %d: %s", dimension, error)
     return indexes
 
 

@@ -16,12 +16,12 @@ from __future__ import annotations
 
 import bisect
 import itertools
-from typing import List, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 
-from repro.errors import IndexError_
-from repro.index.base import Neighbor, VectorIndex
+from repro.errors import IndexError_, UnknownObjectError
+from repro.index.base import Neighbor, VectorIndex, euclidean_distances
 
 
 def interleave_bits(coordinates: Tuple[int, ...], depth: int) -> int:
@@ -55,6 +55,7 @@ class LinearQuadtree(VectorIndex):
         #: (code, object_id, vector), kept sorted by code.
         self._entries: List[Tuple[int, object, np.ndarray]] = []
         self._codes: List[int] = []
+        self._by_id: Dict[object, np.ndarray] = {}
 
     def _quantize(self, vector: np.ndarray) -> Tuple[int, ...]:
         cells = np.clip(
@@ -74,6 +75,13 @@ class LinearQuadtree(VectorIndex):
         position = bisect.bisect_left(self._codes, code)
         self._codes.insert(position, code)
         self._entries.insert(position, (code, object_id, point))
+        self._by_id[object_id] = point
+
+    def vector_of(self, object_id: object) -> np.ndarray:
+        vector = self._by_id.get(object_id)
+        if vector is None:
+            raise UnknownObjectError(f"unknown object: {object_id!r}")
+        return vector
 
     def range_query(self, lower, upper) -> List[object]:
         lo = self._check_vector(lower)
@@ -86,11 +94,11 @@ class LinearQuadtree(VectorIndex):
         ranges = [range(a, b + 1) for a, b in zip(lo_cell, hi_cell)]
         for cell in itertools.product(*ranges):
             code = interleave_bits(cell, self.depth)
-            self.stats.node_accesses += 1
+            self.stats.record_nodes()
             start = bisect.bisect_left(self._codes, code)
             end = bisect.bisect_right(self._codes, code)
             for _, object_id, point in self._entries[start:end]:
-                self.stats.distance_evaluations += 1
+                self.stats.record_distances()
                 if np.all(point >= lo) and np.all(point <= hi):
                     results.append(object_id)
         return results
@@ -115,8 +123,8 @@ class LinearQuadtree(VectorIndex):
                     object_id: vector for _, object_id, vector in self._entries
                 }
                 for object_id in ids:
-                    self.stats.distance_evaluations += 1
-                    d = float(np.linalg.norm(vectors[object_id] - point))
+                    self.stats.record_distances()
+                    d = euclidean_distances(vectors[object_id], point)
                     candidates.append((d, str(object_id), object_id))
                 candidates.sort()
                 if half_width >= 1.0 or (

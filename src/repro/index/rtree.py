@@ -10,6 +10,17 @@ building from a batch.  k-NN uses the standard best-first traversal on
 MINDIST, which visits exactly the nodes whose bounding boxes could still
 contain a result — so the node-access counter directly measures how much
 of the tree a query actually needed (the E13 comparison quantity).
+
+Leaves are columnar: each leaf holds its ids plus one ``[c, d]`` point
+matrix, so scoring a visited leaf is a single vectorized distance pass.
+:meth:`RTree.bulk_load_arrays` builds the whole tree from one ``[n, d]``
+matrix with argsort-based STR tiling over index arrays (no per-entry
+Python objects at the leaf level); per-item :meth:`RTree.insert` with
+quadratic splits remains as the incremental path.
+:meth:`RTree.knn_stream` exposes the best-first traversal as a lazy
+resumable stream in canonical ``(distance, str(id))`` order — at equal
+distance, nodes expand before objects emit, so every tied object is in
+the frontier before the tie breaks on ``str(id)``.
 """
 
 from __future__ import annotations
@@ -17,12 +28,17 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.errors import IndexError_
-from repro.index.base import Neighbor, VectorIndex
+from repro.errors import IndexError_, UnknownObjectError
+from repro.index.base import (
+    KnnStream,
+    Neighbor,
+    VectorIndex,
+    euclidean_distances,
+)
 
 
 class _BBox:
@@ -61,19 +77,76 @@ class _BBox:
 
 
 class _Node:
-    __slots__ = ("is_leaf", "entries", "bbox")
+    __slots__ = ("is_leaf", "entries", "ids", "matrix", "bbox")
 
     def __init__(self, is_leaf: bool) -> None:
         self.is_leaf = is_leaf
-        #: leaf entries: (bbox, object_id, vector); inner: (bbox, child)
+        #: inner entries: (bbox, child); leaves keep ids + matrix instead
         self.entries: List[tuple] = []
+        #: leaf payload: parallel ids and a [c, d] point matrix
+        self.ids: List[object] = []
+        self.matrix: Optional[np.ndarray] = None
         self.bbox: Optional[_BBox] = None
 
+    def size(self) -> int:
+        return len(self.ids) if self.is_leaf else len(self.entries)
+
     def recompute_bbox(self) -> None:
-        boxes = [entry[0] for entry in self.entries]
-        lower = np.minimum.reduce([b.lower for b in boxes])
-        upper = np.maximum.reduce([b.upper for b in boxes])
-        self.bbox = _BBox(lower, upper)
+        if self.is_leaf:
+            self.bbox = _BBox(self.matrix.min(axis=0), self.matrix.max(axis=0))
+        else:
+            boxes = [entry[0] for entry in self.entries]
+            lower = np.minimum.reduce([b.lower for b in boxes])
+            upper = np.maximum.reduce([b.upper for b in boxes])
+            self.bbox = _BBox(lower, upper)
+
+
+class _RTreeStream(KnnStream):
+    """Best-first MINDIST traversal as a lazy resumable stream.
+
+    Heap entries are ``(distance, kind, tie, seq, payload)`` with kind 0
+    for nodes and 1 for objects: at equal distance every node expands
+    before any object emits, so all tied objects are in the heap when
+    the canonical ``str(id)`` tie key decides the emission order.
+    """
+
+    def __init__(self, tree: "RTree", point: np.ndarray) -> None:
+        super().__init__()
+        self._tree = tree
+        self._point = point
+        self._heap: Optional[List[tuple]] = None
+        self._counter = itertools.count()
+
+    def _advance(self) -> Optional[Neighbor]:
+        if self._heap is None:
+            self._heap = []
+            if len(self._tree):
+                root = self._tree._root
+                heapq.heappush(
+                    self._heap,
+                    (root.bbox.mindist(self._point), 0, "", next(self._counter), root),
+                )
+        while self._heap:
+            distance, kind, _, _, payload = heapq.heappop(self._heap)
+            if kind == 1:
+                return (payload, distance)
+            node: _Node = payload
+            self._tree.stats.record_nodes()
+            if node.is_leaf:
+                distances = euclidean_distances(node.matrix, self._point)
+                self._tree.stats.record_distances(len(node.ids))
+                for object_id, d in zip(node.ids, distances):
+                    heapq.heappush(
+                        self._heap,
+                        (float(d), 1, str(object_id), next(self._counter), object_id),
+                    )
+            else:
+                for box, child in node.entries:
+                    heapq.heappush(
+                        self._heap,
+                        (box.mindist(self._point), 0, "", next(self._counter), child),
+                    )
+        return None
 
 
 class RTree(VectorIndex):
@@ -95,7 +168,13 @@ class RTree(VectorIndex):
                 f"got {self.min_entries}"
             )
         self._root = _Node(is_leaf=True)
+        self._root.matrix = np.empty((0, dimension))
         self._count = 0
+        #: bulk-loaded vectors: one shared matrix + id -> row map
+        self._bulk_matrix: Optional[np.ndarray] = None
+        self._bulk_positions: Dict[object, int] = {}
+        #: incrementally inserted vectors, by id
+        self._inserted: Dict[object, np.ndarray] = {}
 
     # ------------------------------------------------------------------
     # Construction
@@ -109,60 +188,98 @@ class RTree(VectorIndex):
         max_entries: int = 16,
     ) -> "RTree":
         """Sort-Tile-Recursive bulk load: packed leaves, short tree."""
-        tree = cls(dimension, max_entries=max_entries)
         if not items:
+            return cls(dimension, max_entries=max_entries)
+        ids = [object_id for object_id, _ in items]
+        matrix = np.asarray([vector for _, vector in items], dtype=float)
+        return cls.bulk_load_arrays(
+            ids, matrix, dimension=dimension, max_entries=max_entries
+        )
+
+    @classmethod
+    def bulk_load_arrays(
+        cls,
+        object_ids,
+        vectors,
+        *,
+        dimension: Optional[int] = None,
+        max_entries: int = 16,
+    ) -> "RTree":
+        """Vectorized STR bulk load from one ``[n, d]`` matrix.
+
+        The tiling recursion argsorts index arrays instead of sorting
+        Python entry tuples, and leaves adopt contiguous row blocks —
+        no per-entry objects exist below the inner levels."""
+        matrix = np.asarray(vectors, dtype=float)
+        if matrix.ndim != 2:
+            raise IndexError_(f"expected an [n, d] matrix, got shape {matrix.shape}")
+        if dimension is not None and matrix.shape[1] != dimension:
+            raise IndexError_(
+                f"expected {dimension}-vectors, got {matrix.shape[1]}"
+            )
+        ids = list(object_ids)
+        if len(ids) != len(matrix):
+            raise IndexError_(f"{len(ids)} ids for {len(matrix)} vectors")
+        tree = cls(matrix.shape[1], max_entries=max_entries)
+        size = len(ids)
+        if size == 0:
             return tree
-        vectors = [tree._check_vector(v) for _, v in items]
-        leaf_entries = [
-            (_BBox.of_point(vector), object_id, vector)
-            for (object_id, _), vector in zip(items, vectors)
-        ]
-        nodes = tree._str_pack(leaf_entries, leaf_level=True)
+        groups = tree._str_tile(np.arange(size), matrix, 0)
+        nodes: List[_Node] = []
+        for rows in groups:
+            leaf = _Node(is_leaf=True)
+            leaf.ids = [ids[row] for row in rows]
+            leaf.matrix = np.ascontiguousarray(matrix[rows])
+            leaf.recompute_bbox()
+            nodes.append(leaf)
         while len(nodes) > 1:
-            upper_entries = [(node.bbox, node) for node in nodes]
-            nodes = tree._str_pack(upper_entries, leaf_level=False)
+            lowers = np.stack([node.bbox.lower for node in nodes])
+            uppers = np.stack([node.bbox.upper for node in nodes])
+            centers = (lowers + uppers) / 2.0
+            groups = tree._str_tile(np.arange(len(nodes)), centers, 0)
+            parents: List[_Node] = []
+            for rows in groups:
+                parent = _Node(is_leaf=False)
+                parent.entries = [(nodes[row].bbox, nodes[row]) for row in rows]
+                parent.recompute_bbox()
+                parents.append(parent)
+            nodes = parents
         tree._root = nodes[0]
-        tree._count = len(items)
+        tree._count = size
+        tree._bulk_matrix = matrix
+        tree._bulk_positions = {object_id: row for row, object_id in enumerate(ids)}
         return tree
 
-    def _str_pack(self, entries: List[tuple], *, leaf_level: bool) -> List[_Node]:
-        """Pack entries into nodes by recursive sort-tile slabs."""
+    def _str_tile(
+        self, index: np.ndarray, centers: np.ndarray, axis: int
+    ) -> List[np.ndarray]:
+        """Recursive sort-tile slabs over an index array (argsort-based)."""
         capacity = self.max_entries
-
-        def center(entry) -> np.ndarray:
-            box: _BBox = entry[0]
-            return (box.lower + box.upper) / 2.0
-
-        def tile(block: List[tuple], axis: int) -> List[List[tuple]]:
-            if axis >= self.dimension or len(block) <= capacity:
-                return [
-                    block[i : i + capacity] for i in range(0, len(block), capacity)
-                ]
-            block = sorted(block, key=lambda e: center(e)[axis])
-            leaves_needed = math.ceil(len(block) / capacity)
-            remaining_axes = self.dimension - axis
-            slabs = math.ceil(leaves_needed ** (1.0 / remaining_axes))
-            slab_size = math.ceil(len(block) / slabs)
-            groups: List[List[tuple]] = []
-            for start in range(0, len(block), slab_size):
-                groups.extend(tile(block[start : start + slab_size], axis + 1))
-            return groups
-
-        nodes = []
-        for group in tile(list(entries), 0):
-            node = _Node(is_leaf=leaf_level)
-            node.entries = group
-            node.recompute_bbox()
-            nodes.append(node)
-        return nodes
+        if axis >= self.dimension or len(index) <= capacity:
+            return [
+                index[start : start + capacity]
+                for start in range(0, len(index), capacity)
+            ]
+        order = np.argsort(centers[index, axis], kind="stable")
+        index = index[order]
+        leaves_needed = math.ceil(len(index) / capacity)
+        remaining_axes = self.dimension - axis
+        slabs = math.ceil(leaves_needed ** (1.0 / remaining_axes))
+        slab_size = math.ceil(len(index) / slabs)
+        groups: List[np.ndarray] = []
+        for start in range(0, len(index), slab_size):
+            groups.extend(
+                self._str_tile(index[start : start + slab_size], centers, axis + 1)
+            )
+        return groups
 
     # ------------------------------------------------------------------
     # Insertion
     # ------------------------------------------------------------------
     def insert(self, object_id: object, vector) -> None:
         point = self._check_vector(vector)
-        entry = (_BBox.of_point(point), object_id, point)
-        split = self._insert_entry(self._root, entry)
+        self._inserted[object_id] = point
+        split = self._insert_point(self._root, object_id, point)
         if split is not None:
             old_root = self._root
             self._root = _Node(is_leaf=False)
@@ -170,75 +287,95 @@ class RTree(VectorIndex):
             self._root.recompute_bbox()
         self._count += 1
 
-    def _insert_entry(self, node: _Node, entry: tuple) -> Optional[_Node]:
+    def _insert_point(
+        self, node: _Node, object_id: object, point: np.ndarray
+    ) -> Optional[_Node]:
         """Insert into the subtree; return the new sibling on a split."""
-        entry_box: _BBox = entry[0]
         if node.is_leaf:
-            node.entries.append(entry)
+            node.ids.append(object_id)
+            node.matrix = (
+                point[None, :].copy()
+                if node.matrix is None or not len(node.matrix)
+                else np.vstack([node.matrix, point])
+            )
         else:
+            point_box = _BBox.of_point(point)
             best_index = min(
                 range(len(node.entries)),
                 key=lambda i: (
-                    node.entries[i][0].enlargement(entry_box),
+                    node.entries[i][0].enlargement(point_box),
                     node.entries[i][0].volume(),
                 ),
             )
             child: _Node = node.entries[best_index][1]
-            split = self._insert_entry(child, entry)
+            split = self._insert_point(child, object_id, point)
             node.entries[best_index] = (child.bbox, child)
             if split is not None:
                 node.entries.append((split.bbox, split))
-        if len(node.entries) > self.max_entries:
-            return self._quadratic_split(node)
+        if node.size() > self.max_entries:
+            return self._split_node(node)
         node.recompute_bbox()
         return None
 
-    def _quadratic_split(self, node: _Node) -> _Node:
-        """Guttman's quadratic split; mutates ``node``, returns sibling."""
-        entries = node.entries
-        # Pick the pair of seeds wasting the most volume together.
+    def _quadratic_partition(
+        self, boxes: List[_BBox]
+    ) -> Tuple[List[int], List[int]]:
+        """Guttman's quadratic split over indices into ``boxes``."""
+        count = len(boxes)
         seed_a, seed_b = max(
-            itertools.combinations(range(len(entries)), 2),
-            key=lambda pair: entries[pair[0]][0]
-            .enlarged(entries[pair[1]][0])
-            .volume()
-            - entries[pair[0]][0].volume()
-            - entries[pair[1]][0].volume(),
+            itertools.combinations(range(count), 2),
+            key=lambda pair: boxes[pair[0]].enlarged(boxes[pair[1]]).volume()
+            - boxes[pair[0]].volume()
+            - boxes[pair[1]].volume(),
         )
-        group_a = [entries[seed_a]]
-        group_b = [entries[seed_b]]
-        box_a = entries[seed_a][0]
-        box_b = entries[seed_b][0]
-        remaining = [e for i, e in enumerate(entries) if i not in (seed_a, seed_b)]
+        group_a = [seed_a]
+        group_b = [seed_b]
+        box_a = boxes[seed_a]
+        box_b = boxes[seed_b]
+        remaining = [i for i in range(count) if i not in (seed_a, seed_b)]
         while remaining:
             # Honor minimum fill if one group is running out of slack.
             slack = len(remaining)
             if len(group_a) + slack == self.min_entries:
                 group_a.extend(remaining)
-                for e in remaining:
-                    box_a = box_a.enlarged(e[0])
                 break
             if len(group_b) + slack == self.min_entries:
                 group_b.extend(remaining)
-                for e in remaining:
-                    box_b = box_b.enlarged(e[0])
                 break
             # Assign the entry with the strongest preference first.
-            def preference(e) -> float:
-                return abs(box_a.enlargement(e[0]) - box_b.enlargement(e[0]))
+            def preference(i: int) -> float:
+                return abs(
+                    box_a.enlargement(boxes[i]) - box_b.enlargement(boxes[i])
+                )
 
             chosen = max(remaining, key=preference)
             remaining.remove(chosen)
-            if box_a.enlargement(chosen[0]) <= box_b.enlargement(chosen[0]):
+            if box_a.enlargement(boxes[chosen]) <= box_b.enlargement(boxes[chosen]):
                 group_a.append(chosen)
-                box_a = box_a.enlarged(chosen[0])
+                box_a = box_a.enlarged(boxes[chosen])
             else:
                 group_b.append(chosen)
-                box_b = box_b.enlarged(chosen[0])
-        node.entries = group_a
+                box_b = box_b.enlarged(boxes[chosen])
+        return group_a, group_b
+
+    def _split_node(self, node: _Node) -> _Node:
+        """Quadratic split; mutates ``node``, returns the new sibling."""
+        if node.is_leaf:
+            matrix = node.matrix
+            boxes = [_BBox(matrix[i], matrix[i]) for i in range(len(node.ids))]
+            group_a, group_b = self._quadratic_partition(boxes)
+            sibling = _Node(is_leaf=True)
+            sibling.ids = [node.ids[i] for i in group_b]
+            sibling.matrix = np.ascontiguousarray(matrix[np.asarray(group_b)])
+            node.ids = [node.ids[i] for i in group_a]
+            node.matrix = np.ascontiguousarray(matrix[np.asarray(group_a)])
+        else:
+            boxes = [entry[0] for entry in node.entries]
+            group_a, group_b = self._quadratic_partition(boxes)
+            sibling = _Node(is_leaf=False)
+            sibling.entries = [node.entries[i] for i in group_b]
+            node.entries = [node.entries[i] for i in group_a]
         node.recompute_bbox()
-        sibling = _Node(is_leaf=node.is_leaf)
-        sibling.entries = group_b
         sibling.recompute_bbox()
         return sibling
 
@@ -254,12 +391,15 @@ class RTree(VectorIndex):
         stack = [self._root]
         while stack:
             node = stack.pop()
-            self.stats.node_accesses += 1
+            self.stats.record_nodes()
             if node.is_leaf:
-                for box, object_id, vector in node.entries:
-                    self.stats.distance_evaluations += 1
-                    if np.all(vector >= lo) and np.all(vector <= hi):
-                        results.append(object_id)
+                self.stats.record_distances(len(node.ids))
+                inside = np.all(
+                    (node.matrix >= lo) & (node.matrix <= hi), axis=1
+                )
+                results.extend(
+                    node.ids[row] for row in np.nonzero(inside)[0]
+                )
             else:
                 for box, child in node.entries:
                     if box.intersects_box(lo, hi):
@@ -269,30 +409,19 @@ class RTree(VectorIndex):
     def knn(self, target, k: int) -> List[Neighbor]:
         if k <= 0:
             raise ValueError(f"k must be positive, got {k}")
-        point = self._check_vector(target)
-        if self._count == 0:
-            return []
-        results: List[Neighbor] = []
-        counter = itertools.count()  # tie-breaker for the heap
-        heap: List[tuple] = [(0.0, next(counter), False, self._root)]
-        while heap and len(results) < k:
-            distance, _, is_object, payload = heapq.heappop(heap)
-            if is_object:
-                results.append((payload, distance))
-                continue
-            node: _Node = payload
-            self.stats.node_accesses += 1
-            if node.is_leaf:
-                for box, object_id, vector in node.entries:
-                    self.stats.distance_evaluations += 1
-                    d = float(np.linalg.norm(vector - point))
-                    heapq.heappush(heap, (d, next(counter), True, object_id))
-            else:
-                for box, child in node.entries:
-                    heapq.heappush(
-                        heap, (box.mindist(point), next(counter), False, child)
-                    )
-        return results
+        return self.knn_stream(target).next_batch(k)
+
+    def knn_stream(self, target) -> KnnStream:
+        return _RTreeStream(self, self._check_vector(target))
+
+    def vector_of(self, object_id: object) -> np.ndarray:
+        vector = self._inserted.get(object_id)
+        if vector is not None:
+            return vector
+        row = self._bulk_positions.get(object_id)
+        if row is None:
+            raise UnknownObjectError(f"unknown object: {object_id!r}")
+        return np.asarray(self._bulk_matrix[row], dtype=float)
 
     def __len__(self) -> int:
         return self._count
@@ -317,19 +446,18 @@ class RTree(VectorIndex):
                         f"node fill {len(node.entries)} violates "
                         f"[{self.min_entries}, {self.max_entries}]"
                     )
+            if node.is_leaf:
+                return _BBox(node.matrix.min(axis=0), node.matrix.max(axis=0))
             boxes = []
             for entry in node.entries:
-                if node.is_leaf:
-                    boxes.append(entry[0])
-                else:
-                    child_box = visit(entry[1], False)
-                    stored: _BBox = entry[0]
-                    if not (
-                        np.all(stored.lower <= child_box.lower + 1e-9)
-                        and np.all(stored.upper >= child_box.upper - 1e-9)
-                    ):
-                        raise IndexError_("stored child bbox does not contain child")
-                    boxes.append(child_box)
+                child_box = visit(entry[1], False)
+                stored: _BBox = entry[0]
+                if not (
+                    np.all(stored.lower <= child_box.lower + 1e-9)
+                    and np.all(stored.upper >= child_box.upper - 1e-9)
+                ):
+                    raise IndexError_("stored child bbox does not contain child")
+                boxes.append(child_box)
             lower = np.minimum.reduce([b.lower for b in boxes])
             upper = np.maximum.reduce([b.upper for b in boxes])
             return _BBox(lower, upper)

@@ -11,26 +11,113 @@ approximation* of every vector (a few bits per dimension) and scan the
 approximations.  Each approximation yields lower/upper bounds on the
 true distance, so most full vectors are never touched:
 
-1. scan phase — compute bound intervals from the b-bit grid cells; keep
-   a candidate only if its lower bound beats the current k-th upper
-   bound;
-2. refine phase — visit candidates in lower-bound order, computing true
-   distances, stopping when the next lower bound exceeds the k-th true
-   distance.
+1. scan phase — one vectorized pass over the ``[n, d]`` code matrix
+   computes every lower/upper bound; a partitioned selection of the
+   k-th upper bound prunes the candidate set in one mask;
+2. refine phase — visit candidates in canonical ``(lower, str(id))``
+   order, computing true distances in vectorized blocks, stopping when
+   the next lower bound exceeds the k-th true distance.
 
 Unlike partitioning indexes the scan cost never *explodes* with
 dimension — it degrades gracefully toward the linear scan — which is
 exactly the regime E13 shows the R-tree losing.
+
+Storage is columnar: :meth:`VAFile.bulk_load` adopts one ``[n, d]``
+float matrix (a numpy memmap stays out of core) plus one ``[n, d]``
+uint code matrix; per-item :meth:`VAFile.insert` remains as the
+incremental path and consolidates lazily.  :meth:`VAFile.knn_stream`
+exposes the same scan/refine machinery as a lazy nearest-first stream:
+the scan phase runs on the first pop, then candidates refine in small
+blocks only as far as emission requires.
 """
 
 from __future__ import annotations
 
-from typing import List, Tuple
+import heapq
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.errors import IndexError_
-from repro.index.base import Neighbor, VectorIndex
+from repro.errors import IndexError_, UnknownObjectError
+from repro.index.base import (
+    KnnStream,
+    Neighbor,
+    VectorIndex,
+    canonical_tie_array,
+    euclidean_distances,
+)
+
+#: Slack added to bound comparisons so float rounding in the vectorized
+#: bound kernel can never prune a true neighbour (errs toward refining).
+EPS = 1e-12
+
+#: Rows per vectorized chunk in the scan phase (bounds temp memory).
+SCAN_CHUNK = 65536
+
+#: Candidates refined per vectorized block in the refine phase.
+REFINE_BLOCK = 64
+
+#: Refine block for the incremental stream (smaller: streams usually
+#: stop after a handful of pops).
+STREAM_BLOCK = 32
+
+
+class _VAFileStream(KnnStream):
+    """Lazy scan-then-refine stream over a VA-file.
+
+    The approximation scan (all n bounds) runs on the first pop; after
+    that, candidates are refined in blocks of :data:`STREAM_BLOCK`,
+    only while the next unrefined lower bound could still beat the best
+    refined-but-unemitted distance.  Emission order is the canonical
+    ``(distance, str(id))`` order.
+    """
+
+    def __init__(self, vafile: "VAFile", query: np.ndarray) -> None:
+        super().__init__()
+        self._va = vafile
+        self._query = query
+        self._started = False
+        self._order: Optional[np.ndarray] = None  # rows by (lower, tie)
+        self._lowers: Optional[np.ndarray] = None  # lower bound per order slot
+        self._position = 0
+        #: refined-but-unemitted: (distance, tie, row) min-heap
+        self._refined: List[Tuple[float, str, int]] = []
+
+    def _start(self) -> None:
+        self._started = True
+        size = len(self._va)
+        if size == 0:
+            self._order = np.empty(0, dtype=int)
+            self._lowers = np.empty(0)
+            return
+        lower, _ = self._va._all_bounds(self._query)
+        self._va.stats.record_nodes(size)
+        order = np.lexsort((self._va._tie_array(), lower))
+        self._order = order
+        self._lowers = lower[order]
+
+    def _advance(self) -> Optional[Neighbor]:
+        if not self._started:
+            self._start()
+        matrix = self._va._matrix()
+        ties = self._va._tie_array()
+        total = len(self._order)
+        while self._position < total and (
+            not self._refined
+            or self._lowers[self._position] <= self._refined[0][0] + EPS
+        ):
+            rows = self._order[self._position : self._position + STREAM_BLOCK]
+            self._position += len(rows)
+            distances = euclidean_distances(matrix[rows], self._query)
+            self._va.stats.record_distances(len(rows))
+            for row, distance in zip(rows, distances):
+                heapq.heappush(
+                    self._refined, (float(distance), ties[row], int(row))
+                )
+        if not self._refined:
+            return None
+        distance, _, row = heapq.heappop(self._refined)
+        return (self._va._ids[row], distance)
 
 
 class VAFile(VectorIndex):
@@ -42,11 +129,54 @@ class VAFile(VectorIndex):
             raise IndexError_(f"bits per dimension must lie in [1, 16], got {bits}")
         self.bits = bits
         self.cells = 2**bits
+        self._code_dtype = np.uint8 if bits <= 8 else np.uint16
         self._ids: List[object] = []
-        self._vectors: List[np.ndarray] = []
-        self._approximations: List[np.ndarray] = []
+        self._base_matrix: Optional[np.ndarray] = None  # bulk-loaded block
+        self._base_codes: Optional[np.ndarray] = None
+        self._tail_vectors: List[np.ndarray] = []  # per-item inserts
+        self._tail_codes: List[np.ndarray] = []
+        self._positions: Dict[object, int] = {}
+        self._matrix_cache: Optional[np.ndarray] = None
+        self._codes_cache: Optional[np.ndarray] = None
+        self._tie_cache: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def bulk_load(
+        cls, object_ids, vectors, *, bits: int = 6, chunk: int = SCAN_CHUNK
+    ) -> "VAFile":
+        """Columnar build: one ``[n, d]`` matrix in, codes out chunk-wise.
+
+        The vector matrix is adopted by reference when already
+        ``float64`` (a memmap stays out of core); only the small uint
+        code matrix is materialized in RAM."""
+        matrix = np.asarray(vectors, dtype=float)
+        if matrix.ndim != 2:
+            raise IndexError_(f"expected an [n, d] matrix, got shape {matrix.shape}")
+        ids = list(object_ids)
+        if len(ids) != len(matrix):
+            raise IndexError_(f"{len(ids)} ids for {len(matrix)} vectors")
+        va = cls(matrix.shape[1], bits=bits)
+        codes = np.empty(matrix.shape, dtype=va._code_dtype)
+        for start in range(0, len(matrix), chunk):
+            block = matrix[start : start + chunk]
+            if np.any(block < 0) or np.any(block > 1):
+                raise IndexError_("VA-file stores points in the unit cube only")
+            np.clip(
+                (block * va.cells).astype(np.int64),
+                0,
+                va.cells - 1,
+                out=codes[start : start + chunk],
+                casting="unsafe",
+            )
+        va._ids = ids
+        va._base_matrix = matrix
+        va._base_codes = codes
+        va._positions = {object_id: row for row, object_id in enumerate(ids)}
+        return va
+
     def _approximate(self, vector: np.ndarray) -> np.ndarray:
         return np.clip((vector * self.cells).astype(int), 0, self.cells - 1)
 
@@ -54,19 +184,77 @@ class VAFile(VectorIndex):
         point = self._check_vector(vector)
         if np.any(point < 0) or np.any(point > 1):
             raise IndexError_("VA-file stores points in the unit cube only")
+        self._positions[object_id] = len(self._ids)
         self._ids.append(object_id)
-        self._vectors.append(point)
-        self._approximations.append(self._approximate(point))
+        self._tail_vectors.append(point)
+        self._tail_codes.append(self._approximate(point).astype(self._code_dtype))
+        self._matrix_cache = None
+        self._codes_cache = None
+        self._tie_cache = None
 
     def __len__(self) -> int:
         return len(self._ids)
 
     # ------------------------------------------------------------------
+    # Columnar views
+    # ------------------------------------------------------------------
+    def _matrix(self) -> np.ndarray:
+        if self._matrix_cache is None:
+            blocks = []
+            if self._base_matrix is not None and len(self._base_matrix):
+                blocks.append(self._base_matrix)
+            if self._tail_vectors:
+                blocks.append(np.stack(self._tail_vectors))
+            if not blocks:
+                return np.empty((0, self.dimension))
+            self._matrix_cache = (
+                blocks[0] if len(blocks) == 1 else np.vstack(blocks)
+            )
+        return self._matrix_cache
+
+    def _codes(self) -> np.ndarray:
+        if self._codes_cache is None:
+            blocks = []
+            if self._base_codes is not None and len(self._base_codes):
+                blocks.append(self._base_codes)
+            if self._tail_codes:
+                blocks.append(np.stack(self._tail_codes))
+            if not blocks:
+                return np.empty((0, self.dimension), dtype=self._code_dtype)
+            self._codes_cache = (
+                blocks[0] if len(blocks) == 1 else np.vstack(blocks)
+            )
+        return self._codes_cache
+
+    def _tie_array(self) -> np.ndarray:
+        if self._tie_cache is None:
+            self._tie_cache = canonical_tie_array(self._ids)
+        return self._tie_cache
+
+    @property
+    def _vectors(self) -> np.ndarray:
+        """Row-indexable view of all stored vectors (tests peek here)."""
+        return self._matrix()
+
+    @property
+    def _approximations(self) -> np.ndarray:
+        """Row-indexable view of all stored approximations."""
+        return self._codes()
+
+    def vector_of(self, object_id: object) -> np.ndarray:
+        row = self._positions.get(object_id)
+        if row is None:
+            raise UnknownObjectError(f"unknown object: {object_id!r}")
+        return np.asarray(self._matrix()[row], dtype=float)
+
+    # ------------------------------------------------------------------
+    # Distance bounds
+    # ------------------------------------------------------------------
     def _bounds(self, approximation: np.ndarray, query: np.ndarray) -> Tuple[float, float]:
         """Lower/upper bounds on the distance from query to any point in
         the approximation's grid cell."""
         cell_low = approximation / self.cells
-        cell_high = (approximation + 1) / self.cells
+        cell_high = (approximation + 1.0) / self.cells
         below = np.clip(cell_low - query, 0.0, None)
         above = np.clip(query - cell_high, 0.0, None)
         lower = float(np.sqrt(np.sum(np.maximum(below, above) ** 2)))
@@ -74,61 +262,103 @@ class VAFile(VectorIndex):
         upper = float(np.sqrt(np.sum(farthest**2)))
         return lower, upper
 
+    def _all_bounds(self, query: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized scan phase: lower/upper bounds for every stored
+        approximation, computed in chunks of :data:`SCAN_CHUNK` rows."""
+        codes = self._codes()
+        size = len(codes)
+        lower = np.empty(size)
+        upper = np.empty(size)
+        for start in range(0, size, SCAN_CHUNK):
+            block = codes[start : start + SCAN_CHUNK]
+            cell_low = block / self.cells
+            cell_high = (block + 1.0) / self.cells
+            below = np.clip(cell_low - query, 0.0, None)
+            above = np.clip(query - cell_high, 0.0, None)
+            gap = np.maximum(below, above)
+            lower[start : start + SCAN_CHUNK] = np.sqrt((gap * gap).sum(axis=1))
+            farthest = np.maximum(
+                np.abs(query - cell_low), np.abs(query - cell_high)
+            )
+            upper[start : start + SCAN_CHUNK] = np.sqrt(
+                (farthest * farthest).sum(axis=1)
+            )
+        return lower, upper
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
     def range_query(self, lower, upper) -> List[object]:
         lo = self._check_vector(lower)
         hi = self._check_vector(upper)
-        results: List[object] = []
+        size = len(self._ids)
+        if size == 0:
+            return []
         lo_cells = self._approximate(np.clip(lo, 0.0, 1.0))
         hi_cells = self._approximate(np.clip(hi, 0.0, 1.0))
-        for object_id, vector, approximation in zip(
-            self._ids, self._vectors, self._approximations
-        ):
-            self.stats.node_accesses += 1  # one approximation read
-            if np.any(approximation < lo_cells) or np.any(approximation > hi_cells):
-                continue
-            self.stats.distance_evaluations += 1  # full-vector check
-            if np.all(vector >= lo) and np.all(vector <= hi):
-                results.append(object_id)
-        return results
+        codes = self._codes()
+        self.stats.record_nodes(size)  # every approximation is read
+        maybe = np.all((codes >= lo_cells) & (codes <= hi_cells), axis=1)
+        rows = np.nonzero(maybe)[0]
+        if not len(rows):
+            return []
+        self.stats.record_distances(len(rows))  # full-vector checks
+        block = self._matrix()[rows]
+        inside = np.all((block >= lo) & (block <= hi), axis=1)
+        return [self._ids[row] for row in rows[inside]]
 
     def knn(self, target, k: int) -> List[Neighbor]:
         if k <= 0:
             raise ValueError(f"k must be positive, got {k}")
         query = self._check_vector(target)
-        if not self._ids:
+        size = len(self._ids)
+        if size == 0:
             return []
 
-        # Phase 1: scan approximations, keeping bound intervals.
-        candidates: List[Tuple[float, float, int]] = []
-        kth_upper = float("inf")
-        uppers: List[float] = []
-        for index, approximation in enumerate(self._approximations):
-            self.stats.node_accesses += 1
-            lower, upper = self._bounds(approximation, query)
-            if lower <= kth_upper:
-                candidates.append((lower, upper, index))
-                uppers.append(upper)
-                if len(uppers) >= k:
-                    uppers.sort()
-                    del uppers[k:]
-                    kth_upper = uppers[k - 1]
+        # Phase 1: vectorized approximation scan + partitioned selection
+        # of the pruning threshold (the k-th smallest upper bound).
+        lower, upper = self._all_bounds(query)
+        self.stats.record_nodes(size)
+        if size > k:
+            kth_upper = np.partition(upper, k - 1)[k - 1]
+            keep = np.nonzero(lower <= kth_upper + EPS)[0]
+        else:
+            keep = np.arange(size)
 
-        # Phase 2: refine in lower-bound order with true distances.
-        candidates.sort()
-        best: List[Tuple[float, str, object]] = []
+        # Phase 2: refine candidates in canonical (lower, tie) order,
+        # true distances computed in vectorized blocks.
+        ties = self._tie_array()
+        order = np.lexsort((ties[keep], lower[keep]))
+        candidates = keep[order]
+        candidate_lowers = lower[candidates]
+        matrix = self._matrix()
+        refined_rows: List[np.ndarray] = []
+        refined_distances: List[np.ndarray] = []
+        refined_count = 0
         cutoff = float("inf")
-        for lower, _, index in candidates:
-            if len(best) >= k and lower > cutoff:
+        position = 0
+        while position < len(candidates):
+            if refined_count >= k and candidate_lowers[position] > cutoff + EPS:
                 break
-            self.stats.distance_evaluations += 1
-            distance = float(np.linalg.norm(self._vectors[index] - query))
-            best.append((distance, str(self._ids[index]), self._ids[index]))
-            best.sort()
-            if len(best) > k:
-                best.pop()
-            if len(best) >= k:
-                cutoff = best[-1][0]
-        return [(object_id, distance) for distance, _, object_id in best]
+            rows = candidates[position : position + REFINE_BLOCK]
+            position += len(rows)
+            distances = euclidean_distances(matrix[rows], query)
+            self.stats.record_distances(len(rows))
+            refined_rows.append(rows)
+            refined_distances.append(distances)
+            refined_count += len(rows)
+            if refined_count >= k:
+                flat = np.concatenate(refined_distances)
+                cutoff = float(np.partition(flat, k - 1)[k - 1])
+        rows = np.concatenate(refined_rows)
+        distances = np.concatenate(refined_distances)
+        best = np.lexsort((ties[rows], distances))[:k]
+        return [
+            (self._ids[rows[i]], float(distances[i])) for i in best
+        ]
+
+    def knn_stream(self, target) -> KnnStream:
+        return _VAFileStream(self, self._check_vector(target))
 
     # ------------------------------------------------------------------
     def approximation_bytes(self) -> int:

@@ -93,6 +93,34 @@ def _emit_shard_breakdown(sources, tracer) -> None:
                 break
 
 
+def _emit_index_breakdown(sources, tracer) -> None:
+    """Emit index-work trace events for index-backed bindings.
+
+    Only sources exposing the duck-typed ``index_stats`` hook (the
+    :class:`~repro.index.source.KnnSource` adapter, anywhere in the
+    wrapper chain) emit anything, so traces of non-index runs —
+    including every golden trace — are unchanged.  Each hit emits one
+    ``index_breakdown`` event plus ``index.node_accesses`` /
+    ``index.distance_evals`` samples; the counters are read through the
+    stats lock, so concurrent probes never yield a torn pair.
+    """
+    from repro.core.sources import iter_wrapper_chain
+
+    for source in sources:
+        for node in iter_wrapper_chain(source):
+            stats = getattr(node, "index_stats", None)
+            if stats is not None:
+                info = stats()
+                tracer.event("index_breakdown", source=source.name, **info)
+                tracer.sample(
+                    "index.node_accesses", float(info["node_accesses"])
+                )
+                tracer.sample(
+                    "index.distance_evals", float(info["distance_evals"])
+                )
+                break
+
+
 def _for_subsystem(setting, name: str):
     """Resolve a global-or-per-subsystem setting for one subsystem."""
     if setting is None or not isinstance(setting, dict):
@@ -723,6 +751,7 @@ class MiddlewareEngine:
                         cache_ctx=cache_ctx,
                     )
                     _emit_shard_breakdown(sources, tracer)
+                    _emit_index_breakdown(sources, tracer)
         finally:
             if transient and executor is not None:
                 executor.shutdown()

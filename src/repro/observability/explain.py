@@ -66,6 +66,10 @@ class AtomStats:
             )
         elif storage.get("backend") == "MemmapSource":
             line += f"\n    storage: memmap at {storage.get('directory')}"
+        elif storage.get("index"):
+            line += (
+                f"\n    storage: {storage['index']} index-backed kNN stream"
+            )
         return line
 
 
@@ -250,6 +254,19 @@ def render_trace_explain(tracer) -> str:
     if shard_lines:
         lines.append("accesses by shard:")
         lines.extend(shard_lines)
+    index_lines: List[str] = []
+    for event in tracer.events:
+        if event.get("type") == "event" and event.get("name") == "index_breakdown":
+            attrs = event.get("attrs", {})
+            index_lines.append(
+                f"  {attrs.get('source')}: {attrs.get('index')} over "
+                f"n={attrs.get('n')}, node accesses "
+                f"{attrs.get('node_accesses')}, distance evals "
+                f"{attrs.get('distance_evals')}"
+            )
+    if index_lines:
+        lines.append("accesses by index:")
+        lines.extend(index_lines)
     resilience: Dict[str, int] = {}
     for event in tracer.events:
         if event.get("type") == "event" and event.get("name") == "resilience":

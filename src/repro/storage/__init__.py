@@ -224,4 +224,7 @@ def describe_source_storage(source: GradedSource) -> Dict[str, object]:
         summary["routed"] = inner._router is not None
     if isinstance(inner, MemmapSource):
         summary["directory"] = inner.directory
+    index_stats = getattr(inner, "index_stats", None)
+    if index_stats is not None:
+        summary["index"] = index_stats()["index"]
     return summary

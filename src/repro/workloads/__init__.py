@@ -22,6 +22,7 @@ from repro.workloads.image_corpus import (
     advertisements_scenario,
     build_image_database,
     corpus_histograms,
+    feature_corpus,
     mixed_corpus,
 )
 
@@ -40,6 +41,7 @@ __all__ = [
     "build_store",
     "mixed_corpus",
     "corpus_histograms",
+    "feature_corpus",
     "build_image_database",
     "advertisements_scenario",
 ]

@@ -10,7 +10,8 @@ AdPhotos scenario of section 4.2).
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Sequence, Tuple
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -44,17 +45,70 @@ def corpus_histograms(
     }
 
 
+def feature_corpus(
+    n: int,
+    dimension: int = 6,
+    seed: int = 0,
+    *,
+    object_ids: Optional[Sequence[str]] = None,
+    directory: Optional[str] = None,
+    chunk: int = 65536,
+) -> Tuple[List[str], np.ndarray]:
+    """Unit-cube feature vectors for ``n`` images, optionally on disk.
+
+    With a ``directory`` the ``[n, d]`` matrix is a numpy memmap (an
+    ``.npy`` file written chunk-wise), so a 10^6-object corpus never
+    materializes in RAM — the shape the index bulk loaders adopt
+    by reference.  Generation is chunked but deterministic: the same
+    ``(n, dimension, seed)`` yields the same matrix for any chunk size,
+    because ``default_rng`` streams doubles in row order.
+    """
+    if object_ids is None:
+        ids = [f"img{i}" for i in range(n)]
+    else:
+        ids = list(object_ids)
+        n = len(ids)
+    if directory is not None:
+        root = Path(directory)
+        root.mkdir(parents=True, exist_ok=True)
+        matrix = np.lib.format.open_memmap(
+            root / f"features-{n}x{dimension}.npy",
+            mode="w+",
+            dtype=np.float64,
+            shape=(n, dimension),
+        )
+    else:
+        matrix = np.empty((n, dimension))
+    rng = np.random.default_rng(seed)
+    for start in range(0, n, chunk):
+        stop = min(start + chunk, n)
+        matrix[start:stop] = rng.random((stop - start, dimension))
+    if directory is not None:
+        matrix.flush()
+    return ids, matrix
+
+
 def build_image_database(
     n: int,
     seed: int = 0,
     *,
     theme: str = "red",
+    knn_index: Optional[str] = None,
+    knn_dimension: int = 6,
+    knn_directory: Optional[str] = None,
 ) -> MiddlewareEngine:
     """A full multimedia database: QBIC over a corpus + relational metadata.
 
     The relational side carries a Category column ('nature', 'product',
     'portrait', ...) so Beatles-style mixed queries
     (Category='product' AND Color='red') can run against images too.
+
+    ``knn_index`` (``scan`` | ``vafile`` | ``rtree``) additionally
+    registers a :class:`~repro.index.source.KnnSubsystem` serving
+    ``Near = <target>`` atoms from a feature corpus over the same image
+    ids — the CLI's ``--index`` flag lands here.  The answers are
+    byte-identical across index kinds; only the physical work changes.
+    ``knn_directory`` puts the feature matrix on disk (memmap).
     """
     corpus = mixed_corpus(n, seed, theme=theme)
     qbic = QbicSubsystem("qbic", corpus)
@@ -71,6 +125,19 @@ def build_image_database(
     engine = MiddlewareEngine()
     engine.register(qbic)
     engine.register(metadata)
+    if knn_index is not None:
+        from repro.index import KnnSubsystem
+
+        ids, features = feature_corpus(
+            n,
+            dimension=knn_dimension,
+            seed=seed + 2,
+            object_ids=[image.image_id for image in corpus],
+            directory=knn_directory,
+        )
+        engine.register(
+            KnnSubsystem("knn", ids, features, index=knn_index)
+        )
     return engine
 
 
